@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Ablation: the near-storage module's private DRAM parameter buffer
+ * (paper §II-C: it exists "to limit disk accesses and exploit the
+ * parameters' reuse ratio"). We run near-storage feature extraction
+ * with reusable parameters (one key, buffer hits after the first
+ * fetch) and with unique per-task keys (no reuse possible, every
+ * task refetches over the host path).
+ */
+
+#include <cstdio>
+
+#include "common.hh"
+
+using namespace reach;
+using namespace reach::bench;
+
+namespace
+{
+
+double
+runNsFeatureExtraction(bool reuse, std::uint32_t batches)
+{
+    core::SystemConfig cfg;
+    core::ReachSystem sys(cfg);
+    cbir::CbirWorkloadModel model{cbir::ScaleConfig{}};
+    const auto &scale = model.scale();
+
+    std::uint32_t done = 0;
+    std::uint32_t task_seq = 0;
+    for (std::uint32_t b = 0; b < batches; ++b) {
+        gam::JobDesc job;
+        job.label = "fe-ns";
+        job.onComplete = [&done](sim::Tick) { ++done; };
+        for (std::uint32_t i = 0; i < scale.batchSize; ++i) {
+            gam::TaskDesc t;
+            t.label = "fe" + std::to_string(i);
+            t.kernelTemplate = "CNN-ZCU9";
+            t.level = acc::Level::NearStor;
+            t.work = model.featureExtractionSingle();
+            if (!reuse) {
+                t.work.paramKey =
+                    "vgg16#" + std::to_string(task_seq++);
+            }
+            t.pinnedAcc = sys.nsGamIds()[i % sys.numNs()];
+            t.inbound.push_back({gam::InboundTransfer::fromHost,
+                                 model.queryImageBytes()});
+            job.tasks.push_back(std::move(t));
+        }
+        sys.gam().submitJob(std::move(job));
+    }
+    sys.runUntilIdle();
+    if (done != batches)
+        sim::panic("incomplete ablation run");
+    return sim::secondsFromTicks(sys.simulator().now());
+}
+
+} // namespace
+
+int
+main()
+{
+    sim::setQuiet(true);
+    printHeader("Ablation: near-storage DRAM parameter buffer "
+                "(feature extraction on NS modules)");
+    std::printf("%-22s %14s\n", "parameter reuse", "runtime (ms)");
+
+    const std::uint32_t batches = 4;
+    double with_buffer = runNsFeatureExtraction(true, batches);
+    double without = runNsFeatureExtraction(false, batches);
+
+    std::printf("%-22s %14.2f\n", "buffered (hits)",
+                with_buffer * 1e3);
+    std::printf("%-22s %14.2f\n", "refetch every task",
+                without * 1e3);
+    std::printf("buffer speedup: %.2fx (the paper's rationale for "
+                "the 1 GB device DRAM)\n",
+                without / with_buffer);
+    return 0;
+}

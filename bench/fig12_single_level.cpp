@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Figure 12: end-to-end CBIR runtime and energy using a *single*
+ * compute level at a time, with 1/2/4 accelerator instances,
+ * stage-stacked and normalized to the on-chip baseline.
+ *
+ * Paper shape: single near-data instances lose to on-chip; at 4
+ * instances both near-memory and near-storage pull ahead on
+ * runtime and energy.
+ */
+
+#include <array>
+#include <cstdio>
+
+#include "common.hh"
+
+using namespace reach;
+using namespace reach::bench;
+
+namespace
+{
+
+struct EndToEnd
+{
+    std::array<double, 3> stage_runtime{};
+    double runtime = 0;
+    double energy = 0;
+};
+
+EndToEnd
+runLevel(acc::Level level, std::uint32_t instances,
+         std::uint32_t batches)
+{
+    EndToEnd out;
+    const std::array<Stage, 3> stages = {Stage::FeatureExtraction,
+                                         Stage::Shortlist,
+                                         Stage::Rerank};
+    for (std::size_t s = 0; s < stages.size(); ++s) {
+        StageResult r = runStage(stages[s], level, instances, batches);
+        out.stage_runtime[s] = r.runtimeSeconds;
+        out.runtime += r.runtimeSeconds;
+        out.energy += r.energyJoules;
+    }
+    return out;
+}
+
+/** The true pipelined end-to-end run through the GAM. */
+double
+runPipelined(acc::Level level, std::uint32_t instances,
+             std::uint32_t batches)
+{
+    core::Mapping m = level == acc::Level::OnChip
+                          ? core::Mapping::OnChipOnly
+                          : (level == acc::Level::NearMem
+                                 ? core::Mapping::NearMemOnly
+                                 : core::Mapping::NearStorOnly);
+    core::ReachSystem sys(sweepConfig(level, instances));
+    cbir::CbirWorkloadModel model{cbir::ScaleConfig{}};
+    core::CbirDeployment dep(sys, model, m,
+                             level == acc::Level::OnChip ? 0
+                                                         : instances);
+    return sim::secondsFromTicks(dep.run(batches).makespan);
+}
+
+} // namespace
+
+int
+main()
+{
+    sim::setQuiet(true);
+    const std::uint32_t batches = 4;
+
+    EndToEnd base = runLevel(acc::Level::OnChip, 1, batches);
+
+    printHeader("Figure 12: end-to-end CBIR on a single compute "
+                "level (normalized to on-chip)");
+    std::printf("on-chip baseline: %.2f ms, %.2f J\n",
+                base.runtime * 1e3, base.energy);
+    std::printf("%-6s %-12s %9s %9s %9s %10s %10s %12s\n", "ACCs",
+                "level", "FeatExt", "ShortList", "Rerank",
+                "runtime(x)", "energy(x)", "pipelined(x)");
+
+    double base_piped = runPipelined(acc::Level::OnChip, 1, batches);
+    auto row = [&](std::uint32_t n, acc::Level level) {
+        EndToEnd r = level == acc::Level::OnChip
+                         ? base
+                         : runLevel(level, n, batches);
+        double piped = level == acc::Level::OnChip
+                           ? base_piped
+                           : runPipelined(level, n, batches);
+        std::printf("%-6u %-12s %9.2f %9.2f %9.2f %10.2f %10.2f "
+                    "%12.2f\n",
+                    n, acc::levelName(level),
+                    r.stage_runtime[0] / base.runtime,
+                    r.stage_runtime[1] / base.runtime,
+                    r.stage_runtime[2] / base.runtime,
+                    r.runtime / base.runtime,
+                    r.energy / base.energy, piped / base_piped);
+    };
+
+    for (std::uint32_t n : {1u, 2u, 4u}) {
+        row(n, acc::Level::OnChip);
+        row(n, acc::Level::NearMem);
+        row(n, acc::Level::NearStor);
+    }
+
+    EndToEnd nm4 = runLevel(acc::Level::NearMem, 4, batches);
+    EndToEnd ns4 = runLevel(acc::Level::NearStor, 4, batches);
+    std::printf("\nshape: 4-instance near-mem %s on-chip; "
+                "near-stor %s on-chip (paper: both gain at 4)\n",
+                nm4.runtime < base.runtime ? "beats" : "trails",
+                ns4.runtime < base.runtime ? "beats" : "trails");
+    return 0;
+}

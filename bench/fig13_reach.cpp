@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Figure 13: the headline comparison. CBIR with four acceleration
+ * options — on-chip only, near-memory only, near-storage only, and
+ * the proper ReACH mapping (feature extraction on-chip, short-list
+ * near memory, rerank near storage).
+ *
+ * (a) throughput improvement     — paper: ReACH ~4.5x over on-chip;
+ * (b) query response latency     — paper: ~2.2x improvement;
+ * (c) energy per component       — paper: ~52% total reduction.
+ */
+
+#include <cstdio>
+
+#include "common.hh"
+
+using namespace reach;
+using namespace reach::bench;
+using core::Mapping;
+
+namespace
+{
+
+struct Option
+{
+    Mapping mapping;
+    core::RunResult throughput;
+    core::RunResult latency;
+    energy::EnergyBreakdown energy;
+};
+
+Option
+runOption(Mapping m)
+{
+    cbir::CbirWorkloadModel model{cbir::ScaleConfig{}};
+
+    Option out;
+    out.mapping = m;
+    {
+        core::ReachSystem sys{core::SystemConfig{}};
+        core::CbirDeployment dep(sys, model, m);
+        out.latency = dep.run(1);
+    }
+    {
+        core::ReachSystem sys{core::SystemConfig{}};
+        core::CbirDeployment dep(sys, model, m);
+        out.throughput = dep.run(12);
+        out.energy = sys.measureEnergy();
+    }
+    return out;
+}
+
+} // namespace
+
+int
+main()
+{
+    sim::setQuiet(true);
+
+    Option opts[4] = {runOption(Mapping::OnChipOnly),
+                      runOption(Mapping::NearMemOnly),
+                      runOption(Mapping::NearStorOnly),
+                      runOption(Mapping::Reach)};
+    const Option &base = opts[0];
+
+    printHeader("Figure 13 (a): throughput improvement over on-chip");
+    for (const auto &o : opts) {
+        std::printf("%-10s %8.2f batches/s   %5.2fx\n",
+                    core::mappingName(o.mapping),
+                    o.throughput.throughputBatchesPerSec(),
+                    o.throughput.throughputBatchesPerSec() /
+                        base.throughput.throughputBatchesPerSec());
+    }
+
+    printHeader("Figure 13 (b): query response latency improvement");
+    for (const auto &o : opts) {
+        std::printf("%-10s %8.2f ms   %5.2fx\n",
+                    core::mappingName(o.mapping),
+                    sim::secondsFromTicks(o.latency.meanLatency) * 1e3,
+                    static_cast<double>(base.latency.meanLatency) /
+                        static_cast<double>(o.latency.meanLatency));
+    }
+
+    printHeader("Figure 13 (c): energy per component (12 batches)");
+    std::printf("%-10s", "option");
+    for (std::size_t c = 0;
+         c < static_cast<std::size_t>(
+                 energy::Component::NumComponents);
+         ++c) {
+        std::printf(" %11s",
+                    energy::componentName(
+                        static_cast<energy::Component>(c)));
+    }
+    std::printf(" %10s\n", "total(J)");
+    for (const auto &o : opts) {
+        std::printf("%-10s", core::mappingName(o.mapping));
+        for (std::size_t c = 0;
+             c < static_cast<std::size_t>(
+                     energy::Component::NumComponents);
+             ++c) {
+            std::printf(" %11.2f",
+                        o.energy[static_cast<energy::Component>(c)]);
+        }
+        std::printf(" %10.2f\n", o.energy.total());
+    }
+
+    double thr_gain = opts[3].throughput.throughputBatchesPerSec() /
+                      base.throughput.throughputBatchesPerSec();
+    double lat_gain =
+        static_cast<double>(base.latency.meanLatency) /
+        static_cast<double>(opts[3].latency.meanLatency);
+    double energy_red =
+        1.0 - opts[3].energy.total() / base.energy.total();
+
+    std::printf("\nheadline: ReACH throughput %.2fx (paper 4.5x), "
+                "latency %.2fx (paper 2.2x), energy -%.0f%% "
+                "(paper -52%%)\n",
+                thr_gain, lat_gain, 100.0 * energy_red);
+    return 0;
+}

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Figure 8: energy breakdown of the CBIR pipeline when every stage
+ * runs on the on-chip accelerator.
+ *
+ * Left chart: energy per system component (ACC, Cache, DRAM, SSD,
+ * MC+Interconnect, PCIe), stacked by pipeline stage.
+ * Right chart: per-stage split into compute (ACC) vs data movement
+ * (everything else).
+ *
+ * Paper numbers to approximate: ~79% of total energy is data
+ * movement, and the rerank stage's data movement alone is ~52% of
+ * the total.
+ */
+
+#include <array>
+#include <cstdio>
+
+#include "common.hh"
+
+using namespace reach;
+using namespace reach::bench;
+using energy::Component;
+
+int
+main()
+{
+    sim::setQuiet(true);
+    const std::uint32_t batches = 8;
+    const std::array<Stage, 3> stages = {Stage::FeatureExtraction,
+                                         Stage::Shortlist,
+                                         Stage::Rerank};
+
+    // The three stages are serial on one device, so isolated runs
+    // compose exactly.
+    std::array<StageResult, 3> res;
+    double total = 0;
+    for (std::size_t s = 0; s < stages.size(); ++s) {
+        res[s] = runStage(stages[s], acc::Level::OnChip, 1, batches);
+        total += res[s].energyJoules;
+    }
+
+    printHeader("Figure 8 (left): energy per component, stacked by "
+                "stage");
+    std::printf("(on-chip-only mapping, %u query batches)\n", batches);
+    std::printf("%-22s %12s %12s %12s %10s\n", "component",
+                "FeatureExt(J)", "ShortList(J)", "Rerank(J)",
+                "total(J)");
+    for (std::size_t c = 0;
+         c < static_cast<std::size_t>(Component::NumComponents);
+         ++c) {
+        auto comp = static_cast<Component>(c);
+        double sum = 0;
+        for (const auto &r : res)
+            sum += r.breakdown[comp];
+        std::printf("%-22s %12.2f %12.2f %12.2f %10.2f\n",
+                    energy::componentName(comp),
+                    res[0].breakdown[comp], res[1].breakdown[comp],
+                    res[2].breakdown[comp], sum);
+    }
+    std::printf("%-22s %12.2f %12.2f %12.2f %10.2f\n", "Total",
+                res[0].energyJoules, res[1].energyJoules,
+                res[2].energyJoules, total);
+
+    printHeader("Figure 8 (right): compute vs data movement per "
+                "stage");
+    std::printf("%-22s %10s %10s\n", "stage", "compute", "movement");
+    double movement_total = 0;
+    double rerank_movement = 0;
+    for (std::size_t s = 0; s < stages.size(); ++s) {
+        double compute = res[s].breakdown[Component::Acc];
+        double movement = res[s].energyJoules - compute;
+        movement_total += movement;
+        if (stages[s] == Stage::Rerank)
+            rerank_movement = movement;
+        std::printf("%-22s %9.1f%% %9.1f%%\n", stageName(stages[s]),
+                    100.0 * compute / total,
+                    100.0 * movement / total);
+    }
+
+    std::printf("\nshape: data movement = %.1f%% of total "
+                "(paper: ~79%%)\n",
+                100.0 * movement_total / total);
+    std::printf("shape: rerank data movement = %.1f%% of total "
+                "(paper: ~52%%)\n",
+                100.0 * rerank_movement / total);
+    return 0;
+}

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Figure 9: runtime and energy of the *feature extraction* stage on
+ * near-memory and near-storage accelerators with 1/2/4/8/16
+ * instances, normalized to the on-chip accelerator.
+ *
+ * Paper shapes to reproduce:
+ *  - a single near-data CNN instance is 7-10x slower than on-chip;
+ *  - 8-16 instances surpass the on-chip engine;
+ *  - on-chip keeps the best energy.
+ */
+
+#include <cstdio>
+
+#include "common.hh"
+
+using namespace reach;
+using namespace reach::bench;
+
+int
+main()
+{
+    sim::setQuiet(true);
+    const std::uint32_t batches = 4;
+
+    StageResult base = runStage(Stage::FeatureExtraction,
+                                acc::Level::OnChip, 1, batches);
+
+    printHeader("Figure 9: feature extraction vs on-chip baseline");
+    std::printf("on-chip baseline: %.2f ms, %.2f J (normalized 1.0)\n",
+                base.runtimeSeconds * 1e3, base.energyJoules);
+    std::printf("%-12s %8s %12s %12s\n", "level", "ACCs",
+                "runtime(x)", "energy(x)");
+
+    for (acc::Level level :
+         {acc::Level::NearMem, acc::Level::NearStor}) {
+        for (std::uint32_t n : {1u, 2u, 4u, 8u, 16u}) {
+            StageResult r =
+                runStage(Stage::FeatureExtraction, level, n, batches);
+            std::printf("%-12s %8u %12.2f %12.2f\n",
+                        acc::levelName(level), n,
+                        r.runtimeSeconds / base.runtimeSeconds,
+                        r.energyJoules / base.energyJoules);
+        }
+    }
+
+    // Shape checks (printed so CI logs show pass/fail).
+    StageResult nm1 = runStage(Stage::FeatureExtraction,
+                               acc::Level::NearMem, 1, batches);
+    StageResult nm16 = runStage(Stage::FeatureExtraction,
+                                acc::Level::NearMem, 16, batches);
+    double single_ratio = nm1.runtimeSeconds / base.runtimeSeconds;
+    std::printf("\nshape: single NM instance %.1fx slower "
+                "(paper: 7-10x) -> %s\n",
+                single_ratio,
+                single_ratio >= 5 && single_ratio <= 12 ? "OK"
+                                                        : "DEVIATES");
+    std::printf("shape: 16 NM instances %s on-chip "
+                "(paper: 8-16 surpass)\n",
+                nm16.runtimeSeconds < base.runtimeSeconds
+                    ? "surpass"
+                    : "do NOT surpass");
+    return 0;
+}

@@ -1,0 +1,161 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the functional CBIR kernels:
+ * the GEMM, partial sort and distance primitives the FPGA engines
+ * implement, plus k-means and the mini CNN. These are host-CPU
+ * numbers (sanity and regression tracking), not simulated-FPGA
+ * numbers.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "cbir/kmeans.hh"
+#include "cbir/linalg.hh"
+#include "cbir/mini_cnn.hh"
+#include "cbir/rerank.hh"
+#include "cbir/shortlist.hh"
+#include "sim/rng.hh"
+#include "workload/dataset.hh"
+
+using namespace reach;
+using namespace reach::cbir;
+
+namespace
+{
+
+Matrix
+randomMatrix(std::size_t rows, std::size_t cols, std::uint64_t seed)
+{
+    sim::Rng rng(seed);
+    Matrix m(rows, cols);
+    for (auto &v : m.flat())
+        v = static_cast<float>(rng.nextGaussian());
+    return m;
+}
+
+void
+BM_GemmNt(benchmark::State &state)
+{
+    std::size_t batch = 16, dim = 96;
+    std::size_t centroids = static_cast<std::size_t>(state.range(0));
+    Matrix q = randomMatrix(batch, dim, 1);
+    Matrix c = randomMatrix(centroids, dim, 2);
+    Matrix out(batch, centroids);
+    for (auto _ : state) {
+        gemmNt(q, c, out);
+        benchmark::DoNotOptimize(out.flat().data());
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) * batch *
+        centroids * dim);
+}
+BENCHMARK(BM_GemmNt)->Arg(250)->Arg(1000)->Arg(4000);
+
+void
+BM_L2Distance(benchmark::State &state)
+{
+    std::size_t dim = static_cast<std::size_t>(state.range(0));
+    Matrix a = randomMatrix(1, dim, 3);
+    Matrix b = randomMatrix(1, dim, 4);
+    for (auto _ : state) {
+        float d = l2sq(a.row(0), b.row(0));
+        benchmark::DoNotOptimize(d);
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) * dim);
+}
+BENCHMARK(BM_L2Distance)->Arg(96)->Arg(256)->Arg(1024);
+
+void
+BM_TopKMin(benchmark::State &state)
+{
+    std::size_t n = static_cast<std::size_t>(state.range(0));
+    sim::Rng rng(5);
+    std::vector<float> vals(n);
+    for (auto &v : vals)
+        v = static_cast<float>(rng.nextDouble());
+    for (auto _ : state) {
+        auto idx = topKMin(vals, 10);
+        benchmark::DoNotOptimize(idx.data());
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_TopKMin)->Arg(1000)->Arg(4096)->Arg(100000);
+
+void
+BM_ShortlistRetrieve(benchmark::State &state)
+{
+    workload::DatasetConfig dc;
+    dc.numVectors = 20'000;
+    dc.dim = 96;
+    workload::Dataset ds(dc);
+    KMeansConfig kc;
+    kc.clusters = static_cast<std::size_t>(state.range(0));
+    kc.maxIterations = 4;
+    InvertedFileIndex idx(ds.vectors(), kc);
+    Matrix queries = ds.makeQueries(16, 0.05, 9);
+    for (auto _ : state) {
+        auto lists = shortlistRetrieve(queries, idx, 8);
+        benchmark::DoNotOptimize(lists.data());
+    }
+}
+BENCHMARK(BM_ShortlistRetrieve)->Arg(100)->Arg(1000);
+
+void
+BM_Rerank(benchmark::State &state)
+{
+    workload::DatasetConfig dc;
+    dc.numVectors = 50'000;
+    dc.dim = 96;
+    workload::Dataset ds(dc);
+    KMeansConfig kc;
+    kc.clusters = 64;
+    kc.maxIterations = 4;
+    InvertedFileIndex idx(ds.vectors(), kc);
+    Matrix queries = ds.makeQueries(16, 0.05, 9);
+    auto lists = shortlistRetrieve(queries, idx, 8);
+    RerankConfig rc;
+    rc.k = 10;
+    rc.maxCandidates =
+        static_cast<std::size_t>(state.range(0));
+    for (auto _ : state) {
+        auto res = rerank(queries, ds.vectors(), idx, lists, rc);
+        benchmark::DoNotOptimize(res.data());
+    }
+}
+BENCHMARK(BM_Rerank)->Arg(1024)->Arg(4096);
+
+void
+BM_MiniCnnExtract(benchmark::State &state)
+{
+    MiniCnn cnn;
+    Image img = makeSyntheticImage(1, 7);
+    for (auto _ : state) {
+        auto f = cnn.extract(img);
+        benchmark::DoNotOptimize(f.data());
+    }
+}
+BENCHMARK(BM_MiniCnnExtract);
+
+void
+BM_KMeansIteration(benchmark::State &state)
+{
+    workload::DatasetConfig dc;
+    dc.numVectors = 5'000;
+    dc.dim = 32;
+    workload::Dataset ds(dc);
+    KMeansConfig kc;
+    kc.clusters = static_cast<std::size_t>(state.range(0));
+    kc.maxIterations = 1;
+    for (auto _ : state) {
+        auto res = kMeans(ds.vectors(), kc);
+        benchmark::DoNotOptimize(res.inertia);
+    }
+}
+BENCHMARK(BM_KMeansIteration)->Arg(16)->Arg(64);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Table I: memory and compute requirements of each CBIR pipeline
+ * stage at billion scale.
+ */
+
+#include <cstdio>
+
+#include "cbir/vgg.hh"
+#include "cbir/workload_model.hh"
+#include "common.hh"
+
+using namespace reach;
+
+int
+main()
+{
+    sim::setQuiet(true);
+    cbir::ScaleConfig scale;
+    cbir::CbirWorkloadModel model(scale);
+
+    bench::printHeader(
+        "Table I: memory and compute requirements per CBIR stage");
+
+    std::printf("%-20s %-38s %s\n", "stage", "memory requirement",
+                "computation requirement");
+
+    std::printf("%-20s %5.0f MB (%.1f MB compressed) %-6s %s\n",
+                "Feature extraction",
+                static_cast<double>(cbir::vgg16WeightBytes()) / 1e6,
+                static_cast<double>(
+                    cbir::vgg16CompressedWeightBytes()) /
+                    1e6,
+                "", "High   (convolutional neural network)");
+
+    std::printf("%-20s ~%.1f GB (centroids + cell info)%-5s %s\n",
+                "Short-list retrieval",
+                static_cast<double>(model.centroidAndCellBytes()) /
+                    1e9,
+                "",
+                "Medium (non-square matrix multiplication)");
+
+    std::printf("%-20s ~%.0f GB (%lu x D=%u feature vectors)  %s\n",
+                "Rerank",
+                static_cast<double>(model.databaseBytes()) / 1e9,
+                static_cast<unsigned long>(scale.databaseVectors),
+                scale.dim, "Low    (k nearest neighbors)");
+
+    std::printf("%-20s %-38s %s\n", "Reverse lookup",
+                "200TB - 2PB (1 billion images)",
+                "Very low (database access; excluded, as in the "
+                "paper)");
+
+    std::printf("\nper-stage work units (one batch of %u queries):\n",
+                scale.batchSize);
+    auto fe = model.featureExtractionBatch();
+    auto sl = model.shortlistBatch(1);
+    auto rr = model.rerankBatch(1);
+    std::printf("  feature extraction: %.3g MACs, in %.2f MB, "
+                "params %.1f MB\n",
+                fe.ops, static_cast<double>(fe.bytesIn) / 1e6,
+                static_cast<double>(fe.paramBytes) / 1e6);
+    std::printf("  short-list:         %.3g ops,  in %.2f MB\n",
+                sl.ops, static_cast<double>(sl.bytesIn) / 1e6);
+    std::printf("  rerank:             %.3g ops,  in %.2f MB "
+                "(page-granular gathers)\n",
+                rr.ops, static_cast<double>(rr.bytesIn) / 1e6);
+    return 0;
+}

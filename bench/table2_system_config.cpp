@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Table II: the simulated compute-hierarchy configuration, including
+ * the calibrated host DRAM streaming bandwidth measured on the
+ * cycle-level DDR4 model.
+ */
+
+#include <cstdio>
+
+#include "common.hh"
+#include "acc/aim_local_port.hh"
+#include "mem/calibration.hh"
+
+using namespace reach;
+
+int
+main()
+{
+    sim::setQuiet(true);
+    core::SystemConfig cfg;
+    core::ReachSystem sys(cfg);
+
+    bench::printHeader("Table II: experimental setup");
+    std::printf("%-26s %s\n", "CPU",
+                "1 x86-64 OoO core @ 2 GHz (host; idle during "
+                "acceleration)");
+    std::printf("%-26s %u MCs, %u/%u-entry read/write queues, "
+                "FR-FCFS\n",
+                "Memory controller", cfg.numChannels,
+                cfg.dram.banksPerRank * 0 + 64, 64);
+    std::printf("%-26s %u DDR4 DIMMs: %u for near-memory ACCs, %u "
+                "for host/on-chip\n",
+                "Memory system",
+                cfg.hostDimms + cfg.numAimModules, cfg.numAimModules,
+                cfg.hostDimms);
+    std::printf("%-26s %u NVMe SSDs, PCIe gen3 x16 host uplink "
+                "(%.0f GB/s effective)\n",
+                "Storage system", cfg.numSsds, cfg.hostPcieBw / 1e9);
+    std::printf("%-26s Virtex UltraScale+ VU9P, %.0f GB/s to shared "
+                "cache\n",
+                "On-chip accelerator", cfg.cacheLinkBw / 1e9);
+    std::printf("%-26s Zynq UltraScale+ ZCU9, %.0f GB/s to its "
+                "DDR4 DIMM\n",
+                "Near-memory accelerator", cfg.aimLocalBw / 1e9);
+    std::printf("%-26s Zynq UltraScale+ ZCU9 + 1 GB DRAM buffer, "
+                "%.0f GB/s to its SSD\n",
+                "Near-storage accelerator", cfg.nsLocalBw / 1e9);
+
+    bench::printHeader("Calibration: sustained DRAM streaming "
+                       "bandwidth (detailed DDR4 model)");
+    auto one = mem::measureStreamingBandwidth(cfg.dram, 1, 2);
+    auto two = mem::measureStreamingBandwidth(cfg.dram, 2, 2);
+    std::printf("1 channel:  %.2f GB/s (%.0f%% of pin rate)\n",
+                one.bandwidth / 1e9, 100 * one.efficiency);
+    std::printf("2 channels: %.2f GB/s (%.0f%% of pin rate)\n",
+                two.bandwidth / 1e9, 100 * two.efficiency);
+    std::printf("bulk host-DRAM link uses the calibrated value: "
+                "%.2f GB/s\n",
+                sys.hostDramBandwidth() / 1e9);
+
+    bench::printHeader("Calibration: AIM module local bandwidth "
+                       "(detailed DIMM model)");
+    acc::AimPortConfig open_cfg;
+    open_cfg.maxInflight = 16;
+    acc::AimPortConfig closed_cfg = open_cfg;
+    closed_cfg.policy = mem::RowPolicy::Closed;
+    std::printf("open rows during kernel + precharge at handback: "
+                "%.2f GB/s (Table II: 18 GB/s)\n",
+                acc::measureLocalStreamingBandwidth(cfg.dram) / 1e9);
+    std::printf("per-burst closed-row alternative:              "
+                "%.2f GB/s (why the handover design matters)\n",
+                acc::measureLocalStreamingBandwidth(cfg.dram, 8 << 20,
+                                                    closed_cfg) /
+                    1e9);
+    return 0;
+}

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Table III: FPGA utilization, frequency and power per kernel, plus
+ * the derived effective throughput of each engine.
+ */
+
+#include <cstdio>
+
+#include "acc/kernel_profile.hh"
+#include "common.hh"
+
+using namespace reach;
+
+int
+main()
+{
+    sim::setQuiet(true);
+    bench::printHeader("Table III: FPGA kernels");
+    std::printf("%-12s %-8s %-28s %9s %14s %14s\n", "kernel",
+                "device", "utilization (ff,lut,dsp,bram)", "freq",
+                "power (W)", "Gops/s");
+
+    for (const auto &k : acc::kernelCatalog()) {
+        if (k.device == "XeonCore")
+            continue; // software baselines listed separately below
+        char util[64];
+        std::snprintf(util, sizeof(util),
+                      "(%2.0f%%,%2.0f%%,%2.0f%%,%2.0f%%)",
+                      100 * k.util.ff, 100 * k.util.lut,
+                      100 * k.util.dsp, 100 * k.util.bram);
+        bool zynq = k.device == "ZCU9EQ";
+        char power[32];
+        if (zynq) {
+            std::snprintf(power, sizeof(power), "%.2f/%.2f",
+                          acc::powerFor(k, false),
+                          acc::powerFor(k, true));
+        } else {
+            std::snprintf(power, sizeof(power), "%.2f", k.powerW);
+        }
+        std::printf("%-12s %-8s %-28s %6.0f MHz %14s %14.1f\n",
+                    k.id.c_str(), k.device.c_str(), util, k.freqMHz,
+                    power, k.throughputOpsPerSec() / 1e9);
+    }
+
+    std::printf("\n(ZCU9 power column: near-memory / near-storage "
+                "deployment, Table III)\n");
+
+    std::printf("\nsoftware baselines (host core, not in Table "
+                "III):\n");
+    for (const auto &k : acc::kernelCatalog()) {
+        if (k.device != "XeonCore")
+            continue;
+        std::printf("%-12s %-8s %38s %6.0f MHz %14.2f %14.1f\n",
+                    k.id.c_str(), "x86-64", "", k.freqMHz, k.powerW,
+                    k.throughputOpsPerSec() / 1e9);
+    }
+
+    double ratio = acc::findKernel("CNN-VU9P").throughputOpsPerSec() /
+                   acc::findKernel("CNN-ZCU9").throughputOpsPerSec();
+    std::printf("on-chip : near-data CNN single-instance ratio = "
+                "%.1fx (paper: 7-10x)\n",
+                ratio);
+    return 0;
+}

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * ReACH beyond CBIR: a scan -> aggregate -> reduce analytics
+ * pipeline built from the same kernel templates and runtime API.
+ *
+ * The paper argues the hierarchy suits "common communication-bound
+ * analytics workloads" generally. Here a columnar-scan style job
+ * streams a large table from the SSDs (near-storage KNN engines
+ * doubling as streaming filters), partial aggregates move to the
+ * near-memory modules (GeMM engines as hash aggregators), and a
+ * final reduction runs on-chip — demonstrating that the
+ * configuration / host-code split is workload-agnostic.
+ */
+
+#include <cstdio>
+
+#include "sim/logging.hh"
+#include "core/runtime.hh"
+
+using namespace reach;
+using namespace reach::core;
+
+int
+main()
+{
+    sim::setQuiet(true);
+    ReachRuntime rt{SystemConfig{}};
+
+    // A 64 GB table sharded across the four SSDs.
+    const std::uint64_t table_bytes = std::uint64_t(64) << 30;
+    const std::uint64_t shard = table_bytes / 4;
+    BufferHandle shards[4];
+    for (int s = 0; s < 4; ++s) {
+        shards[s] = rt.createFixedBuffer(
+            "./table_shard" + std::to_string(s), Level::NearStor,
+            shard);
+    }
+
+    // Filtered rows flow NS -> NM; partial aggregates NM -> on-chip.
+    auto filtered = rt.createStream(Level::NearStor, Level::NearMem,
+                                    StreamType::Collect,
+                                    std::uint64_t(256) << 20, 4);
+    auto partials = rt.createStream(Level::NearMem, Level::OnChip,
+                                    StreamType::Collect,
+                                    std::uint64_t(1) << 20, 4);
+    auto kickoff = rt.createStream(Level::Cpu, Level::NearStor,
+                                   StreamType::BroadCast, 4096, 4);
+
+    // Near-storage scan+filter on each shard (KNN template: a
+    // streaming compare engine).
+    AccHandle scans[4];
+    for (int s = 0; s < 4; ++s) {
+        scans[s] = rt.registerAcc("KNN-ZCU9", Level::NearStor);
+        scans[s].setArgs(0, kickoff);
+        scans[s].setArgs(1, shards[s]);
+        scans[s].setArgs(2, filtered);
+        acc::WorkUnit w;
+        w.ops = static_cast<double>(shard) / 4; // compare per word
+        w.bytesIn = shard;                      // full scan
+        w.bytesOut = (std::uint64_t(256) << 20) / 4; // selectivity
+        scans[s].setWork(w);
+    }
+
+    // Near-memory aggregation of the filtered stream.
+    AccHandle aggs[2];
+    for (int a = 0; a < 2; ++a) {
+        aggs[a] = rt.registerAcc("GeMM-ZCU9", Level::NearMem);
+        aggs[a].setArgs(0, filtered);
+        aggs[a].setArgs(2, partials);
+        acc::WorkUnit w;
+        w.ops = static_cast<double>(std::uint64_t(128) << 20) / 4;
+        w.bytesIn = std::uint64_t(128) << 20;
+        w.bytesOut = std::uint64_t(512) << 10;
+        aggs[a].setWork(w);
+    }
+
+    // Final on-chip reduction.
+    auto reduce = rt.registerAcc("GeMM-VU9P", Level::OnChip);
+    reduce.setArgs(0, partials);
+    acc::WorkUnit rw;
+    rw.ops = 1e6;
+    rw.bytesIn = std::uint64_t(1) << 20;
+    rw.inputResident = true;
+    reduce.setWork(rw);
+
+    rt.setBatchBudget(3); // three scan queries back to back
+    while (rt.enqueue(kickoff)) {
+        for (auto &s : scans)
+            s.execute(0);
+        for (auto &a : aggs)
+            a.execute(0);
+        reduce.execute(0);
+    }
+
+    sim::Tick end = rt.run();
+    double seconds = sim::secondsFromTicks(end);
+    auto energy = rt.system().measureEnergy();
+
+    std::printf("scanned %.0f GB x %u queries in %.1f ms of "
+                "simulated time (%.1f GB/s effective)\n",
+                static_cast<double>(table_bytes) / 1e9,
+                rt.jobsSubmitted(), seconds * 1e3,
+                3.0 * table_bytes / 1e9 / seconds);
+    std::printf("energy: %.1f J; GAM DMA between levels: %.1f MB "
+                "(vs %.0f GB scanned in place)\n",
+                energy.total(),
+                static_cast<double>(rt.system().gam().bytesMoved()) /
+                    1e6,
+                3.0 * table_bytes / 1e9);
+    std::printf("\nthe near-data scan touched the full table at "
+                "aggregate SSD bandwidth while the host IO link "
+                "carried only filtered rows.\n");
+    return 0;
+}

@@ -1,0 +1,79 @@
+#include "aim_local_port.hh"
+
+#include "sim/logging.hh"
+
+namespace reach::acc
+{
+
+AimLocalPort::AimLocalPort(sim::Simulator &sim, const std::string &name,
+                           mem::Dimm &attached, const AimPortConfig &config)
+    : sim::SimObject(sim, name),
+      dimm(attached),
+      cfg(config),
+      statBursts(name + ".bursts", "local bursts issued")
+{
+    if (cfg.maxInflight == 0)
+        sim::fatal(name, ": port needs at least one inflight burst");
+    registerStat(statBursts);
+}
+
+void
+AimLocalPort::streamRead(mem::Addr base, std::uint64_t bytes,
+                         std::function<void(sim::Tick)> on_done)
+{
+    if (next != end)
+        sim::panic(name(), ": stream already in progress");
+    if (bytes == 0) {
+        if (on_done)
+            on_done(now());
+        return;
+    }
+    next = mem::lineAlign(base);
+    end = base + bytes;
+    done = std::move(on_done);
+    pump();
+}
+
+void
+AimLocalPort::pump()
+{
+    while (next < end && inflight < cfg.maxInflight) {
+        mem::BurstResult br = dimm.serviceBurst(
+            next, false, now() + cfg.issueOverhead, cfg.policy);
+        ++statBursts;
+        ++inflight;
+        next += mem::cacheLineBytes;
+
+        bool last = next >= end;
+        schedule(br.complete, [this, last] {
+            --inflight;
+            if (last && inflight == 0) {
+                if (done)
+                    done(now());
+            } else {
+                pump();
+            }
+        }, sim::EventPriority::Default, "burstDone");
+    }
+}
+
+double
+measureLocalStreamingBandwidth(const mem::DramTimings &timings,
+                               std::uint64_t bytes,
+                               const AimPortConfig &cfg)
+{
+    sim::Simulator sim;
+    mem::Dimm dimm(sim, "calibDimm", timings);
+    AimLocalPort port(sim, "calibPort", dimm, cfg);
+
+    sim::Tick finish = 0;
+    port.streamRead(0, bytes,
+                    [&finish](sim::Tick t) { finish = t; });
+    sim.run();
+    if (finish == 0)
+        return 0;
+    return static_cast<double>(bytes) /
+           sim::secondsFromTicks(finish);
+}
+
+} // namespace reach::acc

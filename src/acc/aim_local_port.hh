@@ -1,0 +1,89 @@
+/**
+ * @file
+ * The AIM module's detailed local memory port.
+ *
+ * While the accelerator engine resolves bulk streams with a
+ * calibrated 18 GB/s link (Table II), this port drives the
+ * cycle-level DIMM model directly — burst by burst, under the
+ * closed-row policy the AIM module must use so the DIMM can be
+ * handed back precharged (paper §II-B). It exists to *validate* the
+ * bulk number: measureLocalStreamingBandwidth() streams a buffer
+ * through the detailed model and reports what a ZCU9-class engine
+ * can actually sustain from its DIMM.
+ */
+
+#ifndef REACH_ACC_AIM_LOCAL_PORT_HH
+#define REACH_ACC_AIM_LOCAL_PORT_HH
+
+#include <cstdint>
+#include <functional>
+
+#include "mem/dimm.hh"
+#include "sim/simulator.hh"
+#include "sim/stats.hh"
+
+namespace reach::acc
+{
+
+struct AimPortConfig
+{
+    /** Outstanding bursts the module's DMA engine sustains. */
+    std::uint32_t maxInflight = 16;
+    /** Module-side request issue overhead per burst. */
+    sim::Tick issueOverhead = 500; // 0.5 ns
+    /**
+     * Row policy for local accesses. Per-burst Closed would satisfy
+     * the handback invariant trivially but caps the module at
+     * ~1.4 GB/s (activate+precharge per 64 B); the realistic reading
+     * of the paper's "effectively enforces a closed-row policy" is
+     * Open *during* the kernel with a precharge-all at handover
+     * (AimModule::onTaskEnd does exactly that), which sustains
+     * ~18 GB/s — Table II's number.
+     */
+    mem::RowPolicy policy = mem::RowPolicy::Open;
+};
+
+class AimLocalPort : public sim::SimObject
+{
+  public:
+    AimLocalPort(sim::Simulator &sim, const std::string &name,
+                 mem::Dimm &dimm, const AimPortConfig &cfg = {});
+
+    /**
+     * Stream @p bytes of sequential reads from DIMM-local address
+     * @p base; @p on_done fires when the last burst returns.
+     */
+    void streamRead(mem::Addr base, std::uint64_t bytes,
+                    std::function<void(sim::Tick)> on_done);
+
+    std::uint64_t burstsIssued() const
+    {
+        return static_cast<std::uint64_t>(statBursts.value());
+    }
+
+  private:
+    void pump();
+
+    mem::Dimm &dimm;
+    AimPortConfig cfg;
+
+    mem::Addr next = 0;
+    mem::Addr end = 0;
+    std::uint32_t inflight = 0;
+    std::function<void(sim::Tick)> done;
+
+    sim::Scalar statBursts;
+};
+
+/**
+ * Measure the closed-row streaming bandwidth a ZCU9-class AIM module
+ * sustains from one DIMM with the detailed model. Compare against
+ * Table II's 18 GB/s (bench/ablation_interleaving prints it).
+ */
+double measureLocalStreamingBandwidth(
+    const mem::DramTimings &timings, std::uint64_t bytes = 8 << 20,
+    const AimPortConfig &cfg = {});
+
+} // namespace reach::acc
+
+#endif // REACH_ACC_AIM_LOCAL_PORT_HH

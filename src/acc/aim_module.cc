@@ -1,0 +1,43 @@
+#include "aim_module.hh"
+
+namespace reach::acc
+{
+
+AimModule::AimModule(sim::Simulator &sim, const std::string &name,
+                     mem::Dimm &dimm, noc::Link *aimbus)
+    : Accelerator(sim, name, Level::NearMem),
+      attachedDimm(dimm),
+      bus(aimbus),
+      statLocal(name + ".fwdLocal", "responses routed to local acc"),
+      statRemote(name + ".fwdRemote", "responses routed over AIMbus"),
+      statHandovers(name + ".handovers", "DIMM ownership handovers")
+{
+    registerStat(statLocal);
+    registerStat(statRemote);
+    registerStat(statHandovers);
+}
+
+sim::Tick
+AimModule::deliverCommand(sim::Tick at)
+{
+    return at + commandLatency;
+}
+
+void
+AimModule::onTaskStart(sim::Tick)
+{
+    // The host memory controller hands over the DIMM (paper §II-B).
+    attachedDimm.setAccOwned(true);
+    ++statHandovers;
+}
+
+void
+AimModule::onTaskEnd(sim::Tick at)
+{
+    // Closed-row policy means the handback invariant is "all rows
+    // precharged"; enforce it before releasing ownership.
+    attachedDimm.prechargeAll(at);
+    attachedDimm.setAccOwned(false);
+}
+
+} // namespace reach::acc

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * The accelerator-interposed memory (AIM) module: a near-memory
+ * accelerator sitting between one DRAM DIMM and the memory network
+ * (paper §II-B, Fig. 3).
+ *
+ * The module adds, on top of the generic Accelerator engine:
+ *  - DIMM ownership handover: while a kernel runs, the host memory
+ *    controller must not touch the DIMM; the module runs a
+ *    closed-row policy so every bank is precharged at handback;
+ *  - a configuration filter that receives kernel-launch commands
+ *    over the memory channel;
+ *  - a memory access filter that routes data to the local
+ *    accelerator, a remote module via the AIMbus, or back to the
+ *    host.
+ */
+
+#ifndef REACH_ACC_AIM_MODULE_HH
+#define REACH_ACC_AIM_MODULE_HH
+
+#include "acc/accelerator.hh"
+#include "mem/dimm.hh"
+#include "noc/link.hh"
+
+namespace reach::acc
+{
+
+class AimModule : public Accelerator
+{
+  public:
+    /**
+     * @param dimm    The DIMM this module interposes.
+     * @param aimbus  Shared inter-DIMM bus (may be null if absent).
+     */
+    AimModule(sim::Simulator &sim, const std::string &name,
+              mem::Dimm &dimm, noc::Link *aimbus);
+
+    mem::Dimm &dimm() { return attachedDimm; }
+    noc::Link *aimBus() { return bus; }
+
+    /**
+     * Deliver a kernel-launch command through the configuration
+     * filter; returns the tick the command is accepted.
+     */
+    sim::Tick deliverCommand(sim::Tick at);
+
+    /** Counts for the three access-filter directions. */
+    std::uint64_t forwardsLocal() const
+    {
+        return static_cast<std::uint64_t>(statLocal.value());
+    }
+    std::uint64_t forwardsRemote() const
+    {
+        return static_cast<std::uint64_t>(statRemote.value());
+    }
+
+    void noteLocalForward() { ++statLocal; }
+    void noteRemoteForward() { ++statRemote; }
+
+    void onTaskStart(sim::Tick at) override;
+    void onTaskEnd(sim::Tick at) override;
+
+  private:
+    mem::Dimm &attachedDimm;
+    noc::Link *bus;
+    /** Config-filter decode latency for ACC command packets. */
+    sim::Tick commandLatency = 50'000; // 50 ns
+
+    sim::Scalar statLocal;
+    sim::Scalar statRemote;
+    sim::Scalar statHandovers;
+};
+
+} // namespace reach::acc
+
+#endif // REACH_ACC_AIM_MODULE_HH

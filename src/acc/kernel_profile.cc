@@ -1,0 +1,123 @@
+#include "kernel_profile.hh"
+
+#include "sim/logging.hh"
+
+namespace reach::acc
+{
+
+const FpgaDevice &
+virtexVu9p()
+{
+    static const FpgaDevice dev{
+        "XCVU9P",
+        6840,                       // DSP48 slices
+        std::uint64_t(345) << 17,   // ~43 MiB BRAM+URAM
+        2'364'480,                  // FFs
+        1'182'240,                  // LUTs
+        3.0,                        // static power, W
+    };
+    return dev;
+}
+
+const FpgaDevice &
+zynqZcu9()
+{
+    static const FpgaDevice dev{
+        "ZCU9EQ",
+        2520,
+        std::uint64_t(32) << 20,
+        548'160,
+        274'080,
+        0.6,
+    };
+    return dev;
+}
+
+const FpgaDevice &
+xeonCore()
+{
+    static const FpgaDevice dev{
+        "XeonCore",
+        0, // no DSPs: a software target
+        std::uint64_t(32) << 20, // LLC share as "BRAM"
+        0,
+        0,
+        5.0, // uncore + leakage share
+    };
+    return dev;
+}
+
+const std::vector<KernelProfile> &
+kernelCatalog()
+{
+    // Utilization, frequency and power columns follow Table III.
+    // opsPerIteration scales with each kernel's DSP budget; the CNN
+    // engines additionally exploit deep-compression sparsity (the
+    // paper runs the 11.3 MB pruned model [23] on a Caffeine-style
+    // engine [24]), so their effective MACs/cycle exceed the dense
+    // DSP count. The resulting on-chip : near-data single-instance
+    // ratio for CNN is (8192*273)/(1536*200) = 7.3x, inside the
+    // paper's reported 7-10x band (Section VI-B).
+    static const std::vector<KernelProfile> catalog = {
+        // --- Virtex UltraScale+ XCVU9P (on-chip) ---
+        {"CNN-VU9P", "CNN", "XCVU9P",
+         {0.36, 0.81, 0.78, 0.42}, 273.0, 25.0, 1, 96, 8192.0},
+        {"GeMM-VU9P", "GeMM", "XCVU9P",
+         {0.24, 0.27, 0.56, 0.77}, 273.0, 22.13, 1, 64, 1024.0},
+        {"KNN-VU9P", "KNN", "XCVU9P",
+         {0.10, 0.10, 0.10, 0.22}, 200.0, 11.14, 1, 32, 512.0},
+
+        // --- Zynq UltraScale+ ZCU9EQ (near-memory / near-storage) ---
+        {"CNN-ZCU9", "CNN", "ZCU9EQ",
+         {0.11, 0.31, 0.38, 0.36}, 200.0, 5.19, 1, 96, 1536.0},
+        {"GeMM-ZCU9", "GeMM", "ZCU9EQ",
+         {0.36, 0.27, 0.76, 0.92}, 150.0, 5.30, 1, 64, 512.0},
+        {"KNN-ZCU9", "KNN", "ZCU9EQ",
+         {0.23, 0.20, 0.30, 0.22}, 150.0, 1.80, 1, 32, 256.0},
+
+        // --- Software on the host core (conventional baseline) ---
+        // One AVX2-ish 2 GHz core: 8 fp32 MACs/cycle for regular
+        // GEMM/CNN loops, 4 lanes for branchy KNN selection. Power
+        // is the loaded per-core share of a server socket.
+        {"CNN-CPU", "CNN", "XeonCore",
+         {0, 0, 0, 0}, 2000.0, 15.0, 1, 16, 8.0},
+        {"GeMM-CPU", "GeMM", "XeonCore",
+         {0, 0, 0, 0}, 2000.0, 15.0, 1, 16, 8.0},
+        {"KNN-CPU", "KNN", "XeonCore",
+         {0, 0, 0, 0}, 2000.0, 15.0, 1, 16, 4.0},
+        // Host-side post-processing of collected results (the
+        // process(Result.dequeue()) step of Listing 3).
+        {"PROC-CPU", "PROC", "XeonCore",
+         {0, 0, 0, 0}, 2000.0, 12.0, 1, 16, 8.0},
+    };
+    return catalog;
+}
+
+const KernelProfile &
+findKernel(const std::string &id)
+{
+    for (const auto &k : kernelCatalog()) {
+        if (k.id == id)
+            return k;
+    }
+    sim::fatal("unknown kernel template '", id,
+               "'; see kernelCatalog()");
+}
+
+double
+powerFor(const KernelProfile &profile, bool near_storage)
+{
+    if (profile.device != "ZCU9EQ" || !near_storage)
+        return profile.powerW;
+    // Table III second column: the near-storage deployment adds the
+    // private DRAM buffer and its interface.
+    if (profile.kernelType == "CNN")
+        return 6.13;
+    if (profile.kernelType == "GeMM")
+        return 8.0;
+    if (profile.kernelType == "KNN")
+        return 2.4;
+    return profile.powerW;
+}
+
+} // namespace reach::acc

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * FPGA kernel profiles: the synthesis-report parameters the paper
+ * plugs into its simulator (Table III) — per-kernel resource
+ * utilization, clock frequency, power, and the HLS pipeline model
+ * (initiation interval, depth, work per iteration).
+ *
+ * Timing follows the PARADE/HLS convention:
+ *   cycles(task) = pipelineDepth + II * (iterations - 1)
+ * with iterations = ceil(task.ops / opsPerIteration).
+ */
+
+#ifndef REACH_ACC_KERNEL_PROFILE_HH
+#define REACH_ACC_KERNEL_PROFILE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace reach::acc
+{
+
+/** Fractional utilization of the four FPGA resource classes. */
+struct FpgaUtilization
+{
+    double ff = 0;
+    double lut = 0;
+    double dsp = 0;
+    double bram = 0;
+};
+
+/** A reconfigurable device with its resource inventory. */
+struct FpgaDevice
+{
+    std::string name;
+    std::uint32_t dsps = 0;
+    std::uint64_t bramBytes = 0;
+    std::uint64_t ffs = 0;
+    std::uint64_t luts = 0;
+    /** Static (leakage + clocking) power, watts. */
+    double staticPowerW = 0;
+};
+
+/** Catalog entry for one synthesized kernel bitstream. */
+struct KernelProfile
+{
+    /** Template id, e.g. "CNN-VU9P". */
+    std::string id;
+    /** Algorithm family: "CNN", "GeMM", "KNN". */
+    std::string kernelType;
+    /** Device family: "XCVU9P" or "ZCU9EQ". */
+    std::string device;
+    FpgaUtilization util;
+    double freqMHz = 200;
+    /** Active power, watts (Table III). */
+    double powerW = 10;
+    std::uint64_t initiationInterval = 1;
+    std::uint64_t pipelineDepth = 64;
+    /** Work units (MACs / distance lanes / scan bytes) per II. */
+    double opsPerIteration = 256;
+
+    /** Ticks to compute @p ops work units. */
+    sim::Tick
+    computeTicks(double ops) const
+    {
+        if (ops <= 0)
+            return 0;
+        double iters = ops / opsPerIteration;
+        std::uint64_t n = static_cast<std::uint64_t>(iters);
+        if (static_cast<double>(n) < iters)
+            ++n;
+        if (n == 0)
+            n = 1;
+        std::uint64_t cycles =
+            pipelineDepth + initiationInterval * (n - 1);
+        return static_cast<sim::Tick>(
+            static_cast<double>(cycles) *
+            sim::periodFromMHz(freqMHz));
+    }
+
+    /** Sustained compute throughput, work units per second. */
+    double
+    throughputOpsPerSec() const
+    {
+        return opsPerIteration * freqMHz * 1e6 /
+               static_cast<double>(initiationInterval);
+    }
+};
+
+/** The two devices used throughout the paper (Table II/III). */
+const FpgaDevice &virtexVu9p();
+const FpgaDevice &zynqZcu9();
+
+/**
+ * The host core (Table II: one x86-64 OoO core @ 2 GHz), modeled as
+ * a compute device so the same machinery can run software baselines
+ * (the conventional-CPU comparison the paper's introduction makes).
+ */
+const FpgaDevice &xeonCore();
+
+/**
+ * Table III: the six kernel bitstreams (CNN/GeMM/KNN on VU9P and
+ * ZCU9). Near-memory and near-storage deployments of the ZCU9
+ * bitstreams differ only in power (the NS module carries a DRAM
+ * buffer), handled by powerFor().
+ */
+const std::vector<KernelProfile> &kernelCatalog();
+
+/** Look up a profile by template id; fatal() if missing. */
+const KernelProfile &findKernel(const std::string &id);
+
+/**
+ * Table III lists two power numbers for ZCU9 kernels: near-memory /
+ * near-storage. Returns the right one for the deployment.
+ */
+double powerFor(const KernelProfile &profile, bool near_storage);
+
+} // namespace reach::acc
+
+#endif // REACH_ACC_KERNEL_PROFILE_HH

@@ -1,0 +1,31 @@
+#include "ns_module.hh"
+
+namespace reach::acc
+{
+
+NsModule::NsModule(sim::Simulator &sim, const std::string &name,
+                   storage::Ssd &ssd, const NsConfig &config)
+    : Accelerator(sim, name, Level::NearStor),
+      attachedSsd(ssd),
+      cfg(config),
+      statPassThrough(name + ".passThrough",
+                      "host IO requests passed through")
+{
+    registerStat(statPassThrough);
+    enableParamBuffer(cfg.dramBufferBytes, cfg.dramBufferBandwidth);
+}
+
+NsModule::NsModule(sim::Simulator &sim, const std::string &name,
+                   storage::Ssd &ssd)
+    : NsModule(sim, name, ssd, NsConfig{})
+{
+}
+
+sim::Tick
+NsModule::passThrough(sim::Tick at)
+{
+    ++statPassThrough;
+    return at + cfg.passThroughLatency;
+}
+
+} // namespace reach::acc

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * The near-storage accelerator: a ZCU9-class FPGA attached to one
+ * NVMe SSD over a local PCIe link, with a private 1 GB DRAM buffer
+ * that caches accelerator parameters (paper §II-C, Fig. 4).
+ *
+ * Host IO requests aimed at the disk pass through with minimal
+ * overhead (the pass-through logic); accelerator commands are
+ * filtered off to the engine.
+ */
+
+#ifndef REACH_ACC_NS_MODULE_HH
+#define REACH_ACC_NS_MODULE_HH
+
+#include "acc/accelerator.hh"
+#include "storage/ssd.hh"
+
+namespace reach::acc
+{
+
+class NsModule : public Accelerator
+{
+  public:
+    struct NsConfig
+    {
+        std::uint64_t dramBufferBytes = std::uint64_t(1) << 30;
+        /** Private DRAM buffer bandwidth, bytes/s. */
+        double dramBufferBandwidth = 19.2e9;
+        /** Pass-through added latency for host IO. */
+        sim::Tick passThroughLatency = 300; // 0.3 ns
+    };
+
+    NsModule(sim::Simulator &sim, const std::string &name,
+             storage::Ssd &ssd, const NsConfig &cfg);
+
+    /** Defaults: 1 GB buffer at DDR4 single-channel bandwidth. */
+    NsModule(sim::Simulator &sim, const std::string &name,
+             storage::Ssd &ssd);
+
+    storage::Ssd &ssd() { return attachedSsd; }
+
+    /**
+     * A host IO request passing through to the disk; returns the
+     * tick the request reaches the SSD.
+     */
+    sim::Tick passThrough(sim::Tick at);
+
+    std::uint64_t passThroughCount() const
+    {
+        return static_cast<std::uint64_t>(statPassThrough.value());
+    }
+
+  private:
+    storage::Ssd &attachedSsd;
+    NsConfig cfg;
+
+    sim::Scalar statPassThrough;
+};
+
+} // namespace reach::acc
+
+#endif // REACH_ACC_NS_MODULE_HH

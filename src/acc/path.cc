@@ -1,0 +1,80 @@
+#include "path.hh"
+
+#include <algorithm>
+#include <limits>
+
+namespace reach::acc
+{
+
+double
+Path::bottleneckBandwidth() const
+{
+    double bw = std::numeric_limits<double>::infinity();
+    for (const auto *link : links)
+        bw = std::min(bw, link->bandwidth());
+
+    if (!sources.empty()) {
+        double agg = 0;
+        for (const auto &s : sources) {
+            double src_bw = std::numeric_limits<double>::infinity();
+            if (s.ssd)
+                src_bw = s.ssd->config().internalBandwidth();
+            if (s.link)
+                src_bw = std::min(src_bw, s.link->bandwidth());
+            if (src_bw < std::numeric_limits<double>::infinity())
+                agg += src_bw;
+        }
+        if (agg > 0)
+            bw = std::min(bw, agg);
+    }
+
+    if (dstSsd)
+        bw = std::min(bw, dstSsd->config().internalBandwidth());
+    return bw;
+}
+
+sim::Tick
+Path::reserve(std::uint64_t bytes, sim::Tick at,
+              std::uint64_t chunk_bytes) const
+{
+    if (bytes == 0 || empty())
+        return at;
+    if (chunk_bytes == 0)
+        chunk_bytes = defaultChunk;
+    // Bound the sub-chunk count per call: fine chunks buy pipelining
+    // and striping fairness, but reservation cost grows with the
+    // number of intervals each shared stage must search. 32 chunks
+    // (or 8 per source) keeps multi-GB transfers cheap while still
+    // overlapping stages.
+    std::uint64_t min_chunks =
+        sources.empty() ? 32 : 8 * sources.size();
+    if (bytes / chunk_bytes > min_chunks)
+        chunk_bytes = bytes / min_chunks;
+
+    sim::Tick done = at;
+    std::uint64_t remaining = bytes;
+    std::size_t &rr = rrCursor;
+    // Each stage keeps its own busy state, so issuing every chunk
+    // "at" the same earliest time still serializes correctly at the
+    // first stage and pipelines across later stages.
+    while (remaining > 0) {
+        std::uint64_t chunk = std::min(remaining, chunk_bytes);
+        sim::Tick t = at;
+        if (!sources.empty()) {
+            const Source &src = sources[rr++ % sources.size()];
+            if (src.ssd)
+                t = src.ssd->reserve(chunk, false, t);
+            if (src.link)
+                t = src.link->reserve(chunk, t);
+        }
+        for (auto *link : links)
+            t = link->reserve(chunk, t);
+        if (dstSsd)
+            t = dstSsd->reserve(chunk, true, t);
+        done = std::max(done, t);
+        remaining -= chunk;
+    }
+    return done;
+}
+
+} // namespace reach::acc

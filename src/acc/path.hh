@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Data paths: ordered chains of interconnect links that a bulk
+ * transfer traverses, optionally fed by one or more SSD flash arrays
+ * (with per-source links) and optionally sinking into an SSD.
+ *
+ * A transfer is pushed through the chain in chunks, so the chain
+ * pipelines: total time approaches bytes / min(stage bandwidth) plus
+ * the sum of stage latencies — exactly how streaming accelerators
+ * behave. Competing transfers on a shared stage serialize through
+ * that stage's reservation state, which is what creates the host-IO
+ * bottleneck the paper's rerank experiment exposes. Multiple sources
+ * are striped round-robin per chunk, modeling a dataset sharded
+ * across an SSD array whose aggregate feeds one shared interconnect.
+ */
+
+#ifndef REACH_ACC_PATH_HH
+#define REACH_ACC_PATH_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "noc/link.hh"
+#include "storage/ssd.hh"
+
+namespace reach::acc
+{
+
+class Path
+{
+  public:
+    Path() = default;
+
+    /** Append a shared link stage (non-owning). */
+    Path &via(noc::Link &link)
+    {
+        links.push_back(&link);
+        return *this;
+    }
+
+    /**
+     * Add a data source: an SSD plus its private egress link (either
+     * may be null). Chunks stripe round-robin across sources.
+     */
+    Path &from(storage::Ssd *drive, noc::Link *source_link = nullptr)
+    {
+        if (drive || source_link)
+            sources.push_back(Source{drive, source_link});
+        return *this;
+    }
+
+    /** Source the data from a single SSD's flash array (reads). */
+    Path &fromSsd(storage::Ssd &drive) { return from(&drive, nullptr); }
+
+    /** Sink the data into an SSD's flash array (writes). */
+    Path &toSsd(storage::Ssd &drive)
+    {
+        dstSsd = &drive;
+        return *this;
+    }
+
+    bool
+    empty() const
+    {
+        return links.empty() && sources.empty() && !dstSsd;
+    }
+
+    /**
+     * Bandwidth of the slowest stage, bytes/second (inf if empty).
+     * Parallel sources contribute their aggregate.
+     */
+    double bottleneckBandwidth() const;
+
+    /**
+     * Reserve the whole chain for @p bytes starting no earlier than
+     * @p at, pipelined in @p chunk_bytes units.
+     * @return tick when the last byte exits the final stage.
+     */
+    sim::Tick reserve(std::uint64_t bytes, sim::Tick at,
+                      std::uint64_t chunk_bytes = defaultChunk) const;
+
+    static constexpr std::uint64_t defaultChunk = 256 * 1024;
+
+  private:
+    struct Source
+    {
+        storage::Ssd *ssd = nullptr;
+        noc::Link *link = nullptr;
+    };
+
+    std::vector<Source> sources;
+    std::vector<noc::Link *> links;
+    storage::Ssd *dstSsd = nullptr;
+    /** Round-robin striping cursor, persistent across reserve()
+     *  calls so per-chunk reservations still cover every source. */
+    mutable std::size_t rrCursor = 0;
+};
+
+} // namespace reach::acc
+
+#endif // REACH_ACC_PATH_HH

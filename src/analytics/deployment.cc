@@ -1,0 +1,175 @@
+#include "deployment.hh"
+
+#include <memory>
+
+#include "sim/logging.hh"
+
+namespace reach::analytics
+{
+
+const char *
+scanMappingName(ScanMapping m)
+{
+    switch (m) {
+      case ScanMapping::HostOnly:
+        return "host-only";
+      case ScanMapping::OnChip:
+        return "onchip";
+      case ScanMapping::NearData:
+        return "near-data";
+    }
+    return "?";
+}
+
+AnalyticsDeployment::AnalyticsDeployment(core::ReachSystem &system,
+                                         const AnalyticsScale &s,
+                                         ScanMapping mapping)
+    : sys(system), scale(s), map(mapping)
+{
+    if (scale.tableBytes == 0)
+        sim::fatal("analytics table must be non-empty");
+    if (scale.selectivity < 0 || scale.selectivity > 1)
+        sim::fatal("selectivity must be in [0,1]");
+}
+
+gam::JobDesc
+AnalyticsDeployment::makeQueryJob(std::uint32_t index,
+                                  std::function<void(sim::Tick)> done)
+{
+    gam::JobDesc job;
+    job.label = std::string(scanMappingName(map)) + "-q" +
+                std::to_string(index);
+    job.onComplete = std::move(done);
+
+    std::uint64_t filtered = static_cast<std::uint64_t>(
+        static_cast<double>(scale.tableBytes) * scale.selectivity);
+    std::uint64_t merge_bytes =
+        std::uint64_t(scale.groups) * 16; // key + aggregate
+
+    if (map != ScanMapping::NearData) {
+        // Centralized: the whole table crosses the host IO
+        // interface into one device that filters and aggregates.
+        bool cpu = map == ScanMapping::HostOnly;
+        gam::TaskDesc scan;
+        scan.label = "scan";
+        scan.kernelTemplate = cpu ? "KNN-CPU" : "KNN-VU9P";
+        scan.level = cpu ? acc::Level::Cpu : acc::Level::OnChip;
+        scan.work.ops = static_cast<double>(scale.tableBytes) / 8 *
+                        scale.columnsTouched / 4;
+        scan.work.bytesIn = scale.tableBytes;
+        scan.work.bytesOut = filtered;
+        {
+            acc::Path p;
+            for (std::uint32_t s = 0; s < sys.config().numSsds; ++s)
+                p.from(&sys.ssdAt(s), &sys.ssdHostLink(s));
+            p.via(sys.hostIoUplink()).via(sys.hostDramLink());
+            p.via(sys.cacheLink());
+            scan.work.inputOverride = p;
+            // Sequential streaming: no random-gather throttle.
+        }
+        scan.pinnedAcc =
+            cpu ? sys.hostCoreGamId() : sys.onChipGamId();
+        job.tasks.push_back(std::move(scan));
+
+        gam::TaskDesc agg;
+        agg.label = "aggregate";
+        agg.kernelTemplate = cpu ? "GeMM-CPU" : "GeMM-VU9P";
+        agg.level = cpu ? acc::Level::Cpu : acc::Level::OnChip;
+        agg.work.ops = static_cast<double>(filtered) / 8;
+        agg.work.bytesIn = filtered;
+        agg.work.bytesOut = merge_bytes;
+        agg.deps = {0};
+        agg.pinnedAcc =
+            cpu ? sys.hostCoreGamId() : sys.onChipGamId();
+        job.tasks.push_back(std::move(agg));
+        return job;
+    }
+
+    // Near-data: per-SSD scans, near-memory partial aggregation,
+    // on-chip merge.
+    std::uint32_t ns = sys.numNs();
+    std::uint32_t nm = std::max(sys.numAims(), 1u);
+    std::vector<std::size_t> scan_idx;
+    for (std::uint32_t i = 0; i < ns; ++i) {
+        gam::TaskDesc scan;
+        scan.label = "scan-" + std::to_string(i);
+        scan.kernelTemplate = "KNN-ZCU9";
+        scan.level = acc::Level::NearStor;
+        scan.work.ops = static_cast<double>(scale.tableBytes) / ns /
+                        8 * scale.columnsTouched / 4;
+        scan.work.bytesIn = scale.tableBytes / ns;
+        scan.work.bytesOut = filtered / ns;
+        scan.pinnedAcc = sys.nsGamIds().at(i);
+        scan_idx.push_back(job.tasks.size());
+        job.tasks.push_back(std::move(scan));
+    }
+
+    std::vector<std::size_t> agg_idx;
+    for (std::uint32_t i = 0; i < nm; ++i) {
+        gam::TaskDesc agg;
+        agg.label = "aggregate-" + std::to_string(i);
+        agg.kernelTemplate = "GeMM-ZCU9";
+        agg.level = acc::Level::NearMem;
+        agg.work.ops = static_cast<double>(filtered) / nm / 8;
+        agg.work.bytesIn = filtered / nm;
+        agg.work.bytesOut = merge_bytes;
+        agg.pinnedAcc = sys.aimGamIds().at(i);
+        for (std::size_t s : scan_idx) {
+            agg.deps.push_back(s);
+            agg.inbound.push_back({s, filtered / ns / nm});
+        }
+        agg_idx.push_back(job.tasks.size());
+        job.tasks.push_back(std::move(agg));
+    }
+
+    gam::TaskDesc merge;
+    merge.label = "merge";
+    merge.kernelTemplate =
+        sys.hasOnChip() ? "GeMM-VU9P" : "GeMM-CPU";
+    merge.level =
+        sys.hasOnChip() ? acc::Level::OnChip : acc::Level::Cpu;
+    merge.work.ops = static_cast<double>(scale.groups) * nm;
+    merge.work.inputResident = true;
+    merge.pinnedAcc = sys.hasOnChip() ? sys.onChipGamId()
+                                      : sys.hostCoreGamId();
+    for (std::size_t a : agg_idx) {
+        merge.deps.push_back(a);
+        merge.inbound.push_back({a, merge_bytes});
+    }
+    job.tasks.push_back(std::move(merge));
+    return job;
+}
+
+QueryRunResult
+AnalyticsDeployment::run(std::uint32_t queries)
+{
+    if (queries == 0)
+        return {};
+
+    auto &sim = sys.simulator();
+    sim::Tick t0 = sim.now();
+
+    std::uint32_t done = 0;
+    sim::Tick latency_sum = 0;
+    sim::Tick last = 0;
+    for (std::uint32_t q = 0; q < queries; ++q) {
+        sim::Tick submitted = sim.now();
+        sys.gam().submitJob(makeQueryJob(
+            q, [&, submitted](sim::Tick at) {
+                ++done;
+                latency_sum += at - submitted;
+                last = at;
+            }));
+    }
+    sim.runUntil([&] { return done >= queries; });
+    if (done < queries)
+        sim::panic("analytics run incomplete: ", done, "/", queries);
+
+    QueryRunResult res;
+    res.queries = queries;
+    res.makespan = last - t0;
+    res.meanLatency = latency_sum / queries;
+    return res;
+}
+
+} // namespace reach::analytics

@@ -1,0 +1,120 @@
+#include "engine.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace reach::analytics
+{
+
+bool
+Predicate::matches(std::int64_t v) const
+{
+    switch (op) {
+      case CmpOp::Lt:
+        return v < literal;
+      case CmpOp::Le:
+        return v <= literal;
+      case CmpOp::Eq:
+        return v == literal;
+      case CmpOp::Ge:
+        return v >= literal;
+      case CmpOp::Gt:
+        return v > literal;
+      case CmpOp::Ne:
+        return v != literal;
+    }
+    return false;
+}
+
+std::vector<std::uint32_t>
+scanFilter(const ColumnTable &table,
+           const std::vector<Predicate> &preds)
+{
+    // Resolve columns once.
+    std::vector<const Column *> cols;
+    cols.reserve(preds.size());
+    for (const auto &p : preds)
+        cols.push_back(&table.column(p.column));
+
+    std::vector<std::uint32_t> out;
+    for (std::size_t row = 0; row < table.numRows(); ++row) {
+        bool pass = true;
+        for (std::size_t p = 0; p < preds.size() && pass; ++p)
+            pass = preds[p].matches(cols[p]->values[row]);
+        if (pass)
+            out.push_back(static_cast<std::uint32_t>(row));
+    }
+    return out;
+}
+
+AggregateResult
+aggregate(const ColumnTable &table,
+          const std::vector<std::uint32_t> &selection,
+          const AggregateSpec &spec)
+{
+    const Column &key = table.column(spec.keyColumn);
+    const Column *val = spec.fn == AggFn::Count
+                            ? nullptr
+                            : &table.column(spec.valueColumn);
+
+    AggregateResult out;
+    for (std::uint32_t row : selection) {
+        std::int64_t k = key.values[row];
+        std::int64_t v = val ? val->values[row] : 1;
+        auto [it, inserted] = out.emplace(k, v);
+        if (inserted) {
+            if (spec.fn == AggFn::Count)
+                it->second = 1;
+            continue;
+        }
+        switch (spec.fn) {
+          case AggFn::Sum:
+          case AggFn::Count:
+            it->second += v;
+            break;
+          case AggFn::Min:
+            it->second = std::min(it->second, v);
+            break;
+          case AggFn::Max:
+            it->second = std::max(it->second, v);
+            break;
+        }
+    }
+    return out;
+}
+
+AggregateResult
+runQuery(const ColumnTable &table, const std::vector<Predicate> &preds,
+         const AggregateSpec &spec)
+{
+    return aggregate(table, scanFilter(table, preds), spec);
+}
+
+AggregateResult
+mergePartials(const std::vector<AggregateResult> &partials, AggFn fn)
+{
+    AggregateResult out;
+    for (const auto &partial : partials) {
+        for (const auto &[k, v] : partial) {
+            auto [it, inserted] = out.emplace(k, v);
+            if (inserted)
+                continue;
+            switch (fn) {
+              case AggFn::Sum:
+              case AggFn::Count:
+                it->second += v;
+                break;
+              case AggFn::Min:
+                it->second = std::min(it->second, v);
+                break;
+              case AggFn::Max:
+                it->second = std::max(it->second, v);
+                break;
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace reach::analytics

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * The analytics operators: predicate scan and grouped aggregation —
+ * the functional counterparts of the streaming filter the paper's
+ * related work offloads near storage (Netezza, Ibex, Summarizer) and
+ * the reduction that follows near memory.
+ */
+
+#ifndef REACH_ANALYTICS_ENGINE_HH
+#define REACH_ANALYTICS_ENGINE_HH
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "analytics/table.hh"
+
+namespace reach::analytics
+{
+
+enum class CmpOp
+{
+    Lt,
+    Le,
+    Eq,
+    Ge,
+    Gt,
+    Ne,
+};
+
+/** column <op> literal. */
+struct Predicate
+{
+    std::string column;
+    CmpOp op = CmpOp::Eq;
+    std::int64_t literal = 0;
+
+    bool matches(std::int64_t v) const;
+};
+
+/** Row indices passing a conjunction of predicates. */
+std::vector<std::uint32_t> scanFilter(
+    const ColumnTable &table, const std::vector<Predicate> &preds);
+
+enum class AggFn
+{
+    Sum,
+    Min,
+    Max,
+    Count,
+};
+
+struct AggregateSpec
+{
+    /** Group-by key column. */
+    std::string keyColumn;
+    /** Column the function applies to (ignored for Count). */
+    std::string valueColumn;
+    AggFn fn = AggFn::Sum;
+};
+
+/** key -> aggregate over the selected rows. */
+using AggregateResult = std::map<std::int64_t, std::int64_t>;
+
+AggregateResult aggregate(const ColumnTable &table,
+                          const std::vector<std::uint32_t> &selection,
+                          const AggregateSpec &spec);
+
+/**
+ * Whole query in one call: filter then aggregate (the reference the
+ * deployment's distributed execution must reproduce).
+ */
+AggregateResult runQuery(const ColumnTable &table,
+                         const std::vector<Predicate> &preds,
+                         const AggregateSpec &spec);
+
+/**
+ * Merge partial aggregates from sharded execution; must equal the
+ * unsharded result for Sum/Min/Max/Count.
+ */
+AggregateResult mergePartials(
+    const std::vector<AggregateResult> &partials, AggFn fn);
+
+} // namespace reach::analytics
+
+#endif // REACH_ANALYTICS_ENGINE_HH

@@ -1,0 +1,70 @@
+#include "table.hh"
+
+#include "sim/logging.hh"
+
+namespace reach::analytics
+{
+
+void
+ColumnTable::addColumn(Column column)
+{
+    if (cols.empty()) {
+        rows = column.values.size();
+    } else if (column.values.size() != rows) {
+        sim::fatal("column '", column.name, "' has ",
+                   column.values.size(), " rows, table has ", rows);
+    }
+    for (const auto &c : cols) {
+        if (c.name == column.name)
+            sim::fatal("duplicate column '", column.name, "'");
+    }
+    cols.push_back(std::move(column));
+}
+
+std::size_t
+ColumnTable::columnIndex(const std::string &name) const
+{
+    for (std::size_t i = 0; i < cols.size(); ++i) {
+        if (cols[i].name == name)
+            return i;
+    }
+    sim::fatal("no column named '", name, "'");
+}
+
+ColumnTable
+makeSalesTable(const SalesTableConfig &cfg)
+{
+    sim::Rng rng(cfg.seed);
+
+    Column region{"region", {}};
+    Column product{"product", {}};
+    Column amount{"amount", {}};
+    Column quantity{"quantity", {}};
+    region.values.reserve(cfg.numRows);
+    product.values.reserve(cfg.numRows);
+    amount.values.reserve(cfg.numRows);
+    quantity.values.reserve(cfg.numRows);
+
+    for (std::size_t i = 0; i < cfg.numRows; ++i) {
+        region.values.push_back(static_cast<std::int64_t>(
+            rng.nextUInt(static_cast<std::uint64_t>(
+                cfg.numRegions))));
+        product.values.push_back(static_cast<std::int64_t>(
+            rng.nextUInt(static_cast<std::uint64_t>(
+                cfg.numProducts))));
+        amount.values.push_back(
+            1 + static_cast<std::int64_t>(rng.nextUInt(
+                    static_cast<std::uint64_t>(cfg.maxAmount))));
+        quantity.values.push_back(
+            1 + static_cast<std::int64_t>(rng.nextUInt(100)));
+    }
+
+    ColumnTable table;
+    table.addColumn(std::move(region));
+    table.addColumn(std::move(product));
+    table.addColumn(std::move(amount));
+    table.addColumn(std::move(quantity));
+    return table;
+}
+
+} // namespace reach::analytics

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * A minimal columnar table for the analytics case study.
+ *
+ * The paper motivates ReACH with "common communication-bound
+ * analytics workloads" that "scan, join, and summarize large volumes
+ * of data" (§I). This module provides the functional substrate for
+ * that claim: typed columns, synthetic table generation, and the
+ * scan/filter/aggregate operators near-data engines offload.
+ */
+
+#ifndef REACH_ANALYTICS_TABLE_HH
+#define REACH_ANALYTICS_TABLE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/rng.hh"
+
+namespace reach::analytics
+{
+
+/** A single int64 column. */
+struct Column
+{
+    std::string name;
+    std::vector<std::int64_t> values;
+};
+
+/** A columnar table; all columns share the row count. */
+class ColumnTable
+{
+  public:
+    ColumnTable() = default;
+
+    /** Add a column; its size fixes (or must match) the row count. */
+    void addColumn(Column column);
+
+    std::size_t numRows() const { return rows; }
+    std::size_t numColumns() const { return cols.size(); }
+
+    /** Column index by name; fatal() if absent. */
+    std::size_t columnIndex(const std::string &name) const;
+
+    const Column &column(std::size_t idx) const
+    {
+        return cols.at(idx);
+    }
+    const Column &column(const std::string &name) const
+    {
+        return cols.at(columnIndex(name));
+    }
+
+    /** Bytes a row occupies on storage (8 B per column). */
+    std::uint64_t
+    rowBytes() const
+    {
+        return 8 * static_cast<std::uint64_t>(cols.size());
+    }
+
+    std::uint64_t
+    totalBytes() const
+    {
+        return rowBytes() * rows;
+    }
+
+  private:
+    std::vector<Column> cols;
+    std::size_t rows = 0;
+};
+
+/** Schema/shape of the synthetic "sales" table. */
+struct SalesTableConfig
+{
+    std::size_t numRows = 100'000;
+    /** Distinct region ids (the group-by key). */
+    std::int64_t numRegions = 16;
+    /** Distinct product ids. */
+    std::int64_t numProducts = 1000;
+    /** Amounts are uniform in [1, maxAmount]. */
+    std::int64_t maxAmount = 10'000;
+    std::uint64_t seed = 7;
+};
+
+/**
+ * Generate the sales table: columns {region, product, amount,
+ * quantity}. Deterministic for a given seed.
+ */
+ColumnTable makeSalesTable(const SalesTableConfig &cfg);
+
+} // namespace reach::analytics
+
+#endif // REACH_ANALYTICS_TABLE_HH

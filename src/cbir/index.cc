@@ -1,0 +1,70 @@
+#include "index.hh"
+
+#include <algorithm>
+
+namespace reach::cbir
+{
+
+InvertedFileIndex::InvertedFileIndex(const Matrix &vectors,
+                                     const KMeansConfig &cfg)
+{
+    KMeansResult km = kMeans(vectors, cfg);
+    cents = std::move(km.centroids);
+    buildLists(km.assignment);
+    computeNorms();
+}
+
+InvertedFileIndex::InvertedFileIndex(
+    Matrix centroids, std::vector<std::uint32_t> assignment)
+    : cents(std::move(centroids))
+{
+    buildLists(assignment);
+    computeNorms();
+}
+
+void
+InvertedFileIndex::buildLists(const std::vector<std::uint32_t> &assignment)
+{
+    lists.assign(cents.rows(), {});
+    for (std::size_t i = 0; i < assignment.size(); ++i)
+        lists[assignment[i]].push_back(static_cast<std::uint32_t>(i));
+}
+
+void
+InvertedFileIndex::computeNorms()
+{
+    centNormSq.resize(cents.rows());
+    for (std::size_t c = 0; c < cents.rows(); ++c)
+        centNormSq[c] = normSq(cents.row(c));
+}
+
+std::size_t
+InvertedFileIndex::totalIds() const
+{
+    std::size_t n = 0;
+    for (const auto &l : lists)
+        n += l.size();
+    return n;
+}
+
+std::size_t
+InvertedFileIndex::maxClusterSize() const
+{
+    std::size_t m = 0;
+    for (const auto &l : lists)
+        m = std::max(m, l.size());
+    return m;
+}
+
+std::size_t
+InvertedFileIndex::minClusterSize() const
+{
+    if (lists.empty())
+        return 0;
+    std::size_t m = lists.front().size();
+    for (const auto &l : lists)
+        m = std::min(m, l.size());
+    return m;
+}
+
+} // namespace reach::cbir

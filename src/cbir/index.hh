@@ -1,0 +1,64 @@
+/**
+ * @file
+ * The inverted-file (IVF) index: k-means centroids plus, per
+ * centroid, the list of member vector ids ("cell info" in the
+ * paper's Table I). The online short-list stage prunes the search
+ * space to the clusters whose centroids are closest to the query.
+ */
+
+#ifndef REACH_CBIR_INDEX_HH
+#define REACH_CBIR_INDEX_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "cbir/kmeans.hh"
+#include "cbir/linalg.hh"
+
+namespace reach::cbir
+{
+
+class InvertedFileIndex
+{
+  public:
+    /** Build from a dataset using k-means. */
+    InvertedFileIndex(const Matrix &vectors, const KMeansConfig &cfg);
+
+    /** Build from precomputed clustering (tests). */
+    InvertedFileIndex(Matrix centroids,
+                      std::vector<std::uint32_t> assignment);
+
+    const Matrix &centroids() const { return cents; }
+
+    /** Precomputed ||C_m||^2 terms (Eq. 1's reusable component). */
+    const std::vector<float> &centroidNormsSq() const
+    {
+        return centNormSq;
+    }
+
+    std::size_t numClusters() const { return cents.rows(); }
+
+    const std::vector<std::uint32_t> &cluster(std::size_t c) const
+    {
+        return lists[c];
+    }
+
+    /** Total ids across all lists (== dataset size). */
+    std::size_t totalIds() const;
+
+    /** Largest / smallest cluster population. */
+    std::size_t maxClusterSize() const;
+    std::size_t minClusterSize() const;
+
+  private:
+    void buildLists(const std::vector<std::uint32_t> &assignment);
+    void computeNorms();
+
+    Matrix cents;
+    std::vector<float> centNormSq;
+    std::vector<std::vector<std::uint32_t>> lists;
+};
+
+} // namespace reach::cbir
+
+#endif // REACH_CBIR_INDEX_HH

@@ -1,0 +1,126 @@
+#include "kmeans.hh"
+
+#include <algorithm>
+#include <limits>
+
+#include "sim/logging.hh"
+
+namespace reach::cbir
+{
+
+std::uint32_t
+nearestCentroid(const Matrix &centroids, std::span<const float> v)
+{
+    std::uint32_t best = 0;
+    float best_d = std::numeric_limits<float>::max();
+    for (std::size_t c = 0; c < centroids.rows(); ++c) {
+        float d = l2sq(centroids.row(c), v);
+        if (d < best_d) {
+            best_d = d;
+            best = static_cast<std::uint32_t>(c);
+        }
+    }
+    return best;
+}
+
+namespace
+{
+
+/** k-means++ seeding: spread initial centroids by D^2 sampling. */
+Matrix
+seedCentroids(const Matrix &points, std::size_t k, sim::Rng &rng)
+{
+    Matrix centroids(k, points.cols());
+    std::size_t first = rng.nextUInt(points.rows());
+    std::copy(points.row(first).begin(), points.row(first).end(),
+              centroids.row(0).begin());
+
+    std::vector<float> min_d(points.rows(),
+                             std::numeric_limits<float>::max());
+    for (std::size_t c = 1; c < k; ++c) {
+        double total = 0;
+        for (std::size_t i = 0; i < points.rows(); ++i) {
+            float d = l2sq(points.row(i), centroids.row(c - 1));
+            min_d[i] = std::min(min_d[i], d);
+            total += min_d[i];
+        }
+        double target = rng.nextDouble() * total;
+        double run = 0;
+        std::size_t chosen = points.rows() - 1;
+        for (std::size_t i = 0; i < points.rows(); ++i) {
+            run += min_d[i];
+            if (run >= target) {
+                chosen = i;
+                break;
+            }
+        }
+        std::copy(points.row(chosen).begin(), points.row(chosen).end(),
+                  centroids.row(c).begin());
+    }
+    return centroids;
+}
+
+} // namespace
+
+KMeansResult
+kMeans(const Matrix &points, const KMeansConfig &cfg)
+{
+    if (points.rows() < cfg.clusters) {
+        sim::fatal("kMeans: ", points.rows(), " points cannot form ",
+                   cfg.clusters, " clusters");
+    }
+
+    sim::Rng rng(cfg.seed);
+    KMeansResult res;
+    res.centroids = seedCentroids(points, cfg.clusters, rng);
+    res.assignment.assign(points.rows(), 0);
+
+    double prev_inertia = std::numeric_limits<double>::max();
+    std::vector<double> sums;
+    std::vector<std::uint32_t> counts;
+
+    for (std::size_t it = 0; it < cfg.maxIterations; ++it) {
+        res.iterations = it + 1;
+
+        // Assign.
+        double inertia = 0;
+        for (std::size_t i = 0; i < points.rows(); ++i) {
+            std::uint32_t c = nearestCentroid(res.centroids,
+                                              points.row(i));
+            res.assignment[i] = c;
+            inertia += l2sq(points.row(i), res.centroids.row(c));
+        }
+        res.inertia = inertia;
+
+        // Update.
+        sums.assign(cfg.clusters * points.cols(), 0.0);
+        counts.assign(cfg.clusters, 0);
+        for (std::size_t i = 0; i < points.rows(); ++i) {
+            std::uint32_t c = res.assignment[i];
+            ++counts[c];
+            auto row = points.row(i);
+            for (std::size_t d = 0; d < points.cols(); ++d)
+                sums[c * points.cols() + d] += row[d];
+        }
+        for (std::size_t c = 0; c < cfg.clusters; ++c) {
+            if (counts[c] == 0)
+                continue; // keep the old centroid for empty clusters
+            auto row = res.centroids.row(c);
+            for (std::size_t d = 0; d < points.cols(); ++d) {
+                row[d] = static_cast<float>(sums[c * points.cols() + d] /
+                                            counts[c]);
+            }
+        }
+
+        if (prev_inertia < std::numeric_limits<double>::max()) {
+            double rel = (prev_inertia - inertia) /
+                         std::max(prev_inertia, 1e-12);
+            if (rel >= 0 && rel < cfg.tolerance)
+                break;
+        }
+        prev_inertia = inertia;
+    }
+    return res;
+}
+
+} // namespace reach::cbir

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * k-means clustering for the CBIR offline indexing stage (paper
+ * §IV-A: centroids are "produced using clustering methods such as
+ * kd-trees or k-means during the off-line stage").
+ *
+ * k-means++ seeding followed by Lloyd iterations; deterministic for a
+ * given seed.
+ */
+
+#ifndef REACH_CBIR_KMEANS_HH
+#define REACH_CBIR_KMEANS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "cbir/linalg.hh"
+#include "sim/rng.hh"
+
+namespace reach::cbir
+{
+
+struct KMeansConfig
+{
+    std::size_t clusters = 1000;
+    std::size_t maxIterations = 25;
+    /** Stop when the relative inertia improvement drops below this. */
+    double tolerance = 1e-4;
+    std::uint64_t seed = 7;
+};
+
+struct KMeansResult
+{
+    Matrix centroids;
+    /** Cluster assignment per input vector. */
+    std::vector<std::uint32_t> assignment;
+    /** Sum of squared distances to assigned centroids. */
+    double inertia = 0;
+    std::size_t iterations = 0;
+};
+
+/**
+ * Cluster @p points into cfg.clusters groups.
+ * @pre points.rows() >= cfg.clusters.
+ */
+KMeansResult kMeans(const Matrix &points, const KMeansConfig &cfg);
+
+/** Index of the centroid nearest to @p v. */
+std::uint32_t nearestCentroid(const Matrix &centroids,
+                              std::span<const float> v);
+
+} // namespace reach::cbir
+
+#endif // REACH_CBIR_KMEANS_HH

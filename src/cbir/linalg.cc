@@ -1,0 +1,88 @@
+#include "linalg.hh"
+
+#include <algorithm>
+#include <cstring>
+
+#include "sim/logging.hh"
+
+namespace reach::cbir
+{
+
+float
+dot(std::span<const float> a, std::span<const float> b)
+{
+    if (a.size() != b.size())
+        sim::panic("dot: length mismatch");
+    float acc = 0;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        acc += a[i] * b[i];
+    return acc;
+}
+
+float
+l2sq(std::span<const float> a, std::span<const float> b)
+{
+    if (a.size() != b.size())
+        sim::panic("l2sq: length mismatch");
+    float acc = 0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        float d = a[i] - b[i];
+        acc += d * d;
+    }
+    return acc;
+}
+
+float
+normSq(std::span<const float> a)
+{
+    float acc = 0;
+    for (float v : a)
+        acc += v * v;
+    return acc;
+}
+
+void
+gemmNt(const Matrix &a, const Matrix &b, Matrix &c)
+{
+    if (a.cols() != b.cols())
+        sim::panic("gemmNt: inner dimension mismatch");
+    if (c.rows() != a.rows() || c.cols() != b.rows())
+        sim::panic("gemmNt: output shape mismatch");
+
+    constexpr std::size_t blk = 64;
+    std::fill(c.flat().begin(), c.flat().end(), 0.0f);
+
+    for (std::size_t i0 = 0; i0 < a.rows(); i0 += blk) {
+        std::size_t i1 = std::min(i0 + blk, a.rows());
+        for (std::size_t j0 = 0; j0 < b.rows(); j0 += blk) {
+            std::size_t j1 = std::min(j0 + blk, b.rows());
+            for (std::size_t i = i0; i < i1; ++i) {
+                auto ra = a.row(i);
+                for (std::size_t j = j0; j < j1; ++j)
+                    c.at(i, j) = dot(ra, b.row(j));
+            }
+        }
+    }
+}
+
+std::vector<std::uint32_t>
+topKMin(std::span<const float> values, std::size_t k)
+{
+    k = std::min(k, values.size());
+    std::vector<std::uint32_t> idx(values.size());
+    for (std::size_t i = 0; i < idx.size(); ++i)
+        idx[i] = static_cast<std::uint32_t>(i);
+
+    auto cmp = [&](std::uint32_t x, std::uint32_t y) {
+        if (values[x] != values[y])
+            return values[x] < values[y];
+        return x < y;
+    };
+    std::partial_sort(idx.begin(),
+                      idx.begin() + static_cast<std::ptrdiff_t>(k),
+                      idx.end(), cmp);
+    idx.resize(k);
+    return idx;
+}
+
+} // namespace reach::cbir

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Dense linear algebra primitives for the CBIR kernels: a row-major
+ * matrix view, blocked GEMM, dot products and squared L2 distances.
+ * These are the *functional* counterparts of the GeMM/KNN FPGA
+ * kernels; the simulator times them, these compute them.
+ */
+
+#ifndef REACH_CBIR_LINALG_HH
+#define REACH_CBIR_LINALG_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace reach::cbir
+{
+
+/** A row-major dense matrix owning its storage. */
+class Matrix
+{
+  public:
+    Matrix() = default;
+    Matrix(std::size_t rows, std::size_t cols)
+        : nRows(rows), nCols(cols), data(rows * cols, 0.0f)
+    {}
+
+    std::size_t rows() const { return nRows; }
+    std::size_t cols() const { return nCols; }
+
+    float &at(std::size_t r, std::size_t c)
+    {
+        return data[r * nCols + c];
+    }
+    float at(std::size_t r, std::size_t c) const
+    {
+        return data[r * nCols + c];
+    }
+
+    std::span<float> row(std::size_t r)
+    {
+        return {data.data() + r * nCols, nCols};
+    }
+    std::span<const float> row(std::size_t r) const
+    {
+        return {data.data() + r * nCols, nCols};
+    }
+
+    std::span<float> flat() { return {data.data(), data.size()}; }
+    std::span<const float> flat() const
+    {
+        return {data.data(), data.size()};
+    }
+
+    std::uint64_t
+    bytes() const
+    {
+        return static_cast<std::uint64_t>(data.size()) * sizeof(float);
+    }
+
+  private:
+    std::size_t nRows = 0;
+    std::size_t nCols = 0;
+    std::vector<float> data;
+};
+
+/** Inner product of two equal-length vectors. */
+float dot(std::span<const float> a, std::span<const float> b);
+
+/** Squared Euclidean distance (Eq. 2 of the paper). */
+float l2sq(std::span<const float> a, std::span<const float> b);
+
+/** Squared L2 norm. */
+float normSq(std::span<const float> a);
+
+/**
+ * C = A * B^T, blocked for cache friendliness.
+ * A is (n x d), B is (m x d), C is (n x m): exactly the
+ * query-times-centroid product of short-list retrieval.
+ */
+void gemmNt(const Matrix &a, const Matrix &b, Matrix &c);
+
+/**
+ * Partial sort: indices of the @p k smallest values (ties broken by
+ * lower index), in ascending value order. This is the "partial
+ * sorting of the dist array" step.
+ */
+std::vector<std::uint32_t> topKMin(std::span<const float> values,
+                                   std::size_t k);
+
+} // namespace reach::cbir
+
+#endif // REACH_CBIR_LINALG_HH

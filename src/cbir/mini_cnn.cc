@@ -1,0 +1,179 @@
+#include "mini_cnn.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace reach::cbir
+{
+
+namespace
+{
+
+std::vector<float>
+randomWeights(std::size_t count, double scale, sim::Rng &rng)
+{
+    std::vector<float> w(count);
+    for (auto &v : w)
+        v = static_cast<float>(rng.nextGaussian() * scale);
+    return w;
+}
+
+} // namespace
+
+MiniCnn::MiniCnn(const MiniCnnConfig &config) : cfg(config)
+{
+    sim::Rng rng(cfg.seed);
+
+    w1 = randomWeights(std::size_t(cfg.conv1Channels) *
+                           cfg.inputChannels * 9,
+                       0.3, rng);
+    w2 = randomWeights(std::size_t(cfg.conv2Channels) *
+                           cfg.conv1Channels * 9,
+                       0.2, rng);
+
+    std::uint32_t after_pool = cfg.inputSize / 4; // two 2x2 pools
+    flatDim = cfg.conv2Channels * after_pool * after_pool;
+    wfc = randomWeights(std::size_t(cfg.featureDim) * flatDim,
+                        1.0 / std::sqrt(static_cast<double>(flatDim)),
+                        rng);
+}
+
+Image
+MiniCnn::convRelu(const Image &in, const std::vector<float> &weights,
+                  std::uint32_t out_channels) const
+{
+    Image out;
+    out.channels = out_channels;
+    out.height = in.height;
+    out.width = in.width;
+    out.pixels.assign(std::size_t(out_channels) * in.height * in.width,
+                      0.0f);
+
+    for (std::uint32_t oc = 0; oc < out_channels; ++oc) {
+        for (std::uint32_t y = 0; y < in.height; ++y) {
+            for (std::uint32_t x = 0; x < in.width; ++x) {
+                float acc = 0;
+                for (std::uint32_t ic = 0; ic < in.channels; ++ic) {
+                    for (int ky = -1; ky <= 1; ++ky) {
+                        for (int kx = -1; kx <= 1; ++kx) {
+                            int yy = static_cast<int>(y) + ky;
+                            int xx = static_cast<int>(x) + kx;
+                            if (yy < 0 ||
+                                yy >= static_cast<int>(in.height) ||
+                                xx < 0 ||
+                                xx >= static_cast<int>(in.width)) {
+                                continue;
+                            }
+                            std::size_t wi =
+                                ((std::size_t(oc) * in.channels + ic) *
+                                     3 +
+                                 (ky + 1)) *
+                                    3 +
+                                (kx + 1);
+                            acc += weights[wi] *
+                                   in.at(ic,
+                                         static_cast<std::uint32_t>(yy),
+                                         static_cast<std::uint32_t>(xx));
+                        }
+                    }
+                }
+                out.at(oc, y, x) = std::max(0.0f, acc); // ReLU
+            }
+        }
+    }
+    return out;
+}
+
+Image
+MiniCnn::maxPool(const Image &in) const
+{
+    Image out;
+    out.channels = in.channels;
+    out.height = in.height / 2;
+    out.width = in.width / 2;
+    out.pixels.assign(std::size_t(out.channels) * out.height * out.width,
+                      0.0f);
+    for (std::uint32_t c = 0; c < out.channels; ++c) {
+        for (std::uint32_t y = 0; y < out.height; ++y) {
+            for (std::uint32_t x = 0; x < out.width; ++x) {
+                float m = in.at(c, 2 * y, 2 * x);
+                m = std::max(m, in.at(c, 2 * y, 2 * x + 1));
+                m = std::max(m, in.at(c, 2 * y + 1, 2 * x));
+                m = std::max(m, in.at(c, 2 * y + 1, 2 * x + 1));
+                out.at(c, y, x) = m;
+            }
+        }
+    }
+    return out;
+}
+
+std::vector<float>
+MiniCnn::extract(const Image &img) const
+{
+    if (img.channels != cfg.inputChannels ||
+        img.height != cfg.inputSize || img.width != cfg.inputSize) {
+        sim::fatal("MiniCnn: image shape mismatch");
+    }
+
+    Image a = maxPool(convRelu(img, w1, cfg.conv1Channels));
+    Image b = maxPool(convRelu(a, w2, cfg.conv2Channels));
+
+    // Fully connected projection to the feature dimension.
+    std::vector<float> feat(cfg.featureDim, 0.0f);
+    for (std::uint32_t f = 0; f < cfg.featureDim; ++f) {
+        float acc = 0;
+        const float *wrow = &wfc[std::size_t(f) * flatDim];
+        for (std::uint32_t i = 0; i < flatDim; ++i)
+            acc += wrow[i] * b.pixels[i];
+        feat[f] = acc;
+    }
+    return feat;
+}
+
+Matrix
+MiniCnn::extractBatch(const std::vector<Image> &imgs) const
+{
+    Matrix out(imgs.size(), cfg.featureDim);
+    for (std::size_t i = 0; i < imgs.size(); ++i) {
+        auto f = extract(imgs[i]);
+        std::copy(f.begin(), f.end(), out.row(i).begin());
+    }
+    return out;
+}
+
+std::uint64_t
+MiniCnn::weightBytes() const
+{
+    return std::uint64_t(4) * (w1.size() + w2.size() + wfc.size());
+}
+
+Image
+makeSyntheticImage(std::uint32_t class_id, std::uint64_t seed,
+                   std::uint32_t channels, std::uint32_t size)
+{
+    sim::Rng rng(seed ^ (std::uint64_t(class_id) << 32));
+    Image img;
+    img.channels = channels;
+    img.height = size;
+    img.width = size;
+    img.pixels.assign(std::size_t(channels) * size * size, 0.0f);
+
+    // Class-dependent sinusoidal pattern plus per-image noise: images
+    // of the same class produce nearby CNN features.
+    double fx = 0.2 + 0.13 * ((class_id * 7) % 5);
+    double fy = 0.2 + 0.11 * ((class_id * 13) % 7);
+    for (std::uint32_t c = 0; c < channels; ++c) {
+        for (std::uint32_t y = 0; y < size; ++y) {
+            for (std::uint32_t x = 0; x < size; ++x) {
+                double v = std::sin(fx * x + c) * std::cos(fy * y - c) +
+                           0.15 * rng.nextGaussian();
+                img.at(c, y, x) = static_cast<float>(v);
+            }
+        }
+    }
+    return img;
+}
+
+} // namespace reach::cbir

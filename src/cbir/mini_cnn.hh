@@ -1,0 +1,95 @@
+/**
+ * @file
+ * A small functional CNN feature extractor.
+ *
+ * The paper extracts features with VGG16 on an FPGA engine; the
+ * *timing* of that engine comes from vgg.hh descriptors and the
+ * accelerator model. This class is the *functional* stand-in: real
+ * conv/ReLU/maxpool/fully-connected arithmetic over synthetic images
+ * with deterministic pseudo-random weights, so examples and tests
+ * have an end-to-end image -> feature -> retrieval path that
+ * computes actual numbers.
+ */
+
+#ifndef REACH_CBIR_MINI_CNN_HH
+#define REACH_CBIR_MINI_CNN_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "cbir/linalg.hh"
+#include "sim/rng.hh"
+
+namespace reach::cbir
+{
+
+/** A CHW float image. */
+struct Image
+{
+    std::uint32_t channels = 3;
+    std::uint32_t height = 32;
+    std::uint32_t width = 32;
+    std::vector<float> pixels;
+
+    float &
+    at(std::uint32_t c, std::uint32_t y, std::uint32_t x)
+    {
+        return pixels[(c * height + y) * width + x];
+    }
+    float
+    at(std::uint32_t c, std::uint32_t y, std::uint32_t x) const
+    {
+        return pixels[(c * height + y) * width + x];
+    }
+};
+
+struct MiniCnnConfig
+{
+    std::uint32_t inputChannels = 3;
+    std::uint32_t inputSize = 32; // square images
+    /** Output channels of the two conv stages. */
+    std::uint32_t conv1Channels = 8;
+    std::uint32_t conv2Channels = 16;
+    /** Final feature dimensionality. */
+    std::uint32_t featureDim = 96;
+    std::uint64_t seed = 1234;
+};
+
+class MiniCnn
+{
+  public:
+    explicit MiniCnn(const MiniCnnConfig &cfg = {});
+
+    /** Extract one feature vector; length == cfg.featureDim. */
+    std::vector<float> extract(const Image &img) const;
+
+    /** Extract a batch into a Matrix (one row per image). */
+    Matrix extractBatch(const std::vector<Image> &imgs) const;
+
+    const MiniCnnConfig &config() const { return cfg; }
+
+    /** Total weights in bytes (for the quickstart's reporting). */
+    std::uint64_t weightBytes() const;
+
+  private:
+    /** 3x3 same-padding convolution + ReLU. */
+    Image convRelu(const Image &in, const std::vector<float> &weights,
+                   std::uint32_t out_channels) const;
+    /** 2x2 max pooling, stride 2. */
+    Image maxPool(const Image &in) const;
+
+    MiniCnnConfig cfg;
+    std::vector<float> w1; // conv1 [c1][cin][3][3]
+    std::vector<float> w2; // conv2 [c2][c1][3][3]
+    std::vector<float> wfc; // fc [featureDim][flattened]
+    std::uint32_t flatDim = 0;
+};
+
+/** Deterministic synthetic image: class-dependent pattern + noise. */
+Image makeSyntheticImage(std::uint32_t class_id, std::uint64_t seed,
+                         std::uint32_t channels = 3,
+                         std::uint32_t size = 32);
+
+} // namespace reach::cbir
+
+#endif // REACH_CBIR_MINI_CNN_HH

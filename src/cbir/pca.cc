@@ -1,0 +1,111 @@
+#include "pca.hh"
+
+#include <cmath>
+
+#include "sim/logging.hh"
+#include "sim/rng.hh"
+
+namespace reach::cbir
+{
+
+Pca::Pca(const Matrix &samples, std::size_t components,
+         std::size_t power_iterations, std::uint64_t seed)
+{
+    std::size_t n = samples.rows();
+    std::size_t d = samples.cols();
+    if (components > d)
+        sim::fatal("Pca: more components than input dimensions");
+    if (n < 2)
+        sim::fatal("Pca: need at least two samples");
+
+    // Mean-center.
+    mu.assign(d, 0.0f);
+    for (std::size_t i = 0; i < n; ++i) {
+        auto row = samples.row(i);
+        for (std::size_t j = 0; j < d; ++j)
+            mu[j] += row[j];
+    }
+    for (auto &m : mu)
+        m /= static_cast<float>(n);
+
+    // Covariance (d x d, double precision accumulate).
+    std::vector<double> cov(d * d, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+        auto row = samples.row(i);
+        for (std::size_t a = 0; a < d; ++a) {
+            double va = row[a] - mu[a];
+            for (std::size_t b = a; b < d; ++b)
+                cov[a * d + b] += va * (row[b] - mu[b]);
+        }
+    }
+    for (std::size_t a = 0; a < d; ++a) {
+        for (std::size_t b = a; b < d; ++b) {
+            double v = cov[a * d + b] / static_cast<double>(n - 1);
+            cov[a * d + b] = v;
+            cov[b * d + a] = v;
+        }
+    }
+
+    // Power iteration with deflation.
+    sim::Rng rng(seed);
+    basis = Matrix(components, d);
+    eigenvalues.assign(components, 0.0);
+    std::vector<double> v(d), w(d);
+
+    for (std::size_t c = 0; c < components; ++c) {
+        for (auto &x : v)
+            x = rng.nextGaussian();
+
+        double lambda = 0;
+        for (std::size_t it = 0; it < power_iterations; ++it) {
+            // w = cov * v
+            for (std::size_t a = 0; a < d; ++a) {
+                double acc = 0;
+                for (std::size_t b = 0; b < d; ++b)
+                    acc += cov[a * d + b] * v[b];
+                w[a] = acc;
+            }
+            double norm = 0;
+            for (double x : w)
+                norm += x * x;
+            norm = std::sqrt(norm);
+            if (norm < 1e-30)
+                break; // degenerate direction
+            for (std::size_t a = 0; a < d; ++a)
+                v[a] = w[a] / norm;
+            lambda = norm;
+        }
+        eigenvalues[c] = lambda;
+
+        for (std::size_t a = 0; a < d; ++a)
+            basis.at(c, a) = static_cast<float>(v[a]);
+
+        // Deflate: cov -= lambda * v v^T.
+        for (std::size_t a = 0; a < d; ++a) {
+            for (std::size_t b = 0; b < d; ++b)
+                cov[a * d + b] -= lambda * v[a] * v[b];
+        }
+    }
+}
+
+Matrix
+Pca::transform(const Matrix &batch) const
+{
+    if (batch.cols() != inputDim())
+        sim::fatal("Pca::transform: dimensionality mismatch");
+
+    Matrix out(batch.rows(), components());
+    for (std::size_t i = 0; i < batch.rows(); ++i) {
+        auto row = batch.row(i);
+        for (std::size_t c = 0; c < components(); ++c) {
+            auto dir = basis.row(c);
+            float acc = 0;
+            for (std::size_t j = 0; j < inputDim(); ++j)
+                acc += (row[j] - mu[j]) * dir[j];
+            out.at(i, c) = acc;
+        }
+    }
+    return out;
+}
+
+} // namespace reach::cbir

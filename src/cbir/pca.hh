@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Principal component analysis for feature compression (paper §IV-A:
+ * "VGGNet ... and PCA compression with a dimensionality of 96").
+ *
+ * Power iteration with deflation on the sample covariance; adequate
+ * for the moderate dimensionalities of CNN feature vectors and fully
+ * deterministic.
+ */
+
+#ifndef REACH_CBIR_PCA_HH
+#define REACH_CBIR_PCA_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "cbir/linalg.hh"
+
+namespace reach::cbir
+{
+
+class Pca
+{
+  public:
+    /**
+     * Fit @p components principal directions to @p samples
+     * (rows = observations).
+     */
+    Pca(const Matrix &samples, std::size_t components,
+        std::size_t power_iterations = 64, std::uint64_t seed = 99);
+
+    /** Project a batch to the principal subspace. */
+    Matrix transform(const Matrix &batch) const;
+
+    std::size_t components() const { return basis.rows(); }
+    std::size_t inputDim() const { return basis.cols(); }
+
+    /** Per-component explained variance (eigenvalues), descending. */
+    const std::vector<double> &explainedVariance() const
+    {
+        return eigenvalues;
+    }
+
+    /** Row c = c-th principal direction (unit length). */
+    const Matrix &components_() const { return basis; }
+
+    /** Per-dimension mean subtracted before projection. */
+    const std::vector<float> &mean() const { return mu; }
+
+  private:
+    Matrix basis;
+    std::vector<double> eigenvalues;
+    std::vector<float> mu;
+};
+
+} // namespace reach::cbir
+
+#endif // REACH_CBIR_PCA_HH

@@ -1,0 +1,103 @@
+#include "rerank.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace reach::cbir
+{
+
+namespace
+{
+
+std::vector<Neighbor>
+selectK(std::vector<Neighbor> &cands, std::size_t k)
+{
+    k = std::min(k, cands.size());
+    auto cmp = [](const Neighbor &a, const Neighbor &b) {
+        if (a.distSq != b.distSq)
+            return a.distSq < b.distSq;
+        return a.id < b.id;
+    };
+    std::partial_sort(cands.begin(),
+                      cands.begin() + static_cast<std::ptrdiff_t>(k),
+                      cands.end(), cmp);
+    cands.resize(k);
+    return cands;
+}
+
+} // namespace
+
+RerankResults
+rerank(const Matrix &queries, const Matrix &database,
+       const InvertedFileIndex &index, const ShortLists &lists,
+       const RerankConfig &cfg)
+{
+    if (lists.size() != queries.rows())
+        sim::panic("rerank: one short-list per query required");
+
+    RerankResults out(queries.rows());
+    for (std::size_t q = 0; q < queries.rows(); ++q) {
+        std::vector<Neighbor> cands;
+        for (std::uint32_t cluster : lists[q]) {
+            for (std::uint32_t id : index.cluster(cluster)) {
+                if (cfg.maxCandidates &&
+                    cands.size() >= cfg.maxCandidates) {
+                    break;
+                }
+                cands.push_back(
+                    {id, l2sq(queries.row(q), database.row(id))});
+            }
+            if (cfg.maxCandidates && cands.size() >= cfg.maxCandidates)
+                break;
+        }
+        out[q] = selectK(cands, cfg.k);
+    }
+    return out;
+}
+
+RerankResults
+bruteForce(const Matrix &queries, const Matrix &database, std::size_t k)
+{
+    RerankResults out(queries.rows());
+    for (std::size_t q = 0; q < queries.rows(); ++q) {
+        std::vector<Neighbor> cands;
+        cands.reserve(database.rows());
+        for (std::size_t i = 0; i < database.rows(); ++i) {
+            cands.push_back({static_cast<std::uint32_t>(i),
+                             l2sq(queries.row(q), database.row(i))});
+        }
+        out[q] = selectK(cands, k);
+    }
+    return out;
+}
+
+double
+recallAtK(const RerankResults &got, const RerankResults &truth,
+          std::size_t k)
+{
+    if (got.size() != truth.size())
+        sim::panic("recallAtK: result batch size mismatch");
+    if (got.empty())
+        return 0;
+
+    double sum = 0;
+    for (std::size_t q = 0; q < got.size(); ++q) {
+        std::size_t kk = std::min({k, got[q].size(), truth[q].size()});
+        if (kk == 0)
+            continue;
+        std::size_t found = 0;
+        for (std::size_t i = 0; i < kk; ++i) {
+            for (std::size_t j = 0; j < kk; ++j) {
+                if (truth[q][i].id == got[q][j].id) {
+                    ++found;
+                    break;
+                }
+            }
+        }
+        sum += static_cast<double>(found) / static_cast<double>(kk);
+    }
+    return sum / static_cast<double>(got.size());
+}
+
+} // namespace reach::cbir

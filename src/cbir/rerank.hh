@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Rerank (paper §IV-A): traverse the short-listed clusters, gather
+ * candidate vectors, compute exact squared-L2 distances to the query
+ * (the KNN kernel) and partial-sort the K nearest.
+ */
+
+#ifndef REACH_CBIR_RERANK_HH
+#define REACH_CBIR_RERANK_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "cbir/index.hh"
+#include "cbir/linalg.hh"
+#include "cbir/shortlist.hh"
+
+namespace reach::cbir
+{
+
+/** One retrieved neighbour. */
+struct Neighbor
+{
+    std::uint32_t id = 0;
+    float distSq = 0;
+
+    bool
+    operator==(const Neighbor &o) const
+    {
+        return id == o.id && distSq == o.distSq;
+    }
+};
+
+/** Per-query K nearest neighbours, closest first. */
+using RerankResults = std::vector<std::vector<Neighbor>>;
+
+struct RerankConfig
+{
+    /** Results per query (K). */
+    std::size_t k = 10;
+    /**
+     * Candidate budget per query; the paper caps it at 4096 "to make
+     * the simulation time manageable". 0 = unlimited.
+     */
+    std::size_t maxCandidates = 4096;
+};
+
+/**
+ * Rerank a batch: for each query, gather members of its short-listed
+ * clusters (closest clusters first, truncated at maxCandidates) and
+ * return the K nearest by exact distance.
+ */
+RerankResults rerank(const Matrix &queries, const Matrix &database,
+                     const InvertedFileIndex &index,
+                     const ShortLists &lists, const RerankConfig &cfg);
+
+/** Exhaustive exact search over the whole database (ground truth). */
+RerankResults bruteForce(const Matrix &queries, const Matrix &database,
+                         std::size_t k);
+
+/**
+ * recall@K: fraction of true K-nearest ids (from @p truth) that
+ * appear in the retrieved K (from @p got), averaged over queries.
+ */
+double recallAtK(const RerankResults &got, const RerankResults &truth,
+                 std::size_t k);
+
+} // namespace reach::cbir
+
+#endif // REACH_CBIR_RERANK_HH

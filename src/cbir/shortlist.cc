@@ -1,0 +1,43 @@
+#include "shortlist.hh"
+
+namespace reach::cbir
+{
+
+ShortLists
+shortlistRetrieve(const Matrix &queries, const InvertedFileIndex &index,
+                  std::size_t nprobe)
+{
+    const Matrix &cents = index.centroids();
+    const auto &cnorm = index.centroidNormsSq();
+
+    // <Q, C^T>: the GEMM the near-memory accelerators run.
+    Matrix prod(queries.rows(), cents.rows());
+    gemmNt(queries, cents, prod);
+
+    ShortLists out(queries.rows());
+    std::vector<float> dist(cents.rows());
+    for (std::size_t q = 0; q < queries.rows(); ++q) {
+        float qn = normSq(queries.row(q));
+        for (std::size_t m = 0; m < cents.rows(); ++m)
+            dist[m] = qn + cnorm[m] - 2.0f * prod.at(q, m);
+        out[q] = topKMin(dist, nprobe);
+    }
+    return out;
+}
+
+ShortLists
+shortlistReference(const Matrix &queries, const InvertedFileIndex &index,
+                   std::size_t nprobe)
+{
+    const Matrix &cents = index.centroids();
+    ShortLists out(queries.rows());
+    std::vector<float> dist(cents.rows());
+    for (std::size_t q = 0; q < queries.rows(); ++q) {
+        for (std::size_t m = 0; m < cents.rows(); ++m)
+            dist[m] = l2sq(queries.row(q), cents.row(m));
+        out[q] = topKMin(dist, nprobe);
+    }
+    return out;
+}
+
+} // namespace reach::cbir

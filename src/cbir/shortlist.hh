@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Short-list retrieval (paper §IV-A, Eq. 1).
+ *
+ * For a batch of queries Q (B x D) and centroids C (M x D), distances
+ * decompose as
+ *   dist[q][m] = ||q||^2 + ||C_m||^2 - 2 <q, C_m>
+ * so the bottleneck is the matrix-matrix product Q C^T, followed by a
+ * broadcast addition and a partial sort selecting the nprobe closest
+ * clusters per query.
+ */
+
+#ifndef REACH_CBIR_SHORTLIST_HH
+#define REACH_CBIR_SHORTLIST_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "cbir/index.hh"
+#include "cbir/linalg.hh"
+
+namespace reach::cbir
+{
+
+/** Per-query list of candidate cluster ids, closest first. */
+using ShortLists = std::vector<std::vector<std::uint32_t>>;
+
+/**
+ * Retrieve the @p nprobe closest clusters for every query in the
+ * batch using the decomposed-GEMM formulation.
+ */
+ShortLists shortlistRetrieve(const Matrix &queries,
+                             const InvertedFileIndex &index,
+                             std::size_t nprobe);
+
+/**
+ * Reference implementation: per-query direct distance evaluation
+ * (Eq. 2). Used by tests to validate the decomposition.
+ */
+ShortLists shortlistReference(const Matrix &queries,
+                              const InvertedFileIndex &index,
+                              std::size_t nprobe);
+
+} // namespace reach::cbir
+
+#endif // REACH_CBIR_SHORTLIST_HH

@@ -1,0 +1,100 @@
+#include "vgg.hh"
+
+namespace reach::cbir
+{
+
+double
+VggLayer::macs() const
+{
+    switch (kind) {
+      case LayerKind::Conv:
+        return static_cast<double>(outChannels) * outH * outW *
+               inChannels * kernel * kernel;
+      case LayerKind::Pool:
+        return 0; // comparisons only; negligible next to convs
+      case LayerKind::FullyConnected:
+        return static_cast<double>(inChannels) * inH * inW *
+               outChannels;
+    }
+    return 0;
+}
+
+std::uint64_t
+VggLayer::weightBytes() const
+{
+    switch (kind) {
+      case LayerKind::Conv:
+        return std::uint64_t(4) * outChannels *
+               (inChannels * kernel * kernel + 1);
+      case LayerKind::Pool:
+        return 0;
+      case LayerKind::FullyConnected:
+        return std::uint64_t(4) * outChannels *
+               (std::uint64_t(inChannels) * inH * inW + 1);
+    }
+    return 0;
+}
+
+std::uint64_t
+VggLayer::activationBytes() const
+{
+    return std::uint64_t(4) * outChannels * outH * outW;
+}
+
+const std::vector<VggLayer> &
+vgg16Layers()
+{
+    using K = LayerKind;
+    static const std::vector<VggLayer> layers = {
+        {"conv1_1", K::Conv, 3, 224, 224, 64, 224, 224, 3},
+        {"conv1_2", K::Conv, 64, 224, 224, 64, 224, 224, 3},
+        {"pool1", K::Pool, 64, 224, 224, 64, 112, 112, 2},
+        {"conv2_1", K::Conv, 64, 112, 112, 128, 112, 112, 3},
+        {"conv2_2", K::Conv, 128, 112, 112, 128, 112, 112, 3},
+        {"pool2", K::Pool, 128, 112, 112, 128, 56, 56, 2},
+        {"conv3_1", K::Conv, 128, 56, 56, 256, 56, 56, 3},
+        {"conv3_2", K::Conv, 256, 56, 56, 256, 56, 56, 3},
+        {"conv3_3", K::Conv, 256, 56, 56, 256, 56, 56, 3},
+        {"pool3", K::Pool, 256, 56, 56, 256, 28, 28, 2},
+        {"conv4_1", K::Conv, 256, 28, 28, 512, 28, 28, 3},
+        {"conv4_2", K::Conv, 512, 28, 28, 512, 28, 28, 3},
+        {"conv4_3", K::Conv, 512, 28, 28, 512, 28, 28, 3},
+        {"pool4", K::Pool, 512, 28, 28, 512, 14, 14, 2},
+        {"conv5_1", K::Conv, 512, 14, 14, 512, 14, 14, 3},
+        {"conv5_2", K::Conv, 512, 14, 14, 512, 14, 14, 3},
+        {"conv5_3", K::Conv, 512, 14, 14, 512, 14, 14, 3},
+        {"pool5", K::Pool, 512, 14, 14, 512, 7, 7, 2},
+        {"fc6", K::FullyConnected, 512, 7, 7, 4096, 1, 1, 0},
+        {"fc7", K::FullyConnected, 4096, 1, 1, 4096, 1, 1, 0},
+        {"fc8", K::FullyConnected, 4096, 1, 1, 1000, 1, 1, 0},
+    };
+    return layers;
+}
+
+double
+vgg16TotalMacs()
+{
+    double total = 0;
+    for (const auto &l : vgg16Layers())
+        total += l.macs();
+    return total;
+}
+
+std::uint64_t
+vgg16WeightBytes()
+{
+    std::uint64_t total = 0;
+    for (const auto &l : vgg16Layers())
+        total += l.weightBytes();
+    return total;
+}
+
+std::uint64_t
+vgg16CompressedWeightBytes()
+{
+    // Deep compression achieves ~49x on VGG16 (Han et al.); the paper
+    // quotes 11.3 MB.
+    return std::uint64_t(11'300'000);
+}
+
+} // namespace reach::cbir

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * VGG16 layer descriptors (paper §IV-A: feature extraction uses
+ * VGGNet + PCA compression to D = 96).
+ *
+ * The timing/energy model does not need weights — only each layer's
+ * dimensions, multiply-accumulate count, and parameter/activation
+ * footprints, which drive the CNN accelerator's WorkUnit. The totals
+ * reproduce Table I: ~552 MB of float32 parameters (11.3 MB after
+ * deep compression) and ~15.5 GMACs per 224x224 image.
+ */
+
+#ifndef REACH_CBIR_VGG_HH
+#define REACH_CBIR_VGG_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace reach::cbir
+{
+
+enum class LayerKind
+{
+    Conv,
+    Pool,
+    FullyConnected,
+};
+
+struct VggLayer
+{
+    std::string name;
+    LayerKind kind = LayerKind::Conv;
+    /** Input feature map: channels x height x width. */
+    std::uint32_t inChannels = 0, inH = 0, inW = 0;
+    /** Output feature map. */
+    std::uint32_t outChannels = 0, outH = 0, outW = 0;
+    /** Convolution kernel size (3 for VGG convs, 2 for pools). */
+    std::uint32_t kernel = 3;
+
+    /** Multiply-accumulates for one image through this layer. */
+    double macs() const;
+    /** Weight parameters (float32 bytes). */
+    std::uint64_t weightBytes() const;
+    /** Output activation bytes (float32). */
+    std::uint64_t activationBytes() const;
+};
+
+/** The 16 weighted layers (plus pools) of VGG16 at 224x224 input. */
+const std::vector<VggLayer> &vgg16Layers();
+
+/** Total MACs for one image. */
+double vgg16TotalMacs();
+
+/** Total float32 parameter bytes (~552 MB incl. FC layers). */
+std::uint64_t vgg16WeightBytes();
+
+/**
+ * Deep-compressed parameter footprint (paper cites 11.3 MB via
+ * pruning + quantization + Huffman coding [23]).
+ */
+std::uint64_t vgg16CompressedWeightBytes();
+
+} // namespace reach::cbir
+
+#endif // REACH_CBIR_VGG_HH

@@ -1,0 +1,172 @@
+#include "workload_model.hh"
+
+namespace reach::cbir
+{
+
+std::uint64_t
+CbirWorkloadModel::modelParamBytes() const
+{
+    return cfg.compressedModel ? vgg16CompressedWeightBytes()
+                               : vgg16WeightBytes();
+}
+
+std::uint64_t
+CbirWorkloadModel::centroidAndCellBytes() const
+{
+    // Centroids (M x D floats) + precomputed ||C||^2 + compact
+    // inverted-list entries: cellBytesPerId per database vector.
+    // For N=1e9 at 2.2 B/id this is Table I's ~2.2 GB.
+    std::uint64_t centroids =
+        std::uint64_t(cfg.numCentroids) * cfg.dim * 4 +
+        std::uint64_t(cfg.numCentroids) * 4;
+    auto cell_info = static_cast<std::uint64_t>(
+        static_cast<double>(cfg.databaseVectors) * cfg.cellBytesPerId);
+    return centroids + cell_info;
+}
+
+std::uint64_t
+CbirWorkloadModel::databaseBytes() const
+{
+    // 1e9 x 96 x 4B = 384 GB decimal = ~357 GiB: Table I's ~355 GB.
+    return cfg.databaseVectors * cfg.dim * 4;
+}
+
+std::uint64_t
+CbirWorkloadModel::queryImageBytes() const
+{
+    return std::uint64_t(cfg.imageC) * cfg.imageH * cfg.imageW;
+}
+
+std::uint64_t
+CbirWorkloadModel::featureVectorBytes() const
+{
+    return std::uint64_t(cfg.dim) * 4;
+}
+
+std::uint64_t
+CbirWorkloadModel::clusterSizeIds() const
+{
+    return cfg.databaseVectors / cfg.numCentroids;
+}
+
+acc::WorkUnit
+CbirWorkloadModel::featureExtractionBatch() const
+{
+    acc::WorkUnit w;
+    w.paramKey = "vgg16";
+    double per_image = vgg16TotalMacs() *
+                       (cfg.compressedModel ? cfg.prunedMacFraction
+                                            : 1.0);
+    w.ops = per_image * cfg.batchSize;
+    w.bytesIn = queryImageBytes() * cfg.batchSize;
+    w.bytesOut = featureVectorBytes() * cfg.batchSize;
+    w.paramBytes = modelParamBytes();
+    // Batched on-chip implementation keeps weights + activations in
+    // SRAM; the image stream itself is tiny.
+    w.inputResident = true;
+    return w;
+}
+
+acc::WorkUnit
+CbirWorkloadModel::featureExtractionSingle() const
+{
+    acc::WorkUnit w;
+    w.paramKey = "vgg16";
+    w.ops = vgg16TotalMacs() * (cfg.compressedModel
+                                    ? cfg.prunedMacFraction
+                                    : 1.0);
+    w.bytesIn = queryImageBytes();
+    w.bytesOut = featureVectorBytes();
+    w.paramBytes = modelParamBytes();
+    w.inputResident = false;
+    return w;
+}
+
+acc::WorkUnit
+CbirWorkloadModel::shortlistBatch(std::uint32_t partitions) const
+{
+    if (partitions == 0)
+        partitions = 1;
+
+    acc::WorkUnit w;
+    w.paramKey = "centroids";
+
+    // The GEMM: B x M x D multiply-accumulates, plus the broadcast
+    // add and a scan of the touched inverted lists to emit candidate
+    // ids for the rerank stage.
+    double gemm_ops = static_cast<double>(cfg.batchSize) *
+                      cfg.numCentroids * cfg.dim;
+    double scan_words = static_cast<double>(cfg.batchSize) * cfg.nprobe *
+                        clusterSizeIds();
+    w.ops = (gemm_ops + scan_words) / partitions;
+
+    // Streams the centroid matrix once per batch plus the inverted
+    // lists of the short-listed clusters (the "cell info" traffic
+    // that makes this stage memory-bound, Table I).
+    std::uint64_t centroid_bytes =
+        std::uint64_t(cfg.numCentroids) * cfg.dim * 4;
+    auto cell_bytes = static_cast<std::uint64_t>(
+        scan_words * cfg.cellBytesPerId);
+    w.bytesIn = (centroid_bytes + cell_bytes) / partitions;
+
+    // Short-lists + candidate ids for the rerank stage.
+    w.bytesOut = (std::uint64_t(cfg.batchSize) * cfg.nprobe * 8 +
+                  std::uint64_t(cfg.batchSize) * cfg.rerankCandidates *
+                      4) /
+                 partitions;
+    w.paramBytes = 0;
+    return w;
+}
+
+acc::WorkUnit
+CbirWorkloadModel::rerankBatch(std::uint32_t partitions) const
+{
+    if (partitions == 0)
+        partitions = 1;
+
+    acc::WorkUnit w;
+    w.paramKey = "rerankdb";
+
+    std::uint64_t candidates =
+        std::uint64_t(cfg.batchSize) * cfg.rerankCandidates;
+
+    // KNN distance lanes: D MACs per candidate.
+    w.ops = static_cast<double>(candidates) * cfg.dim / partitions;
+
+    // Random gather: each candidate pulls one flash page (the vector
+    // occupies a fraction of it, but the device reads pages).
+    w.bytesIn = candidates * cfg.flashPageBytes / partitions;
+
+    // K results per query (id + distance).
+    w.bytesOut =
+        std::uint64_t(cfg.batchSize) * cfg.topK * 8 / partitions;
+    w.paramBytes = 0;
+    return w;
+}
+
+std::uint64_t
+CbirWorkloadModel::imageStoreBytes() const
+{
+    return cfg.databaseVectors *
+           static_cast<std::uint64_t>(cfg.avgImageBytes);
+}
+
+acc::WorkUnit
+CbirWorkloadModel::reverseLookupBatch(std::uint32_t partitions) const
+{
+    if (partitions == 0)
+        partitions = 1;
+
+    acc::WorkUnit w;
+    w.paramKey = "imagestore";
+
+    std::uint64_t images = std::uint64_t(cfg.batchSize) * cfg.topK;
+    // Database access only: negligible compute per fetched byte.
+    w.ops = static_cast<double>(images) / partitions;
+    w.bytesIn = images * cfg.avgImageBytes / partitions;
+    // The fetched images travel back to the host.
+    w.bytesOut = w.bytesIn;
+    return w;
+}
+
+} // namespace reach::cbir

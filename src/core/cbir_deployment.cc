@@ -1,0 +1,383 @@
+#include "cbir_deployment.hh"
+
+#include <algorithm>
+#include <memory>
+
+#include "sim/logging.hh"
+
+namespace reach::core
+{
+
+const char *
+mappingName(Mapping m)
+{
+    switch (m) {
+      case Mapping::CpuOnly:
+        return "cpu";
+      case Mapping::OnChipOnly:
+        return "onchip";
+      case Mapping::NearMemOnly:
+        return "near-mem";
+      case Mapping::NearStorOnly:
+        return "near-stor";
+      case Mapping::Reach:
+        return "ReACH";
+    }
+    return "?";
+}
+
+CbirDeployment::CbirDeployment(ReachSystem &system,
+                               const cbir::CbirWorkloadModel &wl,
+                               Mapping mapping, std::uint32_t instances)
+    : sys(system), model(wl), map(mapping), numInstances(instances)
+{
+    switch (map) {
+      case Mapping::CpuOnly:
+        numInstances = 1;
+        break;
+      case Mapping::OnChipOnly:
+        if (!sys.hasOnChip())
+            sim::fatal("on-chip mapping needs an on-chip accelerator");
+        numInstances = 1;
+        break;
+      case Mapping::NearMemOnly:
+        if (numInstances == 0)
+            numInstances = sys.numAims();
+        if (numInstances > sys.numAims())
+            sim::fatal("mapping wants ", numInstances,
+                       " AIM modules, system has ", sys.numAims());
+        break;
+      case Mapping::NearStorOnly:
+        if (numInstances == 0)
+            numInstances = sys.numNs();
+        if (numInstances > sys.numNs())
+            sim::fatal("mapping wants ", numInstances,
+                       " NS modules, system has ", sys.numNs());
+        break;
+      case Mapping::Reach:
+        if (!sys.hasOnChip())
+            sim::fatal("ReACH mapping needs an on-chip accelerator");
+        numInstances = 0; // uses all modules at each level
+        break;
+    }
+}
+
+acc::Path
+CbirDeployment::ssdGatherPathTo(acc::Level level, std::uint32_t instance)
+{
+    // The dataset is sharded across all SSDs; gathers stripe over the
+    // array, through the host IO switch, staged in host DRAM, then
+    // into the consumer's port.
+    acc::Path p;
+    for (std::uint32_t s = 0; s < sys.config().numSsds; ++s)
+        p.from(&sys.ssdAt(s), &sys.ssdHostLink(s));
+    p.via(sys.hostIoUplink()).via(sys.hostDramLink());
+    if (level == acc::Level::OnChip || level == acc::Level::Cpu)
+        p.via(sys.cacheLink());
+    else if (level == acc::Level::NearMem)
+        p.via(sys.aimLocalLink(instance));
+    return p;
+}
+
+void
+CbirDeployment::addFeatureTasks(gam::JobDesc &job)
+{
+    const auto &scale = model.scale();
+
+    if (map == Mapping::CpuOnly || map == Mapping::OnChipOnly ||
+        map == Mapping::Reach) {
+        bool cpu = map == Mapping::CpuOnly;
+        gam::TaskDesc t;
+        t.label = "feature-extract";
+        t.kernelTemplate = cpu ? "CNN-CPU" : "CNN-VU9P";
+        t.level = cpu ? acc::Level::Cpu : acc::Level::OnChip;
+        t.work = model.featureExtractionBatch();
+        t.pinnedAcc = cpu ? sys.hostCoreGamId() : sys.onChipGamId();
+        t.inbound.push_back({gam::InboundTransfer::fromHost,
+                             model.queryImageBytes() * scale.batchSize});
+        job.tasks.push_back(std::move(t));
+        return;
+    }
+
+    // Near-data variants run one image per task with duplicated
+    // parameters (paper §VI-B).
+    bool near_mem = map == Mapping::NearMemOnly;
+    const auto &ids = near_mem ? sys.aimGamIds() : sys.nsGamIds();
+    for (std::uint32_t img = 0; img < scale.batchSize; ++img) {
+        gam::TaskDesc t;
+        t.label = "feature-extract-" + std::to_string(img);
+        t.kernelTemplate = "CNN-ZCU9";
+        t.level = near_mem ? acc::Level::NearMem : acc::Level::NearStor;
+        t.work = model.featureExtractionSingle();
+        t.pinnedAcc = ids.at(img % numInstances);
+        t.inbound.push_back(
+            {gam::InboundTransfer::fromHost, model.queryImageBytes()});
+        job.tasks.push_back(std::move(t));
+    }
+}
+
+std::vector<std::size_t>
+CbirDeployment::addShortlistTasks(gam::JobDesc &job,
+                                  const std::vector<std::size_t> &fe)
+{
+    const auto &scale = model.scale();
+    std::vector<std::size_t> out;
+
+    std::uint64_t feature_batch_bytes =
+        model.featureVectorBytes() * scale.batchSize;
+
+    auto feature_inbound = [&](gam::TaskDesc &t) {
+        // The feature batch is broadcast to every short-list
+        // instance; with per-image FE tasks each producer sends its
+        // own vector.
+        for (std::size_t src : fe) {
+            t.inbound.push_back(
+                {src, feature_batch_bytes / fe.size()});
+        }
+        t.deps.assign(fe.begin(), fe.end());
+    };
+
+    if (map == Mapping::CpuOnly || map == Mapping::OnChipOnly) {
+        bool cpu = map == Mapping::CpuOnly;
+        gam::TaskDesc t;
+        t.label = "shortlist";
+        t.kernelTemplate = cpu ? "GeMM-CPU" : "GeMM-VU9P";
+        t.level = cpu ? acc::Level::Cpu : acc::Level::OnChip;
+        t.work = model.shortlistBatch(1);
+        t.pinnedAcc = cpu ? sys.hostCoreGamId() : sys.onChipGamId();
+        feature_inbound(t);
+        out.push_back(job.tasks.size());
+        job.tasks.push_back(std::move(t));
+        return out;
+    }
+
+    bool near_mem =
+        map == Mapping::NearMemOnly || map == Mapping::Reach;
+    std::uint32_t n = near_mem
+                          ? (map == Mapping::Reach ? sys.numAims()
+                                                   : numInstances)
+                          : numInstances;
+    const auto &ids = near_mem ? sys.aimGamIds() : sys.nsGamIds();
+
+    for (std::uint32_t i = 0; i < n; ++i) {
+        gam::TaskDesc t;
+        t.label = "shortlist-" + std::to_string(i);
+        t.kernelTemplate = "GeMM-ZCU9";
+        t.level = near_mem ? acc::Level::NearMem : acc::Level::NearStor;
+        t.work = model.shortlistBatch(n);
+        t.pinnedAcc = ids.at(i);
+        feature_inbound(t);
+        out.push_back(job.tasks.size());
+        job.tasks.push_back(std::move(t));
+    }
+
+    // Near-memory partitions hold per-partition top-nprobe lists;
+    // one module merges them, with the partials exchanged over the
+    // AIMbus (paper Fig. 3: inter-DIMM communication). Downstream
+    // consumers then depend on the merged list only.
+    if (near_mem && n > 1) {
+        gam::TaskDesc merge;
+        merge.label = "shortlist-merge";
+        merge.kernelTemplate = "GeMM-ZCU9";
+        merge.level = acc::Level::NearMem;
+        merge.pinnedAcc = ids.at(0);
+        // Merging n sorted nprobe-lists per query: trivial compute.
+        merge.work.ops = static_cast<double>(scale.batchSize) *
+                         scale.nprobe * n;
+        std::uint64_t partial_bytes =
+            (std::uint64_t(scale.batchSize) * scale.nprobe * 8 +
+             std::uint64_t(scale.batchSize) * scale.rerankCandidates *
+                 4) /
+            n;
+        for (std::size_t src : out) {
+            merge.deps.push_back(src);
+            merge.inbound.push_back({src, partial_bytes});
+        }
+        std::size_t merge_index = job.tasks.size();
+        job.tasks.push_back(std::move(merge));
+        out.assign(1, merge_index);
+    }
+    return out;
+}
+
+std::vector<std::size_t>
+CbirDeployment::addRerankTasks(gam::JobDesc &job,
+                               const std::vector<std::size_t> &sl)
+{
+    const auto &scale = model.scale();
+    std::vector<std::size_t> out;
+
+    std::uint64_t candidate_id_bytes = std::uint64_t(scale.batchSize) *
+                                       scale.rerankCandidates * 4;
+
+    auto candidate_inbound = [&](gam::TaskDesc &t,
+                                 std::uint32_t partitions) {
+        for (std::size_t src : sl) {
+            t.inbound.push_back(
+                {src, candidate_id_bytes / partitions / sl.size()});
+        }
+        t.deps.assign(sl.begin(), sl.end());
+    };
+
+    if (map == Mapping::CpuOnly || map == Mapping::OnChipOnly) {
+        bool cpu = map == Mapping::CpuOnly;
+        gam::TaskDesc t;
+        t.label = "rerank";
+        t.kernelTemplate = cpu ? "KNN-CPU" : "KNN-VU9P";
+        t.level = cpu ? acc::Level::Cpu : acc::Level::OnChip;
+        t.work = model.rerankBatch(1);
+        t.work.inputOverride = ssdGatherPathTo(t.level, 0);
+        t.work.inputThrottleBw = cpu ? sys.config().cpuGatherBw
+                                     : sys.config().onChipGatherBw;
+        t.pinnedAcc = cpu ? sys.hostCoreGamId() : sys.onChipGamId();
+        candidate_inbound(t, 1);
+        out.push_back(job.tasks.size());
+        job.tasks.push_back(std::move(t));
+        return out;
+    }
+
+    if (map == Mapping::NearMemOnly) {
+        for (std::uint32_t i = 0; i < numInstances; ++i) {
+            gam::TaskDesc t;
+            t.label = "rerank-" + std::to_string(i);
+            t.kernelTemplate = "KNN-ZCU9";
+            t.level = acc::Level::NearMem;
+            t.work = model.rerankBatch(numInstances);
+            t.work.inputOverride =
+                ssdGatherPathTo(acc::Level::NearMem, i);
+            t.work.inputThrottleBw = sys.config().nmGatherBw;
+            t.pinnedAcc = sys.aimGamIds().at(i);
+            candidate_inbound(t, numInstances);
+            out.push_back(job.tasks.size());
+            job.tasks.push_back(std::move(t));
+        }
+        return out;
+    }
+
+    // Near-storage rerank (NearStorOnly and Reach): each module
+    // gathers from its own SSD at full internal bandwidth.
+    std::uint32_t n = map == Mapping::Reach ? sys.numNs() : numInstances;
+    for (std::uint32_t i = 0; i < n; ++i) {
+        gam::TaskDesc t;
+        t.label = "rerank-" + std::to_string(i);
+        t.kernelTemplate = "KNN-ZCU9";
+        t.level = acc::Level::NearStor;
+        t.work = model.rerankBatch(n);
+        t.work.inputThrottleBw = sys.config().nsGatherBw;
+        t.pinnedAcc = sys.nsGamIds().at(i);
+        candidate_inbound(t, n);
+        out.push_back(job.tasks.size());
+        job.tasks.push_back(std::move(t));
+    }
+    return out;
+}
+
+void
+CbirDeployment::addReverseLookupTasks(
+    gam::JobDesc &job, const std::vector<std::size_t> &rr)
+{
+    // Extension stage (the paper describes reverse lookup but
+    // excludes it): the image store lives on the SSD array, so the
+    // fetch always runs near storage regardless of the mapping; the
+    // images stream back to the host over the IO interface.
+    std::uint32_t n = sys.numNs();
+    for (std::uint32_t i = 0; i < n; ++i) {
+        gam::TaskDesc t;
+        t.label = "reverse-lookup-" + std::to_string(i);
+        t.kernelTemplate = "KNN-ZCU9"; // streaming fetch engine
+        t.level = acc::Level::NearStor;
+        t.work = model.reverseLookupBatch(n);
+        t.pinnedAcc = sys.nsGamIds().at(i);
+        std::uint64_t id_bytes =
+            std::uint64_t(model.scale().batchSize) *
+            model.scale().topK * 8 / n;
+        for (std::size_t src : rr) {
+            t.deps.push_back(src);
+            t.inbound.push_back({src, id_bytes / rr.size()});
+        }
+        job.tasks.push_back(std::move(t));
+    }
+}
+
+gam::JobDesc
+CbirDeployment::makeBatchJob(std::uint32_t batch_index,
+                             std::function<void(sim::Tick)> on_done)
+{
+    gam::JobDesc job;
+    job.threadId = 0;
+    job.label = std::string(mappingName(map)) + "-batch" +
+                std::to_string(batch_index);
+    job.onComplete = std::move(on_done);
+
+    addFeatureTasks(job);
+    std::vector<std::size_t> fe(job.tasks.size());
+    for (std::size_t i = 0; i < fe.size(); ++i)
+        fe[i] = i;
+
+    auto sl = addShortlistTasks(job, fe);
+    auto rr = addRerankTasks(job, sl);
+    if (model.scale().includeReverseLookup)
+        addReverseLookupTasks(job, rr);
+    return job;
+}
+
+RunResult
+CbirDeployment::run(std::uint32_t batches)
+{
+    if (batches == 0)
+        return {};
+
+    auto &sim = sys.simulator();
+    sim::Tick t0 = sim.now();
+
+    struct RunState
+    {
+        std::uint32_t submitted = 0;
+        std::uint32_t completed = 0;
+        sim::Tick latencySum = 0;
+        sim::Tick latencyMax = 0;
+        sim::Tick lastComplete = 0;
+    };
+    auto st = std::make_shared<RunState>();
+
+    // Closed-loop window: keeps the pipeline full without unbounded
+    // queueing (the runtime's stream depth).
+    constexpr std::uint32_t window = 4;
+
+    // Recursive submitter.
+    auto submit = std::make_shared<std::function<void()>>();
+    *submit = [this, st, batches, submit, &sim]() {
+        if (st->submitted >= batches)
+            return;
+        std::uint32_t idx = st->submitted++;
+        sim::Tick submitted_at = sim.now();
+        gam::JobDesc job = makeBatchJob(
+            idx, [st, submitted_at, submit](sim::Tick at) {
+                sim::Tick lat = at - submitted_at;
+                st->latencySum += lat;
+                st->latencyMax = std::max(st->latencyMax, lat);
+                st->lastComplete = at;
+                ++st->completed;
+                (*submit)();
+            });
+        sys.gam().submitJob(std::move(job));
+    };
+
+    for (std::uint32_t i = 0; i < window && i < batches; ++i)
+        (*submit)();
+
+    sim.runUntil([st, batches] { return st->completed >= batches; });
+
+    if (st->completed < batches)
+        sim::panic("CBIR run ended with ", st->completed, "/", batches,
+                   " batches complete (deadlock?)");
+
+    RunResult res;
+    res.batches = batches;
+    res.makespan = st->lastComplete - t0;
+    res.meanLatency = st->latencySum / batches;
+    res.maxLatency = st->latencyMax;
+    return res;
+}
+
+} // namespace reach::core

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Deployment of the CBIR pipeline onto the compute hierarchy
+ * (paper §IV-B and §VI).
+ *
+ * Four mappings are supported:
+ *  - OnChipOnly:   all three stages on the on-chip accelerator
+ *                  (the paper's baseline);
+ *  - NearMemOnly:  all stages on the AIM modules;
+ *  - NearStorOnly: all stages on the near-storage modules;
+ *  - Reach:        the proper mapping — feature extraction on-chip,
+ *                  short-list retrieval near memory, rerank near
+ *                  storage.
+ *
+ * Each query batch becomes one GAM job whose task graph encodes the
+ * level assignment, data partitioning across instances, and
+ * inter-stage transfers.
+ */
+
+#ifndef REACH_CORE_CBIR_DEPLOYMENT_HH
+#define REACH_CORE_CBIR_DEPLOYMENT_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cbir/workload_model.hh"
+#include "core/reach_system.hh"
+#include "gam/task.hh"
+
+namespace reach::core
+{
+
+enum class Mapping
+{
+    /** Software on the host core: the pre-acceleration baseline the
+     *  paper's introduction argues against. */
+    CpuOnly,
+    OnChipOnly,
+    NearMemOnly,
+    NearStorOnly,
+    Reach,
+};
+
+const char *mappingName(Mapping m);
+
+/** Result of running a stream of query batches. */
+struct RunResult
+{
+    std::uint32_t batches = 0;
+    sim::Tick makespan = 0;
+    /** Mean / max submit-to-complete latency of one batch. */
+    sim::Tick meanLatency = 0;
+    sim::Tick maxLatency = 0;
+
+    double
+    throughputBatchesPerSec() const
+    {
+        if (makespan == 0)
+            return 0;
+        return batches / sim::secondsFromTicks(makespan);
+    }
+
+    double
+    queriesPerSec(std::uint32_t batch_size) const
+    {
+        return throughputBatchesPerSec() * batch_size;
+    }
+};
+
+class CbirDeployment
+{
+  public:
+    /**
+     * @param instances Number of accelerator instances to use at the
+     *        near-data levels (0 = all available).
+     */
+    CbirDeployment(ReachSystem &system,
+                   const cbir::CbirWorkloadModel &model, Mapping mapping,
+                   std::uint32_t instances = 0);
+
+    /** Build the job for one query batch. */
+    gam::JobDesc makeBatchJob(std::uint32_t batch_index,
+                              std::function<void(sim::Tick)> on_done);
+
+    /**
+     * Submit @p batches jobs back-to-back and simulate to
+     * completion. Jobs pipeline through the GAM, so makespan reflects
+     * steady-state throughput.
+     */
+    RunResult run(std::uint32_t batches);
+
+    Mapping mapping() const { return map; }
+    std::uint32_t instancesUsed() const { return numInstances; }
+
+  private:
+    /** WorkUnit + task list for the feature-extraction stage. */
+    void addFeatureTasks(gam::JobDesc &job);
+    /** Short-list stage; returns indices of its tasks. */
+    std::vector<std::size_t> addShortlistTasks(
+        gam::JobDesc &job, const std::vector<std::size_t> &fe_tasks);
+    std::vector<std::size_t> addRerankTasks(
+        gam::JobDesc &job, const std::vector<std::size_t> &sl_tasks);
+
+    /** Optional 4th stage: fetch the top-K images (extension). */
+    void addReverseLookupTasks(
+        gam::JobDesc &job, const std::vector<std::size_t> &rr_tasks);
+
+    /** SSD-array gather path terminating at a coherent/NM consumer. */
+    acc::Path ssdGatherPathTo(acc::Level level, std::uint32_t instance);
+
+    ReachSystem &sys;
+    cbir::CbirWorkloadModel model;
+    Mapping map;
+    std::uint32_t numInstances;
+};
+
+} // namespace reach::core
+
+#endif // REACH_CORE_CBIR_DEPLOYMENT_HH

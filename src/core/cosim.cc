@@ -1,0 +1,77 @@
+#include "cosim.hh"
+
+#include "sim/logging.hh"
+
+namespace reach::core
+{
+
+CbirService::CbirService(const Config &config)
+    : cfg(config),
+      data(config.dataset),
+      ivf(data.vectors(), config.kmeans)
+{
+}
+
+cbir::RerankResults
+CbirService::query(const cbir::Matrix &queries) const
+{
+    auto lists = cbir::shortlistRetrieve(queries, ivf, cfg.nprobe);
+    cbir::RerankConfig rc;
+    rc.k = cfg.topK;
+    rc.maxCandidates = cfg.maxCandidates;
+    return cbir::rerank(queries, data.vectors(), ivf, lists, rc);
+}
+
+double
+CbirService::measureRecall(std::size_t num_queries, double noise,
+                           std::uint64_t seed) const
+{
+    cbir::Matrix queries = data.makeQueries(num_queries, noise, seed);
+    auto got = query(queries);
+    auto truth = cbir::bruteForce(queries, data.vectors(), cfg.topK);
+    return cbir::recallAtK(got, truth, cfg.topK);
+}
+
+CoSimulation::CoSimulation(const CbirService::Config &service_cfg,
+                           const cbir::ScaleConfig &timing_scale,
+                           Mapping mapping)
+    : svc(service_cfg), model(timing_scale)
+{
+    sys = std::make_unique<ReachSystem>(SystemConfig{});
+    deployment = std::make_unique<CbirDeployment>(*sys, model,
+                                                  mapping);
+}
+
+CoSimBatch
+CoSimulation::processBatch(const cbir::Matrix &queries)
+{
+    if (queries.rows() != model.scale().batchSize) {
+        sim::fatal("co-sim batch has ", queries.rows(),
+                   " queries but the timing scale expects ",
+                   model.scale().batchSize);
+    }
+
+    CoSimBatch out;
+    out.results = svc.query(queries);
+
+    // Charge one batch through the simulated machine.
+    auto &sim = sys->simulator();
+    sim::Tick submitted = sim.now();
+    sim::Tick completed = 0;
+    sys->gam().submitJob(deployment->makeBatchJob(
+        batches, [&completed](sim::Tick t) { completed = t; }));
+    sim.runUntil([&completed] { return completed != 0; });
+    if (completed == 0)
+        sim::panic("co-sim batch never completed");
+
+    out.latency = completed - submitted;
+
+    double total = sys->measureEnergy().total();
+    out.energyJoules = total - lastEnergy;
+    lastEnergy = total;
+
+    ++batches;
+    return out;
+}
+
+} // namespace reach::core

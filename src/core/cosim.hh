@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Functional + timing co-simulation.
+ *
+ * CbirService is a working retrieval engine at sampled scale: it
+ * owns a dataset, builds the IVF index offline, and answers queries
+ * exactly (shortlist + exact rerank). CoSimulation pairs such a
+ * service with a ReACH deployment so each query batch produces both
+ * the *answers* (from the functional layer) and the *latency/energy*
+ * the batch would cost on the billion-scale hierarchy (from the
+ * timing layer) — the two-resolution methodology DESIGN.md describes,
+ * packaged behind one call.
+ */
+
+#ifndef REACH_CORE_COSIM_HH
+#define REACH_CORE_COSIM_HH
+
+#include <memory>
+#include <optional>
+
+#include "cbir/rerank.hh"
+#include "cbir/shortlist.hh"
+#include "core/cbir_deployment.hh"
+#include "workload/dataset.hh"
+
+namespace reach::core
+{
+
+/** A functional CBIR engine at sampled scale. */
+class CbirService
+{
+  public:
+    struct Config
+    {
+        workload::DatasetConfig dataset{};
+        cbir::KMeansConfig kmeans{};
+        std::uint32_t nprobe = 8;
+        std::uint32_t topK = 10;
+        std::size_t maxCandidates = 4096;
+    };
+
+    explicit CbirService(const Config &cfg);
+
+    /** Answer a batch of queries (rows = query vectors). */
+    cbir::RerankResults query(const cbir::Matrix &queries) const;
+
+    /**
+     * Recall@topK over @p num_queries perturbed dataset vectors,
+     * against exhaustive ground truth.
+     */
+    double measureRecall(std::size_t num_queries, double noise,
+                         std::uint64_t seed) const;
+
+    const workload::Dataset &dataset() const { return data; }
+    const cbir::InvertedFileIndex &index() const { return ivf; }
+    const Config &config() const { return cfg; }
+
+  private:
+    Config cfg;
+    workload::Dataset data;
+    cbir::InvertedFileIndex ivf;
+};
+
+/** One co-simulated batch: answers plus simulated cost. */
+struct CoSimBatch
+{
+    cbir::RerankResults results;
+    /** Simulated submit-to-complete latency of the batch. */
+    sim::Tick latency = 0;
+    /** Simulated energy consumed by the machine over the batch. */
+    double energyJoules = 0;
+};
+
+class CoSimulation
+{
+  public:
+    /**
+     * @param service_cfg  Functional engine (sampled scale).
+     * @param timing_scale Billion-scale parameters for the timing
+     *                     model; batchSize must match the batches
+     *                     passed to processBatch.
+     * @param mapping      Stage-to-level assignment.
+     */
+    CoSimulation(const CbirService::Config &service_cfg,
+                 const cbir::ScaleConfig &timing_scale,
+                 Mapping mapping);
+
+    /**
+     * Answer @p queries functionally and charge one batch through
+     * the simulated hierarchy.
+     */
+    CoSimBatch processBatch(const cbir::Matrix &queries);
+
+    const CbirService &service() const { return svc; }
+    ReachSystem &system() { return *sys; }
+    std::uint32_t batchesProcessed() const { return batches; }
+
+  private:
+    CbirService svc;
+    cbir::CbirWorkloadModel model;
+    std::unique_ptr<ReachSystem> sys;
+    std::unique_ptr<CbirDeployment> deployment;
+    std::uint32_t batches = 0;
+    double lastEnergy = 0;
+};
+
+} // namespace reach::core
+
+#endif // REACH_CORE_COSIM_HH

@@ -1,0 +1,334 @@
+#include "reach_system.hh"
+
+#include <algorithm>
+#include <string>
+
+#include "mem/calibration.hh"
+#include "sim/logging.hh"
+
+namespace reach::core
+{
+
+ReachSystem::ReachSystem(const SystemConfig &config) : cfg(config)
+{
+    if (cfg.numChannels == 0)
+        sim::fatal("system needs at least one memory channel");
+    if (cfg.hostDimms < cfg.numChannels) {
+        sim::fatal("need at least one host DIMM per channel (",
+                   cfg.hostDimms, " DIMMs for ", cfg.numChannels,
+                   " channels)");
+    }
+    if (cfg.numSsds == 0)
+        sim::fatal("the storage system needs at least one SSD");
+    if (cfg.numAimModules > 64 || cfg.numSsds > 64) {
+        sim::fatal("instance counts above 64 are outside the "
+                   "validated model range");
+    }
+
+    buildMemory();
+    buildStorage();
+    buildAccelerators();
+    wireGam();
+    registerEnergy();
+}
+
+void
+ReachSystem::buildMemory()
+{
+    // DIMM slots: host DIMMs first, then one slot per AIM module,
+    // spread evenly across channels.
+    std::uint32_t total_dimms = cfg.hostDimms + cfg.numAimModules;
+    std::uint32_t per_channel =
+        (total_dimms + cfg.numChannels - 1) / cfg.numChannels;
+    per_channel = std::max<std::uint32_t>(per_channel, 1);
+
+    mem::MemorySystemConfig mcfg;
+    mcfg.numChannels = cfg.numChannels;
+    mcfg.dimmsPerChannel = per_channel;
+    mcfg.dimmTimings = cfg.dram;
+    memSys = std::make_unique<mem::MemorySystem>(sim, "mem", mcfg);
+
+    // Host region: cache-line interleave across the host DIMMs.
+    std::vector<mem::DimmRef> host_units;
+    for (std::uint32_t i = 0; i < cfg.hostDimms; ++i) {
+        host_units.push_back(
+            {i % cfg.numChannels, i / cfg.numChannels});
+    }
+    memSys->addRegion("host", std::uint64_t(16) << 30, host_units,
+                      mem::cacheLineBytes);
+
+    cache = std::make_unique<mem::Cache>(sim, "llc", *memSys,
+                                         cfg.cache);
+    tlb = std::make_unique<mem::Tlb>(sim, "accTlb", cfg.tlb);
+
+    // Calibrate the host streaming bandwidth from the detailed model
+    // unless the config pins it.
+    if (cfg.hostDramStreamBw > 0) {
+        hostDramBw = cfg.hostDramStreamBw;
+    } else {
+        auto cal = mem::measureStreamingBandwidth(
+            cfg.dram, cfg.numChannels,
+            std::max<std::uint32_t>(cfg.hostDimms / cfg.numChannels, 1));
+        hostDramBw = cal.bandwidth;
+    }
+
+    noc::LinkConfig dram_link;
+    dram_link.bandwidth = hostDramBw;
+    dram_link.latency = 60'000; // ~60 ns loaded DRAM latency
+    hostDram = std::make_unique<noc::Link>(sim, "hostDramBulk",
+                                           dram_link);
+
+    noc::LinkConfig cache_link;
+    cache_link.bandwidth = cfg.cacheLinkBw;
+    cache_link.latency = 10'000; // LLC access
+    cachePort = std::make_unique<noc::Link>(sim, "cachePort",
+                                            cache_link);
+
+    noc::LinkConfig bus_link;
+    bus_link.bandwidth = cfg.aimBusBw;
+    bus_link.latency = 40'000;
+    aimBus = std::make_unique<noc::Link>(sim, "aimBus", bus_link);
+}
+
+void
+ReachSystem::buildStorage()
+{
+    noc::LinkConfig io_link;
+    io_link.bandwidth = cfg.hostPcieBw;
+    io_link.latency = 500'000; // host IO stack
+    hostIo = std::make_unique<noc::Link>(sim, "hostIoUplink", io_link);
+
+    for (std::uint32_t i = 0; i < cfg.numSsds; ++i) {
+        ssds.push_back(std::make_unique<storage::Ssd>(
+            sim, "ssd" + std::to_string(i), cfg.ssd));
+
+        noc::LinkConfig host_side;
+        host_side.bandwidth = cfg.perSsdHostBw;
+        host_side.latency = 300'000;
+        ssdHost.push_back(std::make_unique<noc::Link>(
+            sim, "ssdHost" + std::to_string(i), host_side));
+    }
+}
+
+void
+ReachSystem::buildAccelerators()
+{
+    if (cfg.hasOnChipAcc) {
+        onChipAcc = std::make_unique<acc::Accelerator>(
+            sim, "onChipAcc", acc::Level::OnChip);
+        onChipAcc->attachTlb(*tlb);
+        onChipAcc->setResidentPath(acc::Path{}.via(*cachePort));
+        onChipAcc->setInputPath(
+            acc::Path{}.via(*hostDram).via(*cachePort));
+        onChipAcc->setOutputPath(acc::Path{}.via(*cachePort));
+        onChipAcc->setParamPath(
+            acc::Path{}.via(*hostDram).via(*cachePort));
+        // On-chip SRAM retains parameters across tasks.
+        onChipAcc->enableParamBuffer(std::uint64_t(40) << 20,
+                                     cfg.cacheLinkBw);
+    }
+
+    // The host core doubles as a software compute target so CPU-only
+    // baselines run through the same GAM machinery.
+    cpuCore = std::make_unique<acc::Accelerator>(sim, "hostCore",
+                                                 acc::Level::Cpu);
+    cpuCore->setResidentPath(acc::Path{}.via(*cachePort));
+    cpuCore->setInputPath(acc::Path{}.via(*hostDram).via(*cachePort));
+    cpuCore->setOutputPath(acc::Path{}.via(*cachePort));
+    cpuCore->setParamPath(acc::Path{}.via(*hostDram).via(*cachePort));
+    cpuCore->enableParamBuffer(cfg.cache.sizeBytes, cfg.cacheLinkBw);
+
+    // Near-memory AIM modules: one per extra DIMM slot after the
+    // host DIMMs, in channel-round-robin slot order.
+    for (std::uint32_t i = 0; i < cfg.numAimModules; ++i) {
+        std::uint32_t slot = cfg.hostDimms + i;
+        mem::DimmRef ref{slot % cfg.numChannels,
+                         slot / cfg.numChannels};
+
+        noc::LinkConfig local;
+        local.bandwidth = cfg.aimLocalBw;
+        local.latency = 50'000;
+        aimLocal.push_back(std::make_unique<noc::Link>(
+            sim, "aimLocal" + std::to_string(i), local));
+
+        auto module = std::make_unique<acc::AimModule>(
+            sim, "aim" + std::to_string(i), memSys->dimmAt(ref),
+            aimBus.get());
+        module->setInputPath(acc::Path{}.via(*aimLocal.back()));
+        module->setOutputPath(acc::Path{}.via(*aimLocal.back()));
+        module->setParamPath(acc::Path{}.via(*aimLocal.back()));
+        // The module's parameters stay in its DIMM.
+        module->enableParamBuffer(cfg.aimRegionBytes, cfg.aimLocalBw);
+        aims.push_back(std::move(module));
+
+        // Tile-granular region so each tile lives in one DIMM.
+        memSys->addRegion("aimRegion" + std::to_string(i),
+                          cfg.aimRegionBytes, {ref},
+                          std::uint64_t(1) << 20);
+    }
+
+    // Near-storage modules: one per SSD.
+    for (std::uint32_t i = 0; i < cfg.numSsds; ++i) {
+        noc::LinkConfig local;
+        local.bandwidth = cfg.nsLocalBw;
+        local.latency = 80'000;
+        nsLocal.push_back(std::make_unique<noc::Link>(
+            sim, "nsLocal" + std::to_string(i), local));
+
+        auto module = std::make_unique<acc::NsModule>(
+            sim, "ns" + std::to_string(i), *ssds[i]);
+        module->setInputPath(
+            acc::Path{}.from(ssds[i].get(), nullptr).via(
+                *nsLocal.back()));
+        module->setOutputPath(
+            acc::Path{}.via(*ssdHost[i]).via(*hostIo));
+        // Parameter misses come from the host over PCIe.
+        module->setParamPath(acc::Path{}.via(*hostDram).via(*hostIo).via(
+            *ssdHost[i]));
+        nss.push_back(std::move(module));
+    }
+}
+
+void
+ReachSystem::wireGam()
+{
+    gamUnit = std::make_unique<gam::Gam>(sim, "gam", cfg.gam);
+
+    // Buffer-table capacities per level (Fig. 5c): on-chip SRAM, the
+    // AIM DIMM regions, the SSD array, and the host DRAM region.
+    gamUnit->buffers().setCapacity(acc::Level::OnChip,
+                                   acc::virtexVu9p().bramBytes);
+    gamUnit->buffers().setCapacity(
+        acc::Level::NearMem,
+        std::uint64_t(cfg.numAimModules) * cfg.aimRegionBytes);
+    gamUnit->buffers().setCapacity(
+        acc::Level::NearStor,
+        std::uint64_t(cfg.numSsds) * cfg.ssd.capacityBytes);
+    gamUnit->buffers().setCapacity(acc::Level::Cpu,
+                                   std::uint64_t(16) << 30);
+
+    if (onChipAcc)
+        onChipId = gamUnit->addAccelerator(*onChipAcc);
+    cpuId = gamUnit->addAccelerator(*cpuCore);
+    for (auto &a : aims)
+        aimIds.push_back(gamUnit->addAccelerator(*a));
+    for (auto &n : nss)
+        nsIds.push_back(gamUnit->addAccelerator(*n));
+
+    gamUnit->setPathProvider(
+        [this](const acc::Accelerator *from, const acc::Accelerator *to) {
+            return pathBetween(from, to);
+        });
+
+    // Forced writebacks drain through the host DRAM channels.
+    gamUnit->setFlushHook(
+        [this](std::uint64_t bytes,
+               std::function<void(sim::Tick)> done) {
+            sim::Tick t = hostDram->reserve(bytes, sim.now());
+            sim.events().schedule(t, [done, t] { done(t); },
+                                  sim::EventPriority::Default,
+                                  "flushDone");
+        });
+}
+
+acc::Path
+ReachSystem::pathBetween(const acc::Accelerator *from,
+                         const acc::Accelerator *to)
+{
+    using acc::Level;
+    Level src = from ? from->level() : Level::Cpu;
+    Level dst = to ? to->level() : Level::Cpu;
+
+    auto ns_index = [this](const acc::Accelerator *a) -> std::uint32_t {
+        for (std::uint32_t i = 0; i < nss.size(); ++i)
+            if (nss[i].get() == a)
+                return i;
+        sim::panic("near-storage module not found in system");
+    };
+
+    acc::Path p;
+    bool src_coherent = src == Level::Cpu || src == Level::OnChip;
+    bool dst_coherent = dst == Level::Cpu || dst == Level::OnChip;
+
+    if (src_coherent && dst_coherent) {
+        // Stays inside the coherent domain.
+        return p.via(*cachePort);
+    }
+
+    if (src_coherent && dst == Level::NearMem) {
+        // Write through the memory channels into the AIM DIMM.
+        return p.via(*hostDram);
+    }
+    if (src_coherent && dst == Level::NearStor) {
+        return p.via(*hostIo).via(*ssdHost[ns_index(to)]);
+    }
+
+    if (src == Level::NearMem && dst == Level::NearMem)
+        return p.via(*aimBus);
+    if (src == Level::NearMem && dst_coherent)
+        return p.via(*hostDram);
+    if (src == Level::NearMem && dst == Level::NearStor) {
+        return p.via(*hostDram).via(*hostIo).via(
+            *ssdHost[ns_index(to)]);
+    }
+
+    std::uint32_t si = ns_index(from);
+    if (dst_coherent)
+        return p.via(*ssdHost[si]).via(*hostIo);
+    if (dst == Level::NearMem)
+        return p.via(*ssdHost[si]).via(*hostIo).via(*hostDram);
+    // NS -> NS: hop through the host IO switch.
+    return p.via(*ssdHost[si]).via(*hostIo).via(
+        *ssdHost[ns_index(to)]);
+}
+
+void
+ReachSystem::registerEnergy()
+{
+    using energy::Component;
+    if (onChipAcc)
+        energy.addAccelerator(*onChipAcc);
+    energy.addAccelerator(*cpuCore);
+    for (auto &a : aims)
+        energy.addAccelerator(*a);
+    for (auto &n : nss)
+        energy.addAccelerator(*n);
+
+    energy.addCache(*cache);
+    energy.addMemorySystem(*memSys);
+    for (auto &s : ssds)
+        energy.addSsd(*s);
+
+    energy.addLink(*hostDram, Component::Dram);
+    energy.addLink(*cachePort, Component::Cache);
+    energy.addLink(*aimBus, Component::McInterconnect);
+    energy.addLink(*hostIo, Component::Pcie);
+    for (auto &l : aimLocal)
+        energy.addLink(*l, Component::Dram);
+    for (auto &l : nsLocal)
+        energy.addLink(*l, Component::Pcie);
+    for (auto &l : ssdHost)
+        energy.addLink(*l, Component::Pcie);
+}
+
+acc::Accelerator &
+ReachSystem::onChip()
+{
+    if (!onChipAcc)
+        sim::fatal("this configuration has no on-chip accelerator");
+    return *onChipAcc;
+}
+
+sim::Tick
+ReachSystem::runUntilIdle()
+{
+    return sim.runUntil([this] { return gamUnit->idle(); });
+}
+
+energy::EnergyBreakdown
+ReachSystem::measureEnergy()
+{
+    return energy.measure(sim.now());
+}
+
+} // namespace reach::core

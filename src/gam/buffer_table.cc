@@ -1,0 +1,88 @@
+#include "buffer_table.hh"
+
+#include "sim/logging.hh"
+
+namespace reach::gam
+{
+
+void
+BufferTable::setCapacity(acc::Level level, std::uint64_t bytes)
+{
+    spaces[level].capacity = bytes;
+}
+
+std::uint64_t
+BufferTable::capacity(acc::Level level) const
+{
+    auto it = spaces.find(level);
+    return it == spaces.end() ? 0 : it->second.capacity;
+}
+
+BufferTable::LevelSpace &
+BufferTable::space(acc::Level level)
+{
+    return spaces[level];
+}
+
+const BufferTable::LevelSpace &
+BufferTable::space(acc::Level level) const
+{
+    static const LevelSpace empty{};
+    auto it = spaces.find(level);
+    return it == spaces.end() ? empty : it->second;
+}
+
+const BufferRecord &
+BufferTable::allocate(acc::Level level, std::uint64_t bytes,
+                      const std::string &name)
+{
+    if (bytes == 0)
+        sim::fatal("buffer '", name, "' has zero size");
+
+    LevelSpace &s = space(level);
+    if (s.top + bytes > s.capacity) {
+        sim::fatal("buffer '", name, "' (", bytes,
+                   " B) exceeds the remaining capacity at level ",
+                   acc::levelName(level), " (", s.capacity - s.top,
+                   " B left)");
+    }
+
+    BufferRecord rec;
+    rec.id = nextId++;
+    rec.level = level;
+    rec.base = s.top;
+    rec.bytes = bytes;
+    rec.name = name;
+
+    s.top += bytes;
+    s.used += bytes;
+
+    auto [it, ok] = records.emplace(rec.id, std::move(rec));
+    (void)ok;
+    return it->second;
+}
+
+const BufferRecord *
+BufferTable::find(BufferId id) const
+{
+    auto it = records.find(id);
+    return it == records.end() ? nullptr : &it->second;
+}
+
+void
+BufferTable::release(BufferId id)
+{
+    auto it = records.find(id);
+    if (it == records.end())
+        return;
+    space(it->second.level).used -= it->second.bytes;
+    records.erase(it);
+}
+
+std::uint64_t
+BufferTable::usedBytes(acc::Level level) const
+{
+    return space(level).used;
+}
+
+} // namespace reach::gam

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * The GAM's buffer table (paper Fig. 5c: "Buffer ID -> Address
+ * boundaries").
+ *
+ * Every fixed buffer and stream queue the runtime creates is
+ * registered here with its compute level and address range, carved
+ * from that level's memory capacity. The table is the GAM's view of
+ * where data lives — what lets it target DMA transfers and enforce
+ * that accelerator arguments refer to real, allocated storage.
+ *
+ * Allocation is bump-pointer per level (buffers are sedentary for an
+ * application's lifetime — the paper's design point); release only
+ * reclaims accounting, not address space.
+ */
+
+#ifndef REACH_GAM_BUFFER_TABLE_HH
+#define REACH_GAM_BUFFER_TABLE_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "acc/accelerator.hh"
+#include "sim/types.hh"
+
+namespace reach::gam
+{
+
+using BufferId = std::uint32_t;
+
+struct BufferRecord
+{
+    BufferId id = ~0u;
+    acc::Level level = acc::Level::Cpu;
+    /** Base address within the level's space. */
+    std::uint64_t base = 0;
+    std::uint64_t bytes = 0;
+    std::string name;
+
+    /** Address boundaries, Fig. 5c style. */
+    std::uint64_t end() const { return base + bytes; }
+};
+
+class BufferTable
+{
+  public:
+    /** Capacity of a level's buffer space (0 = level unusable). */
+    void setCapacity(acc::Level level, std::uint64_t bytes);
+    std::uint64_t capacity(acc::Level level) const;
+
+    /**
+     * Allocate @p bytes at @p level; fatal() when the level's
+     * capacity would be exceeded or bytes is zero.
+     */
+    const BufferRecord &allocate(acc::Level level, std::uint64_t bytes,
+                                 const std::string &name);
+
+    /** Look up a record, or nullptr. */
+    const BufferRecord *find(BufferId id) const;
+
+    /** Drop a record (accounting only; space is not compacted). */
+    void release(BufferId id);
+
+    std::uint64_t usedBytes(acc::Level level) const;
+    std::size_t size() const { return records.size(); }
+
+  private:
+    struct LevelSpace
+    {
+        std::uint64_t capacity = 0;
+        std::uint64_t top = 0;
+        std::uint64_t used = 0;
+    };
+
+    LevelSpace &space(acc::Level level);
+    const LevelSpace &space(acc::Level level) const;
+
+    std::map<acc::Level, LevelSpace> spaces;
+    std::map<BufferId, BufferRecord> records;
+    BufferId nextId = 0;
+};
+
+} // namespace reach::gam
+
+#endif // REACH_GAM_BUFFER_TABLE_HH

@@ -1,0 +1,409 @@
+#include "gam.hh"
+
+#include <algorithm>
+#include <limits>
+
+#include "sim/debug.hh"
+#include "sim/logging.hh"
+
+namespace reach::gam
+{
+
+Gam::Gam(sim::Simulator &sim, const std::string &name,
+         const GamConfig &config)
+    : sim::SimObject(sim, name),
+      cfg(config),
+      statJobsDone(name + ".jobsDone", "jobs completed"),
+      statTasksDispatched(name + ".tasksDispatched",
+                          "tasks sent to accelerators"),
+      statPolls(name + ".statusPolls", "status packets sent"),
+      statDmaBytes(name + ".dmaBytes", "bytes moved by GAM DMA"),
+      statFlushes(name + ".forcedFlushes", "forced cache writebacks"),
+      statJobLatency(name + ".jobLatency",
+                     "submit-to-complete latency (ticks)"),
+      statQueueWait(name + ".queueWait",
+                    "task wait in scheduling queue (ticks)")
+{
+    registerStat(statJobsDone);
+    registerStat(statTasksDispatched);
+    registerStat(statPolls);
+    registerStat(statDmaBytes);
+    registerStat(statFlushes);
+    registerStat(statJobLatency);
+    registerStat(statQueueWait);
+}
+
+std::uint32_t
+Gam::addAccelerator(acc::Accelerator &acc)
+{
+    rows.push_back(ProgressRow{&acc, std::nullopt, 0, {}});
+    return static_cast<std::uint32_t>(rows.size() - 1);
+}
+
+std::vector<std::uint32_t>
+Gam::acceleratorsAt(acc::Level level) const
+{
+    std::vector<std::uint32_t> out;
+    for (std::uint32_t i = 0; i < rows.size(); ++i) {
+        if (rows[i].acc->level() == level)
+            out.push_back(i);
+    }
+    return out;
+}
+
+JobId
+Gam::submitJob(JobDesc job)
+{
+    if (job.tasks.empty())
+        sim::fatal(name(), ": job '", job.label, "' has no tasks");
+
+    JobId jid = nextJobId++;
+    ++activeJobs;
+
+    JobRecord rec;
+    rec.desc = std::move(job);
+    rec.submitted = now();
+    rec.remaining = static_cast<std::uint32_t>(rec.desc.tasks.size());
+
+    // Materialize task records with global ids.
+    std::vector<TaskId> ids;
+    ids.reserve(rec.desc.tasks.size());
+    for (const auto &desc : rec.desc.tasks) {
+        TaskId tid = nextTaskId++;
+        ids.push_back(tid);
+
+        TaskRecord task;
+        task.desc = desc;
+        task.job = jid;
+        task.depsRemaining = static_cast<std::uint32_t>(desc.deps.size());
+        tasks.emplace(tid, std::move(task));
+    }
+    // Wire dependents (local index -> global id).
+    for (std::size_t i = 0; i < rec.desc.tasks.size(); ++i) {
+        for (std::size_t dep : rec.desc.tasks[i].deps) {
+            if (dep >= ids.size())
+                sim::fatal(name(), ": task dep index out of range");
+            tasks.at(ids[dep]).dependents.push_back(ids[i]);
+        }
+    }
+    rec.taskIds = ids;
+    jobs.emplace(jid, std::move(rec));
+
+    // ACC command packets reach the GAM after the command latency;
+    // root tasks then enter their transfer phase.
+    scheduleIn(cfg.commandLatency, [this, jid] {
+        auto &job_rec = jobs.at(jid);
+        for (TaskId tid : job_rec.taskIds) {
+            if (tasks.at(tid).depsRemaining == 0)
+                startTransfers(tid);
+        }
+    }, sim::EventPriority::Control, "jobArrive");
+
+    return jid;
+}
+
+bool
+Gam::blockedByJobOrder(const TaskRecord &task) const
+{
+    return !cfg.crossJobPipelining && task.job != oldestActiveJob;
+}
+
+void
+Gam::releaseBlockedTasks()
+{
+    std::vector<TaskId> ready;
+    auto it = jobOrderBlocked.begin();
+    while (it != jobOrderBlocked.end()) {
+        if (!blockedByJobOrder(tasks.at(*it))) {
+            ready.push_back(*it);
+            it = jobOrderBlocked.erase(it);
+        } else {
+            ++it;
+        }
+    }
+    for (TaskId tid : ready)
+        startTransfers(tid);
+}
+
+void
+Gam::startTransfers(TaskId tid)
+{
+    TaskRecord &task = tasks.at(tid);
+
+    if (blockedByJobOrder(task)) {
+        jobOrderBlocked.push_back(tid);
+        return;
+    }
+
+    task.state = TaskState::WaitingTransfer;
+    // Choose the target instance now so transfer paths are known.
+    task.assignedAcc = chooseAccelerator(task);
+    ++rows[task.assignedAcc].assigned;
+    // Charge the compute estimate to the row's backlog (the kernel
+    // synthesis report gives the GAM this number, paper §III-A).
+    task.backlogCharge = acc::findKernel(task.desc.kernelTemplate)
+                             .computeTicks(task.desc.work.ops);
+    rows[task.assignedAcc].backlogEstimate += task.backlogCharge;
+
+    std::vector<const InboundTransfer *> moves;
+    for (const auto &in : task.desc.inbound) {
+        if (in.bytes > 0)
+            moves.push_back(&in);
+    }
+    if (moves.empty()) {
+        enqueueTask(tid);
+        return;
+    }
+
+    task.transfersRemaining = static_cast<std::uint32_t>(moves.size());
+    const JobRecord &job = jobs.at(task.job);
+    acc::Accelerator *to = rows[task.assignedAcc].acc;
+
+    for (const auto *in : moves) {
+        acc::Accelerator *from = nullptr;
+        acc::Level from_level = acc::Level::Cpu;
+        if (in->from != InboundTransfer::fromHost) {
+            const TaskRecord &producer =
+                tasks.at(job.taskIds.at(in->from));
+            if (producer.state != TaskState::Complete) {
+                sim::panic(name(), ": inbound transfer from task that "
+                           "is not complete");
+            }
+            from = rows[producer.assignedAcc].acc;
+            from_level = from->level();
+        }
+
+        statDmaBytes += static_cast<double>(in->bytes);
+
+        std::uint64_t bytes = in->bytes;
+        auto do_dma = [this, tid, from, to, bytes](sim::Tick) {
+            acc::Path path =
+                pathProvider ? pathProvider(from, to) : acc::Path{};
+            sim::Tick done =
+                path.empty() ? now() : path.reserve(bytes, now());
+            schedule(done, [this, tid] {
+                TaskRecord &t = tasks.at(tid);
+                if (--t.transfersRemaining == 0)
+                    enqueueTask(tid);
+            }, sim::EventPriority::Default, "dmaDone");
+        };
+
+        // Toward near-data levels, coherent-cache copies must be
+        // written back first (paper Fig. 6, steps 2b/2c).
+        bool coherent_src = from_level == acc::Level::Cpu ||
+                            from_level == acc::Level::OnChip;
+        bool near_dst = to->level() == acc::Level::NearMem ||
+                        to->level() == acc::Level::NearStor;
+        if (coherent_src && near_dst && flushHook) {
+            ++statFlushes;
+            flushHook(bytes, do_dma);
+        } else {
+            do_dma(now());
+        }
+    }
+}
+
+std::uint32_t
+Gam::chooseAccelerator(const TaskRecord &task) const
+{
+    if (task.desc.pinnedAcc) {
+        std::uint32_t id = *task.desc.pinnedAcc;
+        if (id >= rows.size() ||
+            rows[id].acc->level() != task.desc.level) {
+            sim::fatal(name(), ": task '", task.desc.label,
+                       "' pinned to invalid accelerator ", id);
+        }
+        return id;
+    }
+
+    std::uint32_t best = ~0u;
+    double best_score = std::numeric_limits<double>::max();
+    for (std::uint32_t i = 0; i < rows.size(); ++i) {
+        if (rows[i].acc->level() != task.desc.level)
+            continue;
+        double score;
+        if (cfg.scheduling == SchedulingPolicy::EarliestFree) {
+            // Expected availability: device reservation end plus the
+            // estimated runtime of everything already assigned here.
+            score = static_cast<double>(
+                        std::max(rows[i].acc->freeAt(), now())) +
+                    static_cast<double>(rows[i].backlogEstimate);
+            // Ties (all idle) fall back to assignment count.
+            score += static_cast<double>(rows[i].assigned) * 1e-3;
+        } else {
+            score = static_cast<double>(rows[i].assigned);
+        }
+        if (score < best_score) {
+            best_score = score;
+            best = i;
+        }
+    }
+    if (best == ~0u) {
+        sim::fatal(name(), ": no accelerator registered at level ",
+                   acc::levelName(task.desc.level), " for task '",
+                   task.desc.label, "'");
+    }
+    return best;
+}
+
+void
+Gam::enqueueTask(TaskId tid)
+{
+    TaskRecord &task = tasks.at(tid);
+    task.state = TaskState::Queued;
+    task.dispatchedAt = now();
+    rows[task.assignedAcc].waiting.push_back(tid);
+    kick(task.assignedAcc);
+}
+
+void
+Gam::kick(std::uint32_t acc_id)
+{
+    ProgressRow &row = rows[acc_id];
+    if (row.currentTask || row.waiting.empty())
+        return;
+    TaskId tid = row.waiting.front();
+    row.waiting.pop_front();
+    dispatch(acc_id, tid);
+}
+
+void
+Gam::dispatch(std::uint32_t acc_id, TaskId tid)
+{
+    ProgressRow &row = rows[acc_id];
+    TaskRecord &task = tasks.at(tid);
+
+    row.currentTask = tid;
+    task.state = TaskState::Running;
+    sim::dtrace(now(), "GAM", "dispatch '", task.desc.label, "' to ",
+                row.acc->name());
+    statQueueWait.sample(static_cast<double>(now() - task.dispatchedAt));
+    task.dispatchedAt = now();
+    ++statTasksDispatched;
+
+    // The launch command travels to the accelerator first.
+    scheduleIn(cfg.commandLatency, [this, acc_id, tid] {
+        ProgressRow &r = rows[acc_id];
+        TaskRecord &t = tasks.at(tid);
+        acc::Accelerator &dev = *r.acc;
+
+        dev.configure(acc::findKernel(t.desc.kernelTemplate),
+                      cfg.reconfigDelay);
+
+        sim::Tick estimate = static_cast<sim::Tick>(
+            static_cast<double>(dev.estimateTicks(t.desc.work)) *
+            cfg.estimateErrorFactor);
+        r.estimatedDone = now() + estimate;
+
+        bool interrupts = dev.level() == acc::Level::OnChip ||
+                          dev.level() == acc::Level::Cpu;
+
+        dev.execute(t.desc.work, [this, tid, interrupts](sim::Tick at) {
+            TaskRecord &done = tasks.at(tid);
+            done.finishedAt = at;
+            done.state = TaskState::DoneUnobserved;
+            // On-chip accelerators interrupt the GAM directly;
+            // near-data modules wait for a status poll.
+            if (interrupts)
+                completeTask(tid, at);
+        });
+
+        if (!interrupts) {
+            schedule(std::max(r.estimatedDone, now() + 1),
+                     [this, acc_id, tid] { pollStatus(acc_id, tid); },
+                     sim::EventPriority::Control, "statusPoll");
+        }
+    }, sim::EventPriority::Control, "launch");
+}
+
+void
+Gam::pollStatus(std::uint32_t acc_id, TaskId tid)
+{
+    ++statPolls;
+    ProgressRow &row = rows[acc_id];
+    TaskRecord &task = tasks.at(tid);
+
+    if (task.state == TaskState::DoneUnobserved &&
+        task.finishedAt <= now()) {
+        // Status packet returns "finished" plus the output location;
+        // completion is observed after the round trip.
+        completeTask(tid, now() + cfg.statusPollLatency);
+        return;
+    }
+
+    // Not finished: the device reports a new wait time (we use its
+    // actual remaining reservation, which the device knows).
+    sim::Tick remaining = row.acc->freeAt() > now()
+                              ? row.acc->freeAt() - now()
+                              : sim::tickPerUs;
+    row.estimatedDone = now() + remaining;
+    schedule(now() + std::max<sim::Tick>(remaining,
+                                         cfg.statusPollLatency),
+             [this, acc_id, tid] { pollStatus(acc_id, tid); },
+             sim::EventPriority::Control, "statusRepoll");
+}
+
+void
+Gam::completeTask(TaskId tid, sim::Tick at)
+{
+    if (at > now()) {
+        schedule(at, [this, tid] { completeTask(tid, now()); },
+                 sim::EventPriority::Control, "completeAt");
+        return;
+    }
+
+    TaskRecord &task = tasks.at(tid);
+    if (task.state == TaskState::Complete)
+        return;
+    task.state = TaskState::Complete;
+    sim::dtrace(now(), "GAM", "complete '", task.desc.label, "'");
+
+    if (taskObserver) {
+        TaskEvent ev;
+        ev.label = task.desc.label;
+        ev.accName = rows[task.assignedAcc].acc->name();
+        ev.level = task.desc.level;
+        ev.dispatched = task.dispatchedAt;
+        ev.finished = task.finishedAt;
+        ev.observed = now();
+        taskObserver(ev);
+    }
+
+    ProgressRow &row = rows[task.assignedAcc];
+    if (row.assigned > 0)
+        --row.assigned;
+    row.backlogEstimate -= std::min(row.backlogEstimate,
+                                    task.backlogCharge);
+    if (row.currentTask && *row.currentTask == tid) {
+        row.currentTask.reset();
+        kick(task.assignedAcc);
+    }
+
+    // Wake dependents.
+    for (TaskId dep : task.dependents) {
+        TaskRecord &d = tasks.at(dep);
+        if (--d.depsRemaining == 0)
+            startTransfers(dep);
+    }
+
+    // Job bookkeeping.
+    JobRecord &job = jobs.at(task.job);
+    if (--job.remaining == 0) {
+        ++statJobsDone;
+        --activeJobs;
+        statJobLatency.sample(static_cast<double>(now() - job.submitted));
+        if (job.desc.onComplete)
+            job.desc.onComplete(now());
+
+        // Advance the serialization frontier past finished jobs.
+        while (oldestActiveJob < nextJobId) {
+            auto it = jobs.find(oldestActiveJob);
+            if (it != jobs.end() && it->second.remaining > 0)
+                break;
+            ++oldestActiveJob;
+        }
+        releaseBlockedTasks();
+    }
+}
+
+} // namespace reach::gam

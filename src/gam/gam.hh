@@ -1,0 +1,267 @@
+/**
+ * @file
+ * The Global Accelerator Manager (paper §II-D, Fig. 5/6).
+ *
+ * A hardware unit on the on-chip NoC that
+ *  1. receives job requests from cores (ACC command packets),
+ *  2. distributes tasks to available accelerators per level,
+ *  3. tracks running/waiting tasks in a progress table with
+ *     estimated wait times,
+ *  4. initiates inter-level data transfers (forced cache writebacks
+ *     toward near-memory, PCIe pushes toward near-storage), and
+ *  5. interrupts the host when a job completes.
+ *
+ * Near-memory and near-storage modules cannot send acknowledgements,
+ * so the GAM *polls* them with status packets when a task's estimated
+ * runtime elapses; on-chip accelerators interrupt directly.
+ */
+
+#ifndef REACH_GAM_GAM_HH
+#define REACH_GAM_GAM_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "acc/accelerator.hh"
+#include "acc/path.hh"
+#include "gam/buffer_table.hh"
+#include "gam/task.hh"
+#include "sim/simulator.hh"
+#include "sim/stats.hh"
+
+namespace reach::gam
+{
+
+/** How the GAM picks an instance for an unpinned task. */
+enum class SchedulingPolicy
+{
+    /** Fewest tasks assigned (count-based, cheap). */
+    LeastLoaded,
+    /**
+     * Earliest expected availability, using the per-task runtime
+     * estimates the progress table already tracks (Fig. 5e's
+     * "estimated wait time" put to work for placement).
+     */
+    EarliestFree,
+};
+
+struct GamConfig
+{
+    /** ACC command packet delivery latency (NoC + decode). */
+    sim::Tick commandLatency = 100'000; // 100 ns
+    /** Status request/response round trip to a near-data module. */
+    sim::Tick statusPollLatency = 400'000; // 400 ns
+    /** Multiplier on runtime estimates (ablation: poll too early). */
+    double estimateErrorFactor = 1.0;
+    /**
+     * Dispatch tasks of a later job before the previous job fully
+     * completes, when dependencies allow (paper §II-D). Turning this
+     * off serializes jobs — the ablation baseline.
+     */
+    bool crossJobPipelining = true;
+    /**
+     * Partial-reconfiguration delay charged when a dispatch must
+     * load a different bitstream. The paper argues sub-millisecond
+     * reconfiguration and charges zero; the ablation sweeps this.
+     */
+    sim::Tick reconfigDelay = 0;
+    /** Instance selection for unpinned tasks. */
+    SchedulingPolicy scheduling = SchedulingPolicy::LeastLoaded;
+};
+
+/**
+ * Builds the data path for one inter-level transfer. Provided by the
+ * system builder, which knows the machine's links.
+ *
+ * @param from  Producing accelerator (null: data starts at the host).
+ * @param to    Consuming accelerator (null: data returns to host).
+ */
+using PathProvider = std::function<acc::Path(
+    const acc::Accelerator *from, const acc::Accelerator *to)>;
+
+/**
+ * Forced cache writeback hook: flush @p bytes worth of producer
+ * output from the coherent cache, then call the continuation.
+ */
+using FlushHook =
+    std::function<void(std::uint64_t bytes,
+                       std::function<void(sim::Tick)> done)>;
+
+class Gam : public sim::SimObject
+{
+  public:
+    Gam(sim::Simulator &sim, const std::string &name,
+        const GamConfig &cfg);
+
+    /** Register an accelerator; returns its accId (progress row). */
+    std::uint32_t addAccelerator(acc::Accelerator &acc);
+
+    /** All registered instances at @p level, in accId order. */
+    std::vector<std::uint32_t> acceleratorsAt(acc::Level level) const;
+
+    acc::Accelerator &accelerator(std::uint32_t id)
+    {
+        return *rows.at(id).acc;
+    }
+
+    std::size_t numAccelerators() const { return rows.size(); }
+
+    void setPathProvider(PathProvider provider)
+    {
+        pathProvider = std::move(provider);
+    }
+
+    void setFlushHook(FlushHook hook) { flushHook = std::move(hook); }
+
+    /**
+     * Submit a job (step 5a: ACC command packets through the GAM
+     * driver). Returns the job id. Task dispatch begins after the
+     * command latency.
+     */
+    JobId submitJob(JobDesc job);
+
+    /** True when every submitted job has completed. */
+    bool idle() const { return activeJobs == 0; }
+
+    std::uint64_t jobsCompleted() const
+    {
+        return static_cast<std::uint64_t>(statJobsDone.value());
+    }
+    std::uint64_t tasksDispatched() const
+    {
+        return static_cast<std::uint64_t>(statTasksDispatched.value());
+    }
+    std::uint64_t statusPolls() const
+    {
+        return static_cast<std::uint64_t>(statPolls.value());
+    }
+    std::uint64_t bytesMoved() const
+    {
+        return static_cast<std::uint64_t>(statDmaBytes.value());
+    }
+
+    const GamConfig &config() const { return cfg; }
+
+    /** Fig. 5c: buffer ids and their address boundaries. */
+    BufferTable &buffers() { return bufferTable; }
+    const BufferTable &buffers() const { return bufferTable; }
+
+    /** One completed task, for timeline tracing. */
+    struct TaskEvent
+    {
+        std::string label;
+        std::string accName;
+        acc::Level level;
+        /** When the GAM handed the task to the accelerator. */
+        sim::Tick dispatched = 0;
+        /** When the device finished. */
+        sim::Tick finished = 0;
+        /** When the GAM observed completion (poll round trip). */
+        sim::Tick observed = 0;
+    };
+
+    /** Observe every task completion (timeline export, tests). */
+    void
+    setTaskObserver(std::function<void(const TaskEvent &)> obs)
+    {
+        taskObserver = std::move(obs);
+    }
+
+  private:
+    /** One task instance inside the manager. */
+    struct TaskRecord
+    {
+        TaskDesc desc;
+        JobId job = 0;
+        TaskState state = TaskState::WaitingDeps;
+        std::uint32_t depsRemaining = 0;
+        std::uint32_t transfersRemaining = 0;
+        /** Tasks (global ids) waiting on this one. */
+        std::vector<TaskId> dependents;
+        std::uint32_t assignedAcc = ~0u;
+        sim::Tick dispatchedAt = 0;
+        sim::Tick finishedAt = 0;
+        /** Runtime estimate charged to the row's backlog. */
+        sim::Tick backlogCharge = 0;
+    };
+
+    struct JobRecord
+    {
+        JobDesc desc;
+        std::vector<TaskId> taskIds;
+        std::uint32_t remaining = 0;
+        sim::Tick submitted = 0;
+    };
+
+    /** Progress-table row (paper Fig. 5e). */
+    struct ProgressRow
+    {
+        acc::Accelerator *acc = nullptr;
+        std::optional<TaskId> currentTask;
+        sim::Tick estimatedDone = 0;
+        std::deque<TaskId> waiting;
+        /** Tasks assigned here but not yet complete (incl. pending
+         *  transfers); keeps load balancing honest. */
+        std::uint32_t assigned = 0;
+        /** Sum of runtime estimates of assigned, incomplete tasks. */
+        sim::Tick backlogEstimate = 0;
+    };
+
+    /** Move a task whose deps finished into its transfer phase. */
+    void startTransfers(TaskId tid);
+
+    /** Enqueue a transfer-complete task at its target accelerator. */
+    void enqueueTask(TaskId tid);
+
+    /** If the row is free, dispatch its next waiting task. */
+    void kick(std::uint32_t acc_id);
+
+    void dispatch(std::uint32_t acc_id, TaskId tid);
+
+    /** Status-packet poll for a near-data accelerator (Fig. 5b). */
+    void pollStatus(std::uint32_t acc_id, TaskId tid);
+
+    /** Mark the task observed-complete and propagate. */
+    void completeTask(TaskId tid, sim::Tick at);
+
+    /** Pick a free (or least-loaded) instance for a task. */
+    std::uint32_t chooseAccelerator(const TaskRecord &task) const;
+
+    /** Whether dispatch of @p tid is blocked by job serialization. */
+    bool blockedByJobOrder(const TaskRecord &task) const;
+
+    /** Try to start tasks that job-serialization had been blocking. */
+    void releaseBlockedTasks();
+
+    GamConfig cfg;
+    PathProvider pathProvider;
+    FlushHook flushHook;
+    BufferTable bufferTable;
+    std::function<void(const TaskEvent &)> taskObserver;
+
+    std::vector<ProgressRow> rows;
+    std::map<TaskId, TaskRecord> tasks;
+    std::map<JobId, JobRecord> jobs;
+    /** Tasks waiting for job-serialization (pipelining off). */
+    std::vector<TaskId> jobOrderBlocked;
+    TaskId nextTaskId = 1;
+    JobId nextJobId = 1;
+    JobId oldestActiveJob = 1;
+    std::uint32_t activeJobs = 0;
+
+    sim::Scalar statJobsDone;
+    sim::Scalar statTasksDispatched;
+    sim::Scalar statPolls;
+    sim::Scalar statDmaBytes;
+    sim::Scalar statFlushes;
+    sim::Distribution statJobLatency;
+    sim::Distribution statQueueWait;
+};
+
+} // namespace reach::gam
+
+#endif // REACH_GAM_GAM_HH

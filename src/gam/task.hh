@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Jobs and tasks as the GAM sees them (paper Fig. 5).
+ *
+ * A *job* is what a host thread submits ("run CNN inference on this
+ * batch"); the GAM breaks it into *tasks*, each bound to a compute
+ * level (and optionally to one specific accelerator instance, e.g.
+ * the AIM module holding a particular centroid partition). Tasks can
+ * depend on earlier tasks of the same job — the GAM moves the
+ * producer's output to the consumer's level before dispatch — and on
+ * tasks of earlier jobs when the runtime encodes stream backpressure.
+ */
+
+#ifndef REACH_GAM_TASK_HH
+#define REACH_GAM_TASK_HH
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "acc/accelerator.hh"
+#include "sim/types.hh"
+
+namespace reach::gam
+{
+
+using TaskId = std::uint64_t;
+using JobId = std::uint64_t;
+
+/** Data the GAM must move to a task's level before it can start. */
+struct InboundTransfer
+{
+    /** Sentinel: the data comes from the host (CPU side). */
+    static constexpr std::size_t fromHost = ~std::size_t(0);
+
+    /**
+     * Producing task as an index into the same job's task list, or
+     * fromHost when the host supplies the data (e.g. a query batch).
+     */
+    std::size_t from = fromHost;
+    std::uint64_t bytes = 0;
+};
+
+struct TaskDesc
+{
+    /** Human-readable label ("Conv-Relu1", "knn0"). */
+    std::string label;
+    /** Kernel template id, e.g. "CNN-VU9P" (see kernelCatalog()). */
+    std::string kernelTemplate;
+    acc::Level level = acc::Level::OnChip;
+    acc::WorkUnit work;
+    /** Tasks (same job) that must complete first. */
+    std::vector<std::size_t> deps;
+    /** Data movements required before dispatch. */
+    std::vector<InboundTransfer> inbound;
+    /** Pin to one accelerator instance at the level (partitioning). */
+    std::optional<std::uint32_t> pinnedAcc;
+};
+
+struct JobDesc
+{
+    /** Software thread id (tasks of a thread share ordering). */
+    std::uint32_t threadId = 0;
+    std::string label;
+    std::vector<TaskDesc> tasks;
+    /** Host interrupt: invoked when every task has completed. */
+    std::function<void(sim::Tick)> onComplete;
+};
+
+/** Lifecycle of a task inside the GAM. */
+enum class TaskState
+{
+    WaitingDeps,
+    WaitingTransfer,
+    Queued,
+    Running,
+    /** Finished on the device, waiting for a status poll to notice. */
+    DoneUnobserved,
+    Complete,
+};
+
+} // namespace reach::gam
+
+#endif // REACH_GAM_TASK_HH

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Physical-address interleaving across channels and DIMMs.
+ *
+ * The GAM reorganizes the memory space between the CPU/on-chip
+ * accelerator and the near-memory accelerators (paper §III-B):
+ * host-facing channels interleave at cache-line granularity for
+ * aggregated bandwidth, while AIM-facing channels interleave at the
+ * accelerator template's tile granularity so one tile lives entirely
+ * in one DIMM.
+ */
+
+#ifndef REACH_MEM_ADDRESS_MAP_HH
+#define REACH_MEM_ADDRESS_MAP_HH
+
+#include <cstdint>
+
+#include "mem/packet.hh"
+#include "sim/logging.hh"
+
+namespace reach::mem
+{
+
+/** Location of one interleave block. */
+struct DimmLocation
+{
+    std::uint32_t channel = 0;
+    /** DIMM index within the channel. */
+    std::uint32_t dimm = 0;
+    /** Address within the DIMM. */
+    Addr localAddr = 0;
+};
+
+/**
+ * Block-cyclic address map over (channels x dimmsPerChannel).
+ */
+class AddressMap
+{
+  public:
+    AddressMap(std::uint32_t channels, std::uint32_t dimms_per_channel,
+               std::uint64_t interleave_bytes)
+        : numChannels(channels),
+          dimmsPerChannel(dimms_per_channel),
+          interleaveBytes(interleave_bytes)
+    {
+        if (channels == 0 || dimms_per_channel == 0)
+            sim::fatal("address map needs >=1 channel and DIMM");
+        if (interleave_bytes < cacheLineBytes ||
+            interleave_bytes % cacheLineBytes != 0) {
+            sim::fatal("interleave granularity must be a multiple of ",
+                       cacheLineBytes, "B");
+        }
+    }
+
+    std::uint32_t channels() const { return numChannels; }
+    std::uint32_t dimmsPer() const { return dimmsPerChannel; }
+    std::uint64_t granularity() const { return interleaveBytes; }
+
+    /** Map a region-relative address to its channel/DIMM location. */
+    DimmLocation
+    decode(Addr addr) const
+    {
+        std::uint64_t block = addr / interleaveBytes;
+        std::uint64_t offset = addr % interleaveBytes;
+        std::uint32_t units = numChannels * dimmsPerChannel;
+        std::uint64_t unit = block % units;
+        std::uint64_t unit_block = block / units;
+
+        DimmLocation loc;
+        loc.channel = static_cast<std::uint32_t>(unit % numChannels);
+        loc.dimm = static_cast<std::uint32_t>(unit / numChannels);
+        loc.localAddr = unit_block * interleaveBytes + offset;
+        return loc;
+    }
+
+    /**
+     * Bytes of [addr, addr+bytes) that land on a given DIMM. Used by
+     * DMA sizing and by tests asserting tile containment.
+     */
+    std::uint64_t
+    bytesOnDimm(Addr addr, std::uint64_t bytes, std::uint32_t channel,
+                std::uint32_t dimm) const
+    {
+        std::uint64_t total = 0;
+        Addr cur = addr;
+        Addr end = addr + bytes;
+        while (cur < end) {
+            std::uint64_t in_block =
+                interleaveBytes - (cur % interleaveBytes);
+            std::uint64_t chunk = std::min<std::uint64_t>(in_block,
+                                                          end - cur);
+            DimmLocation loc = decode(cur);
+            if (loc.channel == channel && loc.dimm == dimm)
+                total += chunk;
+            cur += chunk;
+        }
+        return total;
+    }
+
+  private:
+    std::uint32_t numChannels;
+    std::uint32_t dimmsPerChannel;
+    std::uint64_t interleaveBytes;
+};
+
+} // namespace reach::mem
+
+#endif // REACH_MEM_ADDRESS_MAP_HH

@@ -1,0 +1,210 @@
+#include "cache.hh"
+
+#include <memory>
+
+#include "sim/logging.hh"
+
+namespace reach::mem
+{
+
+Cache::Cache(sim::Simulator &sim, const std::string &name,
+             MemorySystem &backing_mem, const CacheConfig &config)
+    : sim::SimObject(sim, name),
+      backing(backing_mem),
+      cfg(config),
+      setsCount(static_cast<std::uint32_t>(
+          cfg.sizeBytes / (cacheLineBytes * cfg.associativity))),
+      statHits(name + ".hits", "cache hits"),
+      statMisses(name + ".misses", "cache misses"),
+      statWritebacks(name + ".writebacks", "dirty evictions"),
+      statFlushedLines(name + ".flushedLines",
+                       "lines written back by explicit flush"),
+      statPrefetches(name + ".prefetches",
+                     "next-line prefetches issued")
+{
+    if (setsCount == 0)
+        sim::fatal(name, ": size too small for associativity");
+    sets.assign(setsCount, Set{std::vector<Line>(cfg.associativity)});
+    registerStat(statHits);
+    registerStat(statMisses);
+    registerStat(statWritebacks);
+    registerStat(statFlushedLines);
+    registerStat(statPrefetches);
+}
+
+std::uint32_t
+Cache::setIndex(Addr line_addr) const
+{
+    return static_cast<std::uint32_t>((line_addr / cacheLineBytes) %
+                                      setsCount);
+}
+
+Cache::Line *
+Cache::lookup(Addr line_addr)
+{
+    Set &set = sets[setIndex(line_addr)];
+    for (auto &line : set.ways) {
+        if (line.valid && line.tag == line_addr)
+            return &line;
+    }
+    return nullptr;
+}
+
+Cache::Line &
+Cache::victimIn(Set &set)
+{
+    Line *victim = &set.ways.front();
+    for (auto &line : set.ways) {
+        if (!line.valid)
+            return line;
+        if (line.lastUse < victim->lastUse)
+            victim = &line;
+    }
+    return *victim;
+}
+
+void
+Cache::access(Addr addr, bool write, Requester source,
+              std::function<void(sim::Tick)> on_done)
+{
+    Addr line_addr = lineAlign(addr);
+
+    // A line whose fill is still in flight must coalesce with that
+    // fill, not report a (wrongly timed) hit.
+    if (pendingFills.count(line_addr)) {
+        ++statMisses;
+        handleMiss(line_addr, write, source, std::move(on_done));
+        return;
+    }
+
+    if (Line *line = lookup(line_addr)) {
+        ++statHits;
+        line->lastUse = ++useStamp;
+        line->dirty = line->dirty || write;
+        scheduleIn(cfg.hitLatency,
+                   [this, on_done] { if (on_done) on_done(now()); },
+                   sim::EventPriority::Default, "hitDone");
+        // Streaming prefetch: keep one line ahead even on hits, so a
+        // sequential stream takes exactly one demand miss.
+        if (cfg.prefetchNextLine)
+            prefetchLine(line_addr + cacheLineBytes, source);
+        return;
+    }
+
+    ++statMisses;
+    handleMiss(line_addr, write, source, std::move(on_done));
+
+    if (cfg.prefetchNextLine)
+        prefetchLine(line_addr + cacheLineBytes, source);
+}
+
+void
+Cache::prefetchLine(Addr line_addr, Requester source)
+{
+    // Never prefetch across the end of the backing address space.
+    if (!backing.contains(line_addr))
+        return;
+    if (lookup(line_addr) || pendingFills.count(line_addr))
+        return;
+    ++statPrefetches;
+    handleMiss(line_addr, false, source, nullptr);
+}
+
+void
+Cache::handleMiss(Addr line_addr, bool write, Requester source,
+                  std::function<void(sim::Tick)> on_done)
+{
+    auto it = pendingFills.find(line_addr);
+    if (it != pendingFills.end()) {
+        // Coalesce with the in-flight fill.
+        it->second.write = it->second.write || write;
+        if (on_done)
+            it->second.waiters.push_back(std::move(on_done));
+        return;
+    }
+
+    PendingFill fill;
+    fill.write = write;
+    if (on_done)
+        fill.waiters.push_back(std::move(on_done));
+    pendingFills.emplace(line_addr, std::move(fill));
+
+    // Allocate now; evict a victim (writeback if dirty) and fetch.
+    Set &set = sets[setIndex(line_addr)];
+    Line &victim = victimIn(set);
+    if (victim.valid && victim.dirty) {
+        ++statWritebacks;
+        MemRequest wb;
+        wb.addr = victim.tag;
+        wb.write = true;
+        wb.source = source;
+        // Posted writeback: no completion dependency.
+        backing.accessRange(victim.tag, cacheLineBytes, true, source,
+                            nullptr);
+    }
+    victim.valid = true;
+    victim.dirty = false;
+    victim.tag = line_addr;
+    victim.lastUse = ++useStamp;
+
+    backing.accessRange(
+        line_addr, cacheLineBytes, false, source,
+        [this, line_addr](sim::Tick t) {
+            auto fit = pendingFills.find(line_addr);
+            if (fit == pendingFills.end())
+                sim::panic(name(), ": fill completed with no record");
+            PendingFill done = std::move(fit->second);
+            pendingFills.erase(fit);
+
+            if (Line *line = lookup(line_addr))
+                line->dirty = line->dirty || done.write;
+            for (auto &waiter : done.waiters)
+                waiter(t + cfg.hitLatency);
+        });
+}
+
+std::uint64_t
+Cache::flushRange(Addr addr, std::uint64_t bytes,
+                  std::function<void(sim::Tick)> on_done)
+{
+    Addr first = lineAlign(addr);
+    Addr last = bytes ? lineAlign(addr + bytes - 1) : first;
+
+    // Collect dirty lines in range, invalidate all cached lines.
+    std::vector<Addr> dirty_lines;
+    for (auto &set : sets) {
+        for (auto &line : set.ways) {
+            if (!line.valid || line.tag < first || line.tag > last)
+                continue;
+            if (line.dirty)
+                dirty_lines.push_back(line.tag);
+            line.valid = false;
+            line.dirty = false;
+        }
+    }
+
+    statFlushedLines += static_cast<double>(dirty_lines.size());
+
+    if (dirty_lines.empty()) {
+        if (on_done) {
+            scheduleIn(cfg.hitLatency,
+                       [this, on_done] { on_done(now()); },
+                       sim::EventPriority::Default, "flushNop");
+        }
+        return 0;
+    }
+
+    auto remaining = std::make_shared<std::uint64_t>(dirty_lines.size());
+    auto done_cb = std::make_shared<std::function<void(sim::Tick)>>(
+        std::move(on_done));
+    for (Addr line : dirty_lines) {
+        backing.accessRange(line, cacheLineBytes, true, Requester::Gam,
+                            [remaining, done_cb](sim::Tick t) {
+                                if (--*remaining == 0 && *done_cb)
+                                    (*done_cb)(t);
+                            });
+    }
+    return dirty_lines.size();
+}
+
+} // namespace reach::mem

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * A set-associative writeback cache used as the shared last-level
+ * cache in front of the host memory region.
+ *
+ * The CPU and the coherent on-chip accelerator access memory through
+ * this cache. The GAM can force writebacks of an address range before
+ * handing data to near-memory or near-storage accelerators (paper
+ * §II-D / §III-B).
+ */
+
+#ifndef REACH_MEM_CACHE_HH
+#define REACH_MEM_CACHE_HH
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "mem/memory_system.hh"
+#include "mem/packet.hh"
+#include "sim/simulator.hh"
+#include "sim/stats.hh"
+
+namespace reach::mem
+{
+
+struct CacheConfig
+{
+    std::uint64_t sizeBytes = std::uint64_t(2) << 20; // 2 MiB shared L2
+    std::uint32_t associativity = 16;
+    /** Hit latency (tag + data). */
+    sim::Tick hitLatency = 10'000; // 10 ns
+    /** Energy per access (tag+data), picojoules; CACTI-style. */
+    double accessEnergyPj = 250.0;
+    /** Streaming prefetch: fetch line+1 on every access. */
+    bool prefetchNextLine = false;
+};
+
+class Cache : public sim::SimObject
+{
+  public:
+    Cache(sim::Simulator &sim, const std::string &name,
+          MemorySystem &backing, const CacheConfig &cfg = {});
+
+    /**
+     * Access one cache line.
+     *
+     * @param addr     Physical address (any alignment; the containing
+     *                 line is accessed).
+     * @param write    Marks the line dirty on hit/fill.
+     * @param source   Requester for stats.
+     * @param on_done  Completion callback.
+     */
+    void access(Addr addr, bool write, Requester source,
+                std::function<void(sim::Tick)> on_done);
+
+    /**
+     * Write back (and invalidate) every dirty line in the range.
+     * @param on_done Called when all writebacks have reached DRAM.
+     * @return number of lines written back.
+     */
+    std::uint64_t flushRange(Addr addr, std::uint64_t bytes,
+                             std::function<void(sim::Tick)> on_done);
+
+    std::uint64_t hits() const
+    {
+        return static_cast<std::uint64_t>(statHits.value());
+    }
+    std::uint64_t misses() const
+    {
+        return static_cast<std::uint64_t>(statMisses.value());
+    }
+    std::uint64_t prefetches() const
+    {
+        return static_cast<std::uint64_t>(statPrefetches.value());
+    }
+
+    /** Dynamic cache energy so far (picojoules). */
+    double dynamicEnergyPj() const
+    {
+        return (statHits.value() + statMisses.value()) *
+               cfg.accessEnergyPj;
+    }
+
+    std::uint32_t numSets() const { return setsCount; }
+
+  private:
+    struct Line
+    {
+        Addr tag = 0;
+        bool valid = false;
+        bool dirty = false;
+        /** LRU stamp: larger is more recent. */
+        std::uint64_t lastUse = 0;
+    };
+
+    struct Set
+    {
+        std::vector<Line> ways;
+    };
+
+    std::uint32_t setIndex(Addr line_addr) const;
+    Line *lookup(Addr line_addr);
+    /** Choose a victim way in the set (LRU; invalid first). */
+    Line &victimIn(Set &set);
+
+    void handleMiss(Addr line_addr, bool write, Requester source,
+                    std::function<void(sim::Tick)> on_done);
+
+    /** Allocate and fill @p line_addr with no waiters. */
+    void prefetchLine(Addr line_addr, Requester source);
+
+    MemorySystem &backing;
+    CacheConfig cfg;
+    std::uint32_t setsCount;
+    std::vector<Set> sets;
+    std::uint64_t useStamp = 0;
+
+    /** Outstanding fills, keyed by line address: waiters coalesce. */
+    struct PendingFill
+    {
+        bool write = false;
+        std::vector<std::function<void(sim::Tick)>> waiters;
+    };
+    std::unordered_map<Addr, PendingFill> pendingFills;
+
+    sim::Scalar statHits;
+    sim::Scalar statMisses;
+    sim::Scalar statWritebacks;
+    sim::Scalar statFlushedLines;
+    sim::Scalar statPrefetches;
+};
+
+} // namespace reach::mem
+
+#endif // REACH_MEM_CACHE_HH

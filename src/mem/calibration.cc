@@ -1,0 +1,47 @@
+#include "calibration.hh"
+
+#include "mem/memory_system.hh"
+#include "sim/simulator.hh"
+
+namespace reach::mem
+{
+
+StreamCalibration
+measureStreamingBandwidth(const DramTimings &timings,
+                          std::uint32_t channels,
+                          std::uint32_t dimms_per_channel,
+                          std::uint64_t bytes,
+                          std::uint64_t interleave_bytes)
+{
+    sim::Simulator sim;
+    MemorySystemConfig cfg;
+    cfg.numChannels = channels;
+    cfg.dimmsPerChannel = dimms_per_channel;
+    cfg.dimmTimings = timings;
+
+    MemorySystem mem(sim, "calib", cfg);
+
+    std::vector<DimmRef> units;
+    for (std::uint32_t c = 0; c < channels; ++c)
+        for (std::uint32_t d = 0; d < dimms_per_channel; ++d)
+            units.push_back({c, d});
+
+    Addr base = mem.addRegion("stream", bytes, units, interleave_bytes);
+
+    sim::Tick finish = 0;
+    mem.accessRange(base, bytes, false, Requester::Dma,
+                    [&finish](sim::Tick t) { finish = t; });
+    sim.run();
+
+    StreamCalibration out;
+    if (finish > 0) {
+        out.bandwidth = static_cast<double>(bytes) /
+                        sim::secondsFromTicks(finish);
+        double peak =
+            timings.peakBandwidth() * channels;
+        out.efficiency = out.bandwidth / peak;
+    }
+    return out;
+}
+
+} // namespace reach::mem

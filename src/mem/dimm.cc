@@ -1,0 +1,176 @@
+#include "dimm.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace reach::mem
+{
+
+Dimm::Dimm(sim::Simulator &sim, const std::string &name,
+           const DramTimings &timings)
+    : sim::SimObject(sim, name),
+      spec(timings),
+      banks(timings.banksPerRank * timings.ranksPerDimm),
+      statReads(name + ".readBursts", "64B read bursts serviced"),
+      statWrites(name + ".writeBursts", "64B write bursts serviced"),
+      statActivates(name + ".activates", "row activations"),
+      statRowHits(name + ".rowHits", "bursts that hit an open row")
+{
+    if (spec.rowBytes == 0 || spec.rowBytes % cacheLineBytes != 0)
+        sim::fatal("DIMM row size must be a multiple of the line size");
+    registerStat(statReads);
+    registerStat(statWrites);
+    registerStat(statActivates);
+    registerStat(statRowHits);
+}
+
+std::uint32_t
+Dimm::bankIndex(Addr addr) const
+{
+    // Rows are contiguous; consecutive rows rotate across banks so
+    // streaming accesses overlap activates in different banks.
+    return static_cast<std::uint32_t>((addr / spec.rowBytes) %
+                                      banks.size());
+}
+
+std::uint64_t
+Dimm::rowIndex(Addr addr) const
+{
+    return (addr / spec.rowBytes) / banks.size();
+}
+
+sim::Tick
+Dimm::adjustForRefresh(sim::Tick t) const
+{
+    // Refresh k occupies [k*tREFI, k*tREFI + tRFC) for k >= 1; the
+    // device comes out of initialization fully refreshed, so there is
+    // no blackout at time zero.
+    sim::Tick window = t / spec.tREFI;
+    if (window == 0)
+        return t;
+    sim::Tick refresh_start = window * spec.tREFI;
+    if (t < refresh_start + spec.tRFC)
+        return refresh_start + spec.tRFC;
+    return t;
+}
+
+sim::Tick
+Dimm::earliestActivate(sim::Tick t) const
+{
+    if (!actHistory.empty())
+        t = std::max(t, lastActTime + spec.tRRD);
+    if (actHistory.size() >= 4)
+        t = std::max(t, actHistory.front() + spec.tFAW);
+    return t;
+}
+
+void
+Dimm::recordActivate(sim::Tick t)
+{
+    lastActTime = t;
+    actHistory.push_back(t);
+    while (actHistory.size() > 4)
+        actHistory.pop_front();
+    ++statActivates;
+}
+
+bool
+Dimm::wouldRowHit(Addr addr) const
+{
+    const Bank &bank = banks[bankIndex(addr)];
+    return bank.openRow && *bank.openRow == rowIndex(addr);
+}
+
+sim::Tick
+Dimm::bankReadyAt(Addr addr) const
+{
+    return banks[bankIndex(addr)].readyAt;
+}
+
+bool
+Dimm::allRowsClosed() const
+{
+    return std::all_of(banks.begin(), banks.end(),
+                       [](const Bank &b) { return !b.openRow; });
+}
+
+sim::Tick
+Dimm::prechargeAll(sim::Tick at)
+{
+    sim::Tick done = at;
+    for (auto &bank : banks) {
+        if (!bank.openRow)
+            continue;
+        sim::Tick pre = std::max({at, bank.readyAt,
+                                  bank.lastAct + spec.tRAS});
+        bank.openRow.reset();
+        bank.readyAt = pre + spec.tRP;
+        done = std::max(done, bank.readyAt);
+    }
+    return done;
+}
+
+BurstResult
+Dimm::serviceBurst(Addr addr, bool write, sim::Tick at, RowPolicy policy)
+{
+    if (addr + cacheLineBytes > spec.capacityBytes)
+        sim::panic(name(), ": burst beyond DIMM capacity, addr=", addr);
+
+    Bank &bank = banks[bankIndex(addr)];
+    std::uint64_t row = rowIndex(addr);
+
+    BurstResult res;
+    sim::Tick t = adjustForRefresh(std::max(at, bank.readyAt));
+
+    res.rowHit = bank.openRow && *bank.openRow == row;
+    if (!res.rowHit) {
+        if (bank.openRow) {
+            // Row conflict: precharge first, honoring tRAS.
+            sim::Tick pre = std::max(t, bank.lastAct + spec.tRAS);
+            t = pre + spec.tRP;
+        }
+        t = earliestActivate(adjustForRefresh(t));
+        recordActivate(t);
+        bank.lastAct = t;
+        bank.openRow = row;
+        t += spec.tRCD;
+        res.activated = true;
+    } else {
+        ++statRowHits;
+    }
+
+    res.issue = t;
+    sim::Tick cas = write ? spec.tCWL : spec.tCL;
+    res.complete = t + cas + spec.tBL;
+
+    if (policy == RowPolicy::Closed) {
+        sim::Tick pre = std::max(res.complete, bank.lastAct + spec.tRAS);
+        if (write)
+            pre = std::max(pre, res.complete + spec.tWR);
+        bank.openRow.reset();
+        bank.readyAt = pre + spec.tRP;
+    } else {
+        // Open policy: next column command may overlap data transfer
+        // of this one; the caller's bus model provides serialization.
+        bank.readyAt = res.issue + spec.tBL;
+        if (write)
+            bank.readyAt = std::max(bank.readyAt, res.complete + spec.tWR);
+    }
+
+    if (write)
+        ++statWrites;
+    else
+        ++statReads;
+    return res;
+}
+
+double
+Dimm::dynamicEnergyPj() const
+{
+    return statActivates.value() * spec.actPreEnergyPj +
+           statReads.value() * spec.readBurstEnergyPj +
+           statWrites.value() * spec.writeBurstEnergyPj;
+}
+
+} // namespace reach::mem

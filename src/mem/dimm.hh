@@ -1,0 +1,123 @@
+/**
+ * @file
+ * A DRAM DIMM with per-bank state machines.
+ *
+ * The DIMM is a passive timing model: callers (the channel memory
+ * controller, or an AIM module's local port) ask it to service one
+ * 64-byte burst no earlier than a given tick and get back the issue
+ * and completion times. Bank conflicts, activate windows (tRRD/tFAW),
+ * write recovery, refresh blackouts and the row policy are all
+ * resolved here; data-bus serialization belongs to the caller because
+ * host channels and AIM local ports have different buses.
+ */
+
+#ifndef REACH_MEM_DIMM_HH
+#define REACH_MEM_DIMM_HH
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "mem/dram_timings.hh"
+#include "mem/packet.hh"
+#include "sim/simulator.hh"
+#include "sim/stats.hh"
+
+namespace reach::mem
+{
+
+/** Timing outcome of one 64B burst. */
+struct BurstResult
+{
+    /** When the column command effectively issued. */
+    sim::Tick issue = 0;
+    /** When the last data beat left (or reached) the DIMM pins. */
+    sim::Tick complete = 0;
+    bool rowHit = false;
+    /** Whether an ACT (and possibly PRE) was needed. */
+    bool activated = false;
+};
+
+class Dimm : public sim::SimObject
+{
+  public:
+    Dimm(sim::Simulator &sim, const std::string &name,
+         const DramTimings &timings);
+
+    const DramTimings &timings() const { return spec; }
+
+    /**
+     * Service one 64B burst at local address @p addr.
+     *
+     * @param addr   DIMM-local physical address.
+     * @param write  True for a write burst.
+     * @param at     Earliest tick the command may be considered.
+     * @param policy Row policy applied after the access.
+     */
+    BurstResult serviceBurst(Addr addr, bool write, sim::Tick at,
+                             RowPolicy policy);
+
+    /**
+     * Would a burst to @p addr hit an open row right now? Used by
+     * FR-FCFS schedulers to prefer row hits without mutating state.
+     */
+    bool wouldRowHit(Addr addr) const;
+
+    /** Earliest tick the addressed bank can accept a new command. */
+    sim::Tick bankReadyAt(Addr addr) const;
+
+    /** True when every bank is precharged (AIM handover invariant). */
+    bool allRowsClosed() const;
+
+    /** Close every open row, no earlier than @p at; returns done tick. */
+    sim::Tick prechargeAll(sim::Tick at);
+
+    /**
+     * Ownership handover (paper §II-B): while owned by an AIM module
+     * the host memory controller must not touch this DIMM.
+     */
+    void setAccOwned(bool owned) { accOwned = owned; }
+    bool isAccOwned() const { return accOwned; }
+
+    /** Dynamic DRAM energy consumed so far (picojoules). */
+    double dynamicEnergyPj() const;
+
+    /** Decode helpers exposed for tests. */
+    std::uint32_t bankIndex(Addr addr) const;
+    std::uint64_t rowIndex(Addr addr) const;
+
+  private:
+    struct Bank
+    {
+        std::optional<std::uint64_t> openRow;
+        /** Earliest tick a new command may target this bank. */
+        sim::Tick readyAt = 0;
+        /** Time of the most recent ACT (for tRAS). */
+        sim::Tick lastAct = 0;
+    };
+
+    /** Delay @p t out of any refresh blackout window. */
+    sim::Tick adjustForRefresh(sim::Tick t) const;
+
+    /** Earliest ACT time honoring tRRD and tFAW. */
+    sim::Tick earliestActivate(sim::Tick t) const;
+
+    void recordActivate(sim::Tick t);
+
+    DramTimings spec;
+    std::vector<Bank> banks;
+    /** Recent ACT times across the rank (tFAW window). */
+    std::deque<sim::Tick> actHistory;
+    sim::Tick lastActTime = 0;
+    bool accOwned = false;
+
+    sim::Scalar statReads;
+    sim::Scalar statWrites;
+    sim::Scalar statActivates;
+    sim::Scalar statRowHits;
+};
+
+} // namespace reach::mem
+
+#endif // REACH_MEM_DIMM_HH

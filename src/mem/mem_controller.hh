@@ -1,0 +1,123 @@
+/**
+ * @file
+ * A per-channel memory controller with FR-FCFS scheduling.
+ *
+ * Matches the paper's setup (Table II): 64-entry read and 64-entry
+ * write request queues, first-ready first-come-first-served ordering.
+ * The channel data bus is shared by all DIMMs behind the controller;
+ * one 64B burst occupies the bus for tBL.
+ */
+
+#ifndef REACH_MEM_MEM_CONTROLLER_HH
+#define REACH_MEM_MEM_CONTROLLER_HH
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "mem/dimm.hh"
+#include "mem/packet.hh"
+#include "sim/simulator.hh"
+#include "sim/stats.hh"
+
+namespace reach::mem
+{
+
+/** Controller configuration. */
+struct MemCtrlConfig
+{
+    std::uint32_t readQueueEntries = 64;
+    std::uint32_t writeQueueEntries = 64;
+    /** Start draining writes when the queue is this full. */
+    std::uint32_t writeHighWatermark = 48;
+    /** Keep draining until the queue is this empty. */
+    std::uint32_t writeLowWatermark = 16;
+    /** Controller pipeline (decode/queue) latency per request. */
+    sim::Tick frontendLatency = 10'000; // 10 ns
+};
+
+class MemController : public sim::SimObject
+{
+  public:
+    /**
+     * @param dimms Non-owning; the channel's DIMMs in slot order.
+     */
+    MemController(sim::Simulator &sim, const std::string &name,
+                  std::vector<Dimm *> dimms,
+                  const MemCtrlConfig &cfg = {});
+
+    /**
+     * Enqueue one line-sized request targeting @p dimm at
+     * DIMM-local address req.addr.
+     *
+     * @retval false if the corresponding queue is full; the caller
+     *         must retry later (ports apply backpressure).
+     */
+    bool enqueue(std::uint32_t dimm, const MemRequest &req);
+
+    /** True if a read (write) can currently be accepted. */
+    bool canAcceptRead() const;
+    bool canAcceptWrite() const;
+
+    std::uint32_t numDimms() const
+    {
+        return static_cast<std::uint32_t>(dimms.size());
+    }
+
+    Dimm &dimm(std::uint32_t idx) { return *dimms.at(idx); }
+
+    /** Outstanding (queued, unissued) request count. */
+    std::size_t pending() const { return readQ.size() + writeQ.size(); }
+
+    /** Row policy used for host-side accesses (default Open). */
+    void setRowPolicy(RowPolicy p) { policy = p; }
+
+    /** Total bytes moved over this channel's data bus. */
+    std::uint64_t bytesTransferred() const
+    {
+        return static_cast<std::uint64_t>(statBusBytes.value());
+    }
+
+  private:
+    struct QueuedReq
+    {
+        std::uint32_t dimm;
+        MemRequest req;
+        sim::Tick arrival;
+    };
+
+    /** Kick the scheduler if it is not already pending. */
+    void wake();
+
+    /** Issue at most one burst, then re-arm. */
+    void trySchedule();
+
+    /** FR-FCFS pick from @p q; returns index or npos. */
+    std::size_t pickFrFcfs(const std::deque<QueuedReq> &q) const;
+
+    void issue(QueuedReq &&qr);
+
+    static constexpr std::size_t npos = ~std::size_t(0);
+
+    std::vector<Dimm *> dimms;
+    MemCtrlConfig cfg;
+    RowPolicy policy = RowPolicy::Open;
+
+    std::deque<QueuedReq> readQ;
+    std::deque<QueuedReq> writeQ;
+    bool drainingWrites = false;
+    bool schedulerArmed = false;
+    /** Channel data bus is busy until this tick. */
+    sim::Tick busFreeAt = 0;
+
+    sim::Scalar statReads;
+    sim::Scalar statWrites;
+    sim::Scalar statBusBytes;
+    sim::Distribution statReadLatency;
+    sim::Distribution statQueueDepth;
+};
+
+} // namespace reach::mem
+
+#endif // REACH_MEM_MEM_CONTROLLER_HH

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Memory request/response types shared by caches, controllers, DIMMs
+ * and accelerator ports.
+ *
+ * The simulator is timing-directed: packets carry addresses and sizes
+ * but no data payload. Functional data (feature vectors, CNN weights)
+ * lives in the application layer; the memory system models *when*
+ * accesses complete and *how much* traffic they generate.
+ */
+
+#ifndef REACH_MEM_PACKET_HH
+#define REACH_MEM_PACKET_HH
+
+#include <cstdint>
+#include <functional>
+
+#include "sim/types.hh"
+
+namespace reach::mem
+{
+
+/** Physical address type. */
+using Addr = std::uint64_t;
+
+/** Width of a DRAM burst / cache line in bytes. */
+constexpr std::uint64_t cacheLineBytes = 64;
+
+/** Align @p addr down to a cache-line boundary. */
+constexpr Addr
+lineAlign(Addr addr)
+{
+    return addr & ~(cacheLineBytes - 1);
+}
+
+/** Number of cache lines covering [addr, addr+bytes). */
+constexpr std::uint64_t
+linesCovering(Addr addr, std::uint64_t bytes)
+{
+    if (bytes == 0)
+        return 0;
+    Addr first = lineAlign(addr);
+    Addr last = lineAlign(addr + bytes - 1);
+    return (last - first) / cacheLineBytes + 1;
+}
+
+/** Who generated a memory access; used for stats and arbitration. */
+enum class Requester : std::uint8_t
+{
+    Cpu,
+    OnChipAcc,
+    NearMemAcc,
+    NearStorAcc,
+    Dma,
+    Gam,
+};
+
+/** A single line-sized memory access. */
+struct MemRequest
+{
+    Addr addr = 0;
+    bool write = false;
+    Requester source = Requester::Cpu;
+    /** Invoked when the access completes (at the completion tick). */
+    std::function<void(sim::Tick)> onComplete;
+};
+
+} // namespace reach::mem
+
+#endif // REACH_MEM_PACKET_HH

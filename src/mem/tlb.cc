@@ -1,0 +1,46 @@
+#include "tlb.hh"
+
+namespace reach::mem
+{
+
+Tlb::Tlb(sim::Simulator &sim, const std::string &name,
+         const TlbConfig &config)
+    : sim::SimObject(sim, name),
+      cfg(config),
+      statHits(name + ".hits", "TLB hits"),
+      statMisses(name + ".misses", "TLB misses (page walks)")
+{
+    registerStat(statHits);
+    registerStat(statMisses);
+}
+
+sim::Tick
+Tlb::translate(Addr addr)
+{
+    std::uint64_t page = addr / cfg.pageBytes;
+
+    auto it = where.find(page);
+    if (it != where.end()) {
+        ++statHits;
+        lru.splice(lru.begin(), lru, it->second);
+        return 0;
+    }
+
+    ++statMisses;
+    if (lru.size() >= cfg.entries) {
+        where.erase(lru.back());
+        lru.pop_back();
+    }
+    lru.push_front(page);
+    where[page] = lru.begin();
+    return cfg.walkLatency;
+}
+
+void
+Tlb::flush()
+{
+    lru.clear();
+    where.clear();
+}
+
+} // namespace reach::mem

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * A TLB model for the coherent on-chip accelerator (paper §II-A:
+ * "virtual memory capabilities are supported by implementing TLBs and
+ * page table walkers for the accelerator").
+ *
+ * The model charges a fixed page-walk latency on a miss and tracks
+ * hit/miss statistics. Translation itself is identity (the simulator
+ * uses physical addresses); only the *timing* of translation matters.
+ */
+
+#ifndef REACH_MEM_TLB_HH
+#define REACH_MEM_TLB_HH
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+#include "mem/packet.hh"
+#include "sim/simulator.hh"
+#include "sim/stats.hh"
+
+namespace reach::mem
+{
+
+struct TlbConfig
+{
+    std::uint32_t entries = 64;
+    std::uint64_t pageBytes = 4096;
+    /** Latency of a page-table walk (multi-level memory accesses). */
+    sim::Tick walkLatency = 200'000; // 200 ns
+};
+
+class Tlb : public sim::SimObject
+{
+  public:
+    Tlb(sim::Simulator &sim, const std::string &name,
+        const TlbConfig &cfg = {});
+
+    /**
+     * Translate @p addr; returns the extra latency this access pays
+     * (0 on a hit, the walk latency on a miss).
+     */
+    sim::Tick translate(Addr addr);
+
+    void flush();
+
+    std::uint64_t hitCount() const
+    {
+        return static_cast<std::uint64_t>(statHits.value());
+    }
+    std::uint64_t missCount() const
+    {
+        return static_cast<std::uint64_t>(statMisses.value());
+    }
+
+  private:
+    TlbConfig cfg;
+    /** LRU list of resident page numbers, most recent at front. */
+    std::list<std::uint64_t> lru;
+    std::unordered_map<std::uint64_t, std::list<std::uint64_t>::iterator>
+        where;
+
+    sim::Scalar statHits;
+    sim::Scalar statMisses;
+};
+
+} // namespace reach::mem
+
+#endif // REACH_MEM_TLB_HH

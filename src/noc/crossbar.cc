@@ -1,0 +1,76 @@
+#include "crossbar.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace reach::noc
+{
+
+Crossbar::Crossbar(sim::Simulator &sim, const std::string &name,
+                   std::uint32_t num_ports, const CrossbarConfig &config)
+    : sim::SimObject(sim, name), cfg(config)
+{
+    if (num_ports < 2)
+        sim::fatal(name, ": a crossbar needs at least two ports");
+
+    LinkConfig lc;
+    lc.bandwidth = cfg.portBandwidth;
+    lc.latency = 0;
+    lc.energyPerBitPj = cfg.energyPerBitPj / 2.0; // split across the pair
+
+    ports.reserve(num_ports);
+    for (std::uint32_t p = 0; p < num_ports; ++p) {
+        Port port;
+        port.egress = std::make_unique<Link>(
+            sim, name + ".p" + std::to_string(p) + ".out", lc);
+        port.ingress = std::make_unique<Link>(
+            sim, name + ".p" + std::to_string(p) + ".in", lc);
+        ports.push_back(std::move(port));
+    }
+}
+
+sim::Tick
+Crossbar::transfer(std::uint32_t src, std::uint32_t dst,
+                   std::uint64_t bytes,
+                   std::function<void(sim::Tick)> on_done)
+{
+    if (src >= ports.size() || dst >= ports.size())
+        sim::panic(name(), ": port out of range");
+    if (src == dst)
+        sim::panic(name(), ": transfer to the same port");
+
+    // Serialize through source egress, traverse, then destination
+    // ingress; the ingress reservation starts when the egress is done.
+    sim::Tick out_done = ports[src].egress->reserve(bytes, now());
+    sim::Tick in_done =
+        ports[dst].ingress->reserve(bytes, out_done + cfg.hopLatency);
+
+    if (on_done) {
+        schedule(in_done, [this, on_done] { on_done(now()); },
+                 sim::EventPriority::Default, "xbarDeliver");
+    }
+    return in_done;
+}
+
+std::uint64_t
+Crossbar::bytesMoved() const
+{
+    std::uint64_t total = 0;
+    for (const auto &p : ports)
+        total += p.egress->bytesMoved();
+    return total;
+}
+
+double
+Crossbar::dynamicEnergyPj() const
+{
+    double total = 0;
+    for (const auto &p : ports) {
+        total += p.egress->dynamicEnergyPj();
+        total += p.ingress->dynamicEnergyPj();
+    }
+    return total;
+}
+
+} // namespace reach::noc

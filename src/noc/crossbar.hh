@@ -1,0 +1,71 @@
+/**
+ * @file
+ * A simple crossbar: N ports, each with its own ingress/egress
+ * serialization, plus a constant hop latency. Used as the cache-
+ * coherent on-chip NoC tying cores, GAM, the on-chip accelerator and
+ * the LLC together (paper Fig. 2), and as the host IO switch fanning
+ * the SSD array into the host PCIe lanes.
+ */
+
+#ifndef REACH_NOC_CROSSBAR_HH
+#define REACH_NOC_CROSSBAR_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "noc/link.hh"
+#include "sim/simulator.hh"
+
+namespace reach::noc
+{
+
+struct CrossbarConfig
+{
+    /** Per-port bandwidth, bytes/second. */
+    double portBandwidth = 100e9;
+    /** Constant switch traversal latency. */
+    sim::Tick hopLatency = 5'000; // 5 ns
+    double energyPerBitPj = 0.15;
+};
+
+class Crossbar : public sim::SimObject
+{
+  public:
+    Crossbar(sim::Simulator &sim, const std::string &name,
+             std::uint32_t num_ports, const CrossbarConfig &cfg = {});
+
+    /**
+     * Move @p bytes from port @p src to port @p dst. Serializes on
+     * both the source egress and destination ingress.
+     */
+    sim::Tick transfer(std::uint32_t src, std::uint32_t dst,
+                       std::uint64_t bytes,
+                       std::function<void(sim::Tick)> on_done = nullptr);
+
+    std::uint32_t numPorts() const
+    {
+        return static_cast<std::uint32_t>(ports.size());
+    }
+
+    /** Aggregate bytes through the switch. */
+    std::uint64_t bytesMoved() const;
+
+    /** Dynamic switch energy, picojoules. */
+    double dynamicEnergyPj() const;
+
+  private:
+    struct Port
+    {
+        std::unique_ptr<Link> egress;
+        std::unique_ptr<Link> ingress;
+    };
+
+    CrossbarConfig cfg;
+    std::vector<Port> ports;
+};
+
+} // namespace reach::noc
+
+#endif // REACH_NOC_CROSSBAR_HH

@@ -1,0 +1,76 @@
+#include "link.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace reach::noc
+{
+
+Link::Link(sim::Simulator &sim, const std::string &name,
+           const LinkConfig &config)
+    : sim::SimObject(sim, name),
+      cfg(config),
+      statBytes(name + ".bytes", "bytes moved"),
+      statTransfers(name + ".transfers", "transfers"),
+      statBusy(name + ".busyTicks", "ticks spent serializing")
+{
+    if (cfg.bandwidth <= 0)
+        sim::fatal(name, ": link bandwidth must be positive");
+    registerStat(statBytes);
+    registerStat(statTransfers);
+    registerStat(statBusy);
+}
+
+sim::Tick
+Link::reserve(std::uint64_t bytes, sim::Tick at)
+{
+    sim::Tick ser = sim::transferTicks(bytes, cfg.bandwidth);
+    sim::Tick dur = cfg.perTransferOverhead + ser;
+
+    statBytes += static_cast<double>(bytes);
+    ++statTransfers;
+    statBusy += static_cast<double>(ser);
+
+    if (dur == 0)
+        return at + cfg.latency;
+
+    sim::Tick start = schedule_.reserve(dur, at, now());
+    return start + dur + cfg.latency;
+}
+
+sim::Tick
+Link::transfer(std::uint64_t bytes, std::function<void(sim::Tick)> on_done)
+{
+    sim::Tick done = reserve(bytes, now());
+    if (on_done) {
+        schedule(done, [this, on_done] { on_done(now()); },
+                 sim::EventPriority::Default, "deliver");
+    }
+    return done;
+}
+
+double
+Link::utilization() const
+{
+    sim::Tick t = now();
+    if (t == 0)
+        return 0;
+    return statBusy.value() / static_cast<double>(t);
+}
+
+PcieLink::PcieLink(sim::Simulator &sim, const std::string &name,
+                   const PcieConfig &cfg)
+    : Link(sim, name,
+           LinkConfig{cfg.theoreticalBandwidth * cfg.efficiency,
+                      cfg.latency, cfg.perTransferOverhead,
+                      cfg.energyPerBitPj})
+{
+}
+
+PcieLink::PcieLink(sim::Simulator &sim, const std::string &name)
+    : PcieLink(sim, name, PcieConfig{})
+{
+}
+
+} // namespace reach::noc

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Clock domains: translate between cycles of a component-local clock
+ * and global ticks.
+ */
+
+#ifndef REACH_SIM_CLOCKED_HH
+#define REACH_SIM_CLOCKED_HH
+
+#include "logging.hh"
+#include "types.hh"
+
+namespace reach::sim
+{
+
+/** A fixed-frequency clock domain. */
+class ClockDomain
+{
+  public:
+    /** @param period_ticks Clock period in ticks; must be non-zero. */
+    explicit ClockDomain(Tick period_ticks) : period(period_ticks)
+    {
+        if (period == 0)
+            fatal("clock domain with zero period");
+    }
+
+    static ClockDomain fromMHz(double mhz)
+    {
+        return ClockDomain(periodFromMHz(mhz));
+    }
+
+    static ClockDomain fromGHz(double ghz)
+    {
+        return ClockDomain(periodFromGHz(ghz));
+    }
+
+    Tick periodTicks() const { return period; }
+
+    double
+    frequencyMHz() const
+    {
+        return 1e6 / static_cast<double>(period);
+    }
+
+    /** Duration of @p n cycles. */
+    Tick ticksFor(Cycles n) const { return n * period; }
+
+    /** Cycles fully elapsed by @p t (floor). */
+    Cycles cyclesAt(Tick t) const { return t / period; }
+
+    /** Earliest clock edge at or after @p t. */
+    Tick
+    nextEdgeAt(Tick t) const
+    {
+        Tick rem = t % period;
+        return rem == 0 ? t : t + (period - rem);
+    }
+
+  private:
+    Tick period;
+};
+
+} // namespace reach::sim
+
+#endif // REACH_SIM_CLOCKED_HH

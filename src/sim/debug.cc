@@ -1,0 +1,73 @@
+#include "debug.hh"
+
+#include <cstdlib>
+#include <iostream>
+#include <mutex>
+#include <set>
+#include <sstream>
+
+namespace reach::sim
+{
+
+namespace
+{
+
+struct FlagState
+{
+    std::set<std::string> flags;
+    bool all = false;
+};
+
+FlagState &
+state()
+{
+    static FlagState s = [] {
+        FlagState init;
+        if (const char *env = std::getenv("REACH_DEBUG")) {
+            std::istringstream is(env);
+            std::string item;
+            while (std::getline(is, item, ',')) {
+                if (item == "all")
+                    init.all = true;
+                else if (!item.empty())
+                    init.flags.insert(item);
+            }
+        }
+        return init;
+    }();
+    return s;
+}
+
+} // namespace
+
+void
+setDebugFlags(const std::string &csv)
+{
+    FlagState &s = state();
+    s.flags.clear();
+    s.all = false;
+    std::istringstream is(csv);
+    std::string item;
+    while (std::getline(is, item, ',')) {
+        if (item == "all")
+            s.all = true;
+        else if (!item.empty())
+            s.flags.insert(item);
+    }
+}
+
+bool
+debugFlagEnabled(const std::string &flag)
+{
+    const FlagState &s = state();
+    return s.all || s.flags.count(flag) > 0;
+}
+
+void
+detail::emitTrace(Tick when, const std::string &flag,
+                  const std::string &msg)
+{
+    std::cerr << when << ": " << flag << ": " << msg << "\n";
+}
+
+} // namespace reach::sim

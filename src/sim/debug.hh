@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Named debug-trace flags in the gem5 DPRINTF tradition.
+ *
+ * Components emit trace lines under a flag ("GAM", "MemCtrl",
+ * "Acc"); flags are enabled programmatically via setDebugFlags() or
+ * with the REACH_DEBUG environment variable (comma-separated list,
+ * or "all"). Disabled flags cost one hash lookup per call and no
+ * formatting.
+ */
+
+#ifndef REACH_SIM_DEBUG_HH
+#define REACH_SIM_DEBUG_HH
+
+#include <string>
+
+#include "logging.hh"
+#include "types.hh"
+
+namespace reach::sim
+{
+
+/** Replace the enabled flag set ("GAM,MemCtrl", "all", or ""). */
+void setDebugFlags(const std::string &csv);
+
+/** True if @p flag tracing is on (REACH_DEBUG read on first call). */
+bool debugFlagEnabled(const std::string &flag);
+
+namespace detail
+{
+void emitTrace(Tick when, const std::string &flag,
+               const std::string &msg);
+}
+
+/**
+ * Emit one trace line "<tick>: <flag>: <message>" when @p flag is
+ * enabled.
+ */
+template <typename... Args>
+void
+dtrace(Tick when, const char *flag, Args &&...args)
+{
+    if (!debugFlagEnabled(flag))
+        return;
+    detail::emitTrace(when, flag,
+                      detail::format(std::forward<Args>(args)...));
+}
+
+} // namespace reach::sim
+
+#endif // REACH_SIM_DEBUG_HH

@@ -1,0 +1,78 @@
+#include "event_queue.hh"
+
+#include "logging.hh"
+
+namespace reach::sim
+{
+
+std::uint64_t
+EventQueue::schedule(Tick when, Callback cb, EventPriority prio,
+                     std::string name)
+{
+    if (when < curTick) {
+        panic("event '", name.empty() ? "<anon>" : name,
+              "' scheduled in the past: when=", when, " now=", curTick);
+    }
+    if (!cb)
+        panic("null callback scheduled at tick ", when);
+
+    std::uint64_t id = nextSeq++;
+    queue.push(ScheduledEvent{when, static_cast<int>(prio), id,
+                              std::move(cb), std::move(name)});
+    live.insert(id);
+    ++numPending;
+    return id;
+}
+
+bool
+EventQueue::deschedule(std::uint64_t event_id)
+{
+    // Only live events can be cancelled; executed or unknown ids are
+    // a no-op.
+    if (live.erase(event_id) == 0)
+        return false;
+    cancelled.insert(event_id);
+    --numPending;
+    return true;
+}
+
+void
+EventQueue::skipCancelled()
+{
+    while (!queue.empty()) {
+        auto it = cancelled.find(queue.top().seq);
+        if (it == cancelled.end())
+            return;
+        cancelled.erase(it);
+        queue.pop();
+    }
+}
+
+Tick
+EventQueue::nextEventTick() const
+{
+    auto *self = const_cast<EventQueue *>(this);
+    self->skipCancelled();
+    return queue.empty() ? maxTick : queue.top().when;
+}
+
+void
+EventQueue::runOne()
+{
+    skipCancelled();
+    if (queue.empty())
+        panic("runOne() on an empty event queue");
+
+    ScheduledEvent ev = queue.top();
+    queue.pop();
+    live.erase(ev.seq);
+    --numPending;
+
+    if (ev.when < curTick)
+        panic("event queue time went backwards");
+    curTick = ev.when;
+    ++executed;
+    ev.cb();
+}
+
+} // namespace reach::sim

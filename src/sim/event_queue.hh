@@ -1,0 +1,124 @@
+/**
+ * @file
+ * The discrete-event scheduling core.
+ *
+ * Events are callbacks ordered by (tick, priority, sequence number);
+ * the sequence number makes same-tick/same-priority ordering follow
+ * insertion order, so simulations are fully deterministic.
+ */
+
+#ifndef REACH_SIM_EVENT_QUEUE_HH
+#define REACH_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "types.hh"
+
+namespace reach::sim
+{
+
+/** Relative ordering of events scheduled for the same tick. */
+enum class EventPriority : int
+{
+    /** Progress/status bookkeeping runs before ordinary events. */
+    Control = 0,
+    /** Default priority for component activity. */
+    Default = 50,
+    /** Statistic dumps and end-of-tick observers run last. */
+    Observer = 100,
+};
+
+/**
+ * A time-ordered queue of callbacks. One instance per Simulator.
+ */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    EventQueue() = default;
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
+    /**
+     * Schedule @p cb to run at absolute time @p when.
+     *
+     * @param when  Absolute tick; must not be before the current tick.
+     * @param cb    Callback to invoke.
+     * @param prio  Same-tick ordering class.
+     * @param name  Optional label used in error messages.
+     * @return Monotonically increasing event id (usable with deschedule).
+     */
+    std::uint64_t schedule(Tick when, Callback cb,
+                           EventPriority prio = EventPriority::Default,
+                           std::string name = {});
+
+    /**
+     * Cancel a previously scheduled event.
+     * @retval true if the event was pending and is now cancelled.
+     */
+    bool deschedule(std::uint64_t event_id);
+
+    /** Run the earliest pending event, advancing the current tick. */
+    void runOne();
+
+    /** @return true if no events are pending. */
+    bool empty() const { return numPending == 0; }
+
+    /** Number of pending (non-cancelled) events. */
+    std::size_t size() const { return numPending; }
+
+    /** Current simulated time. */
+    Tick now() const { return curTick; }
+
+    /** Tick of the earliest pending event (maxTick when empty). */
+    Tick nextEventTick() const;
+
+    /** Total events executed since construction. */
+    std::uint64_t numExecuted() const { return executed; }
+
+  private:
+    struct ScheduledEvent
+    {
+        Tick when;
+        int priority;
+        std::uint64_t seq;
+        Callback cb;
+        std::string name;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const ScheduledEvent &a, const ScheduledEvent &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            if (a.priority != b.priority)
+                return a.priority > b.priority;
+            return a.seq > b.seq;
+        }
+    };
+
+    /** Drop cancelled entries sitting at the top of the heap. */
+    void skipCancelled();
+
+    std::priority_queue<ScheduledEvent, std::vector<ScheduledEvent>, Later>
+        queue;
+    /** Ids of live (scheduled, not yet run or cancelled) events. */
+    std::unordered_set<std::uint64_t> live;
+    std::unordered_set<std::uint64_t> cancelled;
+    Tick curTick = 0;
+    std::uint64_t nextSeq = 0;
+    std::uint64_t executed = 0;
+    std::size_t numPending = 0;
+};
+
+} // namespace reach::sim
+
+#endif // REACH_SIM_EVENT_QUEUE_HH

@@ -1,0 +1,30 @@
+#include "logging.hh"
+
+#include <atomic>
+#include <iostream>
+
+namespace reach::sim
+{
+
+namespace
+{
+std::atomic<bool> quietMode{false};
+}
+
+void
+setQuiet(bool quiet)
+{
+    quietMode.store(quiet);
+}
+
+void
+detail::emit(const char *level, const std::string &msg)
+{
+    // panic/fatal always print; info/warn respect quiet mode.
+    bool noisy = level[0] == 'p' || level[0] == 'f';
+    if (!noisy && quietMode.load())
+        return;
+    std::cerr << "[" << level << "] " << msg << "\n";
+}
+
+} // namespace reach::sim

@@ -1,0 +1,99 @@
+#include "rng.hh"
+
+#include <cmath>
+
+namespace reach::sim
+{
+
+namespace
+{
+
+std::uint64_t
+splitmix64(std::uint64_t &state)
+{
+    std::uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(std::uint64_t seed)
+{
+    std::uint64_t sm = seed;
+    for (auto &word : s)
+        word = splitmix64(sm);
+}
+
+std::uint64_t
+Rng::next()
+{
+    std::uint64_t result = rotl(s[1] * 5, 7) * 9;
+    std::uint64_t t = s[1] << 17;
+    s[2] ^= s[0];
+    s[3] ^= s[1];
+    s[1] ^= s[2];
+    s[0] ^= s[3];
+    s[2] ^= t;
+    s[3] = rotl(s[3], 45);
+    return result;
+}
+
+std::uint64_t
+Rng::nextUInt(std::uint64_t bound)
+{
+    // Debiased multiply-shift rejection (Lemire).
+    std::uint64_t threshold = (~bound + 1) % bound;
+    for (;;) {
+        std::uint64_t r = next();
+        __uint128_t m = static_cast<__uint128_t>(r) * bound;
+        if (static_cast<std::uint64_t>(m) >= threshold)
+            return static_cast<std::uint64_t>(m >> 64);
+    }
+}
+
+double
+Rng::nextDouble()
+{
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double
+Rng::nextDouble(double lo, double hi)
+{
+    return lo + (hi - lo) * nextDouble();
+}
+
+double
+Rng::nextGaussian()
+{
+    if (haveSpare) {
+        haveSpare = false;
+        return spare;
+    }
+    double u, v, sq;
+    do {
+        u = nextDouble(-1.0, 1.0);
+        v = nextDouble(-1.0, 1.0);
+        sq = u * u + v * v;
+    } while (sq >= 1.0 || sq == 0.0);
+    double mul = std::sqrt(-2.0 * std::log(sq) / sq);
+    spare = v * mul;
+    haveSpare = true;
+    return u * mul;
+}
+
+Rng
+Rng::split()
+{
+    return Rng(next());
+}
+
+} // namespace reach::sim

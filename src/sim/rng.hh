@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for workloads and
+ * timing jitter. A fixed algorithm (xoshiro256**) keeps results
+ * identical across platforms and standard-library versions, which
+ * std::mt19937 distributions do not guarantee.
+ */
+
+#ifndef REACH_SIM_RNG_HH
+#define REACH_SIM_RNG_HH
+
+#include <cstdint>
+
+namespace reach::sim
+{
+
+/**
+ * xoshiro256** generator with splitmix64 seeding.
+ * Satisfies UniformRandomBitGenerator.
+ */
+class Rng
+{
+  public:
+    using result_type = std::uint64_t;
+
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+    static constexpr result_type min() { return 0; }
+    static constexpr result_type max() { return ~result_type(0); }
+
+    result_type operator()() { return next(); }
+
+    /** Uniform in [0, bound). @p bound must be non-zero. */
+    std::uint64_t nextUInt(std::uint64_t bound);
+
+    /** Uniform double in [0, 1). */
+    double nextDouble();
+
+    /** Uniform double in [lo, hi). */
+    double nextDouble(double lo, double hi);
+
+    /** Standard normal via Box-Muller (deterministic pairing). */
+    double nextGaussian();
+
+    /** Derive an independent child stream (for per-shard RNGs). */
+    Rng split();
+
+  private:
+    std::uint64_t next();
+
+    std::uint64_t s[4];
+    bool haveSpare = false;
+    double spare = 0;
+};
+
+} // namespace reach::sim
+
+#endif // REACH_SIM_RNG_HH

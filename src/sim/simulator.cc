@@ -1,0 +1,61 @@
+#include "simulator.hh"
+
+#include "logging.hh"
+
+namespace reach::sim
+{
+
+SimObject::SimObject(Simulator &sim, std::string name)
+    : _sim(&sim), _name(std::move(name))
+{
+    if (_name.empty())
+        panic("SimObject constructed with an empty name");
+}
+
+Tick
+SimObject::now() const
+{
+    return _sim->now();
+}
+
+std::uint64_t
+SimObject::schedule(Tick when, EventQueue::Callback cb, EventPriority prio,
+                    const std::string &what)
+{
+    return _sim->events().schedule(when, std::move(cb), prio,
+                                   what.empty() ? _name : _name + "." + what);
+}
+
+std::uint64_t
+SimObject::scheduleIn(Tick delay, EventQueue::Callback cb,
+                      EventPriority prio, const std::string &what)
+{
+    return schedule(now() + delay, std::move(cb), prio, what);
+}
+
+void
+SimObject::registerStat(Stat &stat)
+{
+    _sim->stats().add(stat);
+}
+
+Tick
+Simulator::run(Tick limit)
+{
+    while (!queue.empty() && queue.nextEventTick() <= limit)
+        queue.runOne();
+    return queue.now();
+}
+
+Tick
+Simulator::runUntil(const std::function<bool()> &done, Tick limit)
+{
+    while (!queue.empty() && queue.nextEventTick() <= limit) {
+        queue.runOne();
+        if (done())
+            break;
+    }
+    return queue.now();
+}
+
+} // namespace reach::sim

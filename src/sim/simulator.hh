@@ -1,0 +1,102 @@
+/**
+ * @file
+ * The Simulator ties together the event queue, stat registry and the
+ * component tree, and drives the main simulation loop.
+ */
+
+#ifndef REACH_SIM_SIMULATOR_HH
+#define REACH_SIM_SIMULATOR_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "event_queue.hh"
+#include "stats.hh"
+#include "types.hh"
+
+namespace reach::sim
+{
+
+class Simulator;
+
+/**
+ * Base class for every simulated hardware component. Components form
+ * a tree via parent pointers used only to build dotted stat names.
+ */
+class SimObject
+{
+  public:
+    /**
+     * @param sim   Owning simulator (outlives all components).
+     * @param name  Dotted hierarchical instance name.
+     */
+    SimObject(Simulator &sim, std::string name);
+    virtual ~SimObject() = default;
+
+    SimObject(const SimObject &) = delete;
+    SimObject &operator=(const SimObject &) = delete;
+
+    const std::string &name() const { return _name; }
+    Simulator &simulator() const { return *_sim; }
+
+    /** Current simulated time. */
+    Tick now() const;
+
+    /** Schedule a callback at absolute tick @p when. */
+    std::uint64_t schedule(Tick when, EventQueue::Callback cb,
+                           EventPriority prio = EventPriority::Default,
+                           const std::string &what = {});
+
+    /** Schedule a callback @p delay ticks from now. */
+    std::uint64_t scheduleIn(Tick delay, EventQueue::Callback cb,
+                             EventPriority prio = EventPriority::Default,
+                             const std::string &what = {});
+
+  protected:
+    /** Register a stat under "<name>.<stat local name>". */
+    void registerStat(Stat &stat);
+
+  private:
+    Simulator *_sim;
+    std::string _name;
+};
+
+/**
+ * The simulation context: event queue + stats + termination control.
+ */
+class Simulator
+{
+  public:
+    Simulator() = default;
+
+    EventQueue &events() { return queue; }
+    const EventQueue &events() const { return queue; }
+    StatRegistry &stats() { return registry; }
+
+    Tick now() const { return queue.now(); }
+
+    /**
+     * Run until the queue drains or @p limit is reached.
+     * @return final simulated tick.
+     */
+    Tick run(Tick limit = maxTick);
+
+    /**
+     * Run until @p done returns true (checked after every event),
+     * the queue drains, or @p limit is reached.
+     */
+    Tick runUntil(const std::function<bool()> &done, Tick limit = maxTick);
+
+    /** Total events executed. */
+    std::uint64_t eventsExecuted() const { return queue.numExecuted(); }
+
+  private:
+    EventQueue queue;
+    StatRegistry registry;
+};
+
+} // namespace reach::sim
+
+#endif // REACH_SIM_SIMULATOR_HH

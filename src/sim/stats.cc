@@ -1,0 +1,138 @@
+#include "stats.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <iomanip>
+
+#include "logging.hh"
+
+namespace reach::sim
+{
+
+void
+Distribution::sample(double v)
+{
+    if (n == 0) {
+        mn = v;
+        mx = v;
+    } else {
+        mn = std::min(mn, v);
+        mx = std::max(mx, v);
+    }
+    ++n;
+    total += v;
+}
+
+void
+Distribution::reset()
+{
+    n = 0;
+    total = 0;
+    mn = 0;
+    mx = 0;
+}
+
+void
+StatRegistry::add(Stat &stat)
+{
+    auto [it, inserted] = stats.emplace(stat.name(), &stat);
+    (void)it;
+    if (!inserted)
+        panic("duplicate stat name '", stat.name(), "'");
+}
+
+void
+StatRegistry::remove(const std::string &name)
+{
+    stats.erase(name);
+}
+
+const Stat *
+StatRegistry::find(const std::string &name) const
+{
+    auto it = stats.find(name);
+    return it == stats.end() ? nullptr : it->second;
+}
+
+std::vector<const Stat *>
+StatRegistry::all() const
+{
+    std::vector<const Stat *> out;
+    out.reserve(stats.size());
+    for (const auto &[name, stat] : stats)
+        out.push_back(stat);
+    return out;
+}
+
+void
+StatRegistry::resetAll()
+{
+    for (auto &[name, stat] : stats)
+        stat->reset();
+}
+
+namespace
+{
+
+/** Minimal JSON string escaping for names/descriptions. */
+std::string
+jsonEscape(const std::string &in)
+{
+    std::string out;
+    out.reserve(in.size());
+    for (char c : in) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+void
+StatRegistry::dumpJson(std::ostream &os) const
+{
+    os << "{";
+    bool first = true;
+    for (const auto &[name, stat] : stats) {
+        if (!first)
+            os << ",";
+        first = false;
+        os << "\n  \"" << jsonEscape(name) << "\": {\"value\": "
+           << stat->value() << ", \"desc\": \""
+           << jsonEscape(stat->desc()) << "\"}";
+    }
+    os << "\n}\n";
+}
+
+void
+StatRegistry::dump(std::ostream &os) const
+{
+    for (const auto &[name, stat] : stats) {
+        os << std::left << std::setw(48) << name << " "
+           << std::right << std::setw(16) << stat->value()
+           << "  # " << stat->desc() << "\n";
+    }
+}
+
+} // namespace reach::sim

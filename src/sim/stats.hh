@@ -1,0 +1,143 @@
+/**
+ * @file
+ * A small statistics framework in the spirit of gem5's Stats package.
+ *
+ * Components own stat objects and register them with a StatRegistry
+ * under hierarchical dotted names ("mem.ctrl0.readReqs"). The registry
+ * can dump every stat as a formatted table and supports reset between
+ * measurement phases.
+ */
+
+#ifndef REACH_SIM_STATS_HH
+#define REACH_SIM_STATS_HH
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace reach::sim
+{
+
+/** Base class of all statistics. */
+class Stat
+{
+  public:
+    Stat(std::string name, std::string desc)
+        : _name(std::move(name)), _desc(std::move(desc))
+    {}
+    virtual ~Stat() = default;
+
+    const std::string &name() const { return _name; }
+    const std::string &desc() const { return _desc; }
+
+    /** Current value rendered as a double (for dumping/formulas). */
+    virtual double value() const = 0;
+
+    /** Reset to the post-construction state. */
+    virtual void reset() = 0;
+
+  private:
+    std::string _name;
+    std::string _desc;
+};
+
+/** A simple accumulating scalar (counter or gauge). */
+class Scalar : public Stat
+{
+  public:
+    using Stat::Stat;
+
+    Scalar &operator+=(double v) { val += v; return *this; }
+    Scalar &operator++() { val += 1; return *this; }
+    void set(double v) { val = v; }
+
+    double value() const override { return val; }
+    void reset() override { val = 0; }
+
+  private:
+    double val = 0;
+};
+
+/** Tracks count/sum/min/max/mean of a sampled quantity. */
+class Distribution : public Stat
+{
+  public:
+    using Stat::Stat;
+
+    void sample(double v);
+
+    std::uint64_t count() const { return n; }
+    double sum() const { return total; }
+    double mean() const { return n ? total / static_cast<double>(n) : 0; }
+    double minValue() const { return n ? mn : 0; }
+    double maxValue() const { return n ? mx : 0; }
+
+    /** value() reports the mean so formulas can consume it. */
+    double value() const override { return mean(); }
+    void reset() override;
+
+  private:
+    std::uint64_t n = 0;
+    double total = 0;
+    double mn = 0;
+    double mx = 0;
+};
+
+/** A derived statistic evaluated on demand. */
+class Formula : public Stat
+{
+  public:
+    Formula(std::string name, std::string desc,
+            std::function<double()> fn)
+        : Stat(std::move(name), std::move(desc)), eval(std::move(fn))
+    {}
+
+    double value() const override { return eval ? eval() : 0; }
+    void reset() override {}
+
+  private:
+    std::function<double()> eval;
+};
+
+/**
+ * Owns nothing; tracks registered stats by name for dump/reset.
+ * Stats must outlive the registry entries that reference them.
+ */
+class StatRegistry
+{
+  public:
+    /** Register a stat; names must be unique. */
+    void add(Stat &stat);
+
+    /** Remove a stat by name (for components with dynamic lifetime). */
+    void remove(const std::string &name);
+
+    /** Look up a stat, or nullptr. */
+    const Stat *find(const std::string &name) const;
+
+    /** All registered stats in name order. */
+    std::vector<const Stat *> all() const;
+
+    /** Reset every registered stat. */
+    void resetAll();
+
+    /** Write "name value # desc" lines, gem5-stats style. */
+    void dump(std::ostream &os) const;
+
+    /**
+     * Write the registry as a JSON object:
+     * {"name": {"value": v, "desc": "..."}, ...} — for downstream
+     * analysis scripts and plotting.
+     */
+    void dumpJson(std::ostream &os) const;
+
+  private:
+    std::map<std::string, Stat *> stats;
+};
+
+} // namespace reach::sim
+
+#endif // REACH_SIM_STATS_HH

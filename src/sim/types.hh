@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Fundamental simulation quantities: ticks, clocks, data sizes.
+ *
+ * The simulator counts time in integer picoseconds ("ticks"), which is
+ * fine enough to express multi-GHz clock periods exactly while keeping
+ * a 64-bit tick counter good for ~200 days of simulated time.
+ */
+
+#ifndef REACH_SIM_TYPES_HH
+#define REACH_SIM_TYPES_HH
+
+#include <cstdint>
+
+namespace reach::sim
+{
+
+/** Simulated time, in picoseconds. */
+using Tick = std::uint64_t;
+
+/** A cycle count within some clock domain. */
+using Cycles = std::uint64_t;
+
+/** Ticks per common time units. */
+constexpr Tick tickPerPs = 1;
+constexpr Tick tickPerNs = 1000 * tickPerPs;
+constexpr Tick tickPerUs = 1000 * tickPerNs;
+constexpr Tick tickPerMs = 1000 * tickPerUs;
+constexpr Tick tickPerSec = 1000 * tickPerMs;
+
+/** The largest representable tick; used as "never". */
+constexpr Tick maxTick = ~Tick(0);
+
+/** Convert a floating-point duration in seconds to ticks. */
+constexpr Tick
+ticksFromSeconds(double seconds)
+{
+    return static_cast<Tick>(seconds * static_cast<double>(tickPerSec));
+}
+
+/** Convert ticks to floating-point seconds. */
+constexpr double
+secondsFromTicks(Tick ticks)
+{
+    return static_cast<double>(ticks) / static_cast<double>(tickPerSec);
+}
+
+/** Clock period (in ticks) of a frequency given in MHz. */
+constexpr Tick
+periodFromMHz(double mhz)
+{
+    return static_cast<Tick>(1e6 / mhz + 0.5);
+}
+
+/** Clock period (in ticks) of a frequency given in GHz. */
+constexpr Tick
+periodFromGHz(double ghz)
+{
+    return periodFromMHz(ghz * 1000.0);
+}
+
+/** Byte-size helpers. */
+constexpr std::uint64_t operator""_KiB(unsigned long long v)
+{
+    return v << 10;
+}
+constexpr std::uint64_t operator""_MiB(unsigned long long v)
+{
+    return v << 20;
+}
+constexpr std::uint64_t operator""_GiB(unsigned long long v)
+{
+    return v << 30;
+}
+
+/** Bandwidth helpers: bytes per second expressed as GB/s (decimal). */
+constexpr double
+gbps(double gigabytes_per_second)
+{
+    return gigabytes_per_second * 1e9;
+}
+
+/**
+ * Time (in ticks) to move @p bytes over a link sustaining
+ * @p bytes_per_second. Rounds up to at least one tick for any
+ * non-zero transfer so that serialization is never free.
+ */
+constexpr Tick
+transferTicks(std::uint64_t bytes, double bytes_per_second)
+{
+    if (bytes == 0)
+        return 0;
+    double seconds = static_cast<double>(bytes) / bytes_per_second;
+    Tick t = ticksFromSeconds(seconds);
+    return t > 0 ? t : 1;
+}
+
+} // namespace reach::sim
+
+#endif // REACH_SIM_TYPES_HH

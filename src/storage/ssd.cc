@@ -1,0 +1,80 @@
+#include "ssd.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace reach::storage
+{
+
+Ssd::Ssd(sim::Simulator &sim, const std::string &name,
+         const SsdConfig &config)
+    : sim::SimObject(sim, name),
+      cfg(config),
+      channels(config.flashChannels),
+      statReadBytes(name + ".readBytes", "bytes read from flash"),
+      statWriteBytes(name + ".writeBytes", "bytes written to flash"),
+      statCommands(name + ".commands", "NVMe commands processed"),
+      statActive(name + ".activeTicks", "ticks moving data")
+{
+    if (cfg.flashChannels == 0)
+        sim::fatal(name, ": SSD needs at least one flash channel");
+    registerStat(statReadBytes);
+    registerStat(statWriteBytes);
+    registerStat(statCommands);
+    registerStat(statActive);
+}
+
+sim::Tick
+Ssd::reserve(std::uint64_t bytes, bool write, sim::Tick at)
+{
+    ++statCommands;
+    if (bytes == 0)
+        return at + cfg.commandOverhead;
+
+    sim::Tick media_latency = write ? cfg.writeLatency : cfg.readLatency;
+    sim::Tick start = at + cfg.commandOverhead;
+
+    // Stripe evenly across flash channels; completion is the slowest
+    // channel's finish time plus the media first-access latency.
+    std::uint64_t per_channel =
+        (bytes + cfg.flashChannels - 1) / cfg.flashChannels;
+    sim::Tick ser = sim::transferTicks(per_channel, cfg.channelBandwidth);
+
+    sim::Tick done = 0;
+    for (auto &channel : channels) {
+        sim::Tick ch_start = channel.reserve(ser, start, now());
+        done = std::max(done, ch_start + ser);
+    }
+
+    statActive += static_cast<double>(ser);
+    if (write)
+        statWriteBytes += static_cast<double>(bytes);
+    else
+        statReadBytes += static_cast<double>(bytes);
+
+    return done + media_latency;
+}
+
+void
+Ssd::access(std::uint64_t bytes, bool write,
+            std::function<void(sim::Tick)> on_done)
+{
+    sim::Tick done = reserve(bytes, write, now());
+    if (on_done) {
+        schedule(done, [this, on_done] { on_done(now()); },
+                 sim::EventPriority::Default, "ssdDone");
+    }
+}
+
+double
+Ssd::energyJoules(sim::Tick horizon) const
+{
+    double active_s = sim::secondsFromTicks(activeTicks());
+    double total_s = sim::secondsFromTicks(horizon);
+    active_s = std::min(active_s, total_s);
+    double idle_s = total_s - active_s;
+    return active_s * cfg.activePowerW + idle_s * cfg.idlePowerW;
+}
+
+} // namespace reach::storage

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * An NVMe SSD timing model.
+ *
+ * Internally the drive stripes data across multiple flash channels;
+ * the aggregate internal bandwidth therefore exceeds what the host IO
+ * interconnect can carry, which is exactly the gap near-storage
+ * acceleration exploits (paper §II-C). The drive itself is a passive
+ * model: callers reserve flash time and connect the result to either
+ * the host PCIe path or the accelerator-local FPGA link.
+ */
+
+#ifndef REACH_STORAGE_SSD_HH
+#define REACH_STORAGE_SSD_HH
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "sim/interval_resource.hh"
+#include "sim/simulator.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace reach::storage
+{
+
+struct SsdConfig
+{
+    std::uint32_t flashChannels = 8;
+    /** Per-flash-channel sustained bandwidth, bytes/second. */
+    double channelBandwidth = 1.75e9;
+    /** First-byte flash read latency. */
+    sim::Tick readLatency = 70'000'000; // 70 us
+    /** Program latency (buffered writes). */
+    sim::Tick writeLatency = 30'000'000; // 30 us
+    /** NVMe command processing overhead. */
+    sim::Tick commandOverhead = 5'000'000; // 5 us
+    std::uint64_t capacityBytes = std::uint64_t(4) << 40;
+
+    /** Power model (Seagate Nytro-class NVMe drive). */
+    double activePowerW = 12.0;
+    double idlePowerW = 5.0;
+
+    double
+    internalBandwidth() const
+    {
+        return channelBandwidth * flashChannels;
+    }
+};
+
+class Ssd : public sim::SimObject
+{
+  public:
+    Ssd(sim::Simulator &sim, const std::string &name,
+        const SsdConfig &cfg = {});
+
+    const SsdConfig &config() const { return cfg; }
+
+    /**
+     * Reserve flash time for a @p bytes read/write starting no
+     * earlier than @p at.
+     * @return tick when the last byte is available at the drive's
+     *         internal buffer (caller adds interconnect time).
+     */
+    sim::Tick reserve(std::uint64_t bytes, bool write, sim::Tick at);
+
+    /** Event-scheduling convenience over reserve(). */
+    void access(std::uint64_t bytes, bool write,
+                std::function<void(sim::Tick)> on_done);
+
+    std::uint64_t bytesRead() const
+    {
+        return static_cast<std::uint64_t>(statReadBytes.value());
+    }
+    std::uint64_t bytesWritten() const
+    {
+        return static_cast<std::uint64_t>(statWriteBytes.value());
+    }
+
+    /** Ticks the drive spent actively moving data. */
+    sim::Tick activeTicks() const
+    {
+        return static_cast<sim::Tick>(statActive.value());
+    }
+
+    /**
+     * Energy consumed up to @p horizon ticks of simulated time:
+     * active power while transferring plus idle power otherwise.
+     * Result in joules.
+     */
+    double energyJoules(sim::Tick horizon) const;
+
+  private:
+    SsdConfig cfg;
+    /** Per-flash-channel reservation schedule (gap-filling). */
+    std::vector<sim::IntervalResource> channels;
+
+    sim::Scalar statReadBytes;
+    sim::Scalar statWriteBytes;
+    sim::Scalar statCommands;
+    sim::Scalar statActive;
+};
+
+} // namespace reach::storage
+
+#endif // REACH_STORAGE_SSD_HH

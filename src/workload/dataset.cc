@@ -1,0 +1,103 @@
+#include "dataset.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace reach::workload
+{
+
+Dataset::Dataset(const DatasetConfig &cfg)
+    : data(cfg.numVectors, cfg.dim),
+      centers(cfg.latentClusters, cfg.dim),
+      labels(cfg.numVectors, 0)
+{
+    if (cfg.latentClusters == 0)
+        sim::fatal("dataset needs at least one latent cluster");
+
+    sim::Rng rng(cfg.seed);
+
+    for (std::size_t c = 0; c < cfg.latentClusters; ++c) {
+        auto row = centers.row(c);
+        for (auto &v : row) {
+            v = static_cast<float>(rng.nextGaussian() *
+                                   cfg.centerSpread);
+        }
+    }
+
+    for (std::size_t i = 0; i < cfg.numVectors; ++i) {
+        std::uint32_t c = static_cast<std::uint32_t>(
+            rng.nextUInt(cfg.latentClusters));
+        labels[i] = c;
+        auto center = centers.row(c);
+        auto row = data.row(i);
+        for (std::size_t d = 0; d < cfg.dim; ++d) {
+            row[d] = center[d] + static_cast<float>(rng.nextGaussian() *
+                                                    cfg.clusterStddev);
+        }
+    }
+}
+
+cbir::Matrix
+Dataset::makeQueriesZipf(std::size_t count, double noise,
+                         std::uint64_t seed, double s) const
+{
+    sim::Rng rng(seed);
+
+    // Zipf CDF over latent clusters (rank r weight = 1/(r+1)^s).
+    std::size_t k = centers.rows();
+    std::vector<double> cdf(k);
+    double total = 0;
+    for (std::size_t r = 0; r < k; ++r) {
+        total += 1.0 / std::pow(static_cast<double>(r + 1), s);
+        cdf[r] = total;
+    }
+
+    // Member lists per latent cluster.
+    std::vector<std::vector<std::uint32_t>> members(k);
+    for (std::size_t i = 0; i < size(); ++i)
+        members[labels[i]].push_back(static_cast<std::uint32_t>(i));
+
+    cbir::Matrix queries(count, dim());
+    for (std::size_t q = 0; q < count; ++q) {
+        double u = rng.nextDouble() * total;
+        std::size_t rank = static_cast<std::size_t>(
+            std::lower_bound(cdf.begin(), cdf.end(), u) -
+            cdf.begin());
+        std::uint32_t cluster = clusterAtRank(rank);
+        // Clusters can be empty in tiny datasets: fall back linearly.
+        while (members[cluster].empty())
+            cluster = (cluster + 1) % k;
+
+        std::uint32_t base =
+            members[cluster][rng.nextUInt(members[cluster].size())];
+        auto src = data.row(base);
+        auto dst = queries.row(q);
+        for (std::size_t d = 0; d < dim(); ++d) {
+            dst[d] = src[d] +
+                     static_cast<float>(rng.nextGaussian() * noise);
+        }
+    }
+    return queries;
+}
+
+cbir::Matrix
+Dataset::makeQueries(std::size_t count, double noise,
+                     std::uint64_t seed) const
+{
+    sim::Rng rng(seed);
+    cbir::Matrix queries(count, dim());
+    for (std::size_t q = 0; q < count; ++q) {
+        std::size_t base = rng.nextUInt(size());
+        auto src = data.row(base);
+        auto dst = queries.row(q);
+        for (std::size_t d = 0; d < dim(); ++d) {
+            dst[d] = src[d] +
+                     static_cast<float>(rng.nextGaussian() * noise);
+        }
+    }
+    return queries;
+}
+
+} // namespace reach::workload

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Synthetic feature datasets.
+ *
+ * The paper evaluates on a billion-scale feature database we cannot
+ * ship. We substitute a Gaussian-mixture dataset: vectors are drawn
+ * around a configurable number of latent centers, so k-means finds
+ * real structure and recall measurements are meaningful. The
+ * *functional* layer materializes a sampled number of vectors; the
+ * *timing* layer scales traffic to the configured full size (see
+ * ScaleConfig in cbir/workload_model.hh).
+ */
+
+#ifndef REACH_WORKLOAD_DATASET_HH
+#define REACH_WORKLOAD_DATASET_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "cbir/linalg.hh"
+#include "sim/rng.hh"
+
+namespace reach::workload
+{
+
+struct DatasetConfig
+{
+    /** Number of vectors to materialize. */
+    std::size_t numVectors = 100'000;
+    /** Feature dimensionality (paper: D = 96 after PCA). */
+    std::size_t dim = 96;
+    /** Latent mixture components. */
+    std::size_t latentClusters = 64;
+    /** Spread of cluster centers in feature space. */
+    double centerSpread = 10.0;
+    /** Intra-cluster standard deviation. */
+    double clusterStddev = 1.0;
+    std::uint64_t seed = 42;
+};
+
+/** A materialized synthetic dataset. */
+class Dataset
+{
+  public:
+    explicit Dataset(const DatasetConfig &cfg);
+
+    const cbir::Matrix &vectors() const { return data; }
+    const cbir::Matrix &latentCenters() const { return centers; }
+
+    /** Latent component each vector was drawn from (ground truth). */
+    const std::vector<std::uint32_t> &latentLabels() const
+    {
+        return labels;
+    }
+
+    std::size_t size() const { return data.rows(); }
+    std::size_t dim() const { return data.cols(); }
+
+    /**
+     * Draw @p count queries: each is a dataset vector plus noise, so
+     * its true nearest neighbours are known to be nearby.
+     *
+     * @param noise Standard deviation of the added perturbation.
+     */
+    cbir::Matrix makeQueries(std::size_t count, double noise,
+                             std::uint64_t seed) const;
+
+    /**
+     * Skewed queries: latent clusters are ranked and sampled with
+     * Zipf weight 1/rank^s, modeling real query logs where a few
+     * topics dominate. s = 0 degenerates to uniform-over-clusters.
+     */
+    cbir::Matrix makeQueriesZipf(std::size_t count, double noise,
+                                 std::uint64_t seed, double s) const;
+
+    /** Latent cluster each Zipf rank maps to (rank 0 = hottest). */
+    std::uint32_t clusterAtRank(std::size_t rank) const
+    {
+        return static_cast<std::uint32_t>(
+            rank % centers.rows());
+    }
+
+  private:
+    cbir::Matrix data;
+    cbir::Matrix centers;
+    std::vector<std::uint32_t> labels;
+};
+
+} // namespace reach::workload
+
+#endif // REACH_WORKLOAD_DATASET_HH

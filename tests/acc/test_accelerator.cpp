@@ -1,0 +1,295 @@
+/**
+ * @file
+ * Unit tests for the reconfigurable accelerator engine: compute vs
+ * bandwidth bound tasks, parameter buffering, task queueing, TLB
+ * integration, throttled gathers and energy.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "acc/accelerator.hh"
+#include "sim/logging.hh"
+#include "sim/simulator.hh"
+
+using namespace reach;
+using namespace reach::acc;
+
+namespace
+{
+
+noc::LinkConfig
+linkCfg(double bw)
+{
+    noc::LinkConfig c;
+    c.bandwidth = bw;
+    c.latency = 0;
+    return c;
+}
+
+struct AccFixture : ::testing::Test
+{
+    void
+    SetUp() override
+    {
+        in = std::make_unique<noc::Link>(sim, "in", linkCfg(10e9));
+        out = std::make_unique<noc::Link>(sim, "out", linkCfg(10e9));
+        param = std::make_unique<noc::Link>(sim, "par", linkCfg(10e9));
+        dev = std::make_unique<Accelerator>(sim, "acc",
+                                            Level::OnChip);
+        dev->setInputPath(Path{}.via(*in));
+        dev->setOutputPath(Path{}.via(*out));
+        dev->setParamPath(Path{}.via(*param));
+        dev->configure(findKernel("GeMM-VU9P"));
+    }
+
+    sim::Tick
+    runTask(const WorkUnit &w)
+    {
+        sim::Tick done = 0;
+        dev->execute(w, [&](sim::Tick t) { done = t; });
+        sim.run();
+        return done;
+    }
+
+    sim::Simulator sim;
+    std::unique_ptr<noc::Link> in, out, param;
+    std::unique_ptr<Accelerator> dev;
+};
+
+} // namespace
+
+TEST_F(AccFixture, ExecuteBeforeConfigurePanics)
+{
+    Accelerator raw(sim, "raw", Level::NearMem);
+    WorkUnit w;
+    w.ops = 10;
+    EXPECT_THROW(raw.execute(w), sim::SimPanic);
+}
+
+TEST_F(AccFixture, ComputeBoundTaskMatchesKernelFormula)
+{
+    WorkUnit w;
+    w.ops = 1e9; // no input: pure compute
+    sim::Tick done = runTask(w);
+    EXPECT_EQ(done, dev->kernel()->computeTicks(1e9));
+}
+
+TEST_F(AccFixture, BandwidthBoundTaskMatchesLinkRate)
+{
+    WorkUnit w;
+    w.ops = 1;               // trivial compute
+    w.bytesIn = 256 << 20;   // 256 MB over 10 GB/s
+    sim::Tick done = runTask(w);
+    double t = sim::secondsFromTicks(done);
+    EXPECT_NEAR(t, (256 << 20) / 10e9, 0.1 * (256 << 20) / 10e9);
+}
+
+TEST_F(AccFixture, ComputeAndStreamingOverlap)
+{
+    // Matched compute and stream times should NOT add up.
+    double stream_s = (64 << 20) / 10e9;
+    double ops = dev->kernel()->throughputOpsPerSec() * stream_s;
+    WorkUnit w;
+    w.ops = ops;
+    w.bytesIn = 64 << 20;
+    sim::Tick done = runTask(w);
+    double t = sim::secondsFromTicks(done);
+    EXPECT_LT(t, 1.35 * stream_s);
+}
+
+TEST_F(AccFixture, OutputStreamAddsDrainTime)
+{
+    WorkUnit w;
+    w.ops = 1;
+    w.bytesIn = 1 << 20;
+    sim::Tick no_out = runTask(w);
+    w.bytesOut = 64 << 20;
+    sim::Tick with_out = runTask(w);
+    EXPECT_GT(with_out - no_out, no_out);
+}
+
+TEST_F(AccFixture, TasksQueueOnBusyDevice)
+{
+    WorkUnit w;
+    w.ops = 1e9;
+    sim::Tick first = 0, second = 0;
+    dev->execute(w, [&](sim::Tick t) { first = t; });
+    dev->execute(w, [&](sim::Tick t) { second = t; });
+    EXPECT_TRUE(dev->busy());
+    sim.run();
+    EXPECT_NEAR(static_cast<double>(second),
+                2.0 * static_cast<double>(first),
+                static_cast<double>(first) * 0.01);
+    EXPECT_EQ(dev->tasksCompleted(), 2u);
+}
+
+TEST_F(AccFixture, ParamFetchDelaysStart)
+{
+    WorkUnit w;
+    w.ops = 1;
+    sim::Tick plain = runTask(w);
+    WorkUnit wp;
+    wp.ops = 1;
+    wp.paramBytes = 100 << 20; // 10 ms over 10 GB/s
+    sim::Tick with_params = runTask(wp) - plain;
+    EXPECT_GT(with_params, sim::ticksFromSeconds(0.009));
+}
+
+TEST_F(AccFixture, ParamBufferHitsSkipRefetch)
+{
+    dev->enableParamBuffer(1 << 30, 100e9);
+    WorkUnit w;
+    w.ops = 1;
+    w.paramBytes = 100 << 20;
+    w.paramKey = "model";
+    sim::Tick t0 = sim.now();
+    runTask(w);
+    sim::Tick cold = sim.now() - t0;
+    t0 = sim.now();
+    runTask(w);
+    sim::Tick warm = sim.now() - t0;
+    EXPECT_LT(warm, cold / 5);
+    EXPECT_EQ(dev->paramBufferHits(), 1u);
+}
+
+TEST_F(AccFixture, ParamBufferEvictsByCapacity)
+{
+    dev->enableParamBuffer(150 << 20, 100e9);
+    WorkUnit a, b;
+    a.ops = b.ops = 1;
+    a.paramBytes = b.paramBytes = 100 << 20;
+    a.paramKey = "a";
+    b.paramKey = "b";
+    runTask(a); // miss, cached
+    runTask(b); // miss, evicts a
+    runTask(a); // miss again
+    EXPECT_EQ(dev->paramBufferHits(), 0u);
+}
+
+TEST_F(AccFixture, InputOverridePathUsed)
+{
+    noc::Link slow(sim, "slow", linkCfg(1e9));
+    WorkUnit w;
+    w.ops = 1;
+    w.bytesIn = 32 << 20;
+    sim::Tick fast_path = runTask(w);
+
+    WorkUnit w2 = w;
+    w2.inputOverride = Path{}.via(slow);
+    sim::Tick t0 = sim.now();
+    dev->execute(w2, [](sim::Tick) {});
+    sim.run();
+    sim::Tick slow_path = sim.now() - t0;
+    EXPECT_GT(slow_path, 5 * fast_path);
+}
+
+TEST_F(AccFixture, InputThrottleCapsGatherRate)
+{
+    WorkUnit w;
+    w.ops = 1;
+    w.bytesIn = 64 << 20;
+    sim::Tick unthrottled = runTask(w);
+
+    WorkUnit w2 = w;
+    w2.inputThrottleBw = 1e9;
+    sim::Tick t0 = sim.now();
+    dev->execute(w2, [](sim::Tick) {});
+    sim.run();
+    sim::Tick throttled = sim.now() - t0;
+    EXPECT_GT(throttled, 8 * unthrottled);
+    double bw = (64 << 20) / sim::secondsFromTicks(throttled);
+    EXPECT_LE(bw, 1.05e9);
+}
+
+TEST_F(AccFixture, ResidentPathUsedWhenFlagged)
+{
+    noc::Link fast(sim, "sram", linkCfg(100e9));
+    dev->setResidentPath(Path{}.via(fast));
+    WorkUnit w;
+    w.ops = 1;
+    w.bytesIn = 64 << 20;
+    sim::Tick streamed = runTask(w);
+
+    w.inputResident = true;
+    sim::Tick t0 = sim.now();
+    dev->execute(w, [](sim::Tick) {});
+    sim.run();
+    sim::Tick resident = sim.now() - t0;
+    EXPECT_LT(resident, streamed / 5);
+}
+
+TEST_F(AccFixture, TlbMissesSlowStreaming)
+{
+    mem::TlbConfig tcfg;
+    tcfg.entries = 8;
+    tcfg.walkLatency = 400'000;
+    mem::Tlb tlb(sim, "tlb", tcfg);
+
+    WorkUnit w;
+    w.ops = 1;
+    w.bytesIn = 16 << 20;
+    sim::Tick without = runTask(w);
+
+    dev->attachTlb(tlb);
+    sim::Tick t0 = sim.now();
+    dev->execute(w, [](sim::Tick) {});
+    sim.run();
+    sim::Tick with_tlb = sim.now() - t0;
+    EXPECT_GT(with_tlb, without);
+    EXPECT_GT(tlb.missCount(), 0u);
+}
+
+TEST_F(AccFixture, ReconfigurationDelayApplied)
+{
+    Accelerator d2(sim, "d2", Level::OnChip);
+    d2.configure(findKernel("CNN-VU9P"), sim::tickPerMs);
+    WorkUnit w;
+    w.ops = 1;
+    sim::Tick done = 0;
+    d2.execute(w, [&](sim::Tick t) { done = t; });
+    sim.run();
+    EXPECT_GE(done, sim::tickPerMs);
+}
+
+TEST_F(AccFixture, ReconfigureToSameKernelIsFree)
+{
+    dev->configure(findKernel("GeMM-VU9P"), sim::tickPerMs);
+    EXPECT_EQ(dev->freeAt(), 0u); // no-op: already loaded
+}
+
+TEST_F(AccFixture, EstimateTracksActualForSoloTask)
+{
+    WorkUnit w;
+    w.ops = 1e8;
+    w.bytesIn = 32 << 20;
+    sim::Tick est = dev->estimateTicks(w);
+    sim::Tick act = runTask(w);
+    EXPECT_NEAR(static_cast<double>(est), static_cast<double>(act),
+                0.25 * static_cast<double>(act));
+}
+
+TEST_F(AccFixture, EnergyIncludesActiveAndStatic)
+{
+    WorkUnit w;
+    w.ops = 1e9;
+    runTask(w);
+    double horizon_s = sim::secondsFromTicks(sim.now());
+    double active_s = sim::secondsFromTicks(dev->computeTicksBusy());
+    double expect = active_s * dev->activePowerW() +
+                    horizon_s * virtexVu9p().staticPowerW;
+    EXPECT_NEAR(dev->energyJoules(sim.now()), expect, expect * 0.01);
+}
+
+TEST_F(AccFixture, StatsCountWork)
+{
+    WorkUnit w;
+    w.ops = 1000;
+    w.bytesIn = 4096;
+    w.bytesOut = 64;
+    runTask(w);
+    auto *ops = sim.stats().find("acc.ops");
+    ASSERT_NE(ops, nullptr);
+    EXPECT_DOUBLE_EQ(ops->value(), 1000.0);
+}

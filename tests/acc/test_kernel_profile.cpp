@@ -1,0 +1,141 @@
+/** @file Unit tests for kernel profiles (Table III). */
+
+#include <gtest/gtest.h>
+
+#include "acc/kernel_profile.hh"
+#include "sim/logging.hh"
+
+using namespace reach;
+using namespace reach::acc;
+
+TEST(KernelCatalog, HasAllSixTableThreeKernelsPlusCpuBaselines)
+{
+    const auto &cat = kernelCatalog();
+    EXPECT_EQ(cat.size(), 10u); // 6 FPGA (Table III) + 4 software
+    for (const char *id :
+         {"CNN-VU9P", "GeMM-VU9P", "KNN-VU9P", "CNN-ZCU9", "GeMM-ZCU9",
+          "KNN-ZCU9", "CNN-CPU", "GeMM-CPU", "KNN-CPU"}) {
+        EXPECT_NO_THROW(findKernel(id)) << id;
+    }
+}
+
+TEST(KernelCatalog, SoftwareKernelsAreMuchSlowerThanFpga)
+{
+    EXPECT_GT(findKernel("CNN-VU9P").throughputOpsPerSec(),
+              50 * findKernel("CNN-CPU").throughputOpsPerSec());
+}
+
+TEST(KernelCatalog, UnknownKernelIsFatal)
+{
+    EXPECT_THROW(findKernel("FFT-VU9P"), sim::SimFatal);
+}
+
+TEST(KernelCatalog, TableThreeFrequencies)
+{
+    EXPECT_DOUBLE_EQ(findKernel("CNN-VU9P").freqMHz, 273.0);
+    EXPECT_DOUBLE_EQ(findKernel("GeMM-VU9P").freqMHz, 273.0);
+    EXPECT_DOUBLE_EQ(findKernel("KNN-VU9P").freqMHz, 200.0);
+    EXPECT_DOUBLE_EQ(findKernel("CNN-ZCU9").freqMHz, 200.0);
+    EXPECT_DOUBLE_EQ(findKernel("GeMM-ZCU9").freqMHz, 150.0);
+    EXPECT_DOUBLE_EQ(findKernel("KNN-ZCU9").freqMHz, 150.0);
+}
+
+TEST(KernelCatalog, TableThreePowers)
+{
+    EXPECT_DOUBLE_EQ(findKernel("CNN-VU9P").powerW, 25.0);
+    EXPECT_DOUBLE_EQ(findKernel("GeMM-VU9P").powerW, 22.13);
+    EXPECT_DOUBLE_EQ(findKernel("KNN-VU9P").powerW, 11.14);
+    EXPECT_DOUBLE_EQ(findKernel("CNN-ZCU9").powerW, 5.19);
+    EXPECT_DOUBLE_EQ(findKernel("GeMM-ZCU9").powerW, 5.30);
+    EXPECT_DOUBLE_EQ(findKernel("KNN-ZCU9").powerW, 1.80);
+}
+
+TEST(KernelCatalog, NearStoragePowersAreHigher)
+{
+    // Table III's dual ZCU9 power column: NS includes the DRAM
+    // buffer.
+    for (const char *id : {"CNN-ZCU9", "GeMM-ZCU9", "KNN-ZCU9"}) {
+        const auto &k = findKernel(id);
+        EXPECT_GT(powerFor(k, true), powerFor(k, false)) << id;
+    }
+    EXPECT_DOUBLE_EQ(powerFor(findKernel("CNN-ZCU9"), true), 6.13);
+    EXPECT_DOUBLE_EQ(powerFor(findKernel("GeMM-ZCU9"), true), 8.0);
+    EXPECT_DOUBLE_EQ(powerFor(findKernel("KNN-ZCU9"), true), 2.4);
+}
+
+TEST(KernelCatalog, Vu9pPowerUnaffectedByDeployment)
+{
+    const auto &k = findKernel("CNN-VU9P");
+    EXPECT_DOUBLE_EQ(powerFor(k, true), powerFor(k, false));
+}
+
+TEST(KernelCatalog, UtilizationFractionsValid)
+{
+    for (const auto &k : kernelCatalog()) {
+        if (k.device == "XeonCore")
+            continue; // software target: no fabric utilization
+        for (double u : {k.util.ff, k.util.lut, k.util.dsp,
+                         k.util.bram}) {
+            EXPECT_GT(u, 0.0) << k.id;
+            EXPECT_LE(u, 1.0) << k.id;
+        }
+    }
+}
+
+TEST(KernelProfileTiming, ZeroOpsIsFree)
+{
+    EXPECT_EQ(findKernel("CNN-VU9P").computeTicks(0), 0u);
+}
+
+TEST(KernelProfileTiming, SingleIterationPaysPipelineDepth)
+{
+    const auto &k = findKernel("GeMM-VU9P");
+    sim::Tick one = k.computeTicks(1);
+    EXPECT_EQ(one, static_cast<sim::Tick>(
+                       k.pipelineDepth *
+                       sim::periodFromMHz(k.freqMHz)));
+}
+
+TEST(KernelProfileTiming, HlsPipelineFormula)
+{
+    const auto &k = findKernel("KNN-ZCU9");
+    double ops = k.opsPerIteration * 100; // exactly 100 iterations
+    std::uint64_t cycles =
+        k.pipelineDepth + k.initiationInterval * 99;
+    EXPECT_EQ(k.computeTicks(ops),
+              cycles * sim::periodFromMHz(k.freqMHz));
+}
+
+TEST(KernelProfileTiming, ThroughputMatchesOpsRate)
+{
+    const auto &k = findKernel("CNN-VU9P");
+    EXPECT_NEAR(k.throughputOpsPerSec(),
+                k.opsPerIteration * k.freqMHz * 1e6, 1.0);
+}
+
+TEST(KernelProfileTiming, OnChipToNearDataCnnRatioInPaperBand)
+{
+    // Section VI-B: single near-data CNN instance is 7-10x slower.
+    double onchip = findKernel("CNN-VU9P").throughputOpsPerSec();
+    double neard = findKernel("CNN-ZCU9").throughputOpsPerSec();
+    double ratio = onchip / neard;
+    EXPECT_GE(ratio, 7.0);
+    EXPECT_LE(ratio, 10.0);
+}
+
+TEST(KernelProfileTiming, ComputeMonotonicInOps)
+{
+    const auto &k = findKernel("GeMM-ZCU9");
+    sim::Tick prev = 0;
+    for (double ops : {1.0, 100.0, 1e4, 1e6, 1e8}) {
+        sim::Tick t = k.computeTicks(ops);
+        EXPECT_GE(t, prev);
+        prev = t;
+    }
+}
+
+TEST(Devices, InventoriesDiffer)
+{
+    EXPECT_GT(virtexVu9p().dsps, zynqZcu9().dsps);
+    EXPECT_GT(virtexVu9p().staticPowerW, zynqZcu9().staticPowerW);
+}

@@ -1,0 +1,159 @@
+/** @file Unit tests for data-path chains. */
+
+#include <gtest/gtest.h>
+
+#include "acc/path.hh"
+#include "sim/simulator.hh"
+
+using namespace reach;
+using namespace reach::acc;
+
+namespace
+{
+
+noc::LinkConfig
+linkCfg(double bw)
+{
+    noc::LinkConfig c;
+    c.bandwidth = bw;
+    c.latency = 0;
+    return c;
+}
+
+} // namespace
+
+TEST(Path, EmptyPathIsInstant)
+{
+    Path p;
+    EXPECT_TRUE(p.empty());
+    EXPECT_EQ(p.reserve(12345, 1000), 1000u);
+}
+
+TEST(Path, SingleLinkMatchesLinkTiming)
+{
+    sim::Simulator sim;
+    noc::Link l(sim, "l", linkCfg(1e9));
+    Path p;
+    p.via(l);
+    sim::Tick done = p.reserve(1 << 20, 0);
+    EXPECT_NEAR(static_cast<double>(done),
+                (1 << 20) / 1e9 * 1e12, 1e7);
+}
+
+TEST(Path, BottleneckIsSlowestStage)
+{
+    sim::Simulator sim;
+    noc::Link fast(sim, "fast", linkCfg(100e9));
+    noc::Link slow(sim, "slow", linkCfg(1e9));
+    Path p;
+    p.via(fast).via(slow);
+    EXPECT_NEAR(p.bottleneckBandwidth(), 1e9, 1.0);
+
+    sim::Tick done = p.reserve(64 << 20, 0);
+    double bw = (64 << 20) / sim::secondsFromTicks(done);
+    EXPECT_NEAR(bw, 1e9, 0.1e9);
+}
+
+TEST(Path, ChunkingPipelinesAcrossStages)
+{
+    sim::Simulator sim;
+    noc::Link a(sim, "a", linkCfg(10e9));
+    noc::Link b(sim, "b", linkCfg(10e9));
+    Path p;
+    p.via(a).via(b);
+    std::uint64_t bytes = 64 << 20;
+    sim::Tick done = p.reserve(bytes, 0);
+    // Pipelined: close to bytes/bw, NOT 2x (store-and-forward).
+    double t = sim::secondsFromTicks(done);
+    double serial = static_cast<double>(bytes) / 10e9;
+    EXPECT_LT(t, 1.2 * serial);
+}
+
+TEST(Path, SharedStageSerializesTwoPaths)
+{
+    sim::Simulator sim;
+    noc::Link shared(sim, "s", linkCfg(1e9));
+    Path p1, p2;
+    p1.via(shared);
+    p2.via(shared);
+    sim::Tick d1 = p1.reserve(1 << 20, 0);
+    sim::Tick d2 = p2.reserve(1 << 20, 0);
+    EXPECT_GE(d2, d1 + (d1 / 2)); // second queues behind first
+}
+
+TEST(Path, SsdSourceAddsMediaLatency)
+{
+    sim::Simulator sim;
+    storage::Ssd ssd(sim, "ssd");
+    noc::Link l(sim, "l", linkCfg(12e9));
+    Path p;
+    p.fromSsd(ssd).via(l);
+    sim::Tick done = p.reserve(4096, 0);
+    EXPECT_GT(done, ssd.config().readLatency);
+}
+
+TEST(Path, MultiSourceAggregatesBandwidth)
+{
+    sim::Simulator sim;
+    storage::Ssd s0(sim, "s0"), s1(sim, "s1"), s2(sim, "s2"),
+        s3(sim, "s3");
+    noc::Link l0(sim, "l0", linkCfg(3e9));
+    noc::Link l1(sim, "l1", linkCfg(3e9));
+    noc::Link l2(sim, "l2", linkCfg(3e9));
+    noc::Link l3(sim, "l3", linkCfg(3e9));
+    noc::Link uplink(sim, "up", linkCfg(100e9)); // not the bottleneck
+
+    Path p;
+    p.from(&s0, &l0).from(&s1, &l1).from(&s2, &l2).from(&s3, &l3);
+    p.via(uplink);
+
+    std::uint64_t bytes = 256 << 20;
+    sim::Tick done = p.reserve(bytes, 0);
+    double bw = static_cast<double>(bytes) /
+                sim::secondsFromTicks(done);
+    // Four 3 GB/s sources aggregate to ~12 GB/s.
+    EXPECT_GT(bw, 9e9);
+    EXPECT_LE(bw, 12.5e9);
+}
+
+TEST(Path, MultiSourceBottleneckedBySharedUplink)
+{
+    sim::Simulator sim;
+    storage::Ssd s0(sim, "s0"), s1(sim, "s1");
+    noc::Link l0(sim, "l0", linkCfg(10e9));
+    noc::Link l1(sim, "l1", linkCfg(10e9));
+    noc::Link uplink(sim, "up", linkCfg(5e9));
+
+    Path p;
+    p.from(&s0, &l0).from(&s1, &l1).via(uplink);
+
+    std::uint64_t bytes = 256 << 20;
+    sim::Tick done = p.reserve(bytes, 0);
+    double bw = static_cast<double>(bytes) /
+                sim::secondsFromTicks(done);
+    EXPECT_LE(bw, 5.1e9);
+    EXPECT_GT(bw, 4.0e9);
+}
+
+TEST(Path, SsdWriteSink)
+{
+    sim::Simulator sim;
+    storage::Ssd ssd(sim, "ssd");
+    noc::Link l(sim, "l", linkCfg(12e9));
+    Path p;
+    p.via(l).toSsd(ssd);
+    sim::Tick done = p.reserve(1 << 20, 0);
+    EXPECT_GT(done, 0u);
+    EXPECT_EQ(ssd.bytesWritten(), std::uint64_t(1) << 20);
+}
+
+TEST(Path, BottleneckBandwidthAggregatesSources)
+{
+    sim::Simulator sim;
+    storage::Ssd s0(sim, "s0"), s1(sim, "s1");
+    noc::Link l0(sim, "l0", linkCfg(3e9));
+    noc::Link l1(sim, "l1", linkCfg(3e9));
+    Path p;
+    p.from(&s0, &l0).from(&s1, &l1);
+    EXPECT_NEAR(p.bottleneckBandwidth(), 6e9, 1e6);
+}

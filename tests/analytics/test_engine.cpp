@@ -1,0 +1,163 @@
+/** @file Unit + property tests for the columnar analytics engine. */
+
+#include <gtest/gtest.h>
+
+#include "analytics/engine.hh"
+#include "sim/logging.hh"
+
+using namespace reach;
+using namespace reach::analytics;
+
+namespace
+{
+
+ColumnTable
+tinyTable()
+{
+    ColumnTable t;
+    t.addColumn({"region", {0, 1, 0, 1, 2}});
+    t.addColumn({"amount", {10, 20, 30, 40, 50}});
+    return t;
+}
+
+} // namespace
+
+TEST(ColumnTableTest, ShapeAndLookup)
+{
+    ColumnTable t = tinyTable();
+    EXPECT_EQ(t.numRows(), 5u);
+    EXPECT_EQ(t.numColumns(), 2u);
+    EXPECT_EQ(t.columnIndex("amount"), 1u);
+    EXPECT_THROW(t.columnIndex("nope"), sim::SimFatal);
+    EXPECT_EQ(t.rowBytes(), 16u);
+    EXPECT_EQ(t.totalBytes(), 80u);
+}
+
+TEST(ColumnTableTest, MismatchedColumnLengthIsFatal)
+{
+    ColumnTable t = tinyTable();
+    EXPECT_THROW(t.addColumn({"bad", {1, 2}}), sim::SimFatal);
+    EXPECT_THROW(t.addColumn({"region", {1, 2, 3, 4, 5}}),
+                 sim::SimFatal);
+}
+
+TEST(PredicateTest, AllOperators)
+{
+    Predicate p{"x", CmpOp::Lt, 5};
+    EXPECT_TRUE(p.matches(4));
+    EXPECT_FALSE(p.matches(5));
+    p.op = CmpOp::Le;
+    EXPECT_TRUE(p.matches(5));
+    p.op = CmpOp::Eq;
+    EXPECT_TRUE(p.matches(5));
+    EXPECT_FALSE(p.matches(6));
+    p.op = CmpOp::Ge;
+    EXPECT_TRUE(p.matches(5));
+    EXPECT_FALSE(p.matches(4));
+    p.op = CmpOp::Gt;
+    EXPECT_TRUE(p.matches(6));
+    p.op = CmpOp::Ne;
+    EXPECT_TRUE(p.matches(6));
+    EXPECT_FALSE(p.matches(5));
+}
+
+TEST(ScanFilter, ConjunctionSelectsMatchingRows)
+{
+    ColumnTable t = tinyTable();
+    auto sel = scanFilter(
+        t, {{"region", CmpOp::Eq, 0}, {"amount", CmpOp::Gt, 15}});
+    ASSERT_EQ(sel.size(), 1u);
+    EXPECT_EQ(sel[0], 2u);
+}
+
+TEST(ScanFilter, EmptyPredicateSelectsAll)
+{
+    ColumnTable t = tinyTable();
+    EXPECT_EQ(scanFilter(t, {}).size(), 5u);
+}
+
+TEST(Aggregate, SumByGroup)
+{
+    ColumnTable t = tinyTable();
+    auto sel = scanFilter(t, {});
+    auto res = aggregate(t, sel, {"region", "amount", AggFn::Sum});
+    EXPECT_EQ(res[0], 40);
+    EXPECT_EQ(res[1], 60);
+    EXPECT_EQ(res[2], 50);
+}
+
+TEST(Aggregate, MinMaxCount)
+{
+    ColumnTable t = tinyTable();
+    auto sel = scanFilter(t, {});
+    auto mn = aggregate(t, sel, {"region", "amount", AggFn::Min});
+    EXPECT_EQ(mn[0], 10);
+    EXPECT_EQ(mn[1], 20);
+    auto mx = aggregate(t, sel, {"region", "amount", AggFn::Max});
+    EXPECT_EQ(mx[0], 30);
+    EXPECT_EQ(mx[1], 40);
+    auto cnt = aggregate(t, sel, {"region", "", AggFn::Count});
+    EXPECT_EQ(cnt[0], 2);
+    EXPECT_EQ(cnt[1], 2);
+    EXPECT_EQ(cnt[2], 1);
+}
+
+TEST(SalesTable, GeneratorShapeAndDeterminism)
+{
+    SalesTableConfig cfg;
+    cfg.numRows = 1000;
+    ColumnTable a = makeSalesTable(cfg);
+    ColumnTable b = makeSalesTable(cfg);
+    EXPECT_EQ(a.numRows(), 1000u);
+    EXPECT_EQ(a.numColumns(), 4u);
+    EXPECT_EQ(a.column("region").values, b.column("region").values);
+
+    for (std::int64_t r : a.column("region").values) {
+        EXPECT_GE(r, 0);
+        EXPECT_LT(r, cfg.numRegions);
+    }
+    for (std::int64_t v : a.column("amount").values) {
+        EXPECT_GE(v, 1);
+        EXPECT_LE(v, cfg.maxAmount);
+    }
+}
+
+/** Property: sharded execution + merge == unsharded query. */
+class ShardedQuery : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(ShardedQuery, MergeEqualsWholeTableQuery)
+{
+    SalesTableConfig cfg;
+    cfg.numRows = 4000;
+    cfg.seed = static_cast<std::uint64_t>(GetParam());
+    ColumnTable whole = makeSalesTable(cfg);
+
+    std::vector<Predicate> preds{{"amount", CmpOp::Gt, 5000}};
+    AggregateSpec spec{"region", "amount", AggFn::Sum};
+    auto reference = runQuery(whole, preds, spec);
+
+    // Shard by row ranges into 4 tables.
+    std::vector<AggregateResult> partials;
+    const int shards = 4;
+    for (int s = 0; s < shards; ++s) {
+        ColumnTable shard;
+        for (std::size_t c = 0; c < whole.numColumns(); ++c) {
+            const Column &src = whole.column(c);
+            Column col{src.name, {}};
+            std::size_t per = whole.numRows() / shards;
+            col.values.assign(
+                src.values.begin() +
+                    static_cast<std::ptrdiff_t>(s * per),
+                src.values.begin() +
+                    static_cast<std::ptrdiff_t>((s + 1) * per));
+            shard.addColumn(std::move(col));
+        }
+        partials.push_back(runQuery(shard, preds, spec));
+    }
+
+    EXPECT_EQ(mergePartials(partials, AggFn::Sum), reference);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ShardedQuery, ::testing::Range(1, 5));

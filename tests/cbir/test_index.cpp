@@ -1,0 +1,89 @@
+/** @file Unit tests for the inverted-file index. */
+
+#include <gtest/gtest.h>
+
+#include "cbir/index.hh"
+#include "workload/dataset.hh"
+
+using namespace reach;
+using namespace reach::cbir;
+
+namespace
+{
+
+workload::Dataset
+smallDataset()
+{
+    workload::DatasetConfig dc;
+    dc.numVectors = 500;
+    dc.dim = 8;
+    dc.latentClusters = 10;
+    return workload::Dataset(dc);
+}
+
+} // namespace
+
+TEST(InvertedFileIndex, ListsPartitionTheDataset)
+{
+    auto ds = smallDataset();
+    KMeansConfig cfg;
+    cfg.clusters = 16;
+    InvertedFileIndex idx(ds.vectors(), cfg);
+
+    EXPECT_EQ(idx.numClusters(), 16u);
+    EXPECT_EQ(idx.totalIds(), ds.size());
+
+    // Each id appears exactly once.
+    std::vector<int> seen(ds.size(), 0);
+    for (std::size_t c = 0; c < idx.numClusters(); ++c)
+        for (auto id : idx.cluster(c))
+            ++seen[id];
+    for (int s : seen)
+        EXPECT_EQ(s, 1);
+}
+
+TEST(InvertedFileIndex, CentroidNormsMatch)
+{
+    auto ds = smallDataset();
+    KMeansConfig cfg;
+    cfg.clusters = 8;
+    InvertedFileIndex idx(ds.vectors(), cfg);
+    for (std::size_t c = 0; c < idx.numClusters(); ++c) {
+        EXPECT_NEAR(idx.centroidNormsSq()[c],
+                    normSq(idx.centroids().row(c)), 1e-2);
+    }
+}
+
+TEST(InvertedFileIndex, PrebuiltAssignmentConstructor)
+{
+    Matrix cents(2, 2);
+    cents.at(0, 0) = 0;
+    cents.at(1, 0) = 10;
+    std::vector<std::uint32_t> assign{0, 1, 0, 1, 1};
+    InvertedFileIndex idx(std::move(cents), assign);
+    EXPECT_EQ(idx.cluster(0).size(), 2u);
+    EXPECT_EQ(idx.cluster(1).size(), 3u);
+    EXPECT_EQ(idx.totalIds(), 5u);
+    EXPECT_EQ(idx.maxClusterSize(), 3u);
+    EXPECT_EQ(idx.minClusterSize(), 2u);
+}
+
+TEST(InvertedFileIndex, MembersAreNearTheirCentroid)
+{
+    auto ds = smallDataset();
+    KMeansConfig cfg;
+    cfg.clusters = 8;
+    InvertedFileIndex idx(ds.vectors(), cfg);
+
+    for (std::size_t c = 0; c < idx.numClusters(); ++c) {
+        for (auto id : idx.cluster(c)) {
+            float own = l2sq(ds.vectors().row(id),
+                             idx.centroids().row(c));
+            for (std::size_t o = 0; o < idx.numClusters(); ++o) {
+                float other = l2sq(ds.vectors().row(id),
+                                   idx.centroids().row(o));
+                EXPECT_LE(own, other + 1e-3f);
+            }
+        }
+    }
+}

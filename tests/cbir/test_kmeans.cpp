@@ -1,0 +1,148 @@
+/** @file Unit + property tests for k-means clustering. */
+
+#include <gtest/gtest.h>
+
+#include "cbir/kmeans.hh"
+#include "sim/logging.hh"
+#include "workload/dataset.hh"
+
+using namespace reach;
+using namespace reach::cbir;
+
+namespace
+{
+
+Matrix
+wellSeparated(std::size_t per_cluster)
+{
+    // Three tight blobs at (0,0), (100,0), (0,100).
+    Matrix m(3 * per_cluster, 2);
+    sim::Rng rng(5);
+    const float cx[3] = {0, 100, 0};
+    const float cy[3] = {0, 0, 100};
+    for (std::size_t i = 0; i < m.rows(); ++i) {
+        std::size_t c = i % 3;
+        m.at(i, 0) = cx[c] + static_cast<float>(rng.nextGaussian());
+        m.at(i, 1) = cy[c] + static_cast<float>(rng.nextGaussian());
+    }
+    return m;
+}
+
+} // namespace
+
+TEST(KMeans, TooFewPointsIsFatal)
+{
+    Matrix pts(3, 2);
+    KMeansConfig cfg;
+    cfg.clusters = 5;
+    EXPECT_THROW(kMeans(pts, cfg), sim::SimFatal);
+}
+
+TEST(KMeans, FindsWellSeparatedClusters)
+{
+    Matrix pts = wellSeparated(60);
+    KMeansConfig cfg;
+    cfg.clusters = 3;
+    KMeansResult res = kMeans(pts, cfg);
+
+    // Every point near its centroid: inertia per point ~ 2 (unit
+    // gaussian in 2D), allow slack.
+    EXPECT_LT(res.inertia / pts.rows(), 6.0);
+
+    // Points of the same blob share an assignment.
+    for (std::size_t i = 3; i < pts.rows(); ++i)
+        EXPECT_EQ(res.assignment[i], res.assignment[i % 3]);
+}
+
+TEST(KMeans, AssignmentsConsistentWithNearestCentroid)
+{
+    Matrix pts = wellSeparated(40);
+    KMeansConfig cfg;
+    cfg.clusters = 3;
+    KMeansResult res = kMeans(pts, cfg);
+    for (std::size_t i = 0; i < pts.rows(); ++i) {
+        EXPECT_EQ(res.assignment[i],
+                  nearestCentroid(res.centroids, pts.row(i)));
+    }
+}
+
+TEST(KMeans, DeterministicForFixedSeed)
+{
+    Matrix pts = wellSeparated(40);
+    KMeansConfig cfg;
+    cfg.clusters = 3;
+    KMeansResult a = kMeans(pts, cfg);
+    KMeansResult b = kMeans(pts, cfg);
+    EXPECT_EQ(a.assignment, b.assignment);
+    EXPECT_DOUBLE_EQ(a.inertia, b.inertia);
+}
+
+TEST(KMeans, InertiaNotWorseThanSingleCluster)
+{
+    Matrix pts = wellSeparated(40);
+    KMeansConfig one;
+    one.clusters = 1;
+    KMeansConfig three;
+    three.clusters = 3;
+    EXPECT_LT(kMeans(pts, three).inertia, kMeans(pts, one).inertia);
+}
+
+TEST(KMeans, RespectsIterationCap)
+{
+    Matrix pts = wellSeparated(40);
+    KMeansConfig cfg;
+    cfg.clusters = 3;
+    cfg.maxIterations = 2;
+    KMeansResult res = kMeans(pts, cfg);
+    EXPECT_LE(res.iterations, 2u);
+}
+
+TEST(KMeans, ExactClusterCountEqualPoints)
+{
+    // clusters == points: every point is its own centroid.
+    Matrix pts(4, 2);
+    for (std::size_t i = 0; i < 4; ++i) {
+        pts.at(i, 0) = static_cast<float>(10 * i);
+        pts.at(i, 1) = 0;
+    }
+    KMeansConfig cfg;
+    cfg.clusters = 4;
+    KMeansResult res = kMeans(pts, cfg);
+    EXPECT_LT(res.inertia, 1e-6);
+}
+
+TEST(NearestCentroidTest, PicksClosest)
+{
+    Matrix cents(2, 1);
+    cents.at(0, 0) = 0;
+    cents.at(1, 0) = 10;
+    std::vector<float> v{7.0f};
+    EXPECT_EQ(nearestCentroid(cents, v), 1u);
+}
+
+/** Property: Lloyd iterations never increase inertia per point as
+ *  the cluster budget grows. */
+class KMeansBudget : public ::testing::TestWithParam<std::size_t>
+{
+};
+
+TEST_P(KMeansBudget, MoreClustersNoWorseInertia)
+{
+    workload::DatasetConfig dc;
+    dc.numVectors = 600;
+    dc.dim = 8;
+    dc.latentClusters = 12;
+    workload::Dataset ds(dc);
+
+    KMeansConfig small;
+    small.clusters = GetParam();
+    KMeansConfig big;
+    big.clusters = GetParam() * 2;
+
+    double si = kMeans(ds.vectors(), small).inertia;
+    double bi = kMeans(ds.vectors(), big).inertia;
+    EXPECT_LE(bi, si * 1.05); // small tolerance for local optima
+}
+
+INSTANTIATE_TEST_SUITE_P(Budgets, KMeansBudget,
+                         ::testing::Values(2, 4, 8, 16));

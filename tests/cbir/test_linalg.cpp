@@ -1,0 +1,153 @@
+/** @file Unit + property tests for the dense linear algebra kernels. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cbir/linalg.hh"
+#include "sim/logging.hh"
+#include "sim/rng.hh"
+
+using namespace reach;
+using namespace reach::cbir;
+
+TEST(Matrix, ShapeAndAccess)
+{
+    Matrix m(3, 4);
+    EXPECT_EQ(m.rows(), 3u);
+    EXPECT_EQ(m.cols(), 4u);
+    EXPECT_EQ(m.bytes(), 3u * 4 * sizeof(float));
+    m.at(2, 3) = 7.5f;
+    EXPECT_FLOAT_EQ(m.at(2, 3), 7.5f);
+    EXPECT_FLOAT_EQ(m.row(2)[3], 7.5f);
+}
+
+TEST(Dot, KnownValues)
+{
+    std::vector<float> a{1, 2, 3}, b{4, 5, 6};
+    EXPECT_FLOAT_EQ(dot(a, b), 32.0f);
+}
+
+TEST(Dot, MismatchedLengthsPanic)
+{
+    std::vector<float> a{1, 2}, b{1};
+    EXPECT_THROW(dot(a, b), sim::SimPanic);
+}
+
+TEST(L2Sq, KnownValues)
+{
+    std::vector<float> a{0, 0}, b{3, 4};
+    EXPECT_FLOAT_EQ(l2sq(a, b), 25.0f);
+}
+
+TEST(L2Sq, ZeroForIdenticalVectors)
+{
+    std::vector<float> a{1.5f, -2.5f, 0.25f};
+    EXPECT_FLOAT_EQ(l2sq(a, a), 0.0f);
+}
+
+TEST(NormSq, MatchesDotWithSelf)
+{
+    std::vector<float> a{1, -2, 3};
+    EXPECT_FLOAT_EQ(normSq(a), dot(a, a));
+}
+
+TEST(GemmNt, SmallKnownProduct)
+{
+    // A = [[1,2],[3,4]], B = [[5,6],[7,8]]; C = A * B^T.
+    Matrix a(2, 2), b(2, 2), c(2, 2);
+    a.at(0, 0) = 1; a.at(0, 1) = 2; a.at(1, 0) = 3; a.at(1, 1) = 4;
+    b.at(0, 0) = 5; b.at(0, 1) = 6; b.at(1, 0) = 7; b.at(1, 1) = 8;
+    gemmNt(a, b, c);
+    EXPECT_FLOAT_EQ(c.at(0, 0), 17.0f); // 1*5+2*6
+    EXPECT_FLOAT_EQ(c.at(0, 1), 23.0f); // 1*7+2*8
+    EXPECT_FLOAT_EQ(c.at(1, 0), 39.0f);
+    EXPECT_FLOAT_EQ(c.at(1, 1), 53.0f);
+}
+
+TEST(GemmNt, ShapeMismatchPanics)
+{
+    Matrix a(2, 3), b(2, 4), c(2, 2);
+    EXPECT_THROW(gemmNt(a, b, c), sim::SimPanic);
+    Matrix b2(5, 3), c2(2, 4);
+    EXPECT_THROW(gemmNt(a, b2, c2), sim::SimPanic);
+}
+
+TEST(GemmNt, MatchesNaiveOnRandomMatrices)
+{
+    sim::Rng rng(17);
+    Matrix a(37, 29), b(53, 29), c(37, 53);
+    for (auto &v : a.flat())
+        v = static_cast<float>(rng.nextGaussian());
+    for (auto &v : b.flat())
+        v = static_cast<float>(rng.nextGaussian());
+    gemmNt(a, b, c);
+    for (std::size_t i = 0; i < a.rows(); i += 7) {
+        for (std::size_t j = 0; j < b.rows(); j += 11) {
+            float ref = dot(a.row(i), b.row(j));
+            EXPECT_NEAR(c.at(i, j), ref, 1e-3f);
+        }
+    }
+}
+
+TEST(TopKMin, SelectsSmallestInOrder)
+{
+    std::vector<float> v{5, 1, 4, 2, 3};
+    auto idx = topKMin(v, 3);
+    ASSERT_EQ(idx.size(), 3u);
+    EXPECT_EQ(idx[0], 1u);
+    EXPECT_EQ(idx[1], 3u);
+    EXPECT_EQ(idx[2], 4u);
+}
+
+TEST(TopKMin, KLargerThanInputReturnsAll)
+{
+    std::vector<float> v{2, 1};
+    auto idx = topKMin(v, 10);
+    ASSERT_EQ(idx.size(), 2u);
+    EXPECT_EQ(idx[0], 1u);
+}
+
+TEST(TopKMin, TiesBrokenByLowerIndex)
+{
+    std::vector<float> v{1, 1, 1};
+    auto idx = topKMin(v, 2);
+    EXPECT_EQ(idx[0], 0u);
+    EXPECT_EQ(idx[1], 1u);
+}
+
+TEST(TopKMin, EmptyInput)
+{
+    std::vector<float> v;
+    EXPECT_TRUE(topKMin(v, 3).empty());
+}
+
+/** Property: topKMin agrees with full sort for random inputs. */
+class TopKProperty : public ::testing::TestWithParam<std::size_t>
+{
+};
+
+TEST_P(TopKProperty, MatchesFullSort)
+{
+    sim::Rng rng(GetParam());
+    std::vector<float> v(200);
+    for (auto &x : v)
+        x = static_cast<float>(rng.nextDouble());
+
+    std::size_t k = 1 + GetParam() % 50;
+    auto got = topKMin(v, k);
+
+    std::vector<std::uint32_t> all(v.size());
+    for (std::uint32_t i = 0; i < all.size(); ++i)
+        all[i] = i;
+    std::sort(all.begin(), all.end(), [&](auto x, auto y) {
+        if (v[x] != v[y])
+            return v[x] < v[y];
+        return x < y;
+    });
+    for (std::size_t i = 0; i < k; ++i)
+        EXPECT_EQ(got[i], all[i]);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TopKProperty,
+                         ::testing::Values(1, 5, 23, 42, 99));

@@ -1,0 +1,136 @@
+/** @file Unit tests for the functional CNN feature extractor. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cbir/mini_cnn.hh"
+#include "cbir/linalg.hh"
+#include "sim/logging.hh"
+
+using namespace reach;
+using namespace reach::cbir;
+
+TEST(MiniCnn, OutputDimensionMatchesConfig)
+{
+    MiniCnnConfig cfg;
+    cfg.featureDim = 48;
+    MiniCnn cnn(cfg);
+    Image img = makeSyntheticImage(0, 1);
+    auto feat = cnn.extract(img);
+    EXPECT_EQ(feat.size(), 48u);
+}
+
+TEST(MiniCnn, DeterministicExtraction)
+{
+    MiniCnn cnn;
+    Image img = makeSyntheticImage(3, 42);
+    auto a = cnn.extract(img);
+    auto b = cnn.extract(img);
+    EXPECT_EQ(a, b);
+}
+
+TEST(MiniCnn, WrongShapeIsFatal)
+{
+    MiniCnn cnn;
+    Image img = makeSyntheticImage(0, 1, 3, 16); // 16x16, expects 32
+    EXPECT_THROW(cnn.extract(img), sim::SimFatal);
+}
+
+TEST(MiniCnn, FeaturesNotAllZero)
+{
+    MiniCnn cnn;
+    Image img = makeSyntheticImage(1, 7);
+    auto feat = cnn.extract(img);
+    float mag = 0;
+    for (float f : feat)
+        mag += std::abs(f);
+    EXPECT_GT(mag, 0.0f);
+}
+
+TEST(MiniCnn, SameClassImagesCloserThanDifferentClass)
+{
+    // The whole point of CNN features: images of the same class map
+    // to nearby vectors.
+    MiniCnn cnn;
+    auto fa1 = cnn.extract(makeSyntheticImage(1, 100));
+    auto fa2 = cnn.extract(makeSyntheticImage(1, 200));
+    auto fb = cnn.extract(makeSyntheticImage(5, 300));
+
+    float same = l2sq(fa1, fa2);
+    float diff = l2sq(fa1, fb);
+    EXPECT_LT(same, diff);
+}
+
+TEST(MiniCnn, BatchMatchesIndividualExtraction)
+{
+    MiniCnn cnn;
+    std::vector<Image> imgs;
+    for (int i = 0; i < 4; ++i)
+        imgs.push_back(makeSyntheticImage(i, 50 + i));
+    Matrix batch = cnn.extractBatch(imgs);
+    ASSERT_EQ(batch.rows(), 4u);
+    for (std::size_t i = 0; i < 4; ++i) {
+        auto solo = cnn.extract(imgs[i]);
+        for (std::size_t d = 0; d < solo.size(); ++d)
+            EXPECT_FLOAT_EQ(batch.at(i, d), solo[d]);
+    }
+}
+
+TEST(MiniCnn, WeightBytesPositive)
+{
+    MiniCnn cnn;
+    EXPECT_GT(cnn.weightBytes(), 1000u);
+}
+
+TEST(SyntheticImage, DeterministicPerSeed)
+{
+    Image a = makeSyntheticImage(2, 9);
+    Image b = makeSyntheticImage(2, 9);
+    EXPECT_EQ(a.pixels, b.pixels);
+    Image c = makeSyntheticImage(2, 10);
+    EXPECT_NE(a.pixels, c.pixels);
+}
+
+/** Retrieval property over classes, parameterized by class count. */
+class MiniCnnRetrieval : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(MiniCnnRetrieval, NearestNeighborIsSameClassMostly)
+{
+    MiniCnn cnn;
+    const int classes = GetParam();
+    const int per_class = 4;
+    std::vector<Image> imgs;
+    std::vector<int> labels;
+    for (int c = 0; c < classes; ++c) {
+        for (int i = 0; i < per_class; ++i) {
+            imgs.push_back(
+                makeSyntheticImage(static_cast<std::uint32_t>(c),
+                                   1000 + c * 17 + i));
+            labels.push_back(c);
+        }
+    }
+    Matrix feats = cnn.extractBatch(imgs);
+
+    int correct = 0;
+    for (std::size_t q = 0; q < imgs.size(); ++q) {
+        float best = 1e30f;
+        std::size_t who = 0;
+        for (std::size_t i = 0; i < imgs.size(); ++i) {
+            if (i == q)
+                continue;
+            float d = l2sq(feats.row(q), feats.row(i));
+            if (d < best) {
+                best = d;
+                who = i;
+            }
+        }
+        correct += (labels[who] == labels[q]);
+    }
+    EXPECT_GT(static_cast<double>(correct) / imgs.size(), 0.7);
+}
+
+INSTANTIATE_TEST_SUITE_P(ClassCounts, MiniCnnRetrieval,
+                         ::testing::Values(3, 6));

@@ -1,0 +1,154 @@
+/** @file Unit tests for PCA compression. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cbir/pca.hh"
+#include "sim/logging.hh"
+#include "sim/rng.hh"
+
+using namespace reach;
+using namespace reach::cbir;
+
+namespace
+{
+
+/** Samples stretched along a known direction. */
+Matrix
+anisotropic(std::size_t n, std::size_t d, std::size_t axis,
+            double stretch)
+{
+    sim::Rng rng(13);
+    Matrix m(n, d);
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j < d; ++j) {
+            double scale = (j == axis) ? stretch : 1.0;
+            m.at(i, j) =
+                static_cast<float>(rng.nextGaussian() * scale);
+        }
+    }
+    return m;
+}
+
+} // namespace
+
+TEST(Pca, RejectsBadShapes)
+{
+    Matrix m(10, 4);
+    EXPECT_THROW(Pca(m, 5), sim::SimFatal);
+    Matrix one(1, 4);
+    EXPECT_THROW(Pca(one, 2), sim::SimFatal);
+}
+
+TEST(Pca, FindsDominantDirection)
+{
+    Matrix samples = anisotropic(500, 6, 2, 10.0);
+    Pca pca(samples, 1);
+    auto dir = pca.components_().row(0);
+    // The first component should be (close to) +/- e2.
+    EXPECT_GT(std::abs(dir[2]), 0.95f);
+}
+
+TEST(Pca, EigenvaluesDescending)
+{
+    Matrix samples = anisotropic(500, 8, 0, 5.0);
+    Pca pca(samples, 4);
+    const auto &ev = pca.explainedVariance();
+    for (std::size_t i = 1; i < ev.size(); ++i)
+        EXPECT_LE(ev[i], ev[i - 1] * 1.01);
+}
+
+TEST(Pca, ComponentsAreUnitNorm)
+{
+    Matrix samples = anisotropic(300, 8, 1, 4.0);
+    Pca pca(samples, 3);
+    for (std::size_t c = 0; c < 3; ++c) {
+        EXPECT_NEAR(normSq(pca.components_().row(c)), 1.0f, 1e-3f);
+    }
+}
+
+TEST(Pca, ComponentsAreOrthogonal)
+{
+    Matrix samples = anisotropic(300, 8, 1, 4.0);
+    Pca pca(samples, 3);
+    for (std::size_t a = 0; a < 3; ++a) {
+        for (std::size_t b = a + 1; b < 3; ++b) {
+            EXPECT_NEAR(dot(pca.components_().row(a),
+                            pca.components_().row(b)),
+                        0.0f, 0.05f);
+        }
+    }
+}
+
+TEST(Pca, TransformShape)
+{
+    Matrix samples = anisotropic(200, 10, 0, 3.0);
+    Pca pca(samples, 4);
+    Matrix out = pca.transform(samples);
+    EXPECT_EQ(out.rows(), 200u);
+    EXPECT_EQ(out.cols(), 4u);
+}
+
+TEST(Pca, TransformRejectsWrongDim)
+{
+    Matrix samples = anisotropic(200, 10, 0, 3.0);
+    Pca pca(samples, 4);
+    Matrix wrong(5, 7);
+    EXPECT_THROW(pca.transform(wrong), sim::SimFatal);
+}
+
+TEST(Pca, ProjectionPreservesDominantVariance)
+{
+    Matrix samples = anisotropic(600, 12, 3, 8.0);
+    Pca pca(samples, 2);
+    Matrix out = pca.transform(samples);
+
+    // Variance along first projected coordinate should be close to
+    // the stretched axis variance (64).
+    double sum = 0, sq = 0;
+    for (std::size_t i = 0; i < out.rows(); ++i) {
+        sum += out.at(i, 0);
+        sq += static_cast<double>(out.at(i, 0)) * out.at(i, 0);
+    }
+    double mean = sum / out.rows();
+    double var = sq / out.rows() - mean * mean;
+    EXPECT_GT(var, 40.0);
+}
+
+TEST(Pca, NeighborhoodsRoughlyPreserved)
+{
+    // PCA to a generous dimension keeps close pairs close: the
+    // property CBIR relies on when compressing features to D=96.
+    Matrix samples = anisotropic(100, 16, 0, 6.0);
+    Pca pca(samples, 8);
+    Matrix proj = pca.transform(samples);
+
+    int agree = 0;
+    const int trials = 50;
+    for (int t = 0; t < trials; ++t) {
+        std::size_t q = static_cast<std::size_t>(t) % samples.rows();
+        // Nearest neighbour in original space.
+        std::size_t best_o = q == 0 ? 1 : 0;
+        float bd = 1e30f;
+        for (std::size_t i = 0; i < samples.rows(); ++i) {
+            if (i == q)
+                continue;
+            float d = l2sq(samples.row(q), samples.row(i));
+            if (d < bd) {
+                bd = d;
+                best_o = i;
+            }
+        }
+        // Rank of that neighbour in projected space must be small.
+        float dq = l2sq(proj.row(q), proj.row(best_o));
+        int rank = 0;
+        for (std::size_t i = 0; i < proj.rows(); ++i) {
+            if (i != q && l2sq(proj.row(q), proj.row(i)) < dq)
+                ++rank;
+        }
+        if (rank <= 5)
+            ++agree;
+    }
+    EXPECT_GT(agree, trials / 2);
+}

@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Tests for rerank / brute force / recall: exactness of the KNN
+ * selection, candidate budget semantics, and the recall@K metric
+ * including the pruning-vs-recall tradeoff the paper motivates.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/logging.hh"
+#include "cbir/rerank.hh"
+#include "workload/dataset.hh"
+
+using namespace reach;
+using namespace reach::cbir;
+
+namespace
+{
+
+struct RerankFixture : ::testing::Test
+{
+    void
+    SetUp() override
+    {
+        workload::DatasetConfig dc;
+        dc.numVectors = 1200;
+        dc.dim = 16;
+        dc.latentClusters = 15;
+        ds = std::make_unique<workload::Dataset>(dc);
+
+        KMeansConfig kc;
+        kc.clusters = 24;
+        idx = std::make_unique<InvertedFileIndex>(ds->vectors(), kc);
+
+        queries = ds->makeQueries(10, 0.05, 31);
+        lists = shortlistRetrieve(queries, *idx, 6);
+    }
+
+    std::unique_ptr<workload::Dataset> ds;
+    std::unique_ptr<InvertedFileIndex> idx;
+    Matrix queries;
+    ShortLists lists;
+};
+
+} // namespace
+
+TEST_F(RerankFixture, ResultsSortedByDistance)
+{
+    RerankConfig cfg;
+    cfg.k = 8;
+    auto res = rerank(queries, ds->vectors(), *idx, lists, cfg);
+    for (const auto &nbrs : res) {
+        for (std::size_t i = 1; i < nbrs.size(); ++i)
+            EXPECT_GE(nbrs[i].distSq, nbrs[i - 1].distSq);
+    }
+}
+
+TEST_F(RerankFixture, DistancesAreExact)
+{
+    RerankConfig cfg;
+    cfg.k = 5;
+    auto res = rerank(queries, ds->vectors(), *idx, lists, cfg);
+    for (std::size_t q = 0; q < res.size(); ++q) {
+        for (const auto &n : res[q]) {
+            EXPECT_FLOAT_EQ(
+                n.distSq,
+                l2sq(queries.row(q), ds->vectors().row(n.id)));
+        }
+    }
+}
+
+TEST_F(RerankFixture, BruteForceIsGroundTruth)
+{
+    auto truth = bruteForce(queries, ds->vectors(), 5);
+    for (std::size_t q = 0; q < truth.size(); ++q) {
+        // No database point may be closer than the reported 1st NN.
+        for (std::size_t i = 0; i < ds->size(); ++i) {
+            EXPECT_GE(l2sq(queries.row(q), ds->vectors().row(i)),
+                      truth[q][0].distSq - 1e-4f);
+        }
+    }
+}
+
+TEST_F(RerankFixture, CandidateBudgetRespected)
+{
+    // With a candidate budget smaller than K, fewer results return.
+    RerankConfig tight;
+    tight.k = 10;
+    tight.maxCandidates = 4;
+    auto res = rerank(queries, ds->vectors(), *idx, lists, tight);
+    for (const auto &nbrs : res)
+        EXPECT_LE(nbrs.size(), 4u);
+}
+
+TEST_F(RerankFixture, UnlimitedBudgetSearchesWholeShortlist)
+{
+    RerankConfig cfg;
+    cfg.k = 3;
+    cfg.maxCandidates = 0;
+    auto res = rerank(queries, ds->vectors(), *idx, lists, cfg);
+    for (const auto &nbrs : res)
+        EXPECT_EQ(nbrs.size(), 3u);
+}
+
+TEST_F(RerankFixture, MismatchedListsPanic)
+{
+    RerankConfig cfg;
+    ShortLists wrong(queries.rows() + 1);
+    EXPECT_THROW(rerank(queries, ds->vectors(), *idx, wrong, cfg),
+                 sim::SimPanic);
+}
+
+TEST_F(RerankFixture, HighNprobeRecallNearOne)
+{
+    // Probing every cluster must reproduce brute force exactly.
+    auto all_lists =
+        shortlistRetrieve(queries, *idx, idx->numClusters());
+    RerankConfig cfg;
+    cfg.k = 10;
+    cfg.maxCandidates = 0;
+    auto res = rerank(queries, ds->vectors(), *idx, all_lists, cfg);
+    auto truth = bruteForce(queries, ds->vectors(), 10);
+    EXPECT_DOUBLE_EQ(recallAtK(res, truth, 10), 1.0);
+}
+
+TEST_F(RerankFixture, RecallImprovesWithNprobe)
+{
+    RerankConfig cfg;
+    cfg.k = 10;
+    cfg.maxCandidates = 0;
+    auto truth = bruteForce(queries, ds->vectors(), 10);
+
+    double prev = -1;
+    for (std::size_t nprobe : {1u, 4u, 12u, 24u}) {
+        auto l = shortlistRetrieve(queries, *idx, nprobe);
+        auto res = rerank(queries, ds->vectors(), *idx, l, cfg);
+        double r = recallAtK(res, truth, 10);
+        EXPECT_GE(r, prev - 0.05); // essentially monotone
+        prev = r;
+    }
+    EXPECT_GT(prev, 0.9);
+}
+
+TEST(RecallMetric, IdenticalResultsGiveOne)
+{
+    RerankResults a{{{1, 0.1f}, {2, 0.2f}}};
+    EXPECT_DOUBLE_EQ(recallAtK(a, a, 2), 1.0);
+}
+
+TEST(RecallMetric, DisjointResultsGiveZero)
+{
+    RerankResults got{{{1, 0.1f}, {2, 0.2f}}};
+    RerankResults truth{{{3, 0.1f}, {4, 0.2f}}};
+    EXPECT_DOUBLE_EQ(recallAtK(got, truth, 2), 0.0);
+}
+
+TEST(RecallMetric, PartialOverlap)
+{
+    RerankResults got{{{1, 0.1f}, {2, 0.2f}}};
+    RerankResults truth{{{1, 0.1f}, {9, 0.2f}}};
+    EXPECT_DOUBLE_EQ(recallAtK(got, truth, 2), 0.5);
+}
+
+TEST(RecallMetric, BatchSizeMismatchPanics)
+{
+    RerankResults a(2), b(3);
+    EXPECT_THROW(recallAtK(a, b, 1), sim::SimPanic);
+}

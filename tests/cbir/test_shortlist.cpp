@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Tests for short-list retrieval: the Eq. 1 GEMM decomposition must
+ * match direct distance evaluation, and short-lists must rank
+ * clusters correctly.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cbir/shortlist.hh"
+#include "workload/dataset.hh"
+
+using namespace reach;
+using namespace reach::cbir;
+
+namespace
+{
+
+struct ShortlistFixture : ::testing::Test
+{
+    void
+    SetUp() override
+    {
+        workload::DatasetConfig dc;
+        dc.numVectors = 800;
+        dc.dim = 16;
+        dc.latentClusters = 12;
+        ds = std::make_unique<workload::Dataset>(dc);
+
+        KMeansConfig kc;
+        kc.clusters = 20;
+        idx = std::make_unique<InvertedFileIndex>(ds->vectors(), kc);
+
+        queries = ds->makeQueries(12, 0.05, 777);
+    }
+
+    std::unique_ptr<workload::Dataset> ds;
+    std::unique_ptr<InvertedFileIndex> idx;
+    Matrix queries;
+};
+
+} // namespace
+
+TEST_F(ShortlistFixture, DecompositionMatchesReference)
+{
+    // Eq. 1: ||q||^2 + ||C||^2 - 2<q,C> must select the same
+    // clusters as direct Eq. 2 evaluation.
+    auto fast = shortlistRetrieve(queries, *idx, 5);
+    auto ref = shortlistReference(queries, *idx, 5);
+    ASSERT_EQ(fast.size(), ref.size());
+    for (std::size_t q = 0; q < fast.size(); ++q)
+        EXPECT_EQ(fast[q], ref[q]) << "query " << q;
+}
+
+TEST_F(ShortlistFixture, ReturnsRequestedProbeCount)
+{
+    auto lists = shortlistRetrieve(queries, *idx, 7);
+    for (const auto &l : lists)
+        EXPECT_EQ(l.size(), 7u);
+}
+
+TEST_F(ShortlistFixture, NprobeLargerThanClustersClamps)
+{
+    auto lists = shortlistRetrieve(queries, *idx, 100);
+    for (const auto &l : lists)
+        EXPECT_EQ(l.size(), idx->numClusters());
+}
+
+TEST_F(ShortlistFixture, FirstClusterIsNearest)
+{
+    auto lists = shortlistRetrieve(queries, *idx, 3);
+    for (std::size_t q = 0; q < queries.rows(); ++q) {
+        std::uint32_t nearest =
+            nearestCentroid(idx->centroids(), queries.row(q));
+        EXPECT_EQ(lists[q][0], nearest);
+    }
+}
+
+TEST_F(ShortlistFixture, ClustersOrderedByDistance)
+{
+    auto lists = shortlistRetrieve(queries, *idx, 6);
+    for (std::size_t q = 0; q < queries.rows(); ++q) {
+        float prev = -1;
+        for (auto c : lists[q]) {
+            float d = l2sq(queries.row(q), idx->centroids().row(c));
+            EXPECT_GE(d, prev - 1e-3f);
+            prev = d;
+        }
+    }
+}
+
+TEST_F(ShortlistFixture, NoDuplicateClustersInList)
+{
+    auto lists = shortlistRetrieve(queries, *idx, 8);
+    for (const auto &l : lists) {
+        std::set<std::uint32_t> s(l.begin(), l.end());
+        EXPECT_EQ(s.size(), l.size());
+    }
+}

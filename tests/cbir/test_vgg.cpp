@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Tests that the VGG16 descriptors reproduce the paper's Table I
+ * footprints (~552 MB raw parameters, 11.3 MB compressed) and the
+ * network's published MAC count (~15.5 GMACs at 224x224).
+ */
+
+#include <gtest/gtest.h>
+
+#include "cbir/vgg.hh"
+
+using namespace reach::cbir;
+
+TEST(Vgg16, HasSixteenWeightLayers)
+{
+    int weighted = 0;
+    for (const auto &l : vgg16Layers())
+        weighted += (l.kind != LayerKind::Pool);
+    EXPECT_EQ(weighted, 16);
+}
+
+TEST(Vgg16, TotalMacsAroundFifteenPointFiveG)
+{
+    double g = vgg16TotalMacs() / 1e9;
+    EXPECT_GT(g, 15.0);
+    EXPECT_LT(g, 16.0);
+}
+
+TEST(Vgg16, RawWeightsMatchTableOne)
+{
+    // Table I: 552 MB float32 parameters.
+    double mb = static_cast<double>(vgg16WeightBytes()) / 1e6;
+    EXPECT_GT(mb, 540.0);
+    EXPECT_LT(mb, 565.0);
+}
+
+TEST(Vgg16, CompressedWeightsMatchTableOne)
+{
+    EXPECT_EQ(vgg16CompressedWeightBytes(), 11'300'000u);
+}
+
+TEST(Vgg16, FcLayersDominateWeights)
+{
+    std::uint64_t fc = 0, conv = 0;
+    for (const auto &l : vgg16Layers()) {
+        if (l.kind == LayerKind::FullyConnected)
+            fc += l.weightBytes();
+        else
+            conv += l.weightBytes();
+    }
+    EXPECT_GT(fc, conv); // VGG16's fc6 alone is ~400 MB
+}
+
+TEST(Vgg16, ConvLayersDominateMacs)
+{
+    double fc = 0, conv = 0;
+    for (const auto &l : vgg16Layers()) {
+        if (l.kind == LayerKind::FullyConnected)
+            fc += l.macs();
+        else
+            conv += l.macs();
+    }
+    EXPECT_GT(conv, 10 * fc);
+}
+
+TEST(Vgg16, SpatialDimsShrinkMonotonically)
+{
+    std::uint32_t prev = 224;
+    for (const auto &l : vgg16Layers()) {
+        EXPECT_LE(l.outH, prev);
+        prev = l.outH;
+    }
+    EXPECT_EQ(vgg16Layers().back().outH, 1u);
+}
+
+TEST(Vgg16, PoolLayersHalveResolution)
+{
+    for (const auto &l : vgg16Layers()) {
+        if (l.kind == LayerKind::Pool) {
+            EXPECT_EQ(l.outH * 2, l.inH);
+            EXPECT_EQ(l.outW * 2, l.inW);
+            EXPECT_EQ(l.outChannels, l.inChannels);
+            EXPECT_DOUBLE_EQ(l.macs(), 0.0);
+        }
+    }
+}
+
+TEST(Vgg16, LayerChainIsConsistent)
+{
+    const auto &layers = vgg16Layers();
+    for (std::size_t i = 1; i < layers.size(); ++i) {
+        if (layers[i].kind == LayerKind::FullyConnected &&
+            layers[i - 1].kind == LayerKind::FullyConnected) {
+            EXPECT_EQ(layers[i].inChannels, layers[i - 1].outChannels);
+            continue;
+        }
+        if (layers[i].kind == LayerKind::FullyConnected)
+            continue; // flattening transition checked via fc6 dims
+        EXPECT_EQ(layers[i].inChannels, layers[i - 1].outChannels)
+            << layers[i].name;
+        EXPECT_EQ(layers[i].inH, layers[i - 1].outH) << layers[i].name;
+    }
+}
+
+TEST(Vgg16, ActivationBytesReasonable)
+{
+    // conv1_1 output: 64 x 224 x 224 floats = ~12.8 MB.
+    const auto &l = vgg16Layers().front();
+    EXPECT_EQ(l.activationBytes(), std::uint64_t(4) * 64 * 224 * 224);
+}

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Tests that the workload model reproduces Table I and produces
+ * consistent, partition-scalable work units.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cbir/workload_model.hh"
+
+using namespace reach;
+using namespace reach::cbir;
+
+namespace
+{
+
+ScaleConfig
+paperScale()
+{
+    return ScaleConfig{}; // defaults = paper setup
+}
+
+} // namespace
+
+TEST(WorkloadModel, TableOneFootprints)
+{
+    CbirWorkloadModel m(paperScale());
+    // Model parameters: 11.3 MB compressed.
+    EXPECT_EQ(m.modelParamBytes(), 11'300'000u);
+    // Centroids + cell info: ~2.2 GB.
+    EXPECT_NEAR(static_cast<double>(m.centroidAndCellBytes()) / 1e9,
+                2.2, 0.1);
+    // Feature database: ~384 GB decimal (355 GiB in Table I).
+    EXPECT_NEAR(static_cast<double>(m.databaseBytes()) / 1e9, 384.0,
+                1.0);
+}
+
+TEST(WorkloadModel, UncompressedModelIs552MB)
+{
+    ScaleConfig s = paperScale();
+    s.compressedModel = false;
+    CbirWorkloadModel m(s);
+    EXPECT_NEAR(static_cast<double>(m.modelParamBytes()) / 1e6, 552.0,
+                12.0);
+}
+
+TEST(WorkloadModel, FeatureExtractionBatchedVsSingle)
+{
+    CbirWorkloadModel m(paperScale());
+    auto batch = m.featureExtractionBatch();
+    auto single = m.featureExtractionSingle();
+
+    EXPECT_NEAR(batch.ops, single.ops * 16, single.ops * 0.01);
+    EXPECT_EQ(batch.bytesIn, single.bytesIn * 16);
+    // Parameters are duplicated per instance, not split.
+    EXPECT_EQ(batch.paramBytes, single.paramBytes);
+    EXPECT_TRUE(batch.inputResident);
+    EXPECT_FALSE(single.inputResident);
+}
+
+TEST(WorkloadModel, PrunedMacsScaleWithFraction)
+{
+    ScaleConfig dense = paperScale();
+    dense.compressedModel = false;
+    ScaleConfig pruned = paperScale();
+    CbirWorkloadModel dm(dense), pm(pruned);
+    EXPECT_NEAR(pm.featureExtractionSingle().ops,
+                dm.featureExtractionSingle().ops *
+                    pruned.prunedMacFraction,
+                1e6);
+}
+
+TEST(WorkloadModel, ShortlistPartitionsDivideTraffic)
+{
+    CbirWorkloadModel m(paperScale());
+    auto whole = m.shortlistBatch(1);
+    auto quarter = m.shortlistBatch(4);
+    EXPECT_NEAR(static_cast<double>(quarter.bytesIn),
+                static_cast<double>(whole.bytesIn) / 4,
+                static_cast<double>(whole.bytesIn) * 0.01);
+    EXPECT_NEAR(quarter.ops, whole.ops / 4, whole.ops * 0.01);
+}
+
+TEST(WorkloadModel, ShortlistIsCellInfoDominated)
+{
+    CbirWorkloadModel m(paperScale());
+    auto w = m.shortlistBatch(1);
+    // Cell-info scan traffic dwarfs the centroid matrix (Table I's
+    // "memory-bound" classification).
+    std::uint64_t centroid_bytes = 1000ull * 96 * 4;
+    EXPECT_GT(w.bytesIn, 100 * centroid_bytes);
+}
+
+TEST(WorkloadModel, RerankTrafficIsPageGranular)
+{
+    CbirWorkloadModel m(paperScale());
+    auto w = m.rerankBatch(1);
+    EXPECT_EQ(w.bytesIn,
+              std::uint64_t(16) * 4096 * 4096); // B*cands*page
+}
+
+TEST(WorkloadModel, RerankComputeLight)
+{
+    CbirWorkloadModel m(paperScale());
+    auto rr = m.rerankBatch(1);
+    auto fe = m.featureExtractionBatch();
+    // Table I: rerank is "Low" compute, feature extraction "High".
+    EXPECT_LT(rr.ops, fe.ops / 100);
+}
+
+TEST(WorkloadModel, ZeroPartitionsTreatedAsOne)
+{
+    CbirWorkloadModel m(paperScale());
+    EXPECT_EQ(m.shortlistBatch(0).bytesIn, m.shortlistBatch(1).bytesIn);
+    EXPECT_EQ(m.rerankBatch(0).bytesIn, m.rerankBatch(1).bytesIn);
+}
+
+TEST(WorkloadModel, ClusterSizeIsDatabaseOverCentroids)
+{
+    CbirWorkloadModel m(paperScale());
+    EXPECT_EQ(m.clusterSizeIds(), 1'000'000'000u / 1000u);
+}
+
+/** Property: all work units scale sanely across partition counts. */
+class WorkloadPartitions : public ::testing::TestWithParam<std::uint32_t>
+{
+};
+
+TEST_P(WorkloadPartitions, ConservationAcrossPartitions)
+{
+    std::uint32_t p = GetParam();
+    CbirWorkloadModel m(paperScale());
+
+    auto sl = m.shortlistBatch(p);
+    auto rr = m.rerankBatch(p);
+    auto sl1 = m.shortlistBatch(1);
+    auto rr1 = m.rerankBatch(1);
+
+    EXPECT_NEAR(static_cast<double>(sl.bytesIn) * p,
+                static_cast<double>(sl1.bytesIn),
+                static_cast<double>(sl1.bytesIn) * 0.02);
+    EXPECT_NEAR(static_cast<double>(rr.bytesIn) * p,
+                static_cast<double>(rr1.bytesIn),
+                static_cast<double>(rr1.bytesIn) * 0.02);
+}
+
+INSTANTIATE_TEST_SUITE_P(Partitions, WorkloadPartitions,
+                         ::testing::Values(1, 2, 4, 8, 16));

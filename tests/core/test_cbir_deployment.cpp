@@ -1,0 +1,289 @@
+/**
+ * @file
+ * Tests of the CBIR deployment layer: the four mappings build valid
+ * job graphs, run to completion, and reproduce the paper's ordering
+ * relations (ReACH fastest, proper scaling behaviour).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/cbir_deployment.hh"
+#include "sim/logging.hh"
+
+using namespace reach;
+using namespace reach::core;
+
+namespace
+{
+
+cbir::CbirWorkloadModel
+paperModel()
+{
+    return cbir::CbirWorkloadModel(cbir::ScaleConfig{});
+}
+
+RunResult
+runMapping(Mapping m, std::uint32_t batches,
+           std::uint32_t instances = 0)
+{
+    ReachSystem sys{SystemConfig{}};
+    CbirDeployment dep(sys, paperModel(), m, instances);
+    return dep.run(batches);
+}
+
+} // namespace
+
+TEST(CbirDeployment, MappingNamesDistinct)
+{
+    EXPECT_STRNE(mappingName(Mapping::OnChipOnly),
+                 mappingName(Mapping::Reach));
+    EXPECT_STRNE(mappingName(Mapping::NearMemOnly),
+                 mappingName(Mapping::NearStorOnly));
+}
+
+TEST(CbirDeployment, JobGraphShapeOnChip)
+{
+    ReachSystem sys{SystemConfig{}};
+    CbirDeployment dep(sys, paperModel(), Mapping::OnChipOnly);
+    auto job = dep.makeBatchJob(0, nullptr);
+    // 3 stages, one task each.
+    EXPECT_EQ(job.tasks.size(), 3u);
+    EXPECT_TRUE(job.tasks[1].deps == std::vector<std::size_t>{0});
+    EXPECT_TRUE(job.tasks[2].deps == std::vector<std::size_t>{1});
+}
+
+TEST(CbirDeployment, JobGraphShapeReach)
+{
+    ReachSystem sys{SystemConfig{}};
+    CbirDeployment dep(sys, paperModel(), Mapping::Reach);
+    auto job = dep.makeBatchJob(0, nullptr);
+    // 1 FE + 4 shortlist + 1 AIMbus merge + 4 rerank.
+    EXPECT_EQ(job.tasks.size(), 10u);
+    // All shortlist tasks depend on the FE task.
+    for (std::size_t i = 1; i <= 4; ++i) {
+        EXPECT_EQ(job.tasks[i].level, acc::Level::NearMem);
+        EXPECT_TRUE(job.tasks[i].deps == std::vector<std::size_t>{0});
+    }
+    // The merge collects the four partial short-lists.
+    EXPECT_EQ(job.tasks[5].level, acc::Level::NearMem);
+    EXPECT_EQ(job.tasks[5].deps.size(), 4u);
+    // Rerank tasks depend on the merged list only.
+    for (std::size_t i = 6; i <= 9; ++i) {
+        EXPECT_EQ(job.tasks[i].level, acc::Level::NearStor);
+        EXPECT_TRUE(job.tasks[i].deps == std::vector<std::size_t>{5});
+    }
+}
+
+TEST(CbirDeployment, JobGraphShapeNearData)
+{
+    ReachSystem sys{SystemConfig{}};
+    CbirDeployment dep(sys, paperModel(), Mapping::NearMemOnly, 4);
+    auto job = dep.makeBatchJob(0, nullptr);
+    // 16 single-image FE + 4 shortlist + 1 merge + 4 rerank.
+    EXPECT_EQ(job.tasks.size(), 25u);
+    for (std::size_t i = 0; i < 16; ++i)
+        EXPECT_EQ(job.tasks[i].level, acc::Level::NearMem);
+}
+
+TEST(CbirDeployment, ShortlistMergeUsesTheAimBus)
+{
+    // The partial top-nprobe exchange between AIM modules travels
+    // over the AIMbus (paper Fig. 3).
+    ReachSystem sys{SystemConfig{}};
+    CbirDeployment dep(sys, paperModel(), Mapping::Reach);
+    dep.run(2);
+    EXPECT_GT(sys.aimBusLink().bytesMoved(), 0u);
+}
+
+TEST(CbirDeployment, AllMappingsComplete)
+{
+    for (Mapping m :
+         {Mapping::OnChipOnly, Mapping::NearMemOnly,
+          Mapping::NearStorOnly, Mapping::Reach}) {
+        RunResult r = runMapping(m, 3);
+        EXPECT_EQ(r.batches, 3u) << mappingName(m);
+        EXPECT_GT(r.makespan, 0u) << mappingName(m);
+        EXPECT_GT(r.meanLatency, 0u) << mappingName(m);
+        EXPECT_GE(r.maxLatency, r.meanLatency) << mappingName(m);
+    }
+}
+
+TEST(CbirDeployment, ZeroBatchesIsNoOp)
+{
+    RunResult r = runMapping(Mapping::OnChipOnly, 0);
+    EXPECT_EQ(r.batches, 0u);
+    EXPECT_EQ(r.makespan, 0u);
+}
+
+TEST(CbirDeployment, ReachBeatsEveryOtherMappingOnThroughput)
+{
+    RunResult oc = runMapping(Mapping::OnChipOnly, 8);
+    RunResult nm = runMapping(Mapping::NearMemOnly, 8);
+    RunResult ns = runMapping(Mapping::NearStorOnly, 8);
+    RunResult rc = runMapping(Mapping::Reach, 8);
+
+    EXPECT_GT(rc.throughputBatchesPerSec(),
+              oc.throughputBatchesPerSec());
+    EXPECT_GT(rc.throughputBatchesPerSec(),
+              nm.throughputBatchesPerSec());
+    EXPECT_GT(rc.throughputBatchesPerSec(),
+              ns.throughputBatchesPerSec());
+}
+
+TEST(CbirDeployment, HeadlineThroughputGainNearPaper)
+{
+    // Paper: 4.5x throughput vs on-chip. Accept 3.5-6x.
+    RunResult oc = runMapping(Mapping::OnChipOnly, 10);
+    RunResult rc = runMapping(Mapping::Reach, 10);
+    double gain = rc.throughputBatchesPerSec() /
+                  oc.throughputBatchesPerSec();
+    EXPECT_GT(gain, 3.5);
+    EXPECT_LT(gain, 6.0);
+}
+
+TEST(CbirDeployment, HeadlineLatencyGainNearPaper)
+{
+    // Paper: 2.2x query-response latency improvement. Accept 1.6-3x.
+    RunResult oc = runMapping(Mapping::OnChipOnly, 1);
+    RunResult rc = runMapping(Mapping::Reach, 1);
+    double gain = static_cast<double>(oc.meanLatency) /
+                  static_cast<double>(rc.meanLatency);
+    EXPECT_GT(gain, 1.6);
+    EXPECT_LT(gain, 3.0);
+}
+
+TEST(CbirDeployment, HeadlineEnergyReductionNearPaper)
+{
+    // Paper: 52% energy reduction. Accept 40-65%.
+    ReachSystem sys_oc{SystemConfig{}};
+    CbirDeployment oc(sys_oc, paperModel(), Mapping::OnChipOnly);
+    oc.run(8);
+    double e_oc = sys_oc.measureEnergy().total();
+
+    ReachSystem sys_rc{SystemConfig{}};
+    CbirDeployment rc(sys_rc, paperModel(), Mapping::Reach);
+    rc.run(8);
+    double e_rc = sys_rc.measureEnergy().total();
+
+    double reduction = 1.0 - e_rc / e_oc;
+    EXPECT_GT(reduction, 0.40);
+    EXPECT_LT(reduction, 0.65);
+}
+
+TEST(CbirDeployment, NearDataScalingImprovesWithInstances)
+{
+    // Fig 12: 4 instances beat 1 instance end-to-end.
+    RunResult one = runMapping(Mapping::NearMemOnly, 4, 1);
+    RunResult four = runMapping(Mapping::NearMemOnly, 4, 4);
+    EXPECT_GT(four.throughputBatchesPerSec(),
+              one.throughputBatchesPerSec());
+
+    RunResult ns1 = runMapping(Mapping::NearStorOnly, 4, 1);
+    RunResult ns4 = runMapping(Mapping::NearStorOnly, 4, 4);
+    EXPECT_GT(ns4.throughputBatchesPerSec(),
+              ns1.throughputBatchesPerSec());
+}
+
+TEST(CbirDeployment, SingleNearDataInstanceWorseThanOnChip)
+{
+    // Section VI-C: "on-chip performs better" vs single instances.
+    RunResult oc = runMapping(Mapping::OnChipOnly, 4);
+    RunResult nm1 = runMapping(Mapping::NearMemOnly, 4, 1);
+    RunResult ns1 = runMapping(Mapping::NearStorOnly, 4, 1);
+    EXPECT_GT(oc.throughputBatchesPerSec(),
+              nm1.throughputBatchesPerSec());
+    EXPECT_GT(oc.throughputBatchesPerSec(),
+              ns1.throughputBatchesPerSec());
+}
+
+TEST(CbirDeployment, TooManyInstancesIsFatal)
+{
+    ReachSystem sys{SystemConfig{}};
+    EXPECT_THROW(
+        CbirDeployment(sys, paperModel(), Mapping::NearMemOnly, 99),
+        sim::SimFatal);
+}
+
+TEST(CbirDeployment, ReachNeedsOnChip)
+{
+    SystemConfig cfg;
+    cfg.hasOnChipAcc = false;
+    ReachSystem sys{cfg};
+    EXPECT_THROW(CbirDeployment(sys, paperModel(), Mapping::Reach),
+                 sim::SimFatal);
+}
+
+TEST(CbirDeployment, CpuBaselineCompletesAndIsSlowest)
+{
+    RunResult cpu = runMapping(Mapping::CpuOnly, 2);
+    RunResult oc = runMapping(Mapping::OnChipOnly, 2);
+    EXPECT_EQ(cpu.batches, 2u);
+    // The paper's premise: conventional on-chip FPGA acceleration
+    // substantially beats the software baseline.
+    EXPECT_GT(oc.throughputBatchesPerSec(),
+              3.0 * cpu.throughputBatchesPerSec());
+}
+
+TEST(CbirDeployment, FpgaReducesComputeEnergyButMovementRemains)
+{
+    // Section I: after on-chip acceleration the compute energy
+    // shrinks but data-movement energy does not go away.
+    cbir::CbirWorkloadModel model{cbir::ScaleConfig{}};
+
+    ReachSystem cpu_sys{SystemConfig{}};
+    CbirDeployment cpu_dep(cpu_sys, model, Mapping::CpuOnly);
+    cpu_dep.run(2);
+    auto cpu_e = cpu_sys.measureEnergy();
+
+    ReachSystem oc_sys{SystemConfig{}};
+    CbirDeployment oc_dep(oc_sys, model, Mapping::OnChipOnly);
+    oc_dep.run(2);
+    auto oc_e = oc_sys.measureEnergy();
+
+    double cpu_movement =
+        cpu_e.total() - cpu_e[energy::Component::Acc];
+    double oc_movement = oc_e.total() - oc_e[energy::Component::Acc];
+    // Movement energy scales with (shorter) runtime but does not
+    // vanish; it becomes the dominant share on-chip.
+    EXPECT_GT(oc_movement / oc_e.total(), 0.5);
+    EXPECT_LT(oc_e.total(), cpu_e.total());
+    (void)cpu_movement;
+}
+
+TEST(CbirDeployment, ReverseLookupExtensionStage)
+{
+    // The optional 4th stage (the paper describes reverse lookup but
+    // excludes it) adds near-storage fetch tasks and host IO traffic.
+    cbir::ScaleConfig sc;
+    sc.includeReverseLookup = true;
+    cbir::CbirWorkloadModel model(sc);
+
+    ReachSystem sys{SystemConfig{}};
+    CbirDeployment dep(sys, model, Mapping::Reach);
+    auto job = dep.makeBatchJob(0, nullptr);
+    // 1 FE + 4 SL + 1 merge + 4 RR + 4 reverse-lookup.
+    EXPECT_EQ(job.tasks.size(), 14u);
+
+    RunResult with_rl = dep.run(2);
+    EXPECT_EQ(with_rl.batches, 2u);
+
+    // Without the stage the pipeline is faster.
+    ReachSystem sys2{SystemConfig{}};
+    CbirDeployment dep2(sys2, cbir::CbirWorkloadModel{cbir::ScaleConfig{}},
+                        Mapping::Reach);
+    RunResult without = dep2.run(2);
+    EXPECT_GT(with_rl.meanLatency, without.meanLatency);
+}
+
+TEST(CbirDeployment, ReverseLookupWorkModel)
+{
+    cbir::ScaleConfig sc;
+    cbir::CbirWorkloadModel model(sc);
+    auto w = model.reverseLookupBatch(1);
+    // batch * topK images at avgImageBytes each.
+    EXPECT_EQ(w.bytesIn,
+              std::uint64_t(16) * 10 * sc.avgImageBytes);
+    EXPECT_EQ(w.bytesOut, w.bytesIn);
+    // Table I: image store is hundreds of TB.
+    EXPECT_GT(model.imageStoreBytes(), std::uint64_t(100) << 40);
+}

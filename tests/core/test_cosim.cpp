@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Tests of the functional+timing co-simulation layer.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/cosim.hh"
+#include "sim/logging.hh"
+
+using namespace reach;
+using namespace reach::core;
+
+namespace
+{
+
+CbirService::Config
+smallService()
+{
+    CbirService::Config cfg;
+    cfg.dataset.numVectors = 3000;
+    cfg.dataset.dim = 24;
+    cfg.dataset.latentClusters = 20;
+    cfg.kmeans.clusters = 32;
+    cfg.kmeans.maxIterations = 8;
+    cfg.nprobe = 6;
+    cfg.topK = 10;
+    return cfg;
+}
+
+cbir::ScaleConfig
+smallScale()
+{
+    cbir::ScaleConfig sc;
+    sc.batchSize = 8;
+    return sc;
+}
+
+} // namespace
+
+TEST(CbirService, AnswersMatchDirectPipeline)
+{
+    CbirService svc(smallService());
+    cbir::Matrix queries =
+        svc.dataset().makeQueries(8, 0.05, 123);
+
+    auto via_service = svc.query(queries);
+
+    auto lists = cbir::shortlistRetrieve(queries, svc.index(), 6);
+    cbir::RerankConfig rc;
+    rc.k = 10;
+    rc.maxCandidates = 4096;
+    auto direct = cbir::rerank(queries, svc.dataset().vectors(),
+                               svc.index(), lists, rc);
+
+    ASSERT_EQ(via_service.size(), direct.size());
+    for (std::size_t q = 0; q < direct.size(); ++q)
+        EXPECT_EQ(via_service[q], direct[q]);
+}
+
+TEST(CbirService, RecallIsHighForEasyQueries)
+{
+    CbirService svc(smallService());
+    EXPECT_GT(svc.measureRecall(16, 0.05, 77), 0.85);
+}
+
+TEST(CoSim, BatchProducesAnswersAndTiming)
+{
+    CoSimulation cosim(smallService(), smallScale(),
+                       Mapping::Reach);
+    cbir::Matrix queries =
+        cosim.service().dataset().makeQueries(8, 0.05, 5);
+
+    CoSimBatch batch = cosim.processBatch(queries);
+    EXPECT_EQ(batch.results.size(), 8u);
+    for (const auto &nbrs : batch.results)
+        EXPECT_EQ(nbrs.size(), 10u);
+    EXPECT_GT(batch.latency, 0u);
+    EXPECT_GT(batch.energyJoules, 0.0);
+    EXPECT_EQ(cosim.batchesProcessed(), 1u);
+}
+
+TEST(CoSim, WrongBatchSizeIsFatal)
+{
+    CoSimulation cosim(smallService(), smallScale(),
+                       Mapping::Reach);
+    cbir::Matrix queries =
+        cosim.service().dataset().makeQueries(3, 0.05, 5);
+    EXPECT_THROW(cosim.processBatch(queries), sim::SimFatal);
+}
+
+TEST(CoSim, ReachLatencyBeatsOnChipLatency)
+{
+    cbir::Matrix queries;
+    sim::Tick reach_lat = 0, onchip_lat = 0;
+    {
+        CoSimulation cosim(smallService(), smallScale(),
+                           Mapping::Reach);
+        queries =
+            cosim.service().dataset().makeQueries(8, 0.05, 5);
+        reach_lat = cosim.processBatch(queries).latency;
+    }
+    {
+        CoSimulation cosim(smallService(), smallScale(),
+                           Mapping::OnChipOnly);
+        onchip_lat = cosim.processBatch(queries).latency;
+    }
+    EXPECT_LT(reach_lat, onchip_lat);
+}
+
+TEST(CoSim, EnergyIsPerBatchDelta)
+{
+    CoSimulation cosim(smallService(), smallScale(),
+                       Mapping::OnChipOnly);
+    cbir::Matrix queries =
+        cosim.service().dataset().makeQueries(8, 0.05, 9);
+    CoSimBatch a = cosim.processBatch(queries);
+    CoSimBatch b = cosim.processBatch(queries);
+    // Per-batch energies are individually positive and similar.
+    EXPECT_GT(a.energyJoules, 0.0);
+    EXPECT_GT(b.energyJoules, 0.0);
+    EXPECT_NEAR(b.energyJoules, a.energyJoules,
+                a.energyJoules * 0.5);
+}

@@ -1,0 +1,240 @@
+/**
+ * @file
+ * Tests of the assembled machine: Table II topology, calibrated
+ * bandwidths, GAM wiring and transfer paths.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/reach_system.hh"
+#include "sim/logging.hh"
+
+using namespace reach;
+using namespace reach::core;
+
+namespace
+{
+
+SystemConfig
+paperConfig()
+{
+    return SystemConfig{}; // defaults follow Table II
+}
+
+} // namespace
+
+TEST(ReachSystem, TableTwoTopology)
+{
+    ReachSystem sys(paperConfig());
+    EXPECT_TRUE(sys.hasOnChip());
+    EXPECT_EQ(sys.numAims(), 4u);
+    EXPECT_EQ(sys.numNs(), 4u);
+    EXPECT_EQ(sys.memory().numChannels(), 2u);
+    // 4 host + 4 AIM DIMMs over 2 channels.
+    EXPECT_EQ(sys.memory().dimmsPerChannel(), 4u);
+}
+
+TEST(ReachSystem, GamKnowsAllAccelerators)
+{
+    ReachSystem sys(paperConfig());
+    // on-chip + host core + 4 AIM + 4 NS.
+    EXPECT_EQ(sys.gam().numAccelerators(), 10u);
+    EXPECT_EQ(sys.gam().acceleratorsAt(acc::Level::NearMem).size(),
+              4u);
+    EXPECT_EQ(sys.gam().acceleratorsAt(acc::Level::NearStor).size(),
+              4u);
+}
+
+TEST(ReachSystem, CalibratedHostBandwidthInRange)
+{
+    ReachSystem sys(paperConfig());
+    // Two DDR4-2400 channels: mid-30s GB/s sustained.
+    EXPECT_GT(sys.hostDramBandwidth(), 30e9);
+    EXPECT_LT(sys.hostDramBandwidth(), 38.4e9);
+}
+
+TEST(ReachSystem, PinnedBandwidthSkipsCalibration)
+{
+    SystemConfig cfg = paperConfig();
+    cfg.hostDramStreamBw = 20e9;
+    ReachSystem sys(cfg);
+    EXPECT_DOUBLE_EQ(sys.hostDramBandwidth(), 20e9);
+}
+
+TEST(ReachSystem, NoOnChipConfigSupported)
+{
+    SystemConfig cfg = paperConfig();
+    cfg.hasOnChipAcc = false;
+    ReachSystem sys(cfg);
+    EXPECT_FALSE(sys.hasOnChip());
+    EXPECT_THROW(sys.onChip(), sim::SimFatal);
+    EXPECT_EQ(sys.gam().numAccelerators(), 9u);
+}
+
+TEST(ReachSystem, ScaledInstanceCounts)
+{
+    SystemConfig cfg = paperConfig();
+    cfg.numAimModules = 16;
+    cfg.numSsds = 16;
+    ReachSystem sys(cfg);
+    EXPECT_EQ(sys.numAims(), 16u);
+    EXPECT_EQ(sys.numNs(), 16u);
+    // 4 host + 16 AIM DIMMs over 2 channels = 10 per channel.
+    EXPECT_EQ(sys.memory().dimmsPerChannel(), 10u);
+}
+
+TEST(ReachSystem, AimModulesAttachToDistinctDimms)
+{
+    ReachSystem sys(paperConfig());
+    std::set<const mem::Dimm *> dimms;
+    for (std::uint32_t i = 0; i < sys.numAims(); ++i)
+        dimms.insert(&sys.aim(i).dimm());
+    EXPECT_EQ(dimms.size(), sys.numAims());
+}
+
+TEST(ReachSystem, NsModulesAttachToDistinctSsds)
+{
+    ReachSystem sys(paperConfig());
+    std::set<const storage::Ssd *> ssds;
+    for (std::uint32_t i = 0; i < sys.numNs(); ++i)
+        ssds.insert(&sys.ns(i).ssd());
+    EXPECT_EQ(ssds.size(), sys.numNs());
+}
+
+TEST(ReachSystem, TransferPathsNonEmptyBetweenLevels)
+{
+    ReachSystem sys(paperConfig());
+    const acc::Accelerator *oc = &sys.onChip();
+    const acc::Accelerator *nm = &sys.aim(0);
+    const acc::Accelerator *ns = &sys.ns(1);
+
+    EXPECT_FALSE(sys.pathBetween(nullptr, oc).empty());
+    EXPECT_FALSE(sys.pathBetween(oc, nm).empty());
+    EXPECT_FALSE(sys.pathBetween(oc, ns).empty());
+    EXPECT_FALSE(sys.pathBetween(nm, ns).empty());
+    EXPECT_FALSE(sys.pathBetween(nm, nullptr).empty());
+    EXPECT_FALSE(sys.pathBetween(ns, nullptr).empty());
+    EXPECT_FALSE(sys.pathBetween(nm, nm).empty()); // AIMbus
+}
+
+TEST(ReachSystem, CrossLevelTransferSlowerThanCoherent)
+{
+    ReachSystem sys(paperConfig());
+    // NS->NS must cross the host IO switch: slower than on-chip.
+    acc::Path coherent = sys.pathBetween(nullptr, nullptr);
+    acc::Path ns2ns = sys.pathBetween(&sys.ns(0), &sys.ns(1));
+    EXPECT_GT(coherent.bottleneckBandwidth(),
+              ns2ns.bottleneckBandwidth());
+}
+
+TEST(ReachSystem, EnergyMeasureCoversComponents)
+{
+    ReachSystem sys(paperConfig());
+    // Idle machine for 10 ms: background DRAM + idle SSD power only.
+    sys.simulator().events().schedule(10 * sim::tickPerMs, [] {});
+    sys.simulator().run();
+    auto e = sys.measureEnergy();
+    EXPECT_GT(e[energy::Component::Dram], 0.0);
+    EXPECT_GT(e[energy::Component::Ssd], 0.0);
+    EXPECT_DOUBLE_EQ(e[energy::Component::Pcie], 0.0);
+}
+
+TEST(ReachSystem, FlushHookDrivesHostDram)
+{
+    ReachSystem sys(paperConfig());
+    std::uint64_t before = sys.hostDramLink().bytesMoved();
+    // Submit a two-level job: on-chip producer -> NM consumer forces
+    // a writeback through the host DRAM link.
+    gam::JobDesc job;
+    gam::TaskDesc a;
+    a.label = "p";
+    a.kernelTemplate = "CNN-VU9P";
+    a.level = acc::Level::OnChip;
+    a.work.ops = 1e6;
+    gam::TaskDesc b;
+    b.label = "c";
+    b.kernelTemplate = "GeMM-ZCU9";
+    b.level = acc::Level::NearMem;
+    b.deps = {0};
+    b.inbound.push_back({0, 1 << 20});
+    job.tasks = {a, b};
+    sys.gam().submitJob(std::move(job));
+    sys.runUntilIdle();
+    EXPECT_GT(sys.hostDramLink().bytesMoved(), before);
+}
+
+TEST(ReachSystem, ConfigValidation)
+{
+    SystemConfig bad;
+    bad.numSsds = 0;
+    EXPECT_THROW(ReachSystem{bad}, sim::SimFatal);
+
+    SystemConfig bad2;
+    bad2.hostDimms = 1;
+    bad2.numChannels = 2;
+    EXPECT_THROW(ReachSystem{bad2}, sim::SimFatal);
+
+    SystemConfig bad3;
+    bad3.numAimModules = 100;
+    EXPECT_THROW(ReachSystem{bad3}, sim::SimFatal);
+}
+
+TEST(ReachSystem, TaskObserverSeesEveryCompletion)
+{
+    ReachSystem sys{SystemConfig{}};
+    std::vector<gam::Gam::TaskEvent> events;
+    sys.gam().setTaskObserver(
+        [&events](const gam::Gam::TaskEvent &e) {
+            events.push_back(e);
+        });
+
+    gam::JobDesc job;
+    gam::TaskDesc a;
+    a.label = "first";
+    a.kernelTemplate = "CNN-VU9P";
+    a.level = acc::Level::OnChip;
+    a.work.ops = 1e8;
+    gam::TaskDesc b;
+    b.label = "second";
+    b.kernelTemplate = "GeMM-ZCU9";
+    b.level = acc::Level::NearMem;
+    b.deps = {0};
+    job.tasks = {a, b};
+    sys.gam().submitJob(std::move(job));
+    sys.runUntilIdle();
+
+    ASSERT_EQ(events.size(), 2u);
+    EXPECT_EQ(events[0].label, "first");
+    EXPECT_EQ(events[1].label, "second");
+    for (const auto &e : events) {
+        EXPECT_LE(e.dispatched, e.finished);
+        EXPECT_LE(e.finished, e.observed);
+        EXPECT_FALSE(e.accName.empty());
+    }
+    // On-chip interrupts: observation == finish. Near-data polls:
+    // observation strictly after finish (status round trip).
+    EXPECT_EQ(events[0].observed, events[0].finished);
+    EXPECT_GT(events[1].observed, events[1].finished);
+}
+
+TEST(ReachSystem, HostTrafficProceedsDuringAimOwnership)
+{
+    // Memory-space isolation (paper §III-B): the host region and the
+    // AIM regions live on different DIMMs, so CPU-side cache traffic
+    // flows while every AIM module owns its DIMM.
+    ReachSystem sys{SystemConfig{}};
+    for (std::uint32_t i = 0; i < sys.numAims(); ++i)
+        sys.aim(i).dimm().setAccOwned(true);
+
+    int done = 0;
+    for (int i = 0; i < 32; ++i) {
+        sys.llc().access(static_cast<mem::Addr>(i) * 4096, false,
+                         mem::Requester::Cpu,
+                         [&done](sim::Tick) { ++done; });
+    }
+    sys.simulator().run();
+    EXPECT_EQ(done, 32);
+
+    for (std::uint32_t i = 0; i < sys.numAims(); ++i)
+        sys.aim(i).dimm().setAccOwned(false);
+}

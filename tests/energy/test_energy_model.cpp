@@ -1,0 +1,133 @@
+/** @file Unit tests for the energy accounting model. */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+
+#include "acc/accelerator.hh"
+#include "energy/energy_model.hh"
+#include "sim/simulator.hh"
+
+using namespace reach;
+using namespace reach::energy;
+
+TEST(EnergyBreakdown, TotalSumsComponents)
+{
+    EnergyBreakdown b;
+    b[Component::Acc] = 1.0;
+    b[Component::Dram] = 2.0;
+    b[Component::Pcie] = 0.5;
+    EXPECT_DOUBLE_EQ(b.total(), 3.5);
+}
+
+TEST(EnergyBreakdown, ArithmeticOperators)
+{
+    EnergyBreakdown a, b;
+    a[Component::Acc] = 5.0;
+    b[Component::Acc] = 2.0;
+    EnergyBreakdown d = a - b;
+    EXPECT_DOUBLE_EQ(d[Component::Acc], 3.0);
+    d += b;
+    EXPECT_DOUBLE_EQ(d[Component::Acc], 5.0);
+}
+
+TEST(EnergyBreakdown, PrintsAllComponents)
+{
+    EnergyBreakdown b;
+    b[Component::Ssd] = 1.25;
+    std::ostringstream os;
+    b.print(os);
+    std::string s = os.str();
+    EXPECT_NE(s.find("SSD"), std::string::npos);
+    EXPECT_NE(s.find("MC and Interconnect"), std::string::npos);
+    EXPECT_NE(s.find("Total"), std::string::npos);
+}
+
+TEST(ComponentNames, AllDistinct)
+{
+    std::set<std::string> names;
+    for (std::size_t i = 0;
+         i < static_cast<std::size_t>(Component::NumComponents); ++i) {
+        names.insert(componentName(static_cast<Component>(i)));
+    }
+    EXPECT_EQ(names.size(),
+              static_cast<std::size_t>(Component::NumComponents));
+}
+
+TEST(EnergyModel, AcceleratorEnergyCounted)
+{
+    sim::Simulator sim;
+    acc::Accelerator dev(sim, "a", acc::Level::OnChip);
+    dev.configure(acc::findKernel("CNN-VU9P"));
+    acc::WorkUnit w;
+    w.ops = 1e9;
+    dev.execute(w);
+    sim.run();
+
+    EnergyModel model;
+    model.addAccelerator(dev);
+    auto b = model.measure(sim.now());
+    EXPECT_GT(b[Component::Acc], 0.0);
+    EXPECT_NEAR(b[Component::Acc], dev.energyJoules(sim.now()), 1e-9);
+}
+
+TEST(EnergyModel, LinkBytesBecomeComponentEnergy)
+{
+    sim::Simulator sim;
+    noc::LinkConfig lc;
+    lc.bandwidth = 10e9;
+    noc::Link dram_link(sim, "d", lc);
+    noc::Link pcie_link(sim, "p", lc);
+    dram_link.reserve(1 << 20, 0);
+    pcie_link.reserve(1 << 20, 0);
+
+    EnergyModel model;
+    model.addLink(dram_link, Component::Dram);
+    model.addLink(pcie_link, Component::Pcie);
+    auto b = model.measure(sim.now());
+    EXPECT_GT(b[Component::Dram], 0.0);
+    EXPECT_GT(b[Component::Pcie], 0.0);
+    // DRAM streams also exercise the channel (MC) wires.
+    EXPECT_GT(b[Component::McInterconnect], 0.0);
+}
+
+TEST(EnergyModel, DramEnergyScalesWithBytes)
+{
+    sim::Simulator sim;
+    noc::LinkConfig lc;
+    lc.bandwidth = 10e9;
+    noc::Link a(sim, "a", lc), b(sim, "b", lc);
+    a.reserve(1 << 20, 0);
+    b.reserve(4 << 20, 0);
+
+    EnergyModel ma, mb;
+    ma.addLink(a, Component::Dram);
+    mb.addLink(b, Component::Dram);
+    double ja = ma.measure(sim.now())[Component::Dram];
+    double jb = mb.measure(sim.now())[Component::Dram];
+    EXPECT_NEAR(jb, 4 * ja, ja * 0.01);
+}
+
+TEST(EnergyModel, CustomRatesRespected)
+{
+    sim::Simulator sim;
+    noc::LinkConfig lc;
+    lc.bandwidth = 10e9;
+    noc::Link l(sim, "l", lc);
+    l.reserve(1'000'000, 0);
+
+    BulkEnergyRates rates;
+    rates.pciePjPerByte = 100.0;
+    EnergyModel model(rates);
+    model.addLink(l, Component::Pcie);
+    auto b = model.measure(sim.now());
+    EXPECT_NEAR(b[Component::Pcie], 1'000'000 * 100.0 * 1e-12, 1e-9);
+}
+
+TEST(EnergyModel, EmptyModelIsZero)
+{
+    EnergyModel model;
+    auto b = model.measure(sim::tickPerSec);
+    EXPECT_DOUBLE_EQ(b.total(), 0.0);
+}

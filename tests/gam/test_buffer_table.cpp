@@ -1,0 +1,98 @@
+/** @file Unit tests for the GAM buffer table (paper Fig. 5c). */
+
+#include <gtest/gtest.h>
+
+#include "gam/buffer_table.hh"
+#include "sim/logging.hh"
+
+using namespace reach;
+using namespace reach::gam;
+using acc::Level;
+
+namespace
+{
+
+BufferTable
+table()
+{
+    BufferTable t;
+    t.setCapacity(Level::OnChip, 1 << 20);
+    t.setCapacity(Level::NearMem, 16 << 20);
+    return t;
+}
+
+} // namespace
+
+TEST(BufferTable, AllocatesDisjointRanges)
+{
+    BufferTable t = table();
+    const auto &a = t.allocate(Level::OnChip, 4096, "a");
+    const auto &b = t.allocate(Level::OnChip, 4096, "b");
+    EXPECT_EQ(a.base, 0u);
+    EXPECT_EQ(a.end(), 4096u);
+    EXPECT_GE(b.base, a.end());
+    EXPECT_NE(a.id, b.id);
+}
+
+TEST(BufferTable, LevelsHaveIndependentSpaces)
+{
+    BufferTable t = table();
+    const auto &a = t.allocate(Level::OnChip, 4096, "a");
+    const auto &b = t.allocate(Level::NearMem, 4096, "b");
+    // Same base, different levels: no aliasing.
+    EXPECT_EQ(a.base, b.base);
+    EXPECT_EQ(t.usedBytes(Level::OnChip), 4096u);
+    EXPECT_EQ(t.usedBytes(Level::NearMem), 4096u);
+}
+
+TEST(BufferTable, CapacityEnforced)
+{
+    BufferTable t = table();
+    t.allocate(Level::OnChip, 1 << 20, "fills");
+    EXPECT_THROW(t.allocate(Level::OnChip, 1, "over"),
+                 sim::SimFatal);
+}
+
+TEST(BufferTable, UnconfiguredLevelHasZeroCapacity)
+{
+    BufferTable t = table();
+    EXPECT_EQ(t.capacity(Level::NearStor), 0u);
+    EXPECT_THROW(t.allocate(Level::NearStor, 64, "x"),
+                 sim::SimFatal);
+}
+
+TEST(BufferTable, ZeroBytesIsFatal)
+{
+    BufferTable t = table();
+    EXPECT_THROW(t.allocate(Level::OnChip, 0, "empty"),
+                 sim::SimFatal);
+}
+
+TEST(BufferTable, FindAndRelease)
+{
+    BufferTable t = table();
+    const auto &a = t.allocate(Level::OnChip, 4096, "a");
+    BufferId id = a.id;
+    ASSERT_NE(t.find(id), nullptr);
+    EXPECT_EQ(t.find(id)->name, "a");
+    EXPECT_EQ(t.size(), 1u);
+
+    t.release(id);
+    EXPECT_EQ(t.find(id), nullptr);
+    EXPECT_EQ(t.size(), 0u);
+    EXPECT_EQ(t.usedBytes(Level::OnChip), 0u);
+}
+
+TEST(BufferTable, ReleaseUnknownIdIsNoOp)
+{
+    BufferTable t = table();
+    EXPECT_NO_THROW(t.release(1234));
+}
+
+TEST(BufferTable, RecordsKeepAddressBoundaries)
+{
+    BufferTable t = table();
+    const auto &a = t.allocate(Level::NearMem, 1000, "x");
+    EXPECT_EQ(a.end() - a.base, 1000u);
+    EXPECT_EQ(a.level, Level::NearMem);
+}

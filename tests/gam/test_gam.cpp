@@ -1,0 +1,336 @@
+/**
+ * @file
+ * Unit tests for the Global Accelerator Manager: job/task lifecycle,
+ * dependencies, transfers, forced writebacks, status polling and
+ * instance selection.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "gam/gam.hh"
+#include "sim/logging.hh"
+#include "sim/simulator.hh"
+
+using namespace reach;
+using namespace reach::acc;
+using namespace reach::gam;
+
+namespace
+{
+
+noc::LinkConfig
+linkCfg(double bw)
+{
+    noc::LinkConfig c;
+    c.bandwidth = bw;
+    c.latency = 0;
+    return c;
+}
+
+struct GamFixture : ::testing::Test
+{
+    void
+    SetUp() override
+    {
+        link = std::make_unique<noc::Link>(sim, "bulk", linkCfg(10e9));
+        dma = std::make_unique<noc::Link>(sim, "dma", linkCfg(10e9));
+
+        onchip = std::make_unique<Accelerator>(sim, "oc",
+                                               Level::OnChip);
+        onchip->setInputPath(Path{}.via(*link));
+        nm0 = std::make_unique<Accelerator>(sim, "nm0",
+                                            Level::NearMem);
+        nm1 = std::make_unique<Accelerator>(sim, "nm1",
+                                            Level::NearMem);
+        ns0 = std::make_unique<Accelerator>(sim, "ns0",
+                                            Level::NearStor);
+
+        gam = std::make_unique<Gam>(sim, "gam", cfg);
+        ocId = gam->addAccelerator(*onchip);
+        nm0Id = gam->addAccelerator(*nm0);
+        nm1Id = gam->addAccelerator(*nm1);
+        ns0Id = gam->addAccelerator(*ns0);
+
+        gam->setPathProvider([this](const Accelerator *,
+                                    const Accelerator *) {
+            ++pathsBuilt;
+            return Path{}.via(*dma);
+        });
+        gam->setFlushHook([this](std::uint64_t bytes,
+                                 std::function<void(sim::Tick)> done) {
+            flushedBytes += bytes;
+            done(sim.now());
+        });
+    }
+
+    TaskDesc
+    simpleTask(const std::string &label, Level level,
+               const std::string &tmpl, double ops = 1e6)
+    {
+        TaskDesc t;
+        t.label = label;
+        t.kernelTemplate = tmpl;
+        t.level = level;
+        t.work.ops = ops;
+        return t;
+    }
+
+    sim::Simulator sim;
+    GamConfig cfg;
+    std::unique_ptr<noc::Link> link, dma;
+    std::unique_ptr<Accelerator> onchip, nm0, nm1, ns0;
+    std::unique_ptr<Gam> gam;
+    std::uint32_t ocId = 0, nm0Id = 0, nm1Id = 0, ns0Id = 0;
+    int pathsBuilt = 0;
+    std::uint64_t flushedBytes = 0;
+};
+
+} // namespace
+
+TEST_F(GamFixture, EmptyJobIsFatal)
+{
+    JobDesc job;
+    EXPECT_THROW(gam->submitJob(std::move(job)), sim::SimFatal);
+}
+
+TEST_F(GamFixture, SingleTaskJobCompletes)
+{
+    JobDesc job;
+    job.label = "one";
+    job.tasks.push_back(
+        simpleTask("t", Level::OnChip, "CNN-VU9P"));
+    sim::Tick done = 0;
+    job.onComplete = [&](sim::Tick t) { done = t; };
+    gam->submitJob(std::move(job));
+    sim.run();
+    EXPECT_GT(done, 0u);
+    EXPECT_TRUE(gam->idle());
+    EXPECT_EQ(gam->jobsCompleted(), 1u);
+    EXPECT_EQ(gam->tasksDispatched(), 1u);
+}
+
+TEST_F(GamFixture, AcceleratorsAtFiltersByLevel)
+{
+    EXPECT_EQ(gam->acceleratorsAt(Level::NearMem).size(), 2u);
+    EXPECT_EQ(gam->acceleratorsAt(Level::OnChip).size(), 1u);
+    EXPECT_EQ(gam->acceleratorsAt(Level::NearStor).size(), 1u);
+}
+
+TEST_F(GamFixture, NoAcceleratorAtLevelIsFatal)
+{
+    JobDesc job;
+    job.tasks.push_back(simpleTask("t", Level::Cpu, "CNN-VU9P"));
+    gam->submitJob(std::move(job));
+    EXPECT_THROW(sim.run(), sim::SimFatal);
+}
+
+TEST_F(GamFixture, DependentTasksRunInOrder)
+{
+    // Track completion order via accelerator task counts at each
+    // completion.
+    std::vector<std::string> order;
+
+    JobDesc job;
+    TaskDesc a = simpleTask("a", Level::OnChip, "CNN-VU9P", 1e8);
+    TaskDesc b = simpleTask("b", Level::NearMem, "GeMM-ZCU9");
+    b.deps = {0};
+    b.inbound.push_back({0, 1 << 20});
+    job.tasks = {a, b};
+    sim::Tick done = 0;
+    job.onComplete = [&](sim::Tick t) { done = t; };
+    gam->submitJob(std::move(job));
+    sim.run();
+
+    EXPECT_GT(done, 0u);
+    // The dependent's dispatch must be after the producer finished:
+    // total makespan >= producer compute + consumer compute.
+    sim::Tick a_time = onchip->kernel()->computeTicks(1e8);
+    EXPECT_GT(done, a_time);
+    EXPECT_EQ(gam->bytesMoved(), std::uint64_t(1) << 20);
+    EXPECT_GE(pathsBuilt, 1);
+}
+
+TEST_F(GamFixture, ForcedFlushOnCoherentToNearDataTransfer)
+{
+    JobDesc job;
+    TaskDesc a = simpleTask("a", Level::OnChip, "CNN-VU9P");
+    TaskDesc b = simpleTask("b", Level::NearMem, "GeMM-ZCU9");
+    b.deps = {0};
+    b.inbound.push_back({0, 4096});
+    job.tasks = {a, b};
+    gam->submitJob(std::move(job));
+    sim.run();
+    EXPECT_EQ(flushedBytes, 4096u);
+}
+
+TEST_F(GamFixture, NoFlushBetweenNearDataLevels)
+{
+    JobDesc job;
+    TaskDesc a = simpleTask("a", Level::NearMem, "GeMM-ZCU9");
+    TaskDesc b = simpleTask("b", Level::NearStor, "KNN-ZCU9");
+    b.deps = {0};
+    b.inbound.push_back({0, 4096});
+    job.tasks = {a, b};
+    gam->submitJob(std::move(job));
+    sim.run();
+    EXPECT_EQ(flushedBytes, 0u);
+}
+
+TEST_F(GamFixture, HostInboundTransfersHappen)
+{
+    JobDesc job;
+    TaskDesc a = simpleTask("a", Level::OnChip, "CNN-VU9P");
+    a.inbound.push_back({InboundTransfer::fromHost, 1 << 20});
+    job.tasks = {a};
+    gam->submitJob(std::move(job));
+    sim.run();
+    EXPECT_EQ(gam->bytesMoved(), std::uint64_t(1) << 20);
+}
+
+TEST_F(GamFixture, UnpinnedTasksBalanceAcrossInstances)
+{
+    JobDesc job;
+    for (int i = 0; i < 4; ++i) {
+        job.tasks.push_back(simpleTask("t" + std::to_string(i),
+                                       Level::NearMem, "GeMM-ZCU9",
+                                       1e8));
+    }
+    gam->submitJob(std::move(job));
+    sim.run();
+    EXPECT_EQ(nm0->tasksCompleted(), 2u);
+    EXPECT_EQ(nm1->tasksCompleted(), 2u);
+}
+
+TEST_F(GamFixture, PinnedTaskGoesToPinnedInstance)
+{
+    JobDesc job;
+    for (int i = 0; i < 3; ++i) {
+        TaskDesc t = simpleTask("t", Level::NearMem, "GeMM-ZCU9");
+        t.pinnedAcc = nm1Id;
+        job.tasks.push_back(t);
+    }
+    gam->submitJob(std::move(job));
+    sim.run();
+    EXPECT_EQ(nm0->tasksCompleted(), 0u);
+    EXPECT_EQ(nm1->tasksCompleted(), 3u);
+}
+
+TEST_F(GamFixture, PinnedToWrongLevelIsFatal)
+{
+    JobDesc job;
+    TaskDesc t = simpleTask("t", Level::NearMem, "GeMM-ZCU9");
+    t.pinnedAcc = ocId; // on-chip id for a near-mem task
+    job.tasks = {t};
+    gam->submitJob(std::move(job));
+    EXPECT_THROW(sim.run(), sim::SimFatal);
+}
+
+TEST_F(GamFixture, DepIndexOutOfRangeIsFatal)
+{
+    JobDesc job;
+    TaskDesc t = simpleTask("t", Level::OnChip, "CNN-VU9P");
+    t.deps = {7};
+    job.tasks = {t};
+    EXPECT_THROW(gam->submitJob(std::move(job)), sim::SimFatal);
+}
+
+TEST_F(GamFixture, NearDataCompletionUsesStatusPolls)
+{
+    JobDesc job;
+    job.tasks.push_back(
+        simpleTask("t", Level::NearMem, "GeMM-ZCU9", 1e9));
+    gam->submitJob(std::move(job));
+    sim.run();
+    EXPECT_GE(gam->statusPolls(), 1u);
+}
+
+TEST_F(GamFixture, OnChipCompletionInterruptsWithoutPolls)
+{
+    JobDesc job;
+    job.tasks.push_back(
+        simpleTask("t", Level::OnChip, "CNN-VU9P", 1e9));
+    gam->submitJob(std::move(job));
+    sim.run();
+    EXPECT_EQ(gam->statusPolls(), 0u);
+}
+
+TEST_F(GamFixture, UnderestimatedTasksGetRepolled)
+{
+    // Force the GAM to poll far too early: it must re-poll until the
+    // task really finished, and completion time must not precede the
+    // device's finish time.
+    cfg.estimateErrorFactor = 0.01;
+    auto gam2 = std::make_unique<Gam>(sim, "gam2", cfg);
+    auto id = gam2->addAccelerator(*nm0);
+    (void)id;
+
+    JobDesc job;
+    job.tasks.push_back(
+        simpleTask("t", Level::NearMem, "GeMM-ZCU9", 2e9));
+    sim::Tick done = 0;
+    job.onComplete = [&](sim::Tick t) { done = t; };
+    gam2->submitJob(std::move(job));
+    sim.run();
+
+    EXPECT_GE(gam2->statusPolls(), 2u);
+    EXPECT_GE(done, nm0->kernel()->computeTicks(2e9));
+}
+
+TEST_F(GamFixture, MultipleJobsAllComplete)
+{
+    int completed = 0;
+    for (int j = 0; j < 5; ++j) {
+        JobDesc job;
+        job.tasks.push_back(
+            simpleTask("t", Level::OnChip, "CNN-VU9P", 1e7));
+        job.onComplete = [&](sim::Tick) { ++completed; };
+        gam->submitJob(std::move(job));
+    }
+    sim.run();
+    EXPECT_EQ(completed, 5);
+    EXPECT_TRUE(gam->idle());
+}
+
+TEST_F(GamFixture, DiamondDependencyGraph)
+{
+    //      a
+    //     / \
+    //    b   c
+    //     \ /
+    //      d
+    JobDesc job;
+    TaskDesc a = simpleTask("a", Level::OnChip, "CNN-VU9P", 1e7);
+    TaskDesc b = simpleTask("b", Level::NearMem, "GeMM-ZCU9", 1e7);
+    TaskDesc c = simpleTask("c", Level::NearMem, "GeMM-ZCU9", 1e7);
+    TaskDesc d = simpleTask("d", Level::NearStor, "KNN-ZCU9", 1e6);
+    b.deps = {0};
+    c.deps = {0};
+    d.deps = {1, 2};
+    b.inbound.push_back({0, 1024});
+    c.inbound.push_back({0, 1024});
+    d.inbound.push_back({1, 512});
+    d.inbound.push_back({2, 512});
+    job.tasks = {a, b, c, d};
+    sim::Tick done = 0;
+    job.onComplete = [&](sim::Tick t) { done = t; };
+    gam->submitJob(std::move(job));
+    sim.run();
+    EXPECT_GT(done, 0u);
+    EXPECT_EQ(ns0->tasksCompleted(), 1u);
+    // b and c ran on different NM instances (load balance).
+    EXPECT_EQ(nm0->tasksCompleted(), 1u);
+    EXPECT_EQ(nm1->tasksCompleted(), 1u);
+}
+
+TEST_F(GamFixture, GamConfiguresKernelOnDispatch)
+{
+    EXPECT_EQ(onchip->kernel(), nullptr);
+    JobDesc job;
+    job.tasks.push_back(simpleTask("t", Level::OnChip, "CNN-VU9P"));
+    gam->submitJob(std::move(job));
+    sim.run();
+    ASSERT_NE(onchip->kernel(), nullptr);
+    EXPECT_EQ(onchip->kernel()->id, "CNN-VU9P");
+}

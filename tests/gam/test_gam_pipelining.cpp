@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Tests of the GAM's cross-job pipelining (paper §II-D): with
+ * pipelining on, tasks of job N+1 start before job N finishes; with
+ * it off, jobs serialize. Pipelining must improve throughput for
+ * multi-stage jobs spread over different levels.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "gam/gam.hh"
+#include "sim/simulator.hh"
+
+using namespace reach;
+using namespace reach::acc;
+using namespace reach::gam;
+
+namespace
+{
+
+/** Two-stage pipeline job: on-chip stage feeding a near-mem stage. */
+JobDesc
+twoStageJob(double ops, sim::Tick *done_at)
+{
+    JobDesc job;
+    TaskDesc a;
+    a.label = "stage0";
+    a.kernelTemplate = "CNN-VU9P";
+    a.level = Level::OnChip;
+    a.work.ops = ops;
+    TaskDesc b;
+    b.label = "stage1";
+    b.kernelTemplate = "GeMM-ZCU9";
+    b.level = Level::NearMem;
+    // The ZCU9 GeMM engine is ~16x slower per op than the on-chip
+    // CNN engine; ops/32 makes stage1 roughly half of stage0 so the
+    // on-chip stage is the pipeline bottleneck.
+    b.work.ops = ops / 32;
+    b.deps = {0};
+    job.tasks = {a, b};
+    if (done_at)
+        job.onComplete = [done_at](sim::Tick t) { *done_at = t; };
+    return job;
+}
+
+struct PipelineRig
+{
+    explicit PipelineRig(bool pipelining)
+    {
+        GamConfig cfg;
+        cfg.crossJobPipelining = pipelining;
+        onchip = std::make_unique<Accelerator>(sim, "oc",
+                                               Level::OnChip);
+        nm = std::make_unique<Accelerator>(sim, "nm", Level::NearMem);
+        gam = std::make_unique<Gam>(sim, "gam", cfg);
+        gam->addAccelerator(*onchip);
+        gam->addAccelerator(*nm);
+    }
+
+    sim::Tick
+    runJobs(int n, double ops = 5e8)
+    {
+        sim::Tick last = 0;
+        for (int i = 0; i < n; ++i)
+            gam->submitJob(twoStageJob(ops, &last));
+        sim.run();
+        return last;
+    }
+
+    sim::Simulator sim;
+    std::unique_ptr<Accelerator> onchip, nm;
+    std::unique_ptr<Gam> gam;
+};
+
+} // namespace
+
+TEST(GamPipelining, OverlapsStagesAcrossJobs)
+{
+    PipelineRig piped(true);
+    sim::Tick with_pipe = piped.runJobs(8);
+
+    PipelineRig serial(false);
+    sim::Tick without = serial.runJobs(8);
+
+    EXPECT_LT(with_pipe, without);
+    // Eight two-stage jobs: pipelined makespan approaches the
+    // bottleneck stage, i.e. well under 85% of serial.
+    EXPECT_LT(static_cast<double>(with_pipe),
+              0.85 * static_cast<double>(without));
+}
+
+TEST(GamPipelining, SerializedModeStillCompletesEverything)
+{
+    PipelineRig serial(false);
+    sim::Tick done = serial.runJobs(4);
+    EXPECT_GT(done, 0u);
+    EXPECT_EQ(serial.gam->jobsCompleted(), 4u);
+    EXPECT_TRUE(serial.gam->idle());
+}
+
+TEST(GamPipelining, SingleJobUnaffectedByMode)
+{
+    PipelineRig piped(true);
+    sim::Tick a = piped.runJobs(1);
+    PipelineRig serial(false);
+    sim::Tick b = serial.runJobs(1);
+    EXPECT_EQ(a, b);
+}
+
+TEST(GamPipelining, ThroughputApproachesBottleneckStage)
+{
+    PipelineRig piped(true);
+    const int jobs = 16;
+    const double ops = 5e8;
+    sim::Tick makespan = piped.runJobs(jobs, ops);
+
+    sim::Tick stage0 = piped.onchip->kernel()->computeTicks(ops);
+    // Steady state: one job per bottleneck-stage time, within 30%.
+    double per_job = static_cast<double>(makespan) / jobs;
+    EXPECT_LT(per_job, 1.3 * static_cast<double>(stage0));
+}
+
+/** Parameterized: pipelining gain grows with job count. */
+class PipelineGain : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(PipelineGain, MoreJobsMoreGain)
+{
+    int jobs = GetParam();
+    PipelineRig piped(true);
+    sim::Tick with_pipe = piped.runJobs(jobs);
+    PipelineRig serial(false);
+    sim::Tick without = serial.runJobs(jobs);
+    EXPECT_LE(with_pipe, without);
+}
+
+INSTANTIATE_TEST_SUITE_P(JobCounts, PipelineGain,
+                         ::testing::Values(1, 2, 4, 12));

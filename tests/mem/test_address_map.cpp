@@ -1,0 +1,99 @@
+/** @file Unit + property tests for block-cyclic address mapping. */
+
+#include <gtest/gtest.h>
+
+#include "mem/address_map.hh"
+#include "sim/logging.hh"
+
+using namespace reach;
+using namespace reach::mem;
+
+TEST(AddressMap, ValidatesConfiguration)
+{
+    EXPECT_THROW(AddressMap(0, 1, 64), sim::SimFatal);
+    EXPECT_THROW(AddressMap(1, 0, 64), sim::SimFatal);
+    EXPECT_THROW(AddressMap(1, 1, 32), sim::SimFatal);  // < line
+    EXPECT_THROW(AddressMap(1, 1, 100), sim::SimFatal); // not multiple
+    EXPECT_NO_THROW(AddressMap(2, 4, 64));
+}
+
+TEST(AddressMap, CacheLineInterleaveRoundRobinsChannels)
+{
+    AddressMap m(2, 1, 64);
+    EXPECT_EQ(m.decode(0).channel, 0u);
+    EXPECT_EQ(m.decode(64).channel, 1u);
+    EXPECT_EQ(m.decode(128).channel, 0u);
+    EXPECT_EQ(m.decode(192).channel, 1u);
+}
+
+TEST(AddressMap, OffsetWithinBlockPreserved)
+{
+    AddressMap m(2, 2, 64);
+    DimmLocation loc = m.decode(70);
+    EXPECT_EQ(loc.localAddr % 64, 6u);
+}
+
+TEST(AddressMap, TileInterleaveKeepsTileTogether)
+{
+    const std::uint64_t tile = 1 << 20;
+    AddressMap m(2, 2, tile);
+    DimmLocation first = m.decode(0);
+    DimmLocation last = m.decode(tile - 1);
+    EXPECT_EQ(first.channel, last.channel);
+    EXPECT_EQ(first.dimm, last.dimm);
+    // Next tile moves to another unit.
+    DimmLocation next = m.decode(tile);
+    EXPECT_FALSE(next.channel == first.channel &&
+                 next.dimm == first.dimm);
+}
+
+TEST(AddressMap, BytesOnDimmSumsToTotal)
+{
+    AddressMap m(2, 2, 64);
+    Addr addr = 12;
+    std::uint64_t bytes = 10'000;
+    std::uint64_t total = 0;
+    for (std::uint32_t c = 0; c < 2; ++c)
+        for (std::uint32_t d = 0; d < 2; ++d)
+            total += m.bytesOnDimm(addr, bytes, c, d);
+    EXPECT_EQ(total, bytes);
+}
+
+TEST(AddressMap, BytesSpreadEvenlyAtFineGranularity)
+{
+    AddressMap m(2, 2, 64);
+    std::uint64_t bytes = 1 << 20;
+    std::uint64_t per = m.bytesOnDimm(0, bytes, 0, 0);
+    for (std::uint32_t c = 0; c < 2; ++c) {
+        for (std::uint32_t d = 0; d < 2; ++d) {
+            EXPECT_NEAR(
+                static_cast<double>(m.bytesOnDimm(0, bytes, c, d)),
+                static_cast<double>(per), 64.0);
+        }
+    }
+}
+
+/** Property: decode is injective per (channel,dimm,localAddr). */
+class AddressMapBijection
+    : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(AddressMapBijection, DistinctAddressesDistinctLocations)
+{
+    AddressMap m(2, 4, GetParam());
+    // Sample addresses; no two may map to the same location triple.
+    std::set<std::tuple<std::uint32_t, std::uint32_t, Addr>> seen;
+    for (Addr a = 0; a < 64 * 1024; a += 64) {
+        DimmLocation loc = m.decode(a);
+        auto key = std::make_tuple(loc.channel, loc.dimm,
+                                   loc.localAddr);
+        EXPECT_TRUE(seen.insert(key).second)
+            << "collision at addr " << a;
+        EXPECT_LT(loc.channel, 2u);
+        EXPECT_LT(loc.dimm, 4u);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Granularities, AddressMapBijection,
+                         ::testing::Values(64, 128, 4096, 1 << 20));

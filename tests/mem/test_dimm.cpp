@@ -1,0 +1,219 @@
+/**
+ * @file
+ * Unit + property tests for the DDR4 DIMM timing model: row hits vs
+ * conflicts, closed-row policy, handover invariants, refresh,
+ * activate windows and energy accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/logging.hh"
+#include "mem/dimm.hh"
+#include "sim/simulator.hh"
+
+using namespace reach;
+using namespace reach::mem;
+
+namespace
+{
+
+DramTimings
+fastTimings()
+{
+    DramTimings t;
+    // Keep refresh far away unless a test wants it.
+    t.tREFI = 1'000'000'000;
+    return t;
+}
+
+} // namespace
+
+class DimmTest : public ::testing::Test
+{
+  protected:
+    sim::Simulator sim;
+    DramTimings spec = fastTimings();
+};
+
+TEST_F(DimmTest, FirstAccessActivates)
+{
+    Dimm d(sim, "d", spec);
+    BurstResult r = d.serviceBurst(0, false, 0, RowPolicy::Open);
+    EXPECT_FALSE(r.rowHit);
+    EXPECT_TRUE(r.activated);
+    // ACT->RCD->CAS->BL.
+    EXPECT_EQ(r.complete, spec.tRCD + spec.tCL + spec.tBL);
+}
+
+TEST_F(DimmTest, SecondAccessSameRowHits)
+{
+    Dimm d(sim, "d", spec);
+    d.serviceBurst(0, false, 0, RowPolicy::Open);
+    BurstResult r = d.serviceBurst(64, false, 0, RowPolicy::Open);
+    EXPECT_TRUE(r.rowHit);
+    EXPECT_FALSE(r.activated);
+}
+
+TEST_F(DimmTest, RowHitIsFasterThanRowMiss)
+{
+    Dimm d(sim, "d", spec);
+    BurstResult miss = d.serviceBurst(0, false, 0, RowPolicy::Open);
+    BurstResult hit = d.serviceBurst(64, false, miss.complete,
+                                     RowPolicy::Open);
+    EXPECT_LT(hit.complete - miss.complete,
+              miss.complete); // hit latency < miss latency from t=0
+}
+
+TEST_F(DimmTest, RowConflictPaysPrecharge)
+{
+    Dimm d(sim, "d", spec);
+    // Two rows in the same bank: same bank index, different row.
+    Addr row0 = 0;
+    Addr conflict =
+        spec.rowBytes * d.timings().banksPerRank; // same bank, row+1
+    ASSERT_EQ(d.bankIndex(row0), d.bankIndex(conflict));
+    ASSERT_NE(d.rowIndex(row0), d.rowIndex(conflict));
+
+    BurstResult first = d.serviceBurst(row0, false, 0, RowPolicy::Open);
+    BurstResult second =
+        d.serviceBurst(conflict, false, first.complete, RowPolicy::Open);
+    EXPECT_FALSE(second.rowHit);
+    // Must include tRP + tRCD beyond the issue point.
+    EXPECT_GE(second.complete - first.complete,
+              spec.tRP + spec.tRCD + spec.tCL + spec.tBL);
+}
+
+TEST_F(DimmTest, ClosedPolicyLeavesAllRowsClosed)
+{
+    Dimm d(sim, "d", spec);
+    for (int i = 0; i < 8; ++i) {
+        d.serviceBurst(static_cast<Addr>(i) * spec.rowBytes, false,
+                       0, RowPolicy::Closed);
+    }
+    EXPECT_TRUE(d.allRowsClosed());
+}
+
+TEST_F(DimmTest, OpenPolicyLeavesRowsOpen)
+{
+    Dimm d(sim, "d", spec);
+    d.serviceBurst(0, false, 0, RowPolicy::Open);
+    EXPECT_FALSE(d.allRowsClosed());
+}
+
+TEST_F(DimmTest, ClosedPolicyNextAccessSameRowIsNotHit)
+{
+    Dimm d(sim, "d", spec);
+    BurstResult a = d.serviceBurst(0, false, 0, RowPolicy::Closed);
+    BurstResult b = d.serviceBurst(64, false, a.complete,
+                                   RowPolicy::Closed);
+    EXPECT_FALSE(b.rowHit);
+    EXPECT_TRUE(b.activated);
+}
+
+TEST_F(DimmTest, PrechargeAllClosesEverything)
+{
+    Dimm d(sim, "d", spec);
+    for (int i = 0; i < 4; ++i) {
+        d.serviceBurst(static_cast<Addr>(i) * spec.rowBytes, false, 0,
+                       RowPolicy::Open);
+    }
+    EXPECT_FALSE(d.allRowsClosed());
+    sim::Tick done = d.prechargeAll(1'000'000);
+    EXPECT_TRUE(d.allRowsClosed());
+    EXPECT_GE(done, 1'000'000u);
+}
+
+TEST_F(DimmTest, WouldRowHitPredictsWithoutMutating)
+{
+    Dimm d(sim, "d", spec);
+    EXPECT_FALSE(d.wouldRowHit(0));
+    d.serviceBurst(0, false, 0, RowPolicy::Open);
+    EXPECT_TRUE(d.wouldRowHit(64));
+    EXPECT_TRUE(d.wouldRowHit(64)); // unchanged by the query
+}
+
+TEST_F(DimmTest, OutOfCapacityPanics)
+{
+    Dimm d(sim, "d", spec);
+    EXPECT_THROW(d.serviceBurst(spec.capacityBytes, false, 0,
+                                RowPolicy::Open),
+                 sim::SimPanic);
+}
+
+TEST_F(DimmTest, RefreshBlackoutDelaysAccess)
+{
+    DramTimings t = fastTimings();
+    t.tREFI = 1'000'000; // 1 us
+    t.tRFC = 100'000;
+    Dimm d(sim, "d", t);
+    // Request issued inside the blackout window of refresh #2.
+    BurstResult r = d.serviceBurst(0, false, 2 * t.tREFI + 10,
+                                   RowPolicy::Open);
+    EXPECT_GE(r.issue, 2 * t.tREFI + t.tRFC);
+}
+
+TEST_F(DimmTest, FawLimitsActivateBursts)
+{
+    Dimm d(sim, "d", spec);
+    // Five activates to distinct banks, requested at the same time:
+    // the fifth must wait for the tFAW window.
+    sim::Tick last = 0;
+    for (int i = 0; i < 5; ++i) {
+        BurstResult r = d.serviceBurst(
+            static_cast<Addr>(i) * spec.rowBytes, false, 0,
+            RowPolicy::Open);
+        last = r.issue;
+    }
+    EXPECT_GE(last, spec.tFAW);
+}
+
+TEST_F(DimmTest, EnergyGrowsWithActivity)
+{
+    Dimm d(sim, "d", spec);
+    double e0 = d.dynamicEnergyPj();
+    d.serviceBurst(0, false, 0, RowPolicy::Open);
+    double e1 = d.dynamicEnergyPj();
+    d.serviceBurst(64, true, 0, RowPolicy::Open);
+    double e2 = d.dynamicEnergyPj();
+    EXPECT_GT(e1, e0);
+    EXPECT_GT(e2, e1);
+    // A row-hit write adds write-burst energy but no activate energy.
+    EXPECT_NEAR(e2 - e1, spec.writeBurstEnergyPj, 1e-9);
+}
+
+TEST_F(DimmTest, WritesUseWriteLatency)
+{
+    Dimm d(sim, "d", spec);
+    BurstResult w = d.serviceBurst(0, true, 0, RowPolicy::Open);
+    EXPECT_EQ(w.complete, spec.tRCD + spec.tCWL + spec.tBL);
+}
+
+/** Property: completion is monotonic in the request time. */
+class DimmMonotonic : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(DimmMonotonic, LaterRequestsNeverFinishEarlier)
+{
+    sim::Simulator sim;
+    DramTimings spec = fastTimings();
+    Dimm d(sim, "d", spec);
+
+    std::uint64_t s = static_cast<std::uint64_t>(GetParam()) + 1;
+    sim::Tick prev_at = 0;
+    sim::Tick prev_done = 0;
+    for (int i = 0; i < 50; ++i) {
+        s = s * 6364136223846793005ull + 1442695040888963407ull;
+        Addr addr = (s >> 20) % ((std::uint64_t(1) << 26));
+        addr &= ~Addr(63);
+        sim::Tick at = prev_at + (s >> 50);
+        BurstResult r =
+            d.serviceBurst(addr, (s & 1) != 0, at, RowPolicy::Open);
+        EXPECT_GE(r.complete, prev_done == 0 ? 0 : prev_at);
+        EXPECT_GT(r.complete, at);
+        prev_at = at;
+        prev_done = r.complete;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DimmMonotonic, ::testing::Range(0, 6));

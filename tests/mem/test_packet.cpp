@@ -1,0 +1,63 @@
+/** @file Unit tests for address/line helpers. */
+
+#include <gtest/gtest.h>
+
+#include "mem/packet.hh"
+
+using namespace reach::mem;
+
+TEST(Packet, LineAlignMasksLowBits)
+{
+    EXPECT_EQ(lineAlign(0), 0u);
+    EXPECT_EQ(lineAlign(63), 0u);
+    EXPECT_EQ(lineAlign(64), 64u);
+    EXPECT_EQ(lineAlign(130), 128u);
+}
+
+TEST(Packet, LinesCoveringZeroBytes)
+{
+    EXPECT_EQ(linesCovering(0, 0), 0u);
+    EXPECT_EQ(linesCovering(1000, 0), 0u);
+}
+
+TEST(Packet, LinesCoveringAligned)
+{
+    EXPECT_EQ(linesCovering(0, 64), 1u);
+    EXPECT_EQ(linesCovering(0, 128), 2u);
+    EXPECT_EQ(linesCovering(64, 64), 1u);
+}
+
+TEST(Packet, LinesCoveringUnalignedSpansExtraLine)
+{
+    EXPECT_EQ(linesCovering(63, 2), 2u);
+    EXPECT_EQ(linesCovering(1, 64), 2u);
+    EXPECT_EQ(linesCovering(60, 4), 1u);
+}
+
+/** Property: covering lines always contain the byte range. */
+class LinesCoveringProperty
+    : public ::testing::TestWithParam<std::pair<Addr, std::uint64_t>>
+{
+};
+
+TEST_P(LinesCoveringProperty, CoversRange)
+{
+    auto [addr, bytes] = GetParam();
+    std::uint64_t n = linesCovering(addr, bytes);
+    Addr first = lineAlign(addr);
+    EXPECT_LE(first, addr);
+    EXPECT_GE(first + n * cacheLineBytes, addr + bytes);
+    // Minimality: one fewer line would not cover.
+    if (n > 0) {
+        EXPECT_LT(first + (n - 1) * cacheLineBytes, addr + bytes);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Ranges, LinesCoveringProperty,
+    ::testing::Values(std::pair<Addr, std::uint64_t>{0, 1},
+                      std::pair<Addr, std::uint64_t>{63, 1},
+                      std::pair<Addr, std::uint64_t>{63, 2},
+                      std::pair<Addr, std::uint64_t>{100, 1000},
+                      std::pair<Addr, std::uint64_t>{4095, 4097},
+                      std::pair<Addr, std::uint64_t>{1, 63}));

@@ -1,0 +1,85 @@
+/** @file Unit tests for the accelerator TLB model. */
+
+#include <gtest/gtest.h>
+
+#include "mem/tlb.hh"
+#include "sim/simulator.hh"
+
+using namespace reach;
+using namespace reach::mem;
+
+namespace
+{
+
+TlbConfig
+smallTlb()
+{
+    TlbConfig cfg;
+    cfg.entries = 4;
+    cfg.pageBytes = 4096;
+    cfg.walkLatency = 100'000;
+    return cfg;
+}
+
+} // namespace
+
+TEST(Tlb, FirstTouchMissesThenHits)
+{
+    sim::Simulator sim;
+    Tlb tlb(sim, "tlb", smallTlb());
+    EXPECT_EQ(tlb.translate(0), 100'000u);
+    EXPECT_EQ(tlb.translate(0), 0u);
+    EXPECT_EQ(tlb.translate(4095), 0u); // same page
+    EXPECT_EQ(tlb.missCount(), 1u);
+    EXPECT_EQ(tlb.hitCount(), 2u);
+}
+
+TEST(Tlb, DistinctPagesMissSeparately)
+{
+    sim::Simulator sim;
+    Tlb tlb(sim, "tlb", smallTlb());
+    tlb.translate(0);
+    EXPECT_EQ(tlb.translate(4096), 100'000u);
+    EXPECT_EQ(tlb.missCount(), 2u);
+}
+
+TEST(Tlb, LruEvictionAtCapacity)
+{
+    sim::Simulator sim;
+    Tlb tlb(sim, "tlb", smallTlb());
+    for (Addr p = 0; p < 5; ++p)
+        tlb.translate(p * 4096); // fills 4 entries, evicts page 0
+    EXPECT_EQ(tlb.translate(0), 100'000u); // page 0 gone
+    EXPECT_EQ(tlb.translate(4 * 4096), 0u); // page 4 resident
+}
+
+TEST(Tlb, TouchRefreshesLru)
+{
+    sim::Simulator sim;
+    Tlb tlb(sim, "tlb", smallTlb());
+    for (Addr p = 0; p < 4; ++p)
+        tlb.translate(p * 4096);
+    tlb.translate(0);        // page 0 now MRU
+    tlb.translate(4 * 4096); // evicts page 1
+    EXPECT_EQ(tlb.translate(0), 0u);
+    EXPECT_EQ(tlb.translate(1 * 4096), 100'000u);
+}
+
+TEST(Tlb, FlushDropsEverything)
+{
+    sim::Simulator sim;
+    Tlb tlb(sim, "tlb", smallTlb());
+    tlb.translate(0);
+    tlb.flush();
+    EXPECT_EQ(tlb.translate(0), 100'000u);
+}
+
+TEST(Tlb, StreamingIsAllMisses)
+{
+    sim::Simulator sim;
+    Tlb tlb(sim, "tlb", smallTlb());
+    for (Addr p = 0; p < 100; ++p)
+        tlb.translate(p * 4096);
+    EXPECT_EQ(tlb.missCount(), 100u);
+    EXPECT_EQ(tlb.hitCount(), 0u);
+}

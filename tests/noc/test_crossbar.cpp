@@ -1,0 +1,91 @@
+/** @file Unit tests for the crossbar switch. */
+
+#include <gtest/gtest.h>
+
+#include "noc/crossbar.hh"
+#include "sim/logging.hh"
+#include "sim/simulator.hh"
+
+using namespace reach;
+using namespace reach::noc;
+
+namespace
+{
+
+CrossbarConfig
+cfg()
+{
+    CrossbarConfig c;
+    c.portBandwidth = 1e9;
+    c.hopLatency = 100;
+    return c;
+}
+
+} // namespace
+
+TEST(Crossbar, NeedsTwoPorts)
+{
+    sim::Simulator sim;
+    EXPECT_THROW(Crossbar(sim, "x", 1, cfg()), sim::SimFatal);
+    EXPECT_NO_THROW(Crossbar(sim, "x", 2, cfg()));
+}
+
+TEST(Crossbar, TransferTraversesBothPortsPlusHop)
+{
+    sim::Simulator sim;
+    Crossbar x(sim, "x", 4, cfg());
+    // 1000 B at 1 GB/s: 1 us egress + hop + 1 us ingress.
+    sim::Tick done = x.transfer(0, 1, 1000);
+    EXPECT_EQ(done, 1'000'000u + 100u + 1'000'000u);
+}
+
+TEST(Crossbar, SamePortPanics)
+{
+    sim::Simulator sim;
+    Crossbar x(sim, "x", 2, cfg());
+    EXPECT_THROW(x.transfer(1, 1, 10), sim::SimPanic);
+}
+
+TEST(Crossbar, PortOutOfRangePanics)
+{
+    sim::Simulator sim;
+    Crossbar x(sim, "x", 2, cfg());
+    EXPECT_THROW(x.transfer(0, 5, 10), sim::SimPanic);
+}
+
+TEST(Crossbar, DisjointPairsDoNotContend)
+{
+    sim::Simulator sim;
+    Crossbar x(sim, "x", 4, cfg());
+    sim::Tick a = x.transfer(0, 1, 1000);
+    sim::Tick b = x.transfer(2, 3, 1000);
+    EXPECT_EQ(a, b); // fully parallel
+}
+
+TEST(Crossbar, SharedDestinationSerializesIngress)
+{
+    sim::Simulator sim;
+    Crossbar x(sim, "x", 4, cfg());
+    sim::Tick a = x.transfer(0, 2, 1000);
+    sim::Tick b = x.transfer(1, 2, 1000);
+    EXPECT_GT(b, a);
+}
+
+TEST(Crossbar, CallbackDelivered)
+{
+    sim::Simulator sim;
+    Crossbar x(sim, "x", 2, cfg());
+    sim::Tick done = 0;
+    x.transfer(0, 1, 64, [&](sim::Tick t) { done = t; });
+    sim.run();
+    EXPECT_GT(done, 0u);
+}
+
+TEST(Crossbar, BytesAndEnergyAccounted)
+{
+    sim::Simulator sim;
+    Crossbar x(sim, "x", 2, cfg());
+    x.transfer(0, 1, 512);
+    EXPECT_EQ(x.bytesMoved(), 512u);
+    EXPECT_GT(x.dynamicEnergyPj(), 0.0);
+}

@@ -1,0 +1,70 @@
+/** @file Unit tests for clock domains. */
+
+#include <gtest/gtest.h>
+
+#include "sim/clocked.hh"
+#include "sim/logging.hh"
+
+using namespace reach::sim;
+
+TEST(ClockDomain, PeriodAndFrequency)
+{
+    ClockDomain c = ClockDomain::fromMHz(200.0);
+    EXPECT_EQ(c.periodTicks(), 5000u);
+    EXPECT_NEAR(c.frequencyMHz(), 200.0, 0.01);
+}
+
+TEST(ClockDomain, GHzFactory)
+{
+    ClockDomain c = ClockDomain::fromGHz(2.0);
+    EXPECT_EQ(c.periodTicks(), 500u);
+}
+
+TEST(ClockDomain, ZeroPeriodIsFatal)
+{
+    EXPECT_THROW(ClockDomain(0), SimFatal);
+}
+
+TEST(ClockDomain, TicksForCycles)
+{
+    ClockDomain c(100);
+    EXPECT_EQ(c.ticksFor(0), 0u);
+    EXPECT_EQ(c.ticksFor(7), 700u);
+}
+
+TEST(ClockDomain, CyclesAtFloors)
+{
+    ClockDomain c(100);
+    EXPECT_EQ(c.cyclesAt(0), 0u);
+    EXPECT_EQ(c.cyclesAt(99), 0u);
+    EXPECT_EQ(c.cyclesAt(100), 1u);
+    EXPECT_EQ(c.cyclesAt(250), 2u);
+}
+
+TEST(ClockDomain, NextEdgeRounding)
+{
+    ClockDomain c(100);
+    EXPECT_EQ(c.nextEdgeAt(0), 0u);
+    EXPECT_EQ(c.nextEdgeAt(1), 100u);
+    EXPECT_EQ(c.nextEdgeAt(100), 100u);
+    EXPECT_EQ(c.nextEdgeAt(101), 200u);
+}
+
+/** Property: nextEdgeAt is idempotent and >= input. */
+class ClockEdgeProperty : public ::testing::TestWithParam<Tick>
+{
+};
+
+TEST_P(ClockEdgeProperty, EdgeIsFixedPoint)
+{
+    ClockDomain c(periodFromMHz(273.0));
+    Tick t = GetParam();
+    Tick e = c.nextEdgeAt(t);
+    EXPECT_GE(e, t);
+    EXPECT_EQ(c.nextEdgeAt(e), e);
+    EXPECT_EQ(e % c.periodTicks(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ticks, ClockEdgeProperty,
+                         ::testing::Values(0, 1, 3662, 3663, 3664,
+                                           999'999, 123'456'789));

@@ -1,0 +1,46 @@
+/** @file Unit tests for named debug-trace flags. */
+
+#include <gtest/gtest.h>
+
+#include <iostream>
+#include <sstream>
+
+#include "sim/debug.hh"
+
+using namespace reach::sim;
+
+TEST(Debug, FlagsToggleProgrammatically)
+{
+    setDebugFlags("GAM,MemCtrl");
+    EXPECT_TRUE(debugFlagEnabled("GAM"));
+    EXPECT_TRUE(debugFlagEnabled("MemCtrl"));
+    EXPECT_FALSE(debugFlagEnabled("Acc"));
+    setDebugFlags("");
+    EXPECT_FALSE(debugFlagEnabled("GAM"));
+}
+
+TEST(Debug, AllEnablesEverything)
+{
+    setDebugFlags("all");
+    EXPECT_TRUE(debugFlagEnabled("anything"));
+    setDebugFlags("");
+}
+
+TEST(Debug, DtraceOnlyEmitsWhenEnabled)
+{
+    // Redirect cerr to count emissions.
+    std::ostringstream captured;
+    auto *old = std::cerr.rdbuf(captured.rdbuf());
+
+    setDebugFlags("");
+    dtrace(100, "X", "hidden");
+    EXPECT_TRUE(captured.str().empty());
+
+    setDebugFlags("X");
+    dtrace(200, "X", "visible ", 42);
+    std::cerr.rdbuf(old);
+    setDebugFlags("");
+
+    EXPECT_NE(captured.str().find("200: X: visible 42"),
+              std::string::npos);
+}

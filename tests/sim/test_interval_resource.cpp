@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Unit + property tests for the gap-filling interval allocator that
+ * underpins every reservation-based resource (links, flash
+ * channels).
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/interval_resource.hh"
+#include "sim/rng.hh"
+
+using namespace reach::sim;
+
+TEST(IntervalResource, FirstReservationStartsAtRequest)
+{
+    IntervalResource r;
+    EXPECT_EQ(r.reserve(100, 50, 0), 50u);
+    EXPECT_EQ(r.freeAt(), 150u);
+}
+
+TEST(IntervalResource, ZeroDurationIsFree)
+{
+    IntervalResource r;
+    EXPECT_EQ(r.reserve(0, 42, 0), 42u);
+    EXPECT_EQ(r.freeAt(), 0u);
+}
+
+TEST(IntervalResource, BackToBackQueues)
+{
+    IntervalResource r;
+    EXPECT_EQ(r.reserve(100, 0, 0), 0u);
+    EXPECT_EQ(r.reserve(100, 0, 0), 100u);
+    EXPECT_EQ(r.reserve(100, 0, 0), 200u);
+}
+
+TEST(IntervalResource, GapBeforeFutureReservationIsUsable)
+{
+    IntervalResource r;
+    // Something reserved far in the future...
+    EXPECT_EQ(r.reserve(100, 10'000, 0), 10'000u);
+    // ...must not block earlier traffic.
+    EXPECT_EQ(r.reserve(100, 0, 0), 0u);
+    EXPECT_EQ(r.reserve(100, 0, 0), 100u);
+}
+
+TEST(IntervalResource, ExactGapIsFilled)
+{
+    IntervalResource r;
+    r.reserve(100, 0, 0);    // [0,100)
+    r.reserve(100, 200, 0);  // [200,300)
+    // A 100-tick request fits exactly in [100,200).
+    EXPECT_EQ(r.reserve(100, 0, 0), 100u);
+    // The next one goes after everything.
+    EXPECT_EQ(r.reserve(100, 0, 0), 300u);
+}
+
+TEST(IntervalResource, TooSmallGapIsSkipped)
+{
+    IntervalResource r;
+    r.reserve(100, 0, 0);   // [0,100)
+    r.reserve(100, 150, 0); // [150,250)
+    // 80 > the 50-tick gap: lands after the second interval.
+    EXPECT_EQ(r.reserve(80, 0, 0), 250u);
+    // 50 fits the gap exactly.
+    EXPECT_EQ(r.reserve(50, 0, 0), 100u);
+}
+
+TEST(IntervalResource, PruningDropsPastIntervals)
+{
+    IntervalResource r;
+    for (int i = 0; i < 10; ++i)
+        r.reserve(10, 0, 0);
+    EXPECT_GE(r.pendingIntervals(), 1u);
+    // Reserving with `now` far beyond everything prunes the map.
+    r.reserve(10, 1'000'000, 1'000'000);
+    EXPECT_EQ(r.pendingIntervals(), 1u);
+}
+
+TEST(IntervalResource, AdjacentReservationsMerge)
+{
+    IntervalResource r;
+    r.reserve(100, 0, 0);
+    r.reserve(100, 0, 0); // lands at [100,200), merges with [0,100)
+    EXPECT_EQ(r.pendingIntervals(), 1u);
+}
+
+/** Property: granted intervals never overlap and honor `at`. */
+class IntervalProperty : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(IntervalProperty, NoOverlapsEver)
+{
+    IntervalResource r;
+    Rng rng(static_cast<std::uint64_t>(GetParam()) * 31 + 7);
+
+    std::vector<std::pair<Tick, Tick>> granted;
+    for (int i = 0; i < 300; ++i) {
+        Tick dur = 1 + rng.nextUInt(50);
+        Tick at = rng.nextUInt(2000);
+        Tick start = r.reserve(dur, at, 0);
+        EXPECT_GE(start, at);
+        granted.push_back({start, start + dur});
+    }
+
+    std::sort(granted.begin(), granted.end());
+    for (std::size_t i = 1; i < granted.size(); ++i) {
+        EXPECT_LE(granted[i - 1].second, granted[i].first)
+            << "overlap between reservations " << i - 1 << " and "
+            << i;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IntervalProperty,
+                         ::testing::Range(0, 8));

@@ -1,0 +1,51 @@
+/** @file Unit tests for status/error reporting semantics. */
+
+#include <gtest/gtest.h>
+
+#include "sim/logging.hh"
+
+using namespace reach::sim;
+
+TEST(Logging, PanicThrowsSimPanic)
+{
+    EXPECT_THROW(panic("internal bug ", 42), SimPanic);
+}
+
+TEST(Logging, FatalThrowsSimFatal)
+{
+    EXPECT_THROW(fatal("bad config: ", "x"), SimFatal);
+}
+
+TEST(Logging, PanicMessageContainsFormattedArgs)
+{
+    try {
+        panic("value=", 7, " name=", "abc");
+        FAIL() << "panic did not throw";
+    } catch (const SimPanic &e) {
+        std::string msg = e.what();
+        EXPECT_NE(msg.find("value=7"), std::string::npos);
+        EXPECT_NE(msg.find("name=abc"), std::string::npos);
+    }
+}
+
+TEST(Logging, FatalIsNotPanic)
+{
+    // The two categories are distinct types: user error vs. bug.
+    bool caught_fatal = false;
+    try {
+        fatal("user error");
+    } catch (const SimPanic &) {
+        FAIL() << "fatal threw SimPanic";
+    } catch (const SimFatal &) {
+        caught_fatal = true;
+    }
+    EXPECT_TRUE(caught_fatal);
+}
+
+TEST(Logging, WarnAndInformDoNotThrow)
+{
+    setQuiet(true);
+    EXPECT_NO_THROW(warn("just a warning ", 1));
+    EXPECT_NO_THROW(inform("status ", 2));
+    setQuiet(false);
+}

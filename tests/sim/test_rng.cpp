@@ -1,0 +1,117 @@
+/** @file Unit + property tests for the deterministic RNG. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "sim/rng.hh"
+
+using namespace reach::sim;
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += (a() == b());
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, NextUIntRespectsBound)
+{
+    Rng r(7);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(r.nextUInt(17), 17u);
+}
+
+TEST(Rng, NextUIntCoversRange)
+{
+    Rng r(11);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 500; ++i)
+        seen.insert(r.nextUInt(8));
+    EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, NextDoubleInUnitInterval)
+{
+    Rng r(3);
+    for (int i = 0; i < 1000; ++i) {
+        double v = r.nextDouble();
+        EXPECT_GE(v, 0.0);
+        EXPECT_LT(v, 1.0);
+    }
+}
+
+TEST(Rng, NextDoubleRangeRespected)
+{
+    Rng r(5);
+    for (int i = 0; i < 200; ++i) {
+        double v = r.nextDouble(-2.5, 4.5);
+        EXPECT_GE(v, -2.5);
+        EXPECT_LT(v, 4.5);
+    }
+}
+
+TEST(Rng, GaussianMomentsRoughlyStandard)
+{
+    Rng r(42);
+    const int n = 20000;
+    double sum = 0, sq = 0;
+    for (int i = 0; i < n; ++i) {
+        double v = r.nextGaussian();
+        sum += v;
+        sq += v * v;
+    }
+    double mean = sum / n;
+    double var = sq / n - mean * mean;
+    EXPECT_NEAR(mean, 0.0, 0.05);
+    EXPECT_NEAR(var, 1.0, 0.1);
+}
+
+TEST(Rng, SplitStreamsAreIndependentlySeeded)
+{
+    Rng parent(9);
+    Rng child1 = parent.split();
+    Rng child2 = parent.split();
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += (child1() == child2());
+    EXPECT_LT(same, 2);
+}
+
+/** Property: uniformity of nextUInt over several bounds. */
+class RngUniformity : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(RngUniformity, ChiSquaredWithinLooseBound)
+{
+    std::uint64_t bound = GetParam();
+    Rng r(1000 + bound);
+    const std::uint64_t draws = 4000 * bound;
+    std::vector<std::uint64_t> hist(bound, 0);
+    for (std::uint64_t i = 0; i < draws; ++i)
+        ++hist[r.nextUInt(bound)];
+
+    double expected = static_cast<double>(draws) / bound;
+    double chi2 = 0;
+    for (auto h : hist) {
+        double d = h - expected;
+        chi2 += d * d / expected;
+    }
+    // dof = bound-1; loose 5-sigma-ish bound.
+    EXPECT_LT(chi2, static_cast<double>(bound - 1) +
+                        6.0 * std::sqrt(2.0 * (bound - 1)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Bounds, RngUniformity,
+                         ::testing::Values(2, 3, 8, 10, 17));

@@ -1,0 +1,110 @@
+/** @file Unit tests for Simulator and SimObject. */
+
+#include <gtest/gtest.h>
+
+#include "sim/logging.hh"
+#include "sim/simulator.hh"
+
+using namespace reach::sim;
+
+namespace
+{
+
+class Ticker : public SimObject
+{
+  public:
+    Ticker(Simulator &sim, const std::string &name)
+        : SimObject(sim, name), count("ticker.count", "ticks")
+    {
+        registerStat(count);
+    }
+
+    void
+    start(Tick period, int times)
+    {
+        remaining = times;
+        step(period);
+    }
+
+    Scalar count;
+
+  private:
+    void
+    step(Tick period)
+    {
+        if (remaining-- <= 0)
+            return;
+        scheduleIn(period, [this, period] {
+            ++count;
+            step(period);
+        });
+    }
+
+    int remaining = 0;
+};
+
+} // namespace
+
+TEST(Simulator, RunDrainsAllEvents)
+{
+    Simulator sim;
+    int fired = 0;
+    sim.events().schedule(10, [&] { ++fired; });
+    sim.events().schedule(20, [&] { ++fired; });
+    Tick end = sim.run();
+    EXPECT_EQ(fired, 2);
+    EXPECT_EQ(end, 20u);
+}
+
+TEST(Simulator, RunRespectsLimit)
+{
+    Simulator sim;
+    int fired = 0;
+    sim.events().schedule(10, [&] { ++fired; });
+    sim.events().schedule(1000, [&] { ++fired; });
+    sim.run(100);
+    EXPECT_EQ(fired, 1);
+    EXPECT_FALSE(sim.events().empty());
+}
+
+TEST(Simulator, RunUntilPredicateStopsEarly)
+{
+    Simulator sim;
+    int fired = 0;
+    for (int i = 1; i <= 10; ++i)
+        sim.events().schedule(Tick(i) * 10, [&] { ++fired; });
+    sim.runUntil([&] { return fired >= 3; });
+    EXPECT_EQ(fired, 3);
+}
+
+TEST(SimObject, EmptyNamePanics)
+{
+    Simulator sim;
+    EXPECT_THROW(Ticker(sim, ""), SimPanic);
+}
+
+TEST(SimObject, SchedulesRelativeToNow)
+{
+    Simulator sim;
+    Ticker t(sim, "t");
+    t.start(100, 5);
+    sim.run();
+    EXPECT_DOUBLE_EQ(t.count.value(), 5.0);
+    EXPECT_EQ(sim.now(), 500u);
+}
+
+TEST(SimObject, StatRegisteredWithSimulator)
+{
+    Simulator sim;
+    Ticker t(sim, "t");
+    EXPECT_NE(sim.stats().find("ticker.count"), nullptr);
+}
+
+TEST(Simulator, EventsExecutedCounts)
+{
+    Simulator sim;
+    Ticker t(sim, "t");
+    t.start(10, 7);
+    sim.run();
+    EXPECT_EQ(sim.eventsExecuted(), 7u);
+}

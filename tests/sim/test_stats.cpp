@@ -1,0 +1,158 @@
+/** @file Unit tests for the statistics framework. */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+
+#include "sim/logging.hh"
+#include "sim/stats.hh"
+
+using namespace reach::sim;
+
+TEST(Stats, ScalarAccumulates)
+{
+    Scalar s("s", "a counter");
+    EXPECT_DOUBLE_EQ(s.value(), 0.0);
+    s += 2.5;
+    ++s;
+    EXPECT_DOUBLE_EQ(s.value(), 3.5);
+    s.set(10);
+    EXPECT_DOUBLE_EQ(s.value(), 10.0);
+    s.reset();
+    EXPECT_DOUBLE_EQ(s.value(), 0.0);
+}
+
+TEST(Stats, DistributionTracksMoments)
+{
+    Distribution d("d", "samples");
+    EXPECT_EQ(d.count(), 0u);
+    EXPECT_DOUBLE_EQ(d.mean(), 0.0);
+
+    d.sample(2);
+    d.sample(4);
+    d.sample(9);
+    EXPECT_EQ(d.count(), 3u);
+    EXPECT_DOUBLE_EQ(d.sum(), 15.0);
+    EXPECT_DOUBLE_EQ(d.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(d.minValue(), 2.0);
+    EXPECT_DOUBLE_EQ(d.maxValue(), 9.0);
+
+    d.reset();
+    EXPECT_EQ(d.count(), 0u);
+    EXPECT_DOUBLE_EQ(d.maxValue(), 0.0);
+}
+
+TEST(Stats, DistributionSingleNegativeSample)
+{
+    Distribution d("d", "samples");
+    d.sample(-3.5);
+    EXPECT_DOUBLE_EQ(d.minValue(), -3.5);
+    EXPECT_DOUBLE_EQ(d.maxValue(), -3.5);
+    EXPECT_DOUBLE_EQ(d.mean(), -3.5);
+}
+
+TEST(Stats, FormulaEvaluatesLazily)
+{
+    Scalar a("a", ""), b("b", "");
+    Formula ratio("ratio", "a per b", [&] {
+        return b.value() > 0 ? a.value() / b.value() : 0.0;
+    });
+    EXPECT_DOUBLE_EQ(ratio.value(), 0.0);
+    a += 10;
+    b += 4;
+    EXPECT_DOUBLE_EQ(ratio.value(), 2.5);
+}
+
+TEST(StatRegistry, AddFindRemove)
+{
+    StatRegistry reg;
+    Scalar s("mod.counter", "desc");
+    reg.add(s);
+    EXPECT_EQ(reg.find("mod.counter"), &s);
+    EXPECT_EQ(reg.find("nope"), nullptr);
+    reg.remove("mod.counter");
+    EXPECT_EQ(reg.find("mod.counter"), nullptr);
+}
+
+TEST(StatRegistry, DuplicateNamePanics)
+{
+    StatRegistry reg;
+    Scalar a("x", ""), b("x", "");
+    reg.add(a);
+    EXPECT_THROW(reg.add(b), SimPanic);
+}
+
+TEST(StatRegistry, AllReturnsNameSorted)
+{
+    StatRegistry reg;
+    Scalar c("c", ""), a("a", ""), b("b", "");
+    reg.add(c);
+    reg.add(a);
+    reg.add(b);
+    auto all = reg.all();
+    ASSERT_EQ(all.size(), 3u);
+    EXPECT_EQ(all[0]->name(), "a");
+    EXPECT_EQ(all[1]->name(), "b");
+    EXPECT_EQ(all[2]->name(), "c");
+}
+
+TEST(StatRegistry, ResetAllResetsEverything)
+{
+    StatRegistry reg;
+    Scalar a("a", "");
+    Distribution d("d", "");
+    reg.add(a);
+    reg.add(d);
+    a += 5;
+    d.sample(1);
+    reg.resetAll();
+    EXPECT_DOUBLE_EQ(a.value(), 0.0);
+    EXPECT_EQ(d.count(), 0u);
+}
+
+TEST(StatRegistry, DumpContainsNamesValuesDescriptions)
+{
+    StatRegistry reg;
+    Scalar a("mem.reads", "read bursts");
+    a += 7;
+    reg.add(a);
+
+    std::ostringstream os;
+    reg.dump(os);
+    std::string out = os.str();
+    EXPECT_NE(out.find("mem.reads"), std::string::npos);
+    EXPECT_NE(out.find("7"), std::string::npos);
+    EXPECT_NE(out.find("read bursts"), std::string::npos);
+}
+
+TEST(StatRegistry, DumpJsonIsWellFormed)
+{
+    StatRegistry reg;
+    Scalar a("mem.reads", "read \"bursts\"");
+    a += 42;
+    Scalar b("mem.writes", "write bursts");
+    reg.add(a);
+    reg.add(b);
+
+    std::ostringstream os;
+    reg.dumpJson(os);
+    std::string s = os.str();
+
+    // Contains both entries with escaped quotes in descriptions.
+    EXPECT_NE(s.find("\"mem.reads\""), std::string::npos);
+    EXPECT_NE(s.find("\"value\": 42"), std::string::npos);
+    EXPECT_NE(s.find("read \\\"bursts\\\""), std::string::npos);
+
+    // Balanced braces and exactly one separating comma.
+    EXPECT_EQ(std::count(s.begin(), s.end(), '{'), 3);
+    EXPECT_EQ(std::count(s.begin(), s.end(), '}'), 3);
+}
+
+TEST(StatRegistry, DumpJsonEmptyRegistry)
+{
+    StatRegistry reg;
+    std::ostringstream os;
+    reg.dumpJson(os);
+    EXPECT_EQ(os.str(), "{\n}\n");
+}

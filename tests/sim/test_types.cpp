@@ -1,0 +1,64 @@
+/** @file Unit tests for tick/bandwidth conversion helpers. */
+
+#include <gtest/gtest.h>
+
+#include "sim/types.hh"
+
+using namespace reach::sim;
+
+TEST(Types, TickUnitRatios)
+{
+    EXPECT_EQ(tickPerNs, 1000u);
+    EXPECT_EQ(tickPerUs, 1000u * 1000u);
+    EXPECT_EQ(tickPerMs, 1000u * 1000u * 1000u);
+    EXPECT_EQ(tickPerSec, 1000ull * 1000 * 1000 * 1000);
+}
+
+TEST(Types, SecondsRoundTrip)
+{
+    EXPECT_EQ(ticksFromSeconds(1.0), tickPerSec);
+    EXPECT_DOUBLE_EQ(secondsFromTicks(tickPerSec), 1.0);
+    EXPECT_DOUBLE_EQ(secondsFromTicks(ticksFromSeconds(0.125)), 0.125);
+}
+
+TEST(Types, PeriodFromFrequency)
+{
+    EXPECT_EQ(periodFromGHz(1.0), 1000u);  // 1 GHz = 1 ns
+    EXPECT_EQ(periodFromGHz(2.0), 500u);
+    EXPECT_EQ(periodFromMHz(200.0), 5000u); // 200 MHz = 5 ns
+    EXPECT_EQ(periodFromMHz(273.0), 3663u); // rounded
+}
+
+TEST(Types, ByteLiterals)
+{
+    EXPECT_EQ(1_KiB, 1024u);
+    EXPECT_EQ(2_MiB, 2u * 1024 * 1024);
+    EXPECT_EQ(1_GiB, 1024ull * 1024 * 1024);
+}
+
+TEST(Types, TransferTicksBasic)
+{
+    // 1 GB/s moves 1 byte per ns.
+    EXPECT_EQ(transferTicks(1, 1e9), 1000u);
+    EXPECT_EQ(transferTicks(1000, 1e9), 1'000'000u);
+}
+
+TEST(Types, TransferTicksZeroBytesIsFree)
+{
+    EXPECT_EQ(transferTicks(0, 1e9), 0u);
+}
+
+TEST(Types, TransferTicksNeverZeroForNonZeroBytes)
+{
+    // Even at absurd bandwidth a real transfer takes >= 1 tick.
+    EXPECT_GE(transferTicks(1, 1e30), 1u);
+}
+
+TEST(Types, TransferTicksScalesLinearly)
+{
+    Tick one = transferTicks(1_MiB, 10e9);
+    Tick four = transferTicks(4_MiB, 10e9);
+    EXPECT_NEAR(static_cast<double>(four),
+                4.0 * static_cast<double>(one),
+                static_cast<double>(one) * 0.01);
+}

@@ -1,0 +1,138 @@
+/** @file Unit + property tests for the NVMe SSD model. */
+
+#include <gtest/gtest.h>
+
+#include "storage/ssd.hh"
+#include "sim/logging.hh"
+#include "sim/simulator.hh"
+
+using namespace reach;
+using namespace reach::storage;
+
+namespace
+{
+
+SsdConfig
+cfg()
+{
+    SsdConfig c;
+    c.flashChannels = 8;
+    c.channelBandwidth = 1.75e9;
+    return c;
+}
+
+} // namespace
+
+TEST(Ssd, NeedsAtLeastOneChannel)
+{
+    sim::Simulator sim;
+    SsdConfig bad = cfg();
+    bad.flashChannels = 0;
+    EXPECT_THROW(Ssd(sim, "s", bad), sim::SimFatal);
+}
+
+TEST(Ssd, ReadIncludesCommandAndMediaLatency)
+{
+    sim::Simulator sim;
+    Ssd s(sim, "s", cfg());
+    sim::Tick done = s.reserve(4096, false, 0);
+    EXPECT_GT(done, cfg().commandOverhead + cfg().readLatency);
+}
+
+TEST(Ssd, WritesUseWriteLatency)
+{
+    sim::Simulator sim;
+    Ssd s(sim, "s", cfg());
+    sim::Tick r = s.reserve(4096, false, 0);
+    sim::Simulator sim2;
+    Ssd s2(sim2, "s2", cfg());
+    sim::Tick w = s2.reserve(4096, true, 0);
+    // Read media latency (70us) dominates write (30us).
+    EXPECT_GT(r, w);
+}
+
+TEST(Ssd, ZeroByteCommandOnlyPaysOverhead)
+{
+    sim::Simulator sim;
+    Ssd s(sim, "s", cfg());
+    EXPECT_EQ(s.reserve(0, false, 1000), 1000u + cfg().commandOverhead);
+}
+
+TEST(Ssd, LargeStreamApproachesInternalBandwidth)
+{
+    sim::Simulator sim;
+    Ssd s(sim, "s", cfg());
+    const std::uint64_t bytes = 256 << 20;
+    sim::Tick done = s.reserve(bytes, false, 0);
+    double bw = static_cast<double>(bytes) /
+                sim::secondsFromTicks(done);
+    EXPECT_GT(bw, 0.85 * cfg().internalBandwidth());
+}
+
+TEST(Ssd, SequentialCommandsQueueOnChannels)
+{
+    sim::Simulator sim;
+    Ssd s(sim, "s", cfg());
+    sim::Tick a = s.reserve(8 << 20, false, 0);
+    sim::Tick b = s.reserve(8 << 20, false, 0);
+    EXPECT_GT(b, a);
+}
+
+TEST(Ssd, AccessSchedulesCallback)
+{
+    sim::Simulator sim;
+    Ssd s(sim, "s", cfg());
+    sim::Tick done = 0;
+    s.access(4096, false, [&](sim::Tick t) { done = t; });
+    sim.run();
+    EXPECT_GT(done, 0u);
+}
+
+TEST(Ssd, ByteCountersSplitReadWrite)
+{
+    sim::Simulator sim;
+    Ssd s(sim, "s", cfg());
+    s.reserve(1000, false, 0);
+    s.reserve(500, true, 0);
+    EXPECT_EQ(s.bytesRead(), 1000u);
+    EXPECT_EQ(s.bytesWritten(), 500u);
+}
+
+TEST(Ssd, EnergyIncludesIdleFloor)
+{
+    sim::Simulator sim;
+    Ssd s(sim, "s", cfg());
+    // One simulated second of pure idle.
+    double idle = s.energyJoules(sim::tickPerSec);
+    EXPECT_NEAR(idle, cfg().idlePowerW, 0.01);
+
+    // Activity adds energy.
+    s.reserve(64 << 20, false, 0);
+    double active = s.energyJoules(sim::tickPerSec);
+    EXPECT_GT(active, idle);
+}
+
+TEST(Ssd, InternalBandwidthIsChannelsTimesRate)
+{
+    EXPECT_NEAR(cfg().internalBandwidth(), 8 * 1.75e9, 1.0);
+}
+
+/** Property: throughput never exceeds internal bandwidth. */
+class SsdThroughput : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(SsdThroughput, BoundedByInternalBandwidth)
+{
+    sim::Simulator sim;
+    Ssd s(sim, "s", cfg());
+    std::uint64_t bytes = GetParam();
+    sim::Tick done = s.reserve(bytes, false, 0);
+    double bw =
+        static_cast<double>(bytes) / sim::secondsFromTicks(done);
+    EXPECT_LE(bw, cfg().internalBandwidth() * 1.001);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SsdThroughput,
+                         ::testing::Values(4096, 1 << 20, 16 << 20,
+                                           256 << 20));

@@ -1,0 +1,178 @@
+/** @file Unit tests for the synthetic dataset generator. */
+
+#include <gtest/gtest.h>
+
+#include "sim/logging.hh"
+#include "cbir/kmeans.hh"
+#include "workload/dataset.hh"
+
+using namespace reach;
+using namespace reach::workload;
+
+TEST(Dataset, ShapeMatchesConfig)
+{
+    DatasetConfig cfg;
+    cfg.numVectors = 100;
+    cfg.dim = 12;
+    cfg.latentClusters = 5;
+    Dataset ds(cfg);
+    EXPECT_EQ(ds.size(), 100u);
+    EXPECT_EQ(ds.dim(), 12u);
+    EXPECT_EQ(ds.latentCenters().rows(), 5u);
+    EXPECT_EQ(ds.latentLabels().size(), 100u);
+}
+
+TEST(Dataset, DeterministicForSeed)
+{
+    DatasetConfig cfg;
+    cfg.numVectors = 50;
+    cfg.dim = 4;
+    Dataset a(cfg), b(cfg);
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        for (std::size_t d = 0; d < a.dim(); ++d)
+            EXPECT_FLOAT_EQ(a.vectors().at(i, d), b.vectors().at(i, d));
+    }
+}
+
+TEST(Dataset, DifferentSeedsDiffer)
+{
+    DatasetConfig cfg;
+    cfg.numVectors = 50;
+    cfg.dim = 4;
+    Dataset a(cfg);
+    cfg.seed = 43;
+    Dataset b(cfg);
+    bool any_diff = false;
+    for (std::size_t i = 0; i < a.size() && !any_diff; ++i)
+        for (std::size_t d = 0; d < a.dim(); ++d)
+            any_diff |= a.vectors().at(i, d) != b.vectors().at(i, d);
+    EXPECT_TRUE(any_diff);
+}
+
+TEST(Dataset, VectorsClusterAroundTheirLatentCenter)
+{
+    DatasetConfig cfg;
+    cfg.numVectors = 400;
+    cfg.dim = 8;
+    cfg.latentClusters = 6;
+    cfg.centerSpread = 20.0;
+    cfg.clusterStddev = 1.0;
+    Dataset ds(cfg);
+
+    // Each vector should be closer to its own center than to the
+    // average other center.
+    int correct = 0;
+    for (std::size_t i = 0; i < ds.size(); ++i) {
+        std::uint32_t truth = ds.latentLabels()[i];
+        std::uint32_t nearest = cbir::nearestCentroid(
+            ds.latentCenters(), ds.vectors().row(i));
+        correct += (nearest == truth);
+    }
+    EXPECT_GT(static_cast<double>(correct) / ds.size(), 0.95);
+}
+
+TEST(Dataset, KmeansRecoversLatentStructure)
+{
+    DatasetConfig cfg;
+    cfg.numVectors = 600;
+    cfg.dim = 8;
+    cfg.latentClusters = 6;
+    cfg.centerSpread = 15.0;
+    Dataset ds(cfg);
+
+    cbir::KMeansConfig kc;
+    kc.clusters = 6;
+    auto res = cbir::kMeans(ds.vectors(), kc);
+    // Tight clustering: inertia per point close to dim * stddev^2.
+    EXPECT_LT(res.inertia / ds.size(), 3.0 * cfg.dim);
+}
+
+TEST(Dataset, QueriesAreNearTheirSourceVectors)
+{
+    DatasetConfig cfg;
+    cfg.numVectors = 300;
+    cfg.dim = 8;
+    Dataset ds(cfg);
+    auto queries = ds.makeQueries(20, 0.01, 5);
+    EXPECT_EQ(queries.rows(), 20u);
+
+    // Each query's nearest dataset vector should be very close
+    // (it is a perturbed copy).
+    for (std::size_t q = 0; q < queries.rows(); ++q) {
+        float best = 1e30f;
+        for (std::size_t i = 0; i < ds.size(); ++i)
+            best = std::min(best, cbir::l2sq(queries.row(q),
+                                             ds.vectors().row(i)));
+        EXPECT_LT(best, 0.1f);
+    }
+}
+
+TEST(Dataset, ZeroClustersIsFatal)
+{
+    DatasetConfig cfg;
+    cfg.latentClusters = 0;
+    EXPECT_THROW(Dataset ds(cfg), sim::SimFatal);
+}
+
+TEST(Dataset, ZipfQueriesSkewTowardHotClusters)
+{
+    DatasetConfig cfg;
+    cfg.numVectors = 2000;
+    cfg.dim = 8;
+    cfg.latentClusters = 16;
+    cfg.centerSpread = 20.0;
+    Dataset ds(cfg);
+
+    auto queries = ds.makeQueriesZipf(400, 0.05, 11, 1.2);
+    ASSERT_EQ(queries.rows(), 400u);
+
+    // Classify each query back to its latent cluster and count.
+    std::vector<int> hits(cfg.latentClusters, 0);
+    for (std::size_t q = 0; q < queries.rows(); ++q) {
+        ++hits[cbir::nearestCentroid(ds.latentCenters(),
+                                     queries.row(q))];
+    }
+
+    std::uint32_t hottest = ds.clusterAtRank(0);
+    double hot_share = static_cast<double>(hits[hottest]) / 400.0;
+    // Uniform would give 1/16 = 6.25%; Zipf(1.2) gives ~30%.
+    EXPECT_GT(hot_share, 0.15);
+
+    // Rank-0 cluster gets more than a cold one.
+    std::uint32_t cold = ds.clusterAtRank(cfg.latentClusters - 1);
+    EXPECT_GT(hits[hottest], hits[cold]);
+}
+
+TEST(Dataset, ZipfWithZeroExponentIsRoughlyUniform)
+{
+    DatasetConfig cfg;
+    cfg.numVectors = 1600;
+    cfg.dim = 8;
+    cfg.latentClusters = 8;
+    cfg.centerSpread = 20.0;
+    Dataset ds(cfg);
+
+    auto queries = ds.makeQueriesZipf(800, 0.05, 3, 0.0);
+    std::vector<int> hits(cfg.latentClusters, 0);
+    for (std::size_t q = 0; q < queries.rows(); ++q) {
+        ++hits[cbir::nearestCentroid(ds.latentCenters(),
+                                     queries.row(q))];
+    }
+    for (int h : hits) {
+        EXPECT_GT(h, 800 / 8 / 3);
+        EXPECT_LT(h, 800 / 8 * 3);
+    }
+}
+
+TEST(Dataset, ZipfQueriesDeterministic)
+{
+    DatasetConfig cfg;
+    cfg.numVectors = 500;
+    cfg.dim = 4;
+    Dataset ds(cfg);
+    auto a = ds.makeQueriesZipf(10, 0.1, 7, 1.0);
+    auto b = ds.makeQueriesZipf(10, 0.1, 7, 1.0);
+    for (std::size_t i = 0; i < 10; ++i)
+        for (std::size_t d = 0; d < 4; ++d)
+            EXPECT_FLOAT_EQ(a.at(i, d), b.at(i, d));
+}
