@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_gam_poll.dir/ablation_gam_poll.cpp.o"
+  "CMakeFiles/ablation_gam_poll.dir/ablation_gam_poll.cpp.o.d"
+  "ablation_gam_poll"
+  "ablation_gam_poll.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_gam_poll.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

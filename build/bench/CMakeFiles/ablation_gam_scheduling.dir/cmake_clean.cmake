@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_gam_scheduling.dir/ablation_gam_scheduling.cpp.o"
+  "CMakeFiles/ablation_gam_scheduling.dir/ablation_gam_scheduling.cpp.o.d"
+  "ablation_gam_scheduling"
+  "ablation_gam_scheduling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_gam_scheduling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_interleaving.dir/ablation_interleaving.cpp.o"
+  "CMakeFiles/ablation_interleaving.dir/ablation_interleaving.cpp.o.d"
+  "ablation_interleaving"
+  "ablation_interleaving.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_interleaving.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_nsbuffer.dir/ablation_nsbuffer.cpp.o"
+  "CMakeFiles/ablation_nsbuffer.dir/ablation_nsbuffer.cpp.o.d"
+  "ablation_nsbuffer"
+  "ablation_nsbuffer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_nsbuffer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

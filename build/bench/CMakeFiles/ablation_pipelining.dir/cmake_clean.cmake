@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_pipelining.dir/ablation_pipelining.cpp.o"
+  "CMakeFiles/ablation_pipelining.dir/ablation_pipelining.cpp.o.d"
+  "ablation_pipelining"
+  "ablation_pipelining.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_pipelining.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/accuracy_recall.dir/accuracy_recall.cpp.o"
+  "CMakeFiles/accuracy_recall.dir/accuracy_recall.cpp.o.d"
+  "accuracy_recall"
+  "accuracy_recall.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/accuracy_recall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baseline_cpu.dir/baseline_cpu.cpp.o"
+  "CMakeFiles/baseline_cpu.dir/baseline_cpu.cpp.o.d"
+  "baseline_cpu"
+  "baseline_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baseline_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

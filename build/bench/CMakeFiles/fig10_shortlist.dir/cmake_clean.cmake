@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_shortlist.dir/fig10_shortlist.cpp.o"
+  "CMakeFiles/fig10_shortlist.dir/fig10_shortlist.cpp.o.d"
+  "fig10_shortlist"
+  "fig10_shortlist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_shortlist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_rerank.dir/fig11_rerank.cpp.o"
+  "CMakeFiles/fig11_rerank.dir/fig11_rerank.cpp.o.d"
+  "fig11_rerank"
+  "fig11_rerank.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_rerank.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

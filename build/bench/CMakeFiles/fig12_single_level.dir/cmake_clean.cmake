@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_single_level.dir/fig12_single_level.cpp.o"
+  "CMakeFiles/fig12_single_level.dir/fig12_single_level.cpp.o.d"
+  "fig12_single_level"
+  "fig12_single_level.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_single_level.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

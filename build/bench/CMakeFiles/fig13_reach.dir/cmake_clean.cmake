@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_reach.dir/fig13_reach.cpp.o"
+  "CMakeFiles/fig13_reach.dir/fig13_reach.cpp.o.d"
+  "fig13_reach"
+  "fig13_reach.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_reach.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig9_feature_extraction.cpp" "bench/CMakeFiles/fig9_feature_extraction.dir/fig9_feature_extraction.cpp.o" "gcc" "bench/CMakeFiles/fig9_feature_extraction.dir/fig9_feature_extraction.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/reach_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/reach_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/reach_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/gam/CMakeFiles/reach_gam.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/reach_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/cbir/CMakeFiles/reach_cbir.dir/DependInfo.cmake"
+  "/root/repo/build/src/acc/CMakeFiles/reach_acc.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/reach_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/reach_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/reach_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/reach_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_feature_extraction.dir/fig9_feature_extraction.cpp.o"
+  "CMakeFiles/fig9_feature_extraction.dir/fig9_feature_extraction.cpp.o.d"
+  "fig9_feature_extraction"
+  "fig9_feature_extraction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_feature_extraction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reach_bench_common.dir/common.cc.o"
+  "CMakeFiles/reach_bench_common.dir/common.cc.o.d"
+  "libreach_bench_common.a"
+  "libreach_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reach_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

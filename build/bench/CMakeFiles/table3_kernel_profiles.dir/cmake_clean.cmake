@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_kernel_profiles.dir/table3_kernel_profiles.cpp.o"
+  "CMakeFiles/table3_kernel_profiles.dir/table3_kernel_profiles.cpp.o.d"
+  "table3_kernel_profiles"
+  "table3_kernel_profiles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_kernel_profiles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_energy_model.dir/table4_energy_model.cpp.o"
+  "CMakeFiles/table4_energy_model.dir/table4_energy_model.cpp.o.d"
+  "table4_energy_model"
+  "table4_energy_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_energy_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cbir_pipeline.dir/cbir_pipeline.cpp.o"
+  "CMakeFiles/cbir_pipeline.dir/cbir_pipeline.cpp.o.d"
+  "cbir_pipeline"
+  "cbir_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cbir_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cosim_retrieval.dir/cosim_retrieval.cpp.o"
+  "CMakeFiles/cosim_retrieval.dir/cosim_retrieval.cpp.o.d"
+  "cosim_retrieval"
+  "cosim_retrieval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cosim_retrieval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

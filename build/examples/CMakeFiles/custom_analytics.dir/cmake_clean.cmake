@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_analytics.dir/custom_analytics.cpp.o"
+  "CMakeFiles/custom_analytics.dir/custom_analytics.cpp.o.d"
+  "custom_analytics"
+  "custom_analytics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_analytics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/single_level_comparison.dir/single_level_comparison.cpp.o"
+  "CMakeFiles/single_level_comparison.dir/single_level_comparison.cpp.o.d"
+  "single_level_comparison"
+  "single_level_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/single_level_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

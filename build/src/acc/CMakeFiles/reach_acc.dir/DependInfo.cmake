@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/acc/accelerator.cc" "src/acc/CMakeFiles/reach_acc.dir/accelerator.cc.o" "gcc" "src/acc/CMakeFiles/reach_acc.dir/accelerator.cc.o.d"
+  "/root/repo/src/acc/aim_local_port.cc" "src/acc/CMakeFiles/reach_acc.dir/aim_local_port.cc.o" "gcc" "src/acc/CMakeFiles/reach_acc.dir/aim_local_port.cc.o.d"
+  "/root/repo/src/acc/aim_module.cc" "src/acc/CMakeFiles/reach_acc.dir/aim_module.cc.o" "gcc" "src/acc/CMakeFiles/reach_acc.dir/aim_module.cc.o.d"
+  "/root/repo/src/acc/kernel_profile.cc" "src/acc/CMakeFiles/reach_acc.dir/kernel_profile.cc.o" "gcc" "src/acc/CMakeFiles/reach_acc.dir/kernel_profile.cc.o.d"
+  "/root/repo/src/acc/ns_module.cc" "src/acc/CMakeFiles/reach_acc.dir/ns_module.cc.o" "gcc" "src/acc/CMakeFiles/reach_acc.dir/ns_module.cc.o.d"
+  "/root/repo/src/acc/path.cc" "src/acc/CMakeFiles/reach_acc.dir/path.cc.o" "gcc" "src/acc/CMakeFiles/reach_acc.dir/path.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/reach_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/reach_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/reach_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/reach_storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reach_acc.dir/accelerator.cc.o"
+  "CMakeFiles/reach_acc.dir/accelerator.cc.o.d"
+  "CMakeFiles/reach_acc.dir/aim_local_port.cc.o"
+  "CMakeFiles/reach_acc.dir/aim_local_port.cc.o.d"
+  "CMakeFiles/reach_acc.dir/aim_module.cc.o"
+  "CMakeFiles/reach_acc.dir/aim_module.cc.o.d"
+  "CMakeFiles/reach_acc.dir/kernel_profile.cc.o"
+  "CMakeFiles/reach_acc.dir/kernel_profile.cc.o.d"
+  "CMakeFiles/reach_acc.dir/ns_module.cc.o"
+  "CMakeFiles/reach_acc.dir/ns_module.cc.o.d"
+  "CMakeFiles/reach_acc.dir/path.cc.o"
+  "CMakeFiles/reach_acc.dir/path.cc.o.d"
+  "libreach_acc.a"
+  "libreach_acc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reach_acc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

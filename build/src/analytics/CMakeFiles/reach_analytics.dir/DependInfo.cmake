@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analytics/deployment.cc" "src/analytics/CMakeFiles/reach_analytics.dir/deployment.cc.o" "gcc" "src/analytics/CMakeFiles/reach_analytics.dir/deployment.cc.o.d"
+  "/root/repo/src/analytics/engine.cc" "src/analytics/CMakeFiles/reach_analytics.dir/engine.cc.o" "gcc" "src/analytics/CMakeFiles/reach_analytics.dir/engine.cc.o.d"
+  "/root/repo/src/analytics/table.cc" "src/analytics/CMakeFiles/reach_analytics.dir/table.cc.o" "gcc" "src/analytics/CMakeFiles/reach_analytics.dir/table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/reach_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/reach_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/gam/CMakeFiles/reach_gam.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/reach_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/cbir/CMakeFiles/reach_cbir.dir/DependInfo.cmake"
+  "/root/repo/build/src/acc/CMakeFiles/reach_acc.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/reach_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/reach_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/reach_storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reach_analytics.dir/deployment.cc.o"
+  "CMakeFiles/reach_analytics.dir/deployment.cc.o.d"
+  "CMakeFiles/reach_analytics.dir/engine.cc.o"
+  "CMakeFiles/reach_analytics.dir/engine.cc.o.d"
+  "CMakeFiles/reach_analytics.dir/table.cc.o"
+  "CMakeFiles/reach_analytics.dir/table.cc.o.d"
+  "libreach_analytics.a"
+  "libreach_analytics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reach_analytics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

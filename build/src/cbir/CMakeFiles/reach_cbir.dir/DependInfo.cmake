@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cbir/index.cc" "src/cbir/CMakeFiles/reach_cbir.dir/index.cc.o" "gcc" "src/cbir/CMakeFiles/reach_cbir.dir/index.cc.o.d"
+  "/root/repo/src/cbir/kmeans.cc" "src/cbir/CMakeFiles/reach_cbir.dir/kmeans.cc.o" "gcc" "src/cbir/CMakeFiles/reach_cbir.dir/kmeans.cc.o.d"
+  "/root/repo/src/cbir/linalg.cc" "src/cbir/CMakeFiles/reach_cbir.dir/linalg.cc.o" "gcc" "src/cbir/CMakeFiles/reach_cbir.dir/linalg.cc.o.d"
+  "/root/repo/src/cbir/mini_cnn.cc" "src/cbir/CMakeFiles/reach_cbir.dir/mini_cnn.cc.o" "gcc" "src/cbir/CMakeFiles/reach_cbir.dir/mini_cnn.cc.o.d"
+  "/root/repo/src/cbir/pca.cc" "src/cbir/CMakeFiles/reach_cbir.dir/pca.cc.o" "gcc" "src/cbir/CMakeFiles/reach_cbir.dir/pca.cc.o.d"
+  "/root/repo/src/cbir/rerank.cc" "src/cbir/CMakeFiles/reach_cbir.dir/rerank.cc.o" "gcc" "src/cbir/CMakeFiles/reach_cbir.dir/rerank.cc.o.d"
+  "/root/repo/src/cbir/shortlist.cc" "src/cbir/CMakeFiles/reach_cbir.dir/shortlist.cc.o" "gcc" "src/cbir/CMakeFiles/reach_cbir.dir/shortlist.cc.o.d"
+  "/root/repo/src/cbir/vgg.cc" "src/cbir/CMakeFiles/reach_cbir.dir/vgg.cc.o" "gcc" "src/cbir/CMakeFiles/reach_cbir.dir/vgg.cc.o.d"
+  "/root/repo/src/cbir/workload_model.cc" "src/cbir/CMakeFiles/reach_cbir.dir/workload_model.cc.o" "gcc" "src/cbir/CMakeFiles/reach_cbir.dir/workload_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/reach_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/acc/CMakeFiles/reach_acc.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/reach_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/reach_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/reach_storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reach_cbir.dir/index.cc.o"
+  "CMakeFiles/reach_cbir.dir/index.cc.o.d"
+  "CMakeFiles/reach_cbir.dir/kmeans.cc.o"
+  "CMakeFiles/reach_cbir.dir/kmeans.cc.o.d"
+  "CMakeFiles/reach_cbir.dir/linalg.cc.o"
+  "CMakeFiles/reach_cbir.dir/linalg.cc.o.d"
+  "CMakeFiles/reach_cbir.dir/mini_cnn.cc.o"
+  "CMakeFiles/reach_cbir.dir/mini_cnn.cc.o.d"
+  "CMakeFiles/reach_cbir.dir/pca.cc.o"
+  "CMakeFiles/reach_cbir.dir/pca.cc.o.d"
+  "CMakeFiles/reach_cbir.dir/rerank.cc.o"
+  "CMakeFiles/reach_cbir.dir/rerank.cc.o.d"
+  "CMakeFiles/reach_cbir.dir/shortlist.cc.o"
+  "CMakeFiles/reach_cbir.dir/shortlist.cc.o.d"
+  "CMakeFiles/reach_cbir.dir/vgg.cc.o"
+  "CMakeFiles/reach_cbir.dir/vgg.cc.o.d"
+  "CMakeFiles/reach_cbir.dir/workload_model.cc.o"
+  "CMakeFiles/reach_cbir.dir/workload_model.cc.o.d"
+  "libreach_cbir.a"
+  "libreach_cbir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reach_cbir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for reach_cbir.
+# This may be replaced when dependencies are built.

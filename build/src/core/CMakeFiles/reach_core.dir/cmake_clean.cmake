@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reach_core.dir/cbir_deployment.cc.o"
+  "CMakeFiles/reach_core.dir/cbir_deployment.cc.o.d"
+  "CMakeFiles/reach_core.dir/cosim.cc.o"
+  "CMakeFiles/reach_core.dir/cosim.cc.o.d"
+  "CMakeFiles/reach_core.dir/reach_system.cc.o"
+  "CMakeFiles/reach_core.dir/reach_system.cc.o.d"
+  "CMakeFiles/reach_core.dir/runtime.cc.o"
+  "CMakeFiles/reach_core.dir/runtime.cc.o.d"
+  "libreach_core.a"
+  "libreach_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reach_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

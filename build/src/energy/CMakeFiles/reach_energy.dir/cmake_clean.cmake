@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reach_energy.dir/energy_model.cc.o"
+  "CMakeFiles/reach_energy.dir/energy_model.cc.o.d"
+  "libreach_energy.a"
+  "libreach_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reach_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reach_gam.dir/buffer_table.cc.o"
+  "CMakeFiles/reach_gam.dir/buffer_table.cc.o.d"
+  "CMakeFiles/reach_gam.dir/gam.cc.o"
+  "CMakeFiles/reach_gam.dir/gam.cc.o.d"
+  "libreach_gam.a"
+  "libreach_gam.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reach_gam.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

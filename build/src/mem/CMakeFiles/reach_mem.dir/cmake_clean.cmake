@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reach_mem.dir/cache.cc.o"
+  "CMakeFiles/reach_mem.dir/cache.cc.o.d"
+  "CMakeFiles/reach_mem.dir/calibration.cc.o"
+  "CMakeFiles/reach_mem.dir/calibration.cc.o.d"
+  "CMakeFiles/reach_mem.dir/dimm.cc.o"
+  "CMakeFiles/reach_mem.dir/dimm.cc.o.d"
+  "CMakeFiles/reach_mem.dir/mem_controller.cc.o"
+  "CMakeFiles/reach_mem.dir/mem_controller.cc.o.d"
+  "CMakeFiles/reach_mem.dir/memory_system.cc.o"
+  "CMakeFiles/reach_mem.dir/memory_system.cc.o.d"
+  "CMakeFiles/reach_mem.dir/tlb.cc.o"
+  "CMakeFiles/reach_mem.dir/tlb.cc.o.d"
+  "libreach_mem.a"
+  "libreach_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reach_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reach_noc.dir/crossbar.cc.o"
+  "CMakeFiles/reach_noc.dir/crossbar.cc.o.d"
+  "CMakeFiles/reach_noc.dir/link.cc.o"
+  "CMakeFiles/reach_noc.dir/link.cc.o.d"
+  "libreach_noc.a"
+  "libreach_noc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reach_noc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reach_sim.dir/debug.cc.o"
+  "CMakeFiles/reach_sim.dir/debug.cc.o.d"
+  "CMakeFiles/reach_sim.dir/event_queue.cc.o"
+  "CMakeFiles/reach_sim.dir/event_queue.cc.o.d"
+  "CMakeFiles/reach_sim.dir/logging.cc.o"
+  "CMakeFiles/reach_sim.dir/logging.cc.o.d"
+  "CMakeFiles/reach_sim.dir/rng.cc.o"
+  "CMakeFiles/reach_sim.dir/rng.cc.o.d"
+  "CMakeFiles/reach_sim.dir/simulator.cc.o"
+  "CMakeFiles/reach_sim.dir/simulator.cc.o.d"
+  "CMakeFiles/reach_sim.dir/stats.cc.o"
+  "CMakeFiles/reach_sim.dir/stats.cc.o.d"
+  "libreach_sim.a"
+  "libreach_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reach_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reach_storage.dir/ssd.cc.o"
+  "CMakeFiles/reach_storage.dir/ssd.cc.o.d"
+  "libreach_storage.a"
+  "libreach_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reach_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

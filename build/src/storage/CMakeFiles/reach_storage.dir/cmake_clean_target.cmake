@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libreach_storage.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reach_workload.dir/dataset.cc.o"
+  "CMakeFiles/reach_workload.dir/dataset.cc.o.d"
+  "libreach_workload.a"
+  "libreach_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reach_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

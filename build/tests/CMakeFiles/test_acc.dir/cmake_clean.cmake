@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_acc.dir/acc/test_accelerator.cpp.o"
+  "CMakeFiles/test_acc.dir/acc/test_accelerator.cpp.o.d"
+  "CMakeFiles/test_acc.dir/acc/test_aim_local_port.cpp.o"
+  "CMakeFiles/test_acc.dir/acc/test_aim_local_port.cpp.o.d"
+  "CMakeFiles/test_acc.dir/acc/test_aim_module.cpp.o"
+  "CMakeFiles/test_acc.dir/acc/test_aim_module.cpp.o.d"
+  "CMakeFiles/test_acc.dir/acc/test_kernel_profile.cpp.o"
+  "CMakeFiles/test_acc.dir/acc/test_kernel_profile.cpp.o.d"
+  "CMakeFiles/test_acc.dir/acc/test_ns_module.cpp.o"
+  "CMakeFiles/test_acc.dir/acc/test_ns_module.cpp.o.d"
+  "CMakeFiles/test_acc.dir/acc/test_path.cpp.o"
+  "CMakeFiles/test_acc.dir/acc/test_path.cpp.o.d"
+  "CMakeFiles/test_acc.dir/acc/test_path_sharing.cpp.o"
+  "CMakeFiles/test_acc.dir/acc/test_path_sharing.cpp.o.d"
+  "test_acc"
+  "test_acc.pdb"
+  "test_acc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_acc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/cbir/test_index.cpp" "tests/CMakeFiles/test_cbir.dir/cbir/test_index.cpp.o" "gcc" "tests/CMakeFiles/test_cbir.dir/cbir/test_index.cpp.o.d"
+  "/root/repo/tests/cbir/test_kmeans.cpp" "tests/CMakeFiles/test_cbir.dir/cbir/test_kmeans.cpp.o" "gcc" "tests/CMakeFiles/test_cbir.dir/cbir/test_kmeans.cpp.o.d"
+  "/root/repo/tests/cbir/test_linalg.cpp" "tests/CMakeFiles/test_cbir.dir/cbir/test_linalg.cpp.o" "gcc" "tests/CMakeFiles/test_cbir.dir/cbir/test_linalg.cpp.o.d"
+  "/root/repo/tests/cbir/test_mini_cnn.cpp" "tests/CMakeFiles/test_cbir.dir/cbir/test_mini_cnn.cpp.o" "gcc" "tests/CMakeFiles/test_cbir.dir/cbir/test_mini_cnn.cpp.o.d"
+  "/root/repo/tests/cbir/test_pca.cpp" "tests/CMakeFiles/test_cbir.dir/cbir/test_pca.cpp.o" "gcc" "tests/CMakeFiles/test_cbir.dir/cbir/test_pca.cpp.o.d"
+  "/root/repo/tests/cbir/test_rerank.cpp" "tests/CMakeFiles/test_cbir.dir/cbir/test_rerank.cpp.o" "gcc" "tests/CMakeFiles/test_cbir.dir/cbir/test_rerank.cpp.o.d"
+  "/root/repo/tests/cbir/test_shortlist.cpp" "tests/CMakeFiles/test_cbir.dir/cbir/test_shortlist.cpp.o" "gcc" "tests/CMakeFiles/test_cbir.dir/cbir/test_shortlist.cpp.o.d"
+  "/root/repo/tests/cbir/test_vgg.cpp" "tests/CMakeFiles/test_cbir.dir/cbir/test_vgg.cpp.o" "gcc" "tests/CMakeFiles/test_cbir.dir/cbir/test_vgg.cpp.o.d"
+  "/root/repo/tests/cbir/test_workload_model.cpp" "tests/CMakeFiles/test_cbir.dir/cbir/test_workload_model.cpp.o" "gcc" "tests/CMakeFiles/test_cbir.dir/cbir/test_workload_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/reach_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/reach_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/gam/CMakeFiles/reach_gam.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/reach_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/cbir/CMakeFiles/reach_cbir.dir/DependInfo.cmake"
+  "/root/repo/build/src/acc/CMakeFiles/reach_acc.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/reach_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/reach_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/reach_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/reach_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cbir.dir/cbir/test_index.cpp.o"
+  "CMakeFiles/test_cbir.dir/cbir/test_index.cpp.o.d"
+  "CMakeFiles/test_cbir.dir/cbir/test_kmeans.cpp.o"
+  "CMakeFiles/test_cbir.dir/cbir/test_kmeans.cpp.o.d"
+  "CMakeFiles/test_cbir.dir/cbir/test_linalg.cpp.o"
+  "CMakeFiles/test_cbir.dir/cbir/test_linalg.cpp.o.d"
+  "CMakeFiles/test_cbir.dir/cbir/test_mini_cnn.cpp.o"
+  "CMakeFiles/test_cbir.dir/cbir/test_mini_cnn.cpp.o.d"
+  "CMakeFiles/test_cbir.dir/cbir/test_pca.cpp.o"
+  "CMakeFiles/test_cbir.dir/cbir/test_pca.cpp.o.d"
+  "CMakeFiles/test_cbir.dir/cbir/test_rerank.cpp.o"
+  "CMakeFiles/test_cbir.dir/cbir/test_rerank.cpp.o.d"
+  "CMakeFiles/test_cbir.dir/cbir/test_shortlist.cpp.o"
+  "CMakeFiles/test_cbir.dir/cbir/test_shortlist.cpp.o.d"
+  "CMakeFiles/test_cbir.dir/cbir/test_vgg.cpp.o"
+  "CMakeFiles/test_cbir.dir/cbir/test_vgg.cpp.o.d"
+  "CMakeFiles/test_cbir.dir/cbir/test_workload_model.cpp.o"
+  "CMakeFiles/test_cbir.dir/cbir/test_workload_model.cpp.o.d"
+  "test_cbir"
+  "test_cbir.pdb"
+  "test_cbir[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cbir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

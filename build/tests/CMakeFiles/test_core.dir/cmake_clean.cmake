@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/test_cbir_deployment.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_cbir_deployment.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_cosim.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_cosim.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_reach_system.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_reach_system.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_runtime.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_runtime.cpp.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

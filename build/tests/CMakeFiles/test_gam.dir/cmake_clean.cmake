@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gam.dir/gam/test_buffer_table.cpp.o"
+  "CMakeFiles/test_gam.dir/gam/test_buffer_table.cpp.o.d"
+  "CMakeFiles/test_gam.dir/gam/test_gam.cpp.o"
+  "CMakeFiles/test_gam.dir/gam/test_gam.cpp.o.d"
+  "CMakeFiles/test_gam.dir/gam/test_gam_pipelining.cpp.o"
+  "CMakeFiles/test_gam.dir/gam/test_gam_pipelining.cpp.o.d"
+  "CMakeFiles/test_gam.dir/gam/test_gam_stress.cpp.o"
+  "CMakeFiles/test_gam.dir/gam/test_gam_stress.cpp.o.d"
+  "test_gam"
+  "test_gam.pdb"
+  "test_gam[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gam.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mem.dir/mem/test_address_map.cpp.o"
+  "CMakeFiles/test_mem.dir/mem/test_address_map.cpp.o.d"
+  "CMakeFiles/test_mem.dir/mem/test_cache.cpp.o"
+  "CMakeFiles/test_mem.dir/mem/test_cache.cpp.o.d"
+  "CMakeFiles/test_mem.dir/mem/test_calibration.cpp.o"
+  "CMakeFiles/test_mem.dir/mem/test_calibration.cpp.o.d"
+  "CMakeFiles/test_mem.dir/mem/test_dimm.cpp.o"
+  "CMakeFiles/test_mem.dir/mem/test_dimm.cpp.o.d"
+  "CMakeFiles/test_mem.dir/mem/test_mem_controller.cpp.o"
+  "CMakeFiles/test_mem.dir/mem/test_mem_controller.cpp.o.d"
+  "CMakeFiles/test_mem.dir/mem/test_memory_system.cpp.o"
+  "CMakeFiles/test_mem.dir/mem/test_memory_system.cpp.o.d"
+  "CMakeFiles/test_mem.dir/mem/test_packet.cpp.o"
+  "CMakeFiles/test_mem.dir/mem/test_packet.cpp.o.d"
+  "CMakeFiles/test_mem.dir/mem/test_tlb.cpp.o"
+  "CMakeFiles/test_mem.dir/mem/test_tlb.cpp.o.d"
+  "test_mem"
+  "test_mem.pdb"
+  "test_mem[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

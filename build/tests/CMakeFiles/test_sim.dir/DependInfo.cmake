@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sim/test_clocked.cpp" "tests/CMakeFiles/test_sim.dir/sim/test_clocked.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_clocked.cpp.o.d"
+  "/root/repo/tests/sim/test_debug.cpp" "tests/CMakeFiles/test_sim.dir/sim/test_debug.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_debug.cpp.o.d"
+  "/root/repo/tests/sim/test_event_queue.cpp" "tests/CMakeFiles/test_sim.dir/sim/test_event_queue.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_event_queue.cpp.o.d"
+  "/root/repo/tests/sim/test_interval_resource.cpp" "tests/CMakeFiles/test_sim.dir/sim/test_interval_resource.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_interval_resource.cpp.o.d"
+  "/root/repo/tests/sim/test_logging.cpp" "tests/CMakeFiles/test_sim.dir/sim/test_logging.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_logging.cpp.o.d"
+  "/root/repo/tests/sim/test_rng.cpp" "tests/CMakeFiles/test_sim.dir/sim/test_rng.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_rng.cpp.o.d"
+  "/root/repo/tests/sim/test_simulator.cpp" "tests/CMakeFiles/test_sim.dir/sim/test_simulator.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_simulator.cpp.o.d"
+  "/root/repo/tests/sim/test_stats.cpp" "tests/CMakeFiles/test_sim.dir/sim/test_stats.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_stats.cpp.o.d"
+  "/root/repo/tests/sim/test_types.cpp" "tests/CMakeFiles/test_sim.dir/sim/test_types.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_types.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/reach_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/reach_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/gam/CMakeFiles/reach_gam.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/reach_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/cbir/CMakeFiles/reach_cbir.dir/DependInfo.cmake"
+  "/root/repo/build/src/acc/CMakeFiles/reach_acc.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/reach_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/reach_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/reach_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/reach_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

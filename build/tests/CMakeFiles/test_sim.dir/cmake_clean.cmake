@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim.dir/sim/test_clocked.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/test_clocked.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_debug.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/test_debug.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_event_queue.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/test_event_queue.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_interval_resource.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/test_interval_resource.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_logging.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/test_logging.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_rng.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/test_rng.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_simulator.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/test_simulator.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_stats.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/test_stats.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_types.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/test_types.cpp.o.d"
+  "test_sim"
+  "test_sim.pdb"
+  "test_sim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
