@@ -14,6 +14,7 @@
 #include "cbir/mini_cnn.hh"
 #include "cbir/rerank.hh"
 #include "cbir/shortlist.hh"
+#include "parallel/parallel.hh"
 #include "sim/rng.hh"
 #include "workload/dataset.hh"
 
@@ -126,6 +127,92 @@ BM_Rerank(benchmark::State &state)
     }
 }
 BENCHMARK(BM_Rerank)->Arg(1024)->Arg(4096);
+
+// Single- vs multi-thread variants of the three hot kernels the
+// parallel execution layer targets (Arg = thread count). Sizes follow
+// the paper's shortlist/rerank shape: 1000 centroids x D=96, 64
+// queries, 4096 candidates per query.
+
+void
+BM_GemmNtThreads(benchmark::State &state)
+{
+    std::size_t batch = 64, dim = 96, centroids = 1000;
+    Matrix q = randomMatrix(batch, dim, 1);
+    Matrix c = randomMatrix(centroids, dim, 2);
+    Matrix out(batch, centroids);
+    parallel::ParallelConfig pc{
+        static_cast<unsigned>(state.range(0))};
+    for (auto _ : state) {
+        gemmNt(q, c, out, pc);
+        benchmark::DoNotOptimize(out.flat().data());
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) * batch *
+        centroids * dim);
+}
+BENCHMARK(BM_GemmNtThreads)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime();
+
+void
+BM_RerankThreads(benchmark::State &state)
+{
+    workload::DatasetConfig dc;
+    dc.numVectors = 50'000;
+    dc.dim = 96;
+    workload::Dataset ds(dc);
+    KMeansConfig kc;
+    kc.clusters = 64;
+    kc.maxIterations = 4;
+    InvertedFileIndex idx(ds.vectors(), kc);
+    Matrix queries = ds.makeQueries(64, 0.05, 9);
+    auto lists = shortlistRetrieve(queries, idx, 8);
+    RerankConfig rc;
+    rc.k = 10;
+    rc.maxCandidates = 4096;
+    rc.parallel = parallel::ParallelConfig{
+        static_cast<unsigned>(state.range(0))};
+    for (auto _ : state) {
+        auto res = rerank(queries, ds.vectors(), idx, lists, rc);
+        benchmark::DoNotOptimize(res.data());
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(queries.rows() * rc.maxCandidates));
+}
+BENCHMARK(BM_RerankThreads)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime();
+
+void
+BM_KMeansThreads(benchmark::State &state)
+{
+    workload::DatasetConfig dc;
+    dc.numVectors = 20'000;
+    dc.dim = 32;
+    workload::Dataset ds(dc);
+    KMeansConfig kc;
+    kc.clusters = 32;
+    kc.maxIterations = 2;
+    kc.parallel = parallel::ParallelConfig{
+        static_cast<unsigned>(state.range(0))};
+    for (auto _ : state) {
+        auto res = kMeans(ds.vectors(), kc);
+        benchmark::DoNotOptimize(res.inertia);
+    }
+}
+BENCHMARK(BM_KMeansThreads)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime();
 
 void
 BM_MiniCnnExtract(benchmark::State &state)

@@ -60,6 +60,17 @@ seedCentroids(const Matrix &points, std::size_t k, sim::Rng &rng)
     return centroids;
 }
 
+/**
+ * Per-chunk accumulator of the Lloyd assignment step: cluster sums,
+ * member counts and the inertia contribution of one point range.
+ */
+struct AssignPartial
+{
+    std::vector<double> sums;
+    std::vector<std::uint32_t> counts;
+    double inertia = 0;
+};
+
 } // namespace
 
 KMeansResult
@@ -75,40 +86,62 @@ kMeans(const Matrix &points, const KMeansConfig &cfg)
     res.centroids = seedCentroids(points, cfg.clusters, rng);
     res.assignment.assign(points.rows(), 0);
 
+    const std::size_t dim = points.cols();
+    // The grain depends only on the point count (never the thread
+    // count) so the chunk-ordered folds below are bitwise identical
+    // at 1 and N threads; the 64-chunk cap bounds the transient
+    // per-chunk sum buffers (clusters x dim doubles each).
+    const std::size_t grain = std::max<std::size_t>(
+        1024, (points.rows() + 63) / 64);
+
     double prev_inertia = std::numeric_limits<double>::max();
-    std::vector<double> sums;
-    std::vector<std::uint32_t> counts;
 
     for (std::size_t it = 0; it < cfg.maxIterations; ++it) {
         res.iterations = it + 1;
 
-        // Assign.
-        double inertia = 0;
-        for (std::size_t i = 0; i < points.rows(); ++i) {
-            std::uint32_t c = nearestCentroid(res.centroids,
-                                              points.row(i));
-            res.assignment[i] = c;
-            inertia += l2sq(points.row(i), res.centroids.row(c));
-        }
+        // Assign (the hot O(n * k * d) step): each chunk writes its
+        // slice of the assignment and accumulates private sums.
+        AssignPartial init;
+        init.sums.assign(cfg.clusters * dim, 0.0);
+        init.counts.assign(cfg.clusters, 0);
+        AssignPartial total = parallel::parallelReduce(
+            0, points.rows(), grain, std::move(init),
+            [&](std::size_t b, std::size_t e) {
+                AssignPartial p;
+                p.sums.assign(cfg.clusters * dim, 0.0);
+                p.counts.assign(cfg.clusters, 0);
+                for (std::size_t i = b; i < e; ++i) {
+                    auto row = points.row(i);
+                    std::uint32_t c =
+                        nearestCentroid(res.centroids, row);
+                    res.assignment[i] = c;
+                    p.inertia += l2sq(row, res.centroids.row(c));
+                    ++p.counts[c];
+                    for (std::size_t d = 0; d < dim; ++d)
+                        p.sums[c * dim + d] += row[d];
+                }
+                return p;
+            },
+            [](AssignPartial acc, AssignPartial p) {
+                for (std::size_t j = 0; j < acc.sums.size(); ++j)
+                    acc.sums[j] += p.sums[j];
+                for (std::size_t c = 0; c < acc.counts.size(); ++c)
+                    acc.counts[c] += p.counts[c];
+                acc.inertia += p.inertia;
+                return acc;
+            },
+            cfg.parallel);
+        double inertia = total.inertia;
         res.inertia = inertia;
 
         // Update.
-        sums.assign(cfg.clusters * points.cols(), 0.0);
-        counts.assign(cfg.clusters, 0);
-        for (std::size_t i = 0; i < points.rows(); ++i) {
-            std::uint32_t c = res.assignment[i];
-            ++counts[c];
-            auto row = points.row(i);
-            for (std::size_t d = 0; d < points.cols(); ++d)
-                sums[c * points.cols() + d] += row[d];
-        }
         for (std::size_t c = 0; c < cfg.clusters; ++c) {
-            if (counts[c] == 0)
+            if (total.counts[c] == 0)
                 continue; // keep the old centroid for empty clusters
             auto row = res.centroids.row(c);
-            for (std::size_t d = 0; d < points.cols(); ++d) {
-                row[d] = static_cast<float>(sums[c * points.cols() + d] /
-                                            counts[c]);
+            for (std::size_t d = 0; d < dim; ++d) {
+                row[d] = static_cast<float>(total.sums[c * dim + d] /
+                                            total.counts[c]);
             }
         }
 

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "cbir/linalg.hh"
+#include "parallel/parallel.hh"
 #include "sim/rng.hh"
 
 namespace reach::cbir
@@ -27,6 +28,11 @@ struct KMeansConfig
     /** Stop when the relative inertia improvement drops below this. */
     double tolerance = 1e-4;
     std::uint64_t seed = 7;
+    /**
+     * Threads for the Lloyd assignment step. The decomposition (and
+     * therefore the result) does not depend on the thread count.
+     */
+    parallel::ParallelConfig parallel{};
 };
 
 struct KMeansResult

@@ -41,48 +41,99 @@ normSq(std::span<const float> a)
     return acc;
 }
 
+namespace
+{
+
+/**
+ * One row block of C = A * B^T. A 1x4 register tile streams each A
+ * row once across four B rows, keeping four accumulators live; the
+ * per-element accumulation order over d is the same as dot(), so the
+ * tiling never changes the result.
+ */
 void
-gemmNt(const Matrix &a, const Matrix &b, Matrix &c)
+gemmRowBlock(const Matrix &a, const Matrix &b, Matrix &c,
+             std::size_t i0, std::size_t i1)
+{
+    const std::size_t d = a.cols();
+    const std::size_t m = b.rows();
+    for (std::size_t i = i0; i < i1; ++i) {
+        const float *ra = a.row(i).data();
+        float *rc = c.row(i).data();
+        std::size_t j = 0;
+        for (; j + 4 <= m; j += 4) {
+            const float *b0 = b.row(j).data();
+            const float *b1 = b.row(j + 1).data();
+            const float *b2 = b.row(j + 2).data();
+            const float *b3 = b.row(j + 3).data();
+            float acc0 = 0, acc1 = 0, acc2 = 0, acc3 = 0;
+            for (std::size_t t = 0; t < d; ++t) {
+                float av = ra[t];
+                acc0 += av * b0[t];
+                acc1 += av * b1[t];
+                acc2 += av * b2[t];
+                acc3 += av * b3[t];
+            }
+            rc[j] = acc0;
+            rc[j + 1] = acc1;
+            rc[j + 2] = acc2;
+            rc[j + 3] = acc3;
+        }
+        for (; j < m; ++j)
+            rc[j] = dot(a.row(i), b.row(j));
+    }
+}
+
+} // namespace
+
+void
+gemmNt(const Matrix &a, const Matrix &b, Matrix &c,
+       const parallel::ParallelConfig &par)
 {
     if (a.cols() != b.cols())
         sim::panic("gemmNt: inner dimension mismatch");
     if (c.rows() != a.rows() || c.cols() != b.rows())
         sim::panic("gemmNt: output shape mismatch");
 
-    constexpr std::size_t blk = 64;
-    std::fill(c.flat().begin(), c.flat().end(), 0.0f);
-
-    for (std::size_t i0 = 0; i0 < a.rows(); i0 += blk) {
-        std::size_t i1 = std::min(i0 + blk, a.rows());
-        for (std::size_t j0 = 0; j0 < b.rows(); j0 += blk) {
-            std::size_t j1 = std::min(j0 + blk, b.rows());
-            for (std::size_t i = i0; i < i1; ++i) {
-                auto ra = a.row(i);
-                for (std::size_t j = j0; j < j1; ++j)
-                    c.at(i, j) = dot(ra, b.row(j));
-            }
-        }
-    }
+    constexpr std::size_t row_grain = 8;
+    parallel::parallelFor(
+        0, a.rows(), row_grain,
+        [&](std::size_t i0, std::size_t i1) {
+            gemmRowBlock(a, b, c, i0, i1);
+        },
+        par);
 }
 
 std::vector<std::uint32_t>
 topKMin(std::span<const float> values, std::size_t k)
 {
     k = std::min(k, values.size());
-    std::vector<std::uint32_t> idx(values.size());
-    for (std::size_t i = 0; i < idx.size(); ++i)
-        idx[i] = static_cast<std::uint32_t>(i);
+    if (k == 0)
+        return {};
 
-    auto cmp = [&](std::uint32_t x, std::uint32_t y) {
+    // "better" = smaller value, ties to the lower index. Used as the
+    // heap comparator it keeps the *worst* retained candidate at the
+    // front, so each survivor test is a single comparison.
+    auto better = [&](std::uint32_t x, std::uint32_t y) {
         if (values[x] != values[y])
             return values[x] < values[y];
         return x < y;
     };
-    std::partial_sort(idx.begin(),
-                      idx.begin() + static_cast<std::ptrdiff_t>(k),
-                      idx.end(), cmp);
-    idx.resize(k);
-    return idx;
+
+    std::vector<std::uint32_t> heap;
+    heap.reserve(k);
+    for (std::uint32_t i = 0; i < k; ++i)
+        heap.push_back(i);
+    std::make_heap(heap.begin(), heap.end(), better);
+    for (std::size_t i = k; i < values.size(); ++i) {
+        auto cand = static_cast<std::uint32_t>(i);
+        if (better(cand, heap.front())) {
+            std::pop_heap(heap.begin(), heap.end(), better);
+            heap.back() = cand;
+            std::push_heap(heap.begin(), heap.end(), better);
+        }
+    }
+    std::sort_heap(heap.begin(), heap.end(), better);
+    return heap;
 }
 
 } // namespace reach::cbir

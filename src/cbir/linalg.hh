@@ -14,6 +14,8 @@
 #include <span>
 #include <vector>
 
+#include "parallel/parallel.hh"
+
 namespace reach::cbir
 {
 
@@ -75,16 +77,20 @@ float l2sq(std::span<const float> a, std::span<const float> b);
 float normSq(std::span<const float> a);
 
 /**
- * C = A * B^T, blocked for cache friendliness.
- * A is (n x d), B is (m x d), C is (n x m): exactly the
- * query-times-centroid product of short-list retrieval.
+ * C = A * B^T with a register-tiled inner kernel, parallel over row
+ * blocks of A. A is (n x d), B is (m x d), C is (n x m): exactly the
+ * query-times-centroid product of short-list retrieval. Every C(i,j)
+ * is a sequential dot over d regardless of the decomposition, so the
+ * result is bitwise identical at any thread count.
  */
-void gemmNt(const Matrix &a, const Matrix &b, Matrix &c);
+void gemmNt(const Matrix &a, const Matrix &b, Matrix &c,
+            const parallel::ParallelConfig &par = {});
 
 /**
- * Partial sort: indices of the @p k smallest values (ties broken by
- * lower index), in ascending value order. This is the "partial
- * sorting of the dist array" step.
+ * Indices of the @p k smallest values (ties broken by lower index),
+ * in ascending value order — the "partial sorting of the dist array"
+ * step. Implemented as a bounded max-heap scan: O(n log k) time and
+ * O(k) extra space, no O(n) index materialization.
  */
 std::vector<std::uint32_t> topKMin(std::span<const float> values,
                                    std::size_t k);

@@ -51,7 +51,7 @@ MiniCnn::convRelu(const Image &in, const std::vector<float> &weights,
     out.pixels.assign(std::size_t(out_channels) * in.height * in.width,
                       0.0f);
 
-    for (std::uint32_t oc = 0; oc < out_channels; ++oc) {
+    auto conv_channel = [&](std::uint32_t oc) {
         for (std::uint32_t y = 0; y < in.height; ++y) {
             for (std::uint32_t x = 0; x < in.width; ++x) {
                 float acc = 0;
@@ -82,7 +82,17 @@ MiniCnn::convRelu(const Image &in, const std::vector<float> &weights,
                 out.at(oc, y, x) = std::max(0.0f, acc); // ReLU
             }
         }
-    }
+    };
+
+    // Each output channel writes a disjoint plane, so the channel
+    // loop parallelizes without any coordination.
+    parallel::parallelFor(
+        0, out_channels, 1,
+        [&](std::size_t oc_b, std::size_t oc_e) {
+            for (std::size_t oc = oc_b; oc < oc_e; ++oc)
+                conv_channel(static_cast<std::uint32_t>(oc));
+        },
+        cfg.parallel);
     return out;
 }
 
@@ -120,15 +130,21 @@ MiniCnn::extract(const Image &img) const
     Image a = maxPool(convRelu(img, w1, cfg.conv1Channels));
     Image b = maxPool(convRelu(a, w2, cfg.conv2Channels));
 
-    // Fully connected projection to the feature dimension.
+    // Fully connected projection to the feature dimension; each
+    // output feature is an independent dot product.
     std::vector<float> feat(cfg.featureDim, 0.0f);
-    for (std::uint32_t f = 0; f < cfg.featureDim; ++f) {
-        float acc = 0;
-        const float *wrow = &wfc[std::size_t(f) * flatDim];
-        for (std::uint32_t i = 0; i < flatDim; ++i)
-            acc += wrow[i] * b.pixels[i];
-        feat[f] = acc;
-    }
+    parallel::parallelFor(
+        0, cfg.featureDim, 16,
+        [&](std::size_t fb, std::size_t fe) {
+            for (std::size_t f = fb; f < fe; ++f) {
+                float acc = 0;
+                const float *wrow = &wfc[f * flatDim];
+                for (std::uint32_t i = 0; i < flatDim; ++i)
+                    acc += wrow[i] * b.pixels[i];
+                feat[f] = acc;
+            }
+        },
+        cfg.parallel);
     return feat;
 }
 
@@ -136,10 +152,17 @@ Matrix
 MiniCnn::extractBatch(const std::vector<Image> &imgs) const
 {
     Matrix out(imgs.size(), cfg.featureDim);
-    for (std::size_t i = 0; i < imgs.size(); ++i) {
-        auto f = extract(imgs[i]);
-        std::copy(f.begin(), f.end(), out.row(i).begin());
-    }
+    // Parallel over images; the per-image conv/fc parallelFor calls
+    // detect the nesting and run inline on the worker.
+    parallel::parallelFor(
+        0, imgs.size(), 1,
+        [&](std::size_t ib, std::size_t ie) {
+            for (std::size_t i = ib; i < ie; ++i) {
+                auto f = extract(imgs[i]);
+                std::copy(f.begin(), f.end(), out.row(i).begin());
+            }
+        },
+        cfg.parallel);
     return out;
 }
 

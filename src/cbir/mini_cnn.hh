@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "cbir/linalg.hh"
+#include "parallel/parallel.hh"
 #include "sim/rng.hh"
 
 namespace reach::cbir
@@ -53,6 +54,11 @@ struct MiniCnnConfig
     /** Final feature dimensionality. */
     std::uint32_t featureDim = 96;
     std::uint64_t seed = 1234;
+    /**
+     * Threads for the conv / fully-connected loops; extractBatch
+     * parallelizes over images instead (inner loops then run inline).
+     */
+    parallel::ParallelConfig parallel{};
 };
 
 class MiniCnn

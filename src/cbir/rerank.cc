@@ -1,6 +1,7 @@
 #include "rerank.hh"
 
 #include <algorithm>
+#include <unordered_set>
 
 #include "sim/logging.hh"
 
@@ -10,20 +11,35 @@ namespace reach::cbir
 namespace
 {
 
+/**
+ * The K nearest of @p cands via a bounded max-heap scan: O(n log k)
+ * instead of the O(n log n)-ish partial sort, and no mutation of the
+ * candidate buffer. The (distSq, id) order is total, so the selected
+ * set and its order are independent of the scan order.
+ */
 std::vector<Neighbor>
-selectK(std::vector<Neighbor> &cands, std::size_t k)
+selectK(const std::vector<Neighbor> &cands, std::size_t k)
 {
     k = std::min(k, cands.size());
-    auto cmp = [](const Neighbor &a, const Neighbor &b) {
+    if (k == 0)
+        return {};
+    auto better = [](const Neighbor &a, const Neighbor &b) {
         if (a.distSq != b.distSq)
             return a.distSq < b.distSq;
         return a.id < b.id;
     };
-    std::partial_sort(cands.begin(),
-                      cands.begin() + static_cast<std::ptrdiff_t>(k),
-                      cands.end(), cmp);
-    cands.resize(k);
-    return cands;
+    std::vector<Neighbor> heap(
+        cands.begin(), cands.begin() + static_cast<std::ptrdiff_t>(k));
+    std::make_heap(heap.begin(), heap.end(), better);
+    for (std::size_t i = k; i < cands.size(); ++i) {
+        if (better(cands[i], heap.front())) {
+            std::pop_heap(heap.begin(), heap.end(), better);
+            heap.back() = cands[i];
+            std::push_heap(heap.begin(), heap.end(), better);
+        }
+    }
+    std::sort_heap(heap.begin(), heap.end(), better);
+    return heap;
 }
 
 } // namespace
@@ -37,38 +53,57 @@ rerank(const Matrix &queries, const Matrix &database,
         sim::panic("rerank: one short-list per query required");
 
     RerankResults out(queries.rows());
-    for (std::size_t q = 0; q < queries.rows(); ++q) {
-        std::vector<Neighbor> cands;
-        for (std::uint32_t cluster : lists[q]) {
-            for (std::uint32_t id : index.cluster(cluster)) {
-                if (cfg.maxCandidates &&
-                    cands.size() >= cfg.maxCandidates) {
-                    break;
+    constexpr std::size_t query_grain = 4;
+    parallel::parallelFor(
+        0, queries.rows(), query_grain,
+        [&](std::size_t qb, std::size_t qe) {
+            std::vector<Neighbor> cands;
+            if (cfg.maxCandidates)
+                cands.reserve(cfg.maxCandidates);
+            for (std::size_t q = qb; q < qe; ++q) {
+                cands.clear();
+                for (std::uint32_t cluster : lists[q]) {
+                    for (std::uint32_t id : index.cluster(cluster)) {
+                        if (cfg.maxCandidates &&
+                            cands.size() >= cfg.maxCandidates) {
+                            break;
+                        }
+                        cands.push_back(
+                            {id,
+                             l2sq(queries.row(q), database.row(id))});
+                    }
+                    if (cfg.maxCandidates &&
+                        cands.size() >= cfg.maxCandidates)
+                        break;
                 }
-                cands.push_back(
-                    {id, l2sq(queries.row(q), database.row(id))});
+                out[q] = selectK(cands, cfg.k);
             }
-            if (cfg.maxCandidates && cands.size() >= cfg.maxCandidates)
-                break;
-        }
-        out[q] = selectK(cands, cfg.k);
-    }
+        },
+        cfg.parallel);
     return out;
 }
 
 RerankResults
-bruteForce(const Matrix &queries, const Matrix &database, std::size_t k)
+bruteForce(const Matrix &queries, const Matrix &database, std::size_t k,
+           const parallel::ParallelConfig &par)
 {
     RerankResults out(queries.rows());
-    for (std::size_t q = 0; q < queries.rows(); ++q) {
-        std::vector<Neighbor> cands;
-        cands.reserve(database.rows());
-        for (std::size_t i = 0; i < database.rows(); ++i) {
-            cands.push_back({static_cast<std::uint32_t>(i),
-                             l2sq(queries.row(q), database.row(i))});
-        }
-        out[q] = selectK(cands, k);
-    }
+    parallel::parallelFor(
+        0, queries.rows(), 1,
+        [&](std::size_t qb, std::size_t qe) {
+            std::vector<Neighbor> cands;
+            cands.reserve(database.rows());
+            for (std::size_t q = qb; q < qe; ++q) {
+                cands.clear();
+                for (std::size_t i = 0; i < database.rows(); ++i) {
+                    cands.push_back(
+                        {static_cast<std::uint32_t>(i),
+                         l2sq(queries.row(q), database.row(i))});
+                }
+                out[q] = selectK(cands, k);
+            }
+        },
+        par);
     return out;
 }
 
@@ -82,19 +117,18 @@ recallAtK(const RerankResults &got, const RerankResults &truth,
         return 0;
 
     double sum = 0;
+    std::unordered_set<std::uint32_t> truth_ids;
     for (std::size_t q = 0; q < got.size(); ++q) {
         std::size_t kk = std::min({k, got[q].size(), truth[q].size()});
         if (kk == 0)
             continue;
+        truth_ids.clear();
+        truth_ids.reserve(kk);
+        for (std::size_t i = 0; i < kk; ++i)
+            truth_ids.insert(truth[q][i].id);
         std::size_t found = 0;
-        for (std::size_t i = 0; i < kk; ++i) {
-            for (std::size_t j = 0; j < kk; ++j) {
-                if (truth[q][i].id == got[q][j].id) {
-                    ++found;
-                    break;
-                }
-            }
-        }
+        for (std::size_t j = 0; j < kk; ++j)
+            found += truth_ids.count(got[q][j].id);
         sum += static_cast<double>(found) / static_cast<double>(kk);
     }
     return sum / static_cast<double>(got.size());

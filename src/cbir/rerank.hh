@@ -14,6 +14,7 @@
 #include "cbir/index.hh"
 #include "cbir/linalg.hh"
 #include "cbir/shortlist.hh"
+#include "parallel/parallel.hh"
 
 namespace reach::cbir
 {
@@ -43,6 +44,8 @@ struct RerankConfig
      * the simulation time manageable". 0 = unlimited.
      */
     std::size_t maxCandidates = 4096;
+    /** Threads for the per-query parallel loop. */
+    parallel::ParallelConfig parallel{};
 };
 
 /**
@@ -56,7 +59,8 @@ RerankResults rerank(const Matrix &queries, const Matrix &database,
 
 /** Exhaustive exact search over the whole database (ground truth). */
 RerankResults bruteForce(const Matrix &queries, const Matrix &database,
-                         std::size_t k);
+                         std::size_t k,
+                         const parallel::ParallelConfig &par = {});
 
 /**
  * recall@K: fraction of true K-nearest ids (from @p truth) that

@@ -5,23 +5,29 @@ namespace reach::cbir
 
 ShortLists
 shortlistRetrieve(const Matrix &queries, const InvertedFileIndex &index,
-                  std::size_t nprobe)
+                  std::size_t nprobe,
+                  const parallel::ParallelConfig &par)
 {
     const Matrix &cents = index.centroids();
     const auto &cnorm = index.centroidNormsSq();
 
     // <Q, C^T>: the GEMM the near-memory accelerators run.
     Matrix prod(queries.rows(), cents.rows());
-    gemmNt(queries, cents, prod);
+    gemmNt(queries, cents, prod, par);
 
     ShortLists out(queries.rows());
-    std::vector<float> dist(cents.rows());
-    for (std::size_t q = 0; q < queries.rows(); ++q) {
-        float qn = normSq(queries.row(q));
-        for (std::size_t m = 0; m < cents.rows(); ++m)
-            dist[m] = qn + cnorm[m] - 2.0f * prod.at(q, m);
-        out[q] = topKMin(dist, nprobe);
-    }
+    parallel::parallelFor(
+        0, queries.rows(), 4,
+        [&](std::size_t qb, std::size_t qe) {
+            std::vector<float> dist(cents.rows());
+            for (std::size_t q = qb; q < qe; ++q) {
+                float qn = normSq(queries.row(q));
+                for (std::size_t m = 0; m < cents.rows(); ++m)
+                    dist[m] = qn + cnorm[m] - 2.0f * prod.at(q, m);
+                out[q] = topKMin(dist, nprobe);
+            }
+        },
+        par);
     return out;
 }
 

@@ -18,6 +18,7 @@
 
 #include "cbir/index.hh"
 #include "cbir/linalg.hh"
+#include "parallel/parallel.hh"
 
 namespace reach::cbir
 {
@@ -31,7 +32,8 @@ using ShortLists = std::vector<std::vector<std::uint32_t>>;
  */
 ShortLists shortlistRetrieve(const Matrix &queries,
                              const InvertedFileIndex &index,
-                             std::size_t nprobe);
+                             std::size_t nprobe,
+                             const parallel::ParallelConfig &par = {});
 
 /**
  * Reference implementation: per-query direct distance evaluation

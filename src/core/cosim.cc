@@ -5,20 +5,36 @@
 namespace reach::core
 {
 
+namespace
+{
+
+/** Index-build k-means inherits the service-level thread budget. */
+cbir::KMeansConfig
+kmeansConfigOf(const CbirService::Config &cfg)
+{
+    cbir::KMeansConfig km = cfg.kmeans;
+    km.parallel = cfg.parallel;
+    return km;
+}
+
+} // namespace
+
 CbirService::CbirService(const Config &config)
     : cfg(config),
       data(config.dataset),
-      ivf(data.vectors(), config.kmeans)
+      ivf(data.vectors(), kmeansConfigOf(config))
 {
 }
 
 cbir::RerankResults
 CbirService::query(const cbir::Matrix &queries) const
 {
-    auto lists = cbir::shortlistRetrieve(queries, ivf, cfg.nprobe);
+    auto lists = cbir::shortlistRetrieve(queries, ivf, cfg.nprobe,
+                                         cfg.parallel);
     cbir::RerankConfig rc;
     rc.k = cfg.topK;
     rc.maxCandidates = cfg.maxCandidates;
+    rc.parallel = cfg.parallel;
     return cbir::rerank(queries, data.vectors(), ivf, lists, rc);
 }
 
@@ -28,7 +44,8 @@ CbirService::measureRecall(std::size_t num_queries, double noise,
 {
     cbir::Matrix queries = data.makeQueries(num_queries, noise, seed);
     auto got = query(queries);
-    auto truth = cbir::bruteForce(queries, data.vectors(), cfg.topK);
+    auto truth = cbir::bruteForce(queries, data.vectors(), cfg.topK,
+                                  cfg.parallel);
     return cbir::recallAtK(got, truth, cfg.topK);
 }
 

@@ -21,6 +21,7 @@
 #include "cbir/rerank.hh"
 #include "cbir/shortlist.hh"
 #include "core/cbir_deployment.hh"
+#include "parallel/parallel.hh"
 #include "workload/dataset.hh"
 
 namespace reach::core
@@ -37,6 +38,14 @@ class CbirService
         std::uint32_t nprobe = 8;
         std::uint32_t topK = 10;
         std::size_t maxCandidates = 4096;
+        /**
+         * Host-side thread budget for the functional kernels (index
+         * build, shortlist GEMM, rerank, ground truth). Flows down
+         * into every kernel invocation; 1 reproduces the serial path
+         * and the default uses every hardware core — results are
+         * identical either way.
+         */
+        parallel::ParallelConfig parallel{};
     };
 
     explicit CbirService(const Config &cfg);

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Deterministic data-parallel primitives for the functional CBIR
+ * kernels: parallelFor over a chunked index range and parallelReduce
+ * with a chunk-ordered fold.
+ *
+ * Determinism contract: the chunk decomposition is a pure function of
+ * (range, grain) — never of the thread count or of scheduling — so a
+ * kernel whose chunks write disjoint state, or whose partials are
+ * folded in chunk order, produces bitwise-identical results at 1 and
+ * N threads.
+ */
+
+#ifndef REACH_PARALLEL_PARALLEL_HH
+#define REACH_PARALLEL_PARALLEL_HH
+
+#include <algorithm>
+#include <cstddef>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "parallel/thread_pool.hh"
+
+namespace reach::parallel
+{
+
+/** How many threads a parallel kernel may use. */
+struct ParallelConfig
+{
+    /**
+     * 0 = one thread per hardware core; 1 reproduces the serial
+     * path exactly (results are identical either way).
+     */
+    unsigned threads = 0;
+
+    unsigned
+    resolved() const
+    {
+        if (threads != 0)
+            return threads;
+        unsigned hc = std::thread::hardware_concurrency();
+        return hc != 0 ? hc : 1;
+    }
+
+    static ParallelConfig
+    serial()
+    {
+        return {1};
+    }
+};
+
+namespace detail
+{
+
+inline std::size_t
+chunkCount(std::size_t n, std::size_t grain)
+{
+    return (n + grain - 1) / grain;
+}
+
+} // namespace detail
+
+/**
+ * Invoke fn(chunkBegin, chunkEnd) over grain-sized sub-ranges of
+ * [begin, end). Chunks may run concurrently and in any order, so fn
+ * must only write state that is disjoint between chunks. The serial
+ * path (1 thread) visits the same chunks in index order.
+ */
+template <typename Fn>
+void
+parallelFor(std::size_t begin, std::size_t end, std::size_t grain,
+            Fn &&fn, const ParallelConfig &cfg = {})
+{
+    if (begin >= end)
+        return;
+    if (grain == 0)
+        grain = 1;
+    std::size_t chunks = detail::chunkCount(end - begin, grain);
+    auto run_chunk = [&](std::size_t c) {
+        std::size_t b = begin + c * grain;
+        std::size_t e = std::min(b + grain, end);
+        fn(b, e);
+    };
+    unsigned threads = cfg.resolved();
+    if (threads <= 1 || chunks <= 1) {
+        for (std::size_t c = 0; c < chunks; ++c)
+            run_chunk(c);
+        return;
+    }
+    ThreadPool::global().run(chunks, threads, run_chunk);
+}
+
+/**
+ * Map each grain-sized chunk of [begin, end) to a partial value with
+ * map(chunkBegin, chunkEnd) and fold the partials *in chunk order*
+ * with combine(acc, partial). The fixed decomposition plus the
+ * ordered fold make floating-point reductions bitwise identical at
+ * any thread count. T must be default-constructible and movable.
+ */
+template <typename T, typename MapFn, typename CombineFn>
+T
+parallelReduce(std::size_t begin, std::size_t end, std::size_t grain,
+               T init, MapFn &&map, CombineFn &&combine,
+               const ParallelConfig &cfg = {})
+{
+    if (begin >= end)
+        return init;
+    if (grain == 0)
+        grain = 1;
+    std::size_t chunks = detail::chunkCount(end - begin, grain);
+    std::vector<T> partials(chunks);
+    parallelFor(
+        begin, end, grain,
+        [&](std::size_t b, std::size_t e) {
+            partials[(b - begin) / grain] = map(b, e);
+        },
+        cfg);
+    T acc = std::move(init);
+    for (auto &p : partials)
+        acc = combine(std::move(acc), std::move(p));
+    return acc;
+}
+
+} // namespace reach::parallel
+
+#endif // REACH_PARALLEL_PARALLEL_HH

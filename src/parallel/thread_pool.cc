@@ -1,0 +1,159 @@
+#include "thread_pool.hh"
+
+#include <algorithm>
+
+namespace reach::parallel
+{
+
+namespace
+{
+
+/**
+ * Depth of parallel regions on this thread: >0 inside a worker chunk
+ * or a participating caller, so nested parallelism degrades to the
+ * serial path instead of re-entering the pool.
+ */
+thread_local int parallel_depth = 0;
+
+} // namespace
+
+ThreadPool::ThreadPool(unsigned workers_)
+{
+    std::lock_guard<std::mutex> lk(mu);
+    ensureWorkers(workers_);
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lk(mu);
+        stopping = true;
+    }
+    wakeCv.notify_all();
+    for (auto &t : pool)
+        t.join();
+}
+
+ThreadPool &
+ThreadPool::global()
+{
+    static ThreadPool instance(0);
+    return instance;
+}
+
+bool
+ThreadPool::inParallelRegion()
+{
+    return parallel_depth > 0;
+}
+
+unsigned
+ThreadPool::workers() const
+{
+    std::lock_guard<std::mutex> lk(mu);
+    return static_cast<unsigned>(pool.size());
+}
+
+void
+ThreadPool::ensureWorkers(unsigned wanted)
+{
+    constexpr unsigned max_workers = 256;
+    wanted = std::min(wanted, max_workers);
+    while (pool.size() < wanted)
+        pool.emplace_back([this] { workerLoop(); });
+}
+
+void
+ThreadPool::runChunks(const std::function<void(std::size_t)> &task)
+{
+    ++parallel_depth;
+    for (;;) {
+        std::size_t i = nextChunk.fetch_add(1, std::memory_order_relaxed);
+        if (i >= chunkCount)
+            break;
+        try {
+            task(i);
+        } catch (...) {
+            std::lock_guard<std::mutex> lk(mu);
+            if (!firstError)
+                firstError = std::current_exception();
+            // Abandon the chunks nobody has claimed yet.
+            nextChunk.store(chunkCount, std::memory_order_relaxed);
+        }
+    }
+    --parallel_depth;
+}
+
+void
+ThreadPool::workerLoop()
+{
+    std::unique_lock<std::mutex> lk(mu);
+    std::uint64_t seen = 0;
+    for (;;) {
+        wakeCv.wait(lk, [&] {
+            return stopping || (job && tickets > 0 && jobId != seen);
+        });
+        if (stopping)
+            return;
+        seen = jobId;
+        --tickets;
+        ++active;
+        const auto *task = job;
+        lk.unlock();
+        runChunks(*task);
+        lk.lock();
+        if (--active == 0)
+            doneCv.notify_all();
+    }
+}
+
+void
+ThreadPool::run(std::size_t numChunks, unsigned maxThreads,
+                const std::function<void(std::size_t)> &task)
+{
+    if (numChunks == 0)
+        return;
+    if (maxThreads <= 1 || numChunks == 1 || parallel_depth > 0) {
+        // Serial (and nested-call) path: exceptions propagate as-is.
+        for (std::size_t i = 0; i < numChunks; ++i)
+            task(i);
+        return;
+    }
+
+    std::lock_guard<std::mutex> runLock(runMu);
+
+    unsigned helpers = static_cast<unsigned>(std::min<std::size_t>(
+                           maxThreads, numChunks)) -
+                       1;
+    {
+        std::lock_guard<std::mutex> lk(mu);
+        ensureWorkers(helpers);
+        job = &task;
+        ++jobId;
+        chunkCount = numChunks;
+        nextChunk.store(0, std::memory_order_relaxed);
+        tickets = helpers;
+        active = 0;
+        firstError = nullptr;
+    }
+    wakeCv.notify_all();
+
+    runChunks(task); // the caller participates too
+
+    std::exception_ptr err;
+    {
+        std::unique_lock<std::mutex> lk(mu);
+        // All chunks are claimed once the caller's loop exits; revoke
+        // unused tickets so late-waking workers cannot touch a task
+        // object that is about to go out of scope.
+        tickets = 0;
+        job = nullptr;
+        doneCv.wait(lk, [&] { return active == 0; });
+        err = firstError;
+        firstError = nullptr;
+    }
+    if (err)
+        std::rethrow_exception(err);
+}
+
+} // namespace reach::parallel

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * A persistent pool of worker threads executing chunk-indexed jobs.
+ *
+ * The pool is deliberately work-stealing-free: the caller fixes the
+ * chunk decomposition up front and workers merely race to claim the
+ * next chunk index from an atomic cursor. Because *which thread* runs
+ * a chunk never influences *what the chunk computes* (chunks write
+ * disjoint state, reductions are folded in chunk order by the caller),
+ * every kernel built on top is bitwise deterministic at any thread
+ * count.
+ */
+
+#ifndef REACH_PARALLEL_THREAD_POOL_HH
+#define REACH_PARALLEL_THREAD_POOL_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace reach::parallel
+{
+
+class ThreadPool
+{
+  public:
+    /** Pre-spawn @p workers threads; the pool grows on demand. */
+    explicit ThreadPool(unsigned workers = 0);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Process-wide pool shared by all parallel kernels. */
+    static ThreadPool &global();
+
+    /**
+     * Run task(chunk) for every chunk in [0, numChunks), using up to
+     * @p maxThreads threads including the calling thread. Blocks
+     * until every chunk has completed. Nested calls (task itself
+     * invoking run) execute inline on the calling thread, so kernels
+     * compose without oversubscription or deadlock. The first
+     * exception thrown by any chunk abandons the remaining chunks and
+     * is rethrown here once all participants have drained.
+     */
+    void run(std::size_t numChunks, unsigned maxThreads,
+             const std::function<void(std::size_t)> &task);
+
+    /** Worker threads currently alive (excludes callers). */
+    unsigned workers() const;
+
+    /** True while the calling thread is executing inside a run(). */
+    static bool inParallelRegion();
+
+  private:
+    void workerLoop();
+    void runChunks(const std::function<void(std::size_t)> &task);
+    /** Grow the pool to @p wanted workers; requires mu held. */
+    void ensureWorkers(unsigned wanted);
+
+    mutable std::mutex mu;
+    std::condition_variable wakeCv; ///< workers wait here for jobs
+    std::condition_variable doneCv; ///< run() waits for participants
+    std::vector<std::thread> pool;
+
+    // State of the in-flight job; guarded by mu except the cursor.
+    const std::function<void(std::size_t)> *job = nullptr;
+    std::uint64_t jobId = 0;
+    std::size_t chunkCount = 0;
+    std::atomic<std::size_t> nextChunk{0};
+    unsigned tickets = 0; ///< workers still allowed to join the job
+    unsigned active = 0;  ///< workers currently running chunks
+    std::exception_ptr firstError;
+    bool stopping = false;
+
+    std::mutex runMu; ///< serializes concurrent top-level run() calls
+};
+
+} // namespace reach::parallel
+
+#endif // REACH_PARALLEL_THREAD_POOL_HH

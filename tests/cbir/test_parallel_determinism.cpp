@@ -1,0 +1,133 @@
+/**
+ * @file
+ * The determinism contract of the parallel execution layer applied to
+ * the CBIR hot paths: every kernel must produce bitwise-identical
+ * results at 1 thread and at N threads, because the chunk
+ * decomposition never depends on the thread count.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cbir/kmeans.hh"
+#include "cbir/linalg.hh"
+#include "cbir/mini_cnn.hh"
+#include "cbir/rerank.hh"
+#include "cbir/shortlist.hh"
+#include "sim/rng.hh"
+#include "workload/dataset.hh"
+
+using namespace reach;
+using namespace reach::cbir;
+
+namespace
+{
+
+constexpr unsigned kThreads = 4;
+
+Matrix
+randomMatrix(std::size_t rows, std::size_t cols, std::uint64_t seed)
+{
+    sim::Rng rng(seed);
+    Matrix m(rows, cols);
+    for (auto &v : m.flat())
+        v = static_cast<float>(rng.nextGaussian());
+    return m;
+}
+
+void
+expectSameFloats(std::span<const float> a, std::span<const float> b)
+{
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i)
+        ASSERT_EQ(a[i], b[i]) << "element " << i;
+}
+
+} // namespace
+
+TEST(ParallelDeterminism, GemmNtBitwiseEqualAcrossThreadCounts)
+{
+    Matrix a = randomMatrix(64, 96, 1);
+    Matrix b = randomMatrix(1000, 96, 2);
+    Matrix c1(a.rows(), b.rows());
+    Matrix cn(a.rows(), b.rows());
+
+    gemmNt(a, b, c1, parallel::ParallelConfig::serial());
+    gemmNt(a, b, cn, parallel::ParallelConfig{kThreads});
+    expectSameFloats(c1.flat(), cn.flat());
+}
+
+TEST(ParallelDeterminism, RerankIdenticalAcrossThreadCounts)
+{
+    workload::DatasetConfig dc;
+    dc.numVectors = 3000;
+    dc.dim = 24;
+    dc.latentClusters = 10;
+    workload::Dataset ds(dc);
+
+    KMeansConfig kc;
+    kc.clusters = 16;
+    InvertedFileIndex idx(ds.vectors(), kc);
+    Matrix queries = ds.makeQueries(20, 0.05, 13);
+
+    auto lists1 = shortlistRetrieve(queries, idx, 5,
+                                    parallel::ParallelConfig::serial());
+    auto listsN = shortlistRetrieve(queries, idx, 5,
+                                    parallel::ParallelConfig{kThreads});
+    EXPECT_EQ(lists1, listsN);
+
+    RerankConfig rc1;
+    rc1.k = 8;
+    rc1.parallel = parallel::ParallelConfig::serial();
+    RerankConfig rcN = rc1;
+    rcN.parallel = parallel::ParallelConfig{kThreads};
+
+    auto r1 = rerank(queries, ds.vectors(), idx, lists1, rc1);
+    auto rN = rerank(queries, ds.vectors(), idx, listsN, rcN);
+    EXPECT_EQ(r1, rN);
+
+    auto t1 = bruteForce(queries, ds.vectors(), 8,
+                         parallel::ParallelConfig::serial());
+    auto tN = bruteForce(queries, ds.vectors(), 8,
+                         parallel::ParallelConfig{kThreads});
+    EXPECT_EQ(t1, tN);
+}
+
+TEST(ParallelDeterminism, KMeansIdenticalAcrossThreadCounts)
+{
+    workload::DatasetConfig dc;
+    dc.numVectors = 4000;
+    dc.dim = 16;
+    dc.latentClusters = 8;
+    workload::Dataset ds(dc);
+
+    KMeansConfig c1;
+    c1.clusters = 12;
+    c1.maxIterations = 6;
+    c1.parallel = parallel::ParallelConfig::serial();
+    KMeansConfig cN = c1;
+    cN.parallel = parallel::ParallelConfig{kThreads};
+
+    KMeansResult r1 = kMeans(ds.vectors(), c1);
+    KMeansResult rN = kMeans(ds.vectors(), cN);
+
+    EXPECT_EQ(r1.assignment, rN.assignment);
+    EXPECT_EQ(r1.iterations, rN.iterations);
+    EXPECT_EQ(r1.inertia, rN.inertia); // bitwise, not just close
+    expectSameFloats(r1.centroids.flat(), rN.centroids.flat());
+}
+
+TEST(ParallelDeterminism, MiniCnnBatchIdenticalAcrossThreadCounts)
+{
+    std::vector<Image> imgs;
+    for (std::uint32_t i = 0; i < 6; ++i)
+        imgs.push_back(makeSyntheticImage(i % 3, 21 + i));
+
+    MiniCnnConfig c1;
+    c1.parallel = parallel::ParallelConfig::serial();
+    MiniCnnConfig cN = c1;
+    cN.parallel = parallel::ParallelConfig{kThreads};
+
+    Matrix f1 = MiniCnn(c1).extractBatch(imgs);
+    Matrix fN = MiniCnn(cN).extractBatch(imgs);
+    expectSameFloats(f1.flat(), fN.flat());
+}

@@ -1,0 +1,215 @@
+/**
+ * @file
+ * Unit tests for the parallel execution layer: chunk coverage,
+ * degenerate ranges, exception propagation, nesting, and the
+ * chunk-ordered reduce.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "parallel/parallel.hh"
+#include "sim/rng.hh"
+
+using namespace reach;
+using namespace reach::parallel;
+
+TEST(ParallelFor, EmptyRangeNeverInvokes)
+{
+    ParallelConfig cfg{4};
+    bool called = false;
+    parallelFor(
+        5, 5, 2, [&](std::size_t, std::size_t) { called = true; },
+        cfg);
+    parallelFor(
+        7, 3, 2, [&](std::size_t, std::size_t) { called = true; },
+        cfg);
+    EXPECT_FALSE(called);
+}
+
+TEST(ParallelFor, GrainLargerThanRangeIsOneChunk)
+{
+    ParallelConfig cfg{4};
+    std::atomic<int> calls{0};
+    std::size_t got_b = 99, got_e = 0;
+    parallelFor(
+        3, 10, 1000,
+        [&](std::size_t b, std::size_t e) {
+            ++calls;
+            got_b = b;
+            got_e = e;
+        },
+        cfg);
+    EXPECT_EQ(calls.load(), 1);
+    EXPECT_EQ(got_b, 3u);
+    EXPECT_EQ(got_e, 10u);
+}
+
+TEST(ParallelFor, CoversRangeExactlyOnce)
+{
+    ParallelConfig cfg{4};
+    std::vector<std::atomic<int>> hits(1000);
+    parallelFor(
+        0, hits.size(), 7,
+        [&](std::size_t b, std::size_t e) {
+            for (std::size_t i = b; i < e; ++i)
+                ++hits[i];
+        },
+        cfg);
+    for (const auto &h : hits)
+        EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, ZeroGrainTreatedAsOne)
+{
+    ParallelConfig cfg{2};
+    std::atomic<int> sum{0};
+    parallelFor(
+        0, 10, 0,
+        [&](std::size_t b, std::size_t e) {
+            sum += static_cast<int>(e - b);
+        },
+        cfg);
+    EXPECT_EQ(sum.load(), 10);
+}
+
+TEST(ParallelFor, MoreThreadsThanChunks)
+{
+    ParallelConfig cfg{16};
+    std::vector<std::atomic<int>> hits(3);
+    parallelFor(
+        0, hits.size(), 1,
+        [&](std::size_t b, std::size_t e) {
+            for (std::size_t i = b; i < e; ++i)
+                ++hits[i];
+        },
+        cfg);
+    for (const auto &h : hits)
+        EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, ExceptionPropagatesFromWorkerChunk)
+{
+    ParallelConfig cfg{4};
+    auto boom = [&] {
+        parallelFor(
+            0, 100, 1,
+            [&](std::size_t b, std::size_t) {
+                if (b == 57)
+                    throw std::runtime_error("chunk 57 failed");
+            },
+            cfg);
+    };
+    EXPECT_THROW(boom(), std::runtime_error);
+
+    // The pool must stay usable after a failed job.
+    std::atomic<int> sum{0};
+    parallelFor(
+        0, 100, 1,
+        [&](std::size_t b, std::size_t e) {
+            sum += static_cast<int>(e - b);
+        },
+        cfg);
+    EXPECT_EQ(sum.load(), 100);
+}
+
+TEST(ParallelFor, ExceptionPropagatesOnSerialPath)
+{
+    ParallelConfig cfg{1};
+    auto boom = [&] {
+        parallelFor(
+            0, 10, 1,
+            [&](std::size_t b, std::size_t) {
+                if (b == 3)
+                    throw std::runtime_error("serial failure");
+            },
+            cfg);
+    };
+    EXPECT_THROW(boom(), std::runtime_error);
+}
+
+TEST(ParallelFor, NestedCallsRunInlineWithoutDeadlock)
+{
+    ParallelConfig cfg{4};
+    std::vector<std::atomic<int>> hits(64);
+    parallelFor(
+        0, 8, 1,
+        [&](std::size_t ob, std::size_t) {
+            parallelFor(
+                0, 8, 1,
+                [&](std::size_t ib, std::size_t) {
+                    ++hits[ob * 8 + ib];
+                },
+                cfg);
+        },
+        cfg);
+    for (const auto &h : hits)
+        EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelReduce, MatchesSerialSum)
+{
+    sim::Rng rng(11);
+    std::vector<double> vals(10'000);
+    for (auto &v : vals)
+        v = rng.nextDouble();
+
+    auto sum_with = [&](unsigned threads) {
+        ParallelConfig cfg{threads};
+        return parallelReduce(
+            0, vals.size(), 128, 0.0,
+            [&](std::size_t b, std::size_t e) {
+                double s = 0;
+                for (std::size_t i = b; i < e; ++i)
+                    s += vals[i];
+                return s;
+            },
+            [](double a, double b) { return a + b; }, cfg);
+    };
+
+    double serial = sum_with(1);
+    double threaded = sum_with(4);
+    // Same decomposition + chunk-ordered fold => bitwise identical.
+    EXPECT_EQ(serial, threaded);
+    EXPECT_NEAR(serial,
+                std::accumulate(vals.begin(), vals.end(), 0.0), 1e-6);
+}
+
+TEST(ParallelReduce, EmptyRangeReturnsInit)
+{
+    ParallelConfig cfg{4};
+    double r = parallelReduce(
+        4, 4, 8, 42.0,
+        [](std::size_t, std::size_t) { return 1.0; },
+        [](double a, double b) { return a + b; }, cfg);
+    EXPECT_EQ(r, 42.0);
+}
+
+TEST(ParallelConfigTest, ResolvesDefaults)
+{
+    EXPECT_GE(ParallelConfig{}.resolved(), 1u);
+    EXPECT_EQ(ParallelConfig{3}.resolved(), 3u);
+    EXPECT_EQ(ParallelConfig::serial().resolved(), 1u);
+}
+
+TEST(ThreadPoolTest, GrowsOnDemand)
+{
+    ThreadPool pool(0);
+    EXPECT_EQ(pool.workers(), 0u);
+    std::atomic<int> sum{0};
+    pool.run(8, 4, [&](std::size_t) { ++sum; });
+    EXPECT_EQ(sum.load(), 8);
+    EXPECT_GE(pool.workers(), 3u);
+}
+
+TEST(ThreadPoolTest, ZeroChunksIsANoop)
+{
+    ThreadPool pool(2);
+    bool called = false;
+    pool.run(0, 4, [&](std::size_t) { called = true; });
+    EXPECT_FALSE(called);
+}
