@@ -16,6 +16,7 @@
 #include "cbir/shortlist.hh"
 #include "parallel/parallel.hh"
 #include "sim/rng.hh"
+#include "simd/simd.hh"
 #include "workload/dataset.hh"
 
 using namespace reach;
@@ -213,6 +214,121 @@ BENCHMARK(BM_KMeansThreads)
     ->Arg(4)
     ->Arg(8)
     ->UseRealTime();
+
+// Backend-pinned kernel benchmarks at the paper's feature dimension
+// (D=96), single thread. The scalar/avx2 pair for each benchmark
+// measures the SIMD layer's speedup in isolation from threading;
+// bench/run_micro.sh records the ratios in BENCH_micro.json. An avx2
+// variant on a host without AVX2+FMA reports an error and is skipped.
+
+bool
+pinBackendOrSkip(benchmark::State &state, simd::Choice choice)
+{
+    if (choice == simd::Choice::avx2 &&
+        !simd::supported(simd::Backend::avx2)) {
+        state.SkipWithError("avx2 not supported on this host");
+        return false;
+    }
+    return true;
+}
+
+void
+BM_Dot(benchmark::State &state, simd::Choice choice)
+{
+    if (!pinBackendOrSkip(state, choice))
+        return;
+    const simd::Kernels &k = simd::kernels(choice);
+    std::size_t dim = 96;
+    Matrix a = randomMatrix(1, dim, 3);
+    Matrix b = randomMatrix(1, dim, 4);
+    for (auto _ : state) {
+        float d = k.dot(a.row(0).data(), b.row(0).data(), dim);
+        benchmark::DoNotOptimize(d);
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) * dim);
+}
+BENCHMARK_CAPTURE(BM_Dot, scalar, simd::Choice::scalar);
+BENCHMARK_CAPTURE(BM_Dot, avx2, simd::Choice::avx2);
+
+void
+BM_L2sqBatch(benchmark::State &state, simd::Choice choice)
+{
+    if (!pinBackendOrSkip(state, choice))
+        return;
+    // One query against a contiguous 4096-row tile: the rerank
+    // candidate-scoring shape.
+    const simd::Kernels &k = simd::kernels(choice);
+    std::size_t n = 4096, dim = 96;
+    Matrix q = randomMatrix(1, dim, 5);
+    Matrix rows = randomMatrix(n, dim, 6);
+    std::vector<float> out(n);
+    for (auto _ : state) {
+        k.l2sqBatch(q.row(0).data(), rows.flat().data(), n, dim,
+                    out.data());
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) * n * dim);
+}
+BENCHMARK_CAPTURE(BM_L2sqBatch, scalar, simd::Choice::scalar);
+BENCHMARK_CAPTURE(BM_L2sqBatch, avx2, simd::Choice::avx2);
+
+void
+BM_GemmNtBackend(benchmark::State &state, simd::Choice choice)
+{
+    if (!pinBackendOrSkip(state, choice))
+        return;
+    // The shortlist shape: 16 queries x 1000 centroids x D=96.
+    std::size_t batch = 16, dim = 96, centroids = 1000;
+    Matrix q = randomMatrix(batch, dim, 1);
+    Matrix c = randomMatrix(centroids, dim, 2);
+    Matrix out(batch, centroids);
+    parallel::ParallelConfig pc = parallel::ParallelConfig::serial();
+    pc.simd = choice;
+    for (auto _ : state) {
+        gemmNt(q, c, out, pc);
+        benchmark::DoNotOptimize(out.flat().data());
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) * batch *
+        centroids * dim);
+}
+BENCHMARK_CAPTURE(BM_GemmNtBackend, scalar, simd::Choice::scalar);
+BENCHMARK_CAPTURE(BM_GemmNtBackend, avx2, simd::Choice::avx2);
+
+void
+BM_RerankBackend(benchmark::State &state, simd::Choice choice)
+{
+    if (!pinBackendOrSkip(state, choice))
+        return;
+    // End-to-end rerank (gather + l2sqBatch + top-K) with the SIMD
+    // backend pinned, single thread.
+    workload::DatasetConfig dc;
+    dc.numVectors = 50'000;
+    dc.dim = 96;
+    workload::Dataset ds(dc);
+    KMeansConfig kc;
+    kc.clusters = 64;
+    kc.maxIterations = 4;
+    InvertedFileIndex idx(ds.vectors(), kc);
+    Matrix queries = ds.makeQueries(16, 0.05, 9);
+    auto lists = shortlistRetrieve(queries, idx, 8);
+    RerankConfig rc;
+    rc.k = 10;
+    rc.maxCandidates = 4096;
+    rc.parallel = parallel::ParallelConfig::serial();
+    rc.parallel.simd = choice;
+    for (auto _ : state) {
+        auto res = rerank(queries, ds.vectors(), idx, lists, rc);
+        benchmark::DoNotOptimize(res.data());
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(queries.rows() * rc.maxCandidates));
+}
+BENCHMARK_CAPTURE(BM_RerankBackend, scalar, simd::Choice::scalar);
+BENCHMARK_CAPTURE(BM_RerankBackend, avx2, simd::Choice::avx2);
 
 void
 BM_MiniCnnExtract(benchmark::State &state)

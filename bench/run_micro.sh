@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# Run the micro_kernels benchmark suite and record the results as
+# JSON in BENCH_micro.json at the repository root. The backend-pinned
+# pairs (BM_*/scalar vs BM_*/avx2) in that file document the SIMD
+# layer's single-thread speedup on the build host.
+#
+# Usage: bench/run_micro.sh [build-dir] [output-json]
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-${repo_root}/build}"
+out_json="${2:-${repo_root}/BENCH_micro.json}"
+
+bin="${build_dir}/bench/micro_kernels"
+if [[ ! -x "${bin}" ]]; then
+    echo "error: ${bin} not built (cmake --build ${build_dir} --target micro_kernels)" >&2
+    exit 1
+fi
+
+"${bin}" \
+    --benchmark_out="${out_json}" \
+    --benchmark_out_format=json \
+    --benchmark_min_time=0.2 \
+    "${@:3}"
+
+echo "wrote ${out_json}"
+
+# Summarise the scalar-vs-avx2 pairs if python3 is around.
+if command -v python3 >/dev/null 2>&1; then
+    python3 - "${out_json}" <<'EOF'
+import json, sys
+data = json.load(open(sys.argv[1]))
+times = {}
+for b in data.get("benchmarks", []):
+    if b.get("run_type") == "iteration" and "error_occurred" not in b:
+        times[b["name"]] = b["real_time"]
+for base in sorted({n.rsplit("/", 1)[0] for n in times if "/" in n}):
+    s, v = times.get(base + "/scalar"), times.get(base + "/avx2")
+    if s and v:
+        print(f"{base}: scalar/avx2 speedup {s / v:.2f}x")
+EOF
+fi

@@ -12,6 +12,18 @@ InvertedFileIndex::InvertedFileIndex(const Matrix &vectors,
     cents = std::move(km.centroids);
     buildLists(km.assignment);
     computeNorms();
+
+    const simd::Kernels &k = simd::kernels(cfg.parallel.simd);
+    vecNormSq.resize(vectors.rows());
+    parallel::parallelFor(
+        0, vectors.rows(), 1024,
+        [&](std::size_t b, std::size_t e) {
+            for (std::size_t i = b; i < e; ++i) {
+                vecNormSq[i] =
+                    k.normSq(vectors.row(i).data(), vectors.cols());
+            }
+        },
+        cfg.parallel);
 }
 
 InvertedFileIndex::InvertedFileIndex(

@@ -36,6 +36,17 @@ class InvertedFileIndex
         return centNormSq;
     }
 
+    /**
+     * Precomputed ||x_i||^2 per database vector, for the rerank norm
+     * decomposition ||q - x||^2 = ||q||^2 + ||x||^2 - 2 q.x. Empty
+     * when the index was built from a precomputed clustering (no
+     * vectors available); rerank then computes norms on the fly.
+     */
+    const std::vector<float> &vectorNormsSq() const
+    {
+        return vecNormSq;
+    }
+
     std::size_t numClusters() const { return cents.rows(); }
 
     const std::vector<std::uint32_t> &cluster(std::size_t c) const
@@ -56,6 +67,7 @@ class InvertedFileIndex
 
     Matrix cents;
     std::vector<float> centNormSq;
+    std::vector<float> vecNormSq;
     std::vector<std::vector<std::uint32_t>> lists;
 };
 

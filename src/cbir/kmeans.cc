@@ -4,31 +4,63 @@
 #include <limits>
 
 #include "sim/logging.hh"
+#include "simd/simd.hh"
 
 namespace reach::cbir
 {
 
-std::uint32_t
-nearestCentroid(const Matrix &centroids, std::span<const float> v)
-{
-    std::uint32_t best = 0;
-    float best_d = std::numeric_limits<float>::max();
-    for (std::size_t c = 0; c < centroids.rows(); ++c) {
-        float d = l2sq(centroids.row(c), v);
-        if (d < best_d) {
-            best_d = d;
-            best = static_cast<std::uint32_t>(c);
-        }
-    }
-    return best;
-}
-
 namespace
 {
 
+/**
+ * argmin_c of the score ||C_c||^2 - 2 v.C_c (the ||v||^2 term is
+ * constant across centroids), with one batched dot sweep over the
+ * centroid matrix. Ties break to the lower index via the strict
+ * comparison. Both the Lloyd assignment step and nearestCentroid()
+ * funnel through this, so they can never disagree for a backend.
+ */
+struct NearestHit
+{
+    std::uint32_t index = 0;
+    /** ||C||^2 - 2 v.C of the winner; add ||v||^2 for the l2sq. */
+    float score = 0;
+};
+
+NearestHit
+nearestByDecomposition(const simd::Kernels &k, const Matrix &centroids,
+                       std::span<const float> cnorm,
+                       std::span<const float> v,
+                       std::vector<float> &dots)
+{
+    const std::size_t m = centroids.rows();
+    dots.resize(m);
+    k.dotBatch(v.data(), centroids.flat().data(), m, centroids.cols(),
+               dots.data());
+    NearestHit hit;
+    hit.score = std::numeric_limits<float>::max();
+    for (std::size_t c = 0; c < m; ++c) {
+        float s = cnorm[c] - 2.0f * dots[c];
+        if (s < hit.score) {
+            hit.score = s;
+            hit.index = static_cast<std::uint32_t>(c);
+        }
+    }
+    return hit;
+}
+
+std::vector<float>
+centroidNorms(const simd::Kernels &k, const Matrix &centroids)
+{
+    std::vector<float> cnorm(centroids.rows());
+    for (std::size_t c = 0; c < centroids.rows(); ++c)
+        cnorm[c] = k.normSq(centroids.row(c).data(), centroids.cols());
+    return cnorm;
+}
+
 /** k-means++ seeding: spread initial centroids by D^2 sampling. */
 Matrix
-seedCentroids(const Matrix &points, std::size_t k, sim::Rng &rng)
+seedCentroids(const Matrix &points, std::size_t k, sim::Rng &rng,
+              simd::Choice backend)
 {
     Matrix centroids(k, points.cols());
     std::size_t first = rng.nextUInt(points.rows());
@@ -40,7 +72,8 @@ seedCentroids(const Matrix &points, std::size_t k, sim::Rng &rng)
     for (std::size_t c = 1; c < k; ++c) {
         double total = 0;
         for (std::size_t i = 0; i < points.rows(); ++i) {
-            float d = l2sq(points.row(i), centroids.row(c - 1));
+            float d =
+                l2sq(points.row(i), centroids.row(c - 1), backend);
             min_d[i] = std::min(min_d[i], d);
             total += min_d[i];
         }
@@ -73,6 +106,16 @@ struct AssignPartial
 
 } // namespace
 
+std::uint32_t
+nearestCentroid(const Matrix &centroids, std::span<const float> v,
+                simd::Choice backend)
+{
+    const simd::Kernels &k = simd::kernels(backend);
+    std::vector<float> cnorm = centroidNorms(k, centroids);
+    std::vector<float> dots;
+    return nearestByDecomposition(k, centroids, cnorm, v, dots).index;
+}
+
 KMeansResult
 kMeans(const Matrix &points, const KMeansConfig &cfg)
 {
@@ -81,9 +124,11 @@ kMeans(const Matrix &points, const KMeansConfig &cfg)
                    cfg.clusters, " clusters");
     }
 
+    const simd::Kernels &kern = simd::kernels(cfg.parallel.simd);
     sim::Rng rng(cfg.seed);
     KMeansResult res;
-    res.centroids = seedCentroids(points, cfg.clusters, rng);
+    res.centroids =
+        seedCentroids(points, cfg.clusters, rng, cfg.parallel.simd);
     res.assignment.assign(points.rows(), 0);
 
     const std::size_t dim = points.cols();
@@ -99,6 +144,10 @@ kMeans(const Matrix &points, const KMeansConfig &cfg)
     for (std::size_t it = 0; it < cfg.maxIterations; ++it) {
         res.iterations = it + 1;
 
+        // ||C||^2 once per iteration: the Eq. 1 reusable term of the
+        // assignment's batched norm decomposition.
+        std::vector<float> cnorm = centroidNorms(kern, res.centroids);
+
         // Assign (the hot O(n * k * d) step): each chunk writes its
         // slice of the assignment and accumulates private sums.
         AssignPartial init;
@@ -110,12 +159,15 @@ kMeans(const Matrix &points, const KMeansConfig &cfg)
                 AssignPartial p;
                 p.sums.assign(cfg.clusters * dim, 0.0);
                 p.counts.assign(cfg.clusters, 0);
+                std::vector<float> dots;
                 for (std::size_t i = b; i < e; ++i) {
                     auto row = points.row(i);
-                    std::uint32_t c =
-                        nearestCentroid(res.centroids, row);
+                    NearestHit hit = nearestByDecomposition(
+                        kern, res.centroids, cnorm, row, dots);
+                    std::uint32_t c = hit.index;
                     res.assignment[i] = c;
-                    p.inertia += l2sq(row, res.centroids.row(c));
+                    float qn = kern.normSq(row.data(), dim);
+                    p.inertia += std::max(qn + hit.score, 0.0f);
                     ++p.counts[c];
                     for (std::size_t d = 0; d < dim; ++d)
                         p.sums[c * dim + d] += row[d];

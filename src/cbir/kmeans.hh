@@ -51,9 +51,16 @@ struct KMeansResult
  */
 KMeansResult kMeans(const Matrix &points, const KMeansConfig &cfg);
 
-/** Index of the centroid nearest to @p v. */
+/**
+ * Index of the centroid nearest to @p v, by the same batched norm
+ * decomposition (||C||^2 - 2 v.C, ties to the lower index) the Lloyd
+ * assignment step uses, so assignments and this helper always agree
+ * for a given backend.
+ */
 std::uint32_t nearestCentroid(const Matrix &centroids,
-                              std::span<const float> v);
+                              std::span<const float> v,
+                              simd::Choice backend =
+                                  simd::Choice::autoDetect);
 
 } // namespace reach::cbir
 

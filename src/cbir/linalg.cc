@@ -4,86 +4,43 @@
 #include <cstring>
 
 #include "sim/logging.hh"
+#include "simd/simd.hh"
 
 namespace reach::cbir
 {
 
 float
-dot(std::span<const float> a, std::span<const float> b)
+dot(std::span<const float> a, std::span<const float> b,
+    simd::Choice backend)
 {
     if (a.size() != b.size())
         sim::panic("dot: length mismatch");
-    float acc = 0;
-    for (std::size_t i = 0; i < a.size(); ++i)
-        acc += a[i] * b[i];
-    return acc;
+    return simd::kernels(backend).dot(a.data(), b.data(), a.size());
 }
 
 float
-l2sq(std::span<const float> a, std::span<const float> b)
+l2sq(std::span<const float> a, std::span<const float> b,
+     simd::Choice backend)
 {
     if (a.size() != b.size())
         sim::panic("l2sq: length mismatch");
-    float acc = 0;
-    for (std::size_t i = 0; i < a.size(); ++i) {
-        float d = a[i] - b[i];
-        acc += d * d;
-    }
-    return acc;
+    return simd::kernels(backend).l2sq(a.data(), b.data(), a.size());
 }
 
 float
-normSq(std::span<const float> a)
+normSq(std::span<const float> a, simd::Choice backend)
 {
-    float acc = 0;
-    for (float v : a)
-        acc += v * v;
-    return acc;
+    return simd::kernels(backend).normSq(a.data(), a.size());
 }
 
-namespace
-{
-
-/**
- * One row block of C = A * B^T. A 1x4 register tile streams each A
- * row once across four B rows, keeping four accumulators live; the
- * per-element accumulation order over d is the same as dot(), so the
- * tiling never changes the result.
- */
 void
-gemmRowBlock(const Matrix &a, const Matrix &b, Matrix &c,
-             std::size_t i0, std::size_t i1)
+axpy(float alpha, std::span<const float> x, std::span<float> y,
+     simd::Choice backend)
 {
-    const std::size_t d = a.cols();
-    const std::size_t m = b.rows();
-    for (std::size_t i = i0; i < i1; ++i) {
-        const float *ra = a.row(i).data();
-        float *rc = c.row(i).data();
-        std::size_t j = 0;
-        for (; j + 4 <= m; j += 4) {
-            const float *b0 = b.row(j).data();
-            const float *b1 = b.row(j + 1).data();
-            const float *b2 = b.row(j + 2).data();
-            const float *b3 = b.row(j + 3).data();
-            float acc0 = 0, acc1 = 0, acc2 = 0, acc3 = 0;
-            for (std::size_t t = 0; t < d; ++t) {
-                float av = ra[t];
-                acc0 += av * b0[t];
-                acc1 += av * b1[t];
-                acc2 += av * b2[t];
-                acc3 += av * b3[t];
-            }
-            rc[j] = acc0;
-            rc[j + 1] = acc1;
-            rc[j + 2] = acc2;
-            rc[j + 3] = acc3;
-        }
-        for (; j < m; ++j)
-            rc[j] = dot(a.row(i), b.row(j));
-    }
+    if (x.size() != y.size())
+        sim::panic("axpy: length mismatch");
+    simd::kernels(backend).axpy(alpha, x.data(), y.data(), x.size());
 }
-
-} // namespace
 
 void
 gemmNt(const Matrix &a, const Matrix &b, Matrix &c,
@@ -94,11 +51,13 @@ gemmNt(const Matrix &a, const Matrix &b, Matrix &c,
     if (c.rows() != a.rows() || c.cols() != b.rows())
         sim::panic("gemmNt: output shape mismatch");
 
+    const simd::Kernels &k = simd::kernels(par.simd);
     constexpr std::size_t row_grain = 8;
     parallel::parallelFor(
         0, a.rows(), row_grain,
         [&](std::size_t i0, std::size_t i1) {
-            gemmRowBlock(a, b, c, i0, i1);
+            k.gemmNt(a.row(i0).data(), i1 - i0, b.flat().data(),
+                     b.rows(), a.cols(), c.row(i0).data(), c.cols());
         },
         par);
 }

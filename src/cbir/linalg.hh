@@ -15,11 +15,16 @@
 #include <vector>
 
 #include "parallel/parallel.hh"
+#include "simd/aligned.hh"
 
 namespace reach::cbir
 {
 
-/** A row-major dense matrix owning its storage. */
+/**
+ * A row-major dense matrix owning its storage. The buffer is 64-byte
+ * aligned so SIMD loads on row starts are aligned whenever cols is a
+ * multiple of the vector width (e.g. the paper's D = 96).
+ */
 class Matrix
 {
   public:
@@ -64,24 +69,35 @@ class Matrix
   private:
     std::size_t nRows = 0;
     std::size_t nCols = 0;
-    std::vector<float> data;
+    std::vector<float, simd::AlignedAllocator<float, 64>> data;
 };
 
-/** Inner product of two equal-length vectors. */
-float dot(std::span<const float> a, std::span<const float> b);
+/**
+ * Inner product of two equal-length vectors, on the dispatched SIMD
+ * backend (REACH_SIMD / CPU detection; pass a Choice to pin one).
+ */
+float dot(std::span<const float> a, std::span<const float> b,
+          simd::Choice backend = simd::Choice::autoDetect);
 
 /** Squared Euclidean distance (Eq. 2 of the paper). */
-float l2sq(std::span<const float> a, std::span<const float> b);
+float l2sq(std::span<const float> a, std::span<const float> b,
+           simd::Choice backend = simd::Choice::autoDetect);
 
 /** Squared L2 norm. */
-float normSq(std::span<const float> a);
+float normSq(std::span<const float> a,
+             simd::Choice backend = simd::Choice::autoDetect);
+
+/** y += alpha * x. */
+void axpy(float alpha, std::span<const float> x, std::span<float> y,
+          simd::Choice backend = simd::Choice::autoDetect);
 
 /**
- * C = A * B^T with a register-tiled inner kernel, parallel over row
- * blocks of A. A is (n x d), B is (m x d), C is (n x m): exactly the
- * query-times-centroid product of short-list retrieval. Every C(i,j)
- * is a sequential dot over d regardless of the decomposition, so the
- * result is bitwise identical at any thread count.
+ * C = A * B^T with a register-blocked SIMD micro-kernel, parallel
+ * over row blocks of A. A is (n x d), B is (m x d), C is (n x m):
+ * exactly the query-times-centroid product of short-list retrieval.
+ * The chunk decomposition is a pure function of (rows, grain) and
+ * each C(i,j) depends only on its A/B rows, so for a fixed backend
+ * (par.simd) the result is bitwise identical at any thread count.
  */
 void gemmNt(const Matrix &a, const Matrix &b, Matrix &c,
             const parallel::ParallelConfig &par = {});

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "sim/logging.hh"
+#include "simd/simd.hh"
 
 namespace reach::cbir
 {
@@ -51,36 +52,46 @@ MiniCnn::convRelu(const Image &in, const std::vector<float> &weights,
     out.pixels.assign(std::size_t(out_channels) * in.height * in.width,
                       0.0f);
 
+    // Row-vector formulation: for each (ic, ky, kx) tap, the whole
+    // output row accumulates w * (input row shifted by kx) — one SIMD
+    // axpy over the width instead of a scalar 3x3 gather per pixel.
+    // The per-pixel contribution order (ic, ky, kx) matches the naive
+    // triple loop, so the scalar backend reproduces it bitwise.
+    const simd::Kernels &k = simd::kernels(cfg.parallel.simd);
+    const std::size_t w = in.width;
     auto conv_channel = [&](std::uint32_t oc) {
+        std::vector<float> acc(w);
         for (std::uint32_t y = 0; y < in.height; ++y) {
-            for (std::uint32_t x = 0; x < in.width; ++x) {
-                float acc = 0;
-                for (std::uint32_t ic = 0; ic < in.channels; ++ic) {
-                    for (int ky = -1; ky <= 1; ++ky) {
-                        for (int kx = -1; kx <= 1; ++kx) {
-                            int yy = static_cast<int>(y) + ky;
-                            int xx = static_cast<int>(x) + kx;
-                            if (yy < 0 ||
-                                yy >= static_cast<int>(in.height) ||
-                                xx < 0 ||
-                                xx >= static_cast<int>(in.width)) {
-                                continue;
-                            }
-                            std::size_t wi =
-                                ((std::size_t(oc) * in.channels + ic) *
-                                     3 +
-                                 (ky + 1)) *
-                                    3 +
-                                (kx + 1);
-                            acc += weights[wi] *
-                                   in.at(ic,
-                                         static_cast<std::uint32_t>(yy),
-                                         static_cast<std::uint32_t>(xx));
-                        }
+            std::fill(acc.begin(), acc.end(), 0.0f);
+            for (std::uint32_t ic = 0; ic < in.channels; ++ic) {
+                for (int ky = -1; ky <= 1; ++ky) {
+                    int yy = static_cast<int>(y) + ky;
+                    if (yy < 0 || yy >= static_cast<int>(in.height))
+                        continue;
+                    const float *in_row =
+                        in.pixels.data() +
+                        (std::size_t(ic) * in.height +
+                         static_cast<std::uint32_t>(yy)) *
+                            in.width;
+                    for (int kx = -1; kx <= 1; ++kx) {
+                        std::size_t wi =
+                            ((std::size_t(oc) * in.channels + ic) * 3 +
+                             (ky + 1)) *
+                                3 +
+                            (kx + 1);
+                        // Valid output range: x + kx in [0, w).
+                        std::size_t x0 =
+                            static_cast<std::size_t>(std::max(0, -kx));
+                        std::size_t x1 =
+                            w - static_cast<std::size_t>(
+                                    std::max(0, kx));
+                        k.axpy(weights[wi], in_row + x0 + kx,
+                               acc.data() + x0, x1 - x0);
                     }
                 }
-                out.at(oc, y, x) = std::max(0.0f, acc); // ReLU
             }
+            for (std::uint32_t x = 0; x < in.width; ++x)
+                out.at(oc, y, x) = std::max(0.0f, acc[x]); // ReLU
         }
     };
 
@@ -130,19 +141,16 @@ MiniCnn::extract(const Image &img) const
     Image a = maxPool(convRelu(img, w1, cfg.conv1Channels));
     Image b = maxPool(convRelu(a, w2, cfg.conv2Channels));
 
-    // Fully connected projection to the feature dimension; each
-    // output feature is an independent dot product.
+    // Fully connected projection to the feature dimension: the
+    // flattened activation against a tile of weight rows is exactly
+    // the one-query-vs-row-tile shape of dotBatch.
+    const simd::Kernels &k = simd::kernels(cfg.parallel.simd);
     std::vector<float> feat(cfg.featureDim, 0.0f);
     parallel::parallelFor(
         0, cfg.featureDim, 16,
         [&](std::size_t fb, std::size_t fe) {
-            for (std::size_t f = fb; f < fe; ++f) {
-                float acc = 0;
-                const float *wrow = &wfc[f * flatDim];
-                for (std::uint32_t i = 0; i < flatDim; ++i)
-                    acc += wrow[i] * b.pixels[i];
-                feat[f] = acc;
-            }
+            k.dotBatch(b.pixels.data(), &wfc[fb * flatDim], fe - fb,
+                       flatDim, &feat[fb]);
         },
         cfg.parallel);
     return feat;

@@ -94,16 +94,17 @@ Pca::transform(const Matrix &batch) const
     if (batch.cols() != inputDim())
         sim::fatal("Pca::transform: dimensionality mismatch");
 
+    // Center each row once, then every projected coordinate is one
+    // SIMD dot against a basis row instead of a fused
+    // subtract-multiply per component.
     Matrix out(batch.rows(), components());
+    std::vector<float> centered(inputDim());
     for (std::size_t i = 0; i < batch.rows(); ++i) {
         auto row = batch.row(i);
-        for (std::size_t c = 0; c < components(); ++c) {
-            auto dir = basis.row(c);
-            float acc = 0;
-            for (std::size_t j = 0; j < inputDim(); ++j)
-                acc += (row[j] - mu[j]) * dir[j];
-            out.at(i, c) = acc;
-        }
+        for (std::size_t j = 0; j < inputDim(); ++j)
+            centered[j] = row[j] - mu[j];
+        for (std::size_t c = 0; c < components(); ++c)
+            out.at(i, c) = dot(centered, basis.row(c));
     }
     return out;
 }

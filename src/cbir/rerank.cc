@@ -4,6 +4,8 @@
 #include <unordered_set>
 
 #include "sim/logging.hh"
+#include "simd/aligned.hh"
+#include "simd/simd.hh"
 
 namespace reach::cbir
 {
@@ -42,6 +44,60 @@ selectK(const std::vector<Neighbor> &cands, std::size_t k)
     return heap;
 }
 
+/** 64-byte aligned scratch vector (dot buffers). */
+using AlignedFloats =
+    std::vector<float, simd::AlignedAllocator<float, 64>>;
+
+/**
+ * Per-query batched distance evaluation: one dotIdx sweep reads the
+ * scattered candidate rows in place (no gather copy), and distances
+ * come from the norm decomposition
+ * ||q - x||^2 = ||q||^2 + ||x||^2 - 2 q.x (clamped at zero against
+ * cancellation). One kernel call per query instead of one strided
+ * l2sq per candidate pair.
+ */
+void
+scoreCandidates(const simd::Kernels &k, std::span<const float> query,
+                const Matrix &database, std::span<const float> norms,
+                const std::vector<std::uint32_t> &ids,
+                AlignedFloats &dots, std::vector<Neighbor> &cands)
+{
+    const std::size_t d = database.cols();
+    const std::size_t n = ids.size();
+    dots.resize(n);
+    k.dotIdx(query.data(), database.flat().data(), ids.data(), n, d,
+             dots.data());
+    float qn = k.normSq(query.data(), d);
+    for (std::size_t r = 0; r < n; ++r) {
+        float dist = qn + norms[ids[r]] - 2.0f * dots[r];
+        cands.push_back({ids[r], std::max(dist, 0.0f)});
+    }
+}
+
+/**
+ * ||x||^2 per database row: reuse the index's precomputed norms when
+ * they cover this database, otherwise compute them once per call.
+ */
+std::vector<float>
+databaseNorms(const Matrix &database, const std::vector<float> *pre,
+              const parallel::ParallelConfig &par)
+{
+    if (pre != nullptr && pre->size() == database.rows())
+        return *pre;
+    const simd::Kernels &k = simd::kernels(par.simd);
+    std::vector<float> norms(database.rows());
+    parallel::parallelFor(
+        0, database.rows(), 1024,
+        [&](std::size_t b, std::size_t e) {
+            for (std::size_t i = b; i < e; ++i) {
+                norms[i] =
+                    k.normSq(database.row(i).data(), database.cols());
+            }
+        },
+        par);
+    return norms;
+}
+
 } // namespace
 
 RerankResults
@@ -52,30 +108,39 @@ rerank(const Matrix &queries, const Matrix &database,
     if (lists.size() != queries.rows())
         sim::panic("rerank: one short-list per query required");
 
+    const simd::Kernels &k = simd::kernels(cfg.parallel.simd);
+    const std::vector<float> norms =
+        databaseNorms(database, &index.vectorNormsSq(), cfg.parallel);
+
     RerankResults out(queries.rows());
     constexpr std::size_t query_grain = 4;
     parallel::parallelFor(
         0, queries.rows(), query_grain,
         [&](std::size_t qb, std::size_t qe) {
+            std::vector<std::uint32_t> ids;
             std::vector<Neighbor> cands;
-            if (cfg.maxCandidates)
+            AlignedFloats dots;
+            if (cfg.maxCandidates) {
+                ids.reserve(cfg.maxCandidates);
                 cands.reserve(cfg.maxCandidates);
+            }
             for (std::size_t q = qb; q < qe; ++q) {
+                ids.clear();
                 cands.clear();
                 for (std::uint32_t cluster : lists[q]) {
                     for (std::uint32_t id : index.cluster(cluster)) {
                         if (cfg.maxCandidates &&
-                            cands.size() >= cfg.maxCandidates) {
+                            ids.size() >= cfg.maxCandidates) {
                             break;
                         }
-                        cands.push_back(
-                            {id,
-                             l2sq(queries.row(q), database.row(id))});
+                        ids.push_back(id);
                     }
                     if (cfg.maxCandidates &&
-                        cands.size() >= cfg.maxCandidates)
+                        ids.size() >= cfg.maxCandidates)
                         break;
                 }
+                scoreCandidates(k, queries.row(q), database, norms,
+                                ids, dots, cands);
                 out[q] = selectK(cands, cfg.k);
             }
         },
@@ -87,18 +152,31 @@ RerankResults
 bruteForce(const Matrix &queries, const Matrix &database, std::size_t k,
            const parallel::ParallelConfig &par)
 {
+    const simd::Kernels &kern = simd::kernels(par.simd);
+    const std::vector<float> norms =
+        databaseNorms(database, nullptr, par);
+    const std::size_t d = database.cols();
+    const std::size_t n = database.rows();
+
     RerankResults out(queries.rows());
     parallel::parallelFor(
         0, queries.rows(), 1,
         [&](std::size_t qb, std::size_t qe) {
             std::vector<Neighbor> cands;
-            cands.reserve(database.rows());
+            std::vector<float> dots(n);
+            cands.reserve(n);
             for (std::size_t q = qb; q < qe; ++q) {
                 cands.clear();
-                for (std::size_t i = 0; i < database.rows(); ++i) {
-                    cands.push_back(
-                        {static_cast<std::uint32_t>(i),
-                         l2sq(queries.row(q), database.row(i))});
+                // Database rows are already contiguous: one batched
+                // dot sweep, no gather needed.
+                kern.dotBatch(queries.row(q).data(),
+                              database.flat().data(), n, d,
+                              dots.data());
+                float qn = kern.normSq(queries.row(q).data(), d);
+                for (std::size_t i = 0; i < n; ++i) {
+                    float dist = qn + norms[i] - 2.0f * dots[i];
+                    cands.push_back({static_cast<std::uint32_t>(i),
+                                     std::max(dist, 0.0f)});
                 }
                 out[q] = selectK(cands, k);
             }

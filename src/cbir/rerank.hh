@@ -44,7 +44,11 @@ struct RerankConfig
      * the simulation time manageable". 0 = unlimited.
      */
     std::size_t maxCandidates = 4096;
-    /** Threads for the per-query parallel loop. */
+    /**
+     * Threads + SIMD backend for the per-query parallel loop; the
+     * backend (ParallelConfig::simd) also selects the batched
+     * distance kernels.
+     */
     parallel::ParallelConfig parallel{};
 };
 

@@ -1,5 +1,7 @@
 #include "shortlist.hh"
 
+#include "simd/simd.hh"
+
 namespace reach::cbir
 {
 
@@ -10,6 +12,7 @@ shortlistRetrieve(const Matrix &queries, const InvertedFileIndex &index,
 {
     const Matrix &cents = index.centroids();
     const auto &cnorm = index.centroidNormsSq();
+    const simd::Kernels &kern = simd::kernels(par.simd);
 
     // <Q, C^T>: the GEMM the near-memory accelerators run.
     Matrix prod(queries.rows(), cents.rows());
@@ -21,7 +24,8 @@ shortlistRetrieve(const Matrix &queries, const InvertedFileIndex &index,
         [&](std::size_t qb, std::size_t qe) {
             std::vector<float> dist(cents.rows());
             for (std::size_t q = qb; q < qe; ++q) {
-                float qn = normSq(queries.row(q));
+                float qn =
+                    kern.normSq(queries.row(q).data(), queries.cols());
                 for (std::size_t m = 0; m < cents.rows(); ++m)
                     dist[m] = qn + cnorm[m] - 2.0f * prod.at(q, m);
                 out[q] = topKMin(dist, nprobe);

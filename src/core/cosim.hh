@@ -39,11 +39,13 @@ class CbirService
         std::uint32_t topK = 10;
         std::size_t maxCandidates = 4096;
         /**
-         * Host-side thread budget for the functional kernels (index
-         * build, shortlist GEMM, rerank, ground truth). Flows down
-         * into every kernel invocation; 1 reproduces the serial path
-         * and the default uses every hardware core — results are
-         * identical either way.
+         * Host-side thread budget and SIMD backend for the
+         * functional kernels (index build, shortlist GEMM, rerank,
+         * ground truth). Flows down into every kernel invocation; 1
+         * thread reproduces the serial path and the default uses
+         * every hardware core — results are identical either way for
+         * a fixed backend. parallel.simd (or the REACH_SIMD env var)
+         * pins scalar/avx2 for cross-host reproducibility.
          */
         parallel::ParallelConfig parallel{};
     };

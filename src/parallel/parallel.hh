@@ -21,11 +21,15 @@
 #include <vector>
 
 #include "parallel/thread_pool.hh"
+#include "simd/simd.hh"
 
 namespace reach::parallel
 {
 
-/** How many threads a parallel kernel may use. */
+/**
+ * How many threads a parallel kernel may use, and which SIMD backend
+ * its inner loops run on.
+ */
 struct ParallelConfig
 {
     /**
@@ -33,6 +37,15 @@ struct ParallelConfig
      * path exactly (results are identical either way).
      */
     unsigned threads = 0;
+
+    /**
+     * SIMD backend for the kernel's inner loops. autoDetect follows
+     * REACH_SIMD and then CPU detection; pinning scalar/avx2 makes a
+     * run reproducible across differently-equipped hosts. For a
+     * fixed backend, results are bitwise identical at any thread
+     * count; across backends they agree only to rounding tolerance.
+     */
+    simd::Choice simd = simd::Choice::autoDetect;
 
     unsigned
     resolved() const

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Minimal over-aligned allocator so containers backing SIMD-visible
+ * storage (cbir::Matrix, candidate tiles) start on a cache-line /
+ * full-vector boundary: row starts are then aligned whenever the row
+ * length is a multiple of the vector width.
+ */
+
+#ifndef REACH_SIMD_ALIGNED_HH
+#define REACH_SIMD_ALIGNED_HH
+
+#include <cstddef>
+#include <new>
+
+namespace reach::simd
+{
+
+template <typename T, std::size_t Align = 64>
+struct AlignedAllocator
+{
+    static_assert(Align >= alignof(T) && (Align & (Align - 1)) == 0,
+                  "Align must be a power of two >= alignof(T)");
+
+    using value_type = T;
+
+    AlignedAllocator() noexcept = default;
+    template <typename U>
+    AlignedAllocator(const AlignedAllocator<U, Align> &) noexcept
+    {
+    }
+
+    template <typename U>
+    struct rebind
+    {
+        using other = AlignedAllocator<U, Align>;
+    };
+
+    T *
+    allocate(std::size_t n)
+    {
+        return static_cast<T *>(::operator new(
+            n * sizeof(T), std::align_val_t{Align}));
+    }
+
+    void
+    deallocate(T *p, std::size_t) noexcept
+    {
+        ::operator delete(p, std::align_val_t{Align});
+    }
+
+    friend bool
+    operator==(const AlignedAllocator &, const AlignedAllocator &)
+    {
+        return true;
+    }
+};
+
+} // namespace reach::simd
+
+#endif // REACH_SIMD_ALIGNED_HH

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Backend detection and resolution. CPU capability is probed once
+ * with __builtin_cpu_supports (x86/GNU only; everything else reports
+ * scalar), REACH_SIMD is parsed once, and unsatisfiable explicit
+ * requests degrade to the detected backend with a single stderr
+ * warning instead of crashing.
+ */
+
+#include "simd/kernels.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace reach::simd
+{
+
+namespace
+{
+
+bool
+cpuHasAvx2Fma()
+{
+#if REACH_SIMD_HAVE_X86_AVX2
+    return __builtin_cpu_supports("avx2") &&
+           __builtin_cpu_supports("fma");
+#else
+    return false;
+#endif
+}
+
+/** REACH_SIMD, parsed once; invalid values warn and mean auto. */
+Choice
+envChoice()
+{
+    static const Choice cached = [] {
+        const char *env = std::getenv("REACH_SIMD");
+        if (env == nullptr || *env == '\0')
+            return Choice::autoDetect;
+        Choice c;
+        if (!parseChoice(env, c)) {
+            std::fprintf(stderr,
+                         "reach: ignoring invalid REACH_SIMD=%s "
+                         "(expected auto|scalar|avx2)\n",
+                         env);
+            return Choice::autoDetect;
+        }
+        return c;
+    }();
+    return cached;
+}
+
+void
+warnUnsupportedOnce(Backend want, Backend got)
+{
+    static bool warned = false;
+    if (!warned) {
+        warned = true;
+        std::fprintf(stderr,
+                     "reach: SIMD backend '%s' not supported by this "
+                     "CPU, falling back to '%s'\n",
+                     name(want), name(got));
+    }
+}
+
+} // namespace
+
+bool
+supported(Backend b)
+{
+    switch (b) {
+    case Backend::scalar:
+        return true;
+    case Backend::avx2: {
+        static const bool has = cpuHasAvx2Fma();
+        return has;
+    }
+    }
+    return false;
+}
+
+Backend
+detect()
+{
+    return supported(Backend::avx2) ? Backend::avx2 : Backend::scalar;
+}
+
+Backend
+resolve(Choice c)
+{
+    if (c == Choice::autoDetect)
+        c = envChoice();
+    switch (c) {
+    case Choice::autoDetect:
+        return detect();
+    case Choice::scalar:
+        return Backend::scalar;
+    case Choice::avx2:
+        if (supported(Backend::avx2))
+            return Backend::avx2;
+        warnUnsupportedOnce(Backend::avx2, detect());
+        return detect();
+    }
+    return detect();
+}
+
+const char *
+name(Backend b)
+{
+    switch (b) {
+    case Backend::scalar:
+        return "scalar";
+    case Backend::avx2:
+        return "avx2";
+    }
+    return "?";
+}
+
+bool
+parseChoice(const char *text, Choice &out)
+{
+    if (text == nullptr)
+        return false;
+    if (std::strcmp(text, "auto") == 0) {
+        out = Choice::autoDetect;
+        return true;
+    }
+    if (std::strcmp(text, "scalar") == 0) {
+        out = Choice::scalar;
+        return true;
+    }
+    if (std::strcmp(text, "avx2") == 0) {
+        out = Choice::avx2;
+        return true;
+    }
+    return false;
+}
+
+const Kernels &
+kernels(Backend b)
+{
+#if REACH_SIMD_HAVE_X86_AVX2
+    if (b == Backend::avx2 && supported(Backend::avx2))
+        return detail::avx2Kernels();
+#endif
+    (void)b;
+    return detail::scalarKernels();
+}
+
+} // namespace reach::simd

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Internal glue between the dispatcher and the per-backend kernel
+ * translation units. REACH_SIMD_HAVE_X86_AVX2 gates everything that
+ * needs x86 target attributes / immintrin.h so non-x86 (or non-GNU)
+ * builds compile the scalar backend only and dispatch falls back
+ * cleanly.
+ */
+
+#ifndef REACH_SIMD_KERNELS_HH
+#define REACH_SIMD_KERNELS_HH
+
+#include "simd/simd.hh"
+
+#if (defined(__x86_64__) || defined(__i386__)) &&                      \
+    (defined(__GNUC__) || defined(__clang__))
+#define REACH_SIMD_HAVE_X86_AVX2 1
+#else
+#define REACH_SIMD_HAVE_X86_AVX2 0
+#endif
+
+namespace reach::simd::detail
+{
+
+const Kernels &scalarKernels();
+
+#if REACH_SIMD_HAVE_X86_AVX2
+const Kernels &avx2Kernels();
+#endif
+
+} // namespace reach::simd::detail
+
+#endif // REACH_SIMD_KERNELS_HH

@@ -1,0 +1,319 @@
+/**
+ * @file
+ * AVX2/FMA kernels. The whole file is compiled for the generic
+ * target; every function carries target("avx2,fma") so the binary
+ * still loads on CPUs without AVX2 (the dispatcher never calls these
+ * there), and non-x86 builds compile an empty translation unit.
+ *
+ * Arithmetic layout: every dot-family value is one 8-lane FMA
+ * accumulator chain over d, a fixed-order horizontal sum, then a
+ * scalar tail for d % 8 — the batch kernels run the *same* per-row
+ * sequence (just interleaved across rows for ILP), which is what
+ * makes the cross-kernel bitwise invariants in simd.hh hold.
+ */
+
+#include "simd/kernels.hh"
+
+#if REACH_SIMD_HAVE_X86_AVX2
+
+#include <immintrin.h>
+
+#define REACH_AVX2 __attribute__((target("avx2,fma")))
+
+namespace reach::simd::detail
+{
+
+namespace
+{
+
+/** Fixed-order reduction of one 8-lane accumulator. */
+REACH_AVX2 inline float
+hsum256(__m256 v)
+{
+    __m128 lo = _mm256_castps256_ps128(v);
+    __m128 hi = _mm256_extractf128_ps(v, 1);
+    __m128 s = _mm_add_ps(lo, hi);
+    s = _mm_add_ps(s, _mm_movehl_ps(s, s));
+    s = _mm_add_ss(s, _mm_shuffle_ps(s, s, 1));
+    return _mm_cvtss_f32(s);
+}
+
+REACH_AVX2 float
+dotAvx2(const float *a, const float *b, std::size_t d)
+{
+    __m256 acc = _mm256_setzero_ps();
+    std::size_t t = 0;
+    for (; t + 8 <= d; t += 8) {
+        acc = _mm256_fmadd_ps(_mm256_loadu_ps(a + t),
+                              _mm256_loadu_ps(b + t), acc);
+    }
+    float s = hsum256(acc);
+    for (; t < d; ++t)
+        s += a[t] * b[t];
+    return s;
+}
+
+REACH_AVX2 float
+l2sqAvx2(const float *a, const float *b, std::size_t d)
+{
+    __m256 acc = _mm256_setzero_ps();
+    std::size_t t = 0;
+    for (; t + 8 <= d; t += 8) {
+        __m256 diff = _mm256_sub_ps(_mm256_loadu_ps(a + t),
+                                    _mm256_loadu_ps(b + t));
+        acc = _mm256_fmadd_ps(diff, diff, acc);
+    }
+    float s = hsum256(acc);
+    for (; t < d; ++t) {
+        float diff = a[t] - b[t];
+        s += diff * diff;
+    }
+    return s;
+}
+
+REACH_AVX2 float
+normSqAvx2(const float *a, std::size_t d)
+{
+    return dotAvx2(a, a, d);
+}
+
+REACH_AVX2 void
+axpyAvx2(float alpha, const float *x, float *y, std::size_t d)
+{
+    __m256 va = _mm256_set1_ps(alpha);
+    std::size_t t = 0;
+    for (; t + 8 <= d; t += 8) {
+        __m256 vy = _mm256_fmadd_ps(va, _mm256_loadu_ps(x + t),
+                                    _mm256_loadu_ps(y + t));
+        _mm256_storeu_ps(y + t, vy);
+    }
+    for (; t < d; ++t)
+        y[t] += alpha * x[t];
+}
+
+/**
+ * Four rows per step: four independent accumulator chains give the
+ * FMA units work to hide latency, while each chain performs exactly
+ * the dotAvx2 sequence for its row.
+ */
+REACH_AVX2 void
+dotBatchAvx2(const float *q, const float *rows, std::size_t n,
+             std::size_t d, float *out)
+{
+    std::size_t r = 0;
+    for (; r + 4 <= n; r += 4) {
+        const float *r0 = rows + r * d;
+        const float *r1 = r0 + d;
+        const float *r2 = r1 + d;
+        const float *r3 = r2 + d;
+        __m256 a0 = _mm256_setzero_ps(), a1 = _mm256_setzero_ps();
+        __m256 a2 = _mm256_setzero_ps(), a3 = _mm256_setzero_ps();
+        std::size_t t = 0;
+        for (; t + 8 <= d; t += 8) {
+            __m256 vq = _mm256_loadu_ps(q + t);
+            a0 = _mm256_fmadd_ps(vq, _mm256_loadu_ps(r0 + t), a0);
+            a1 = _mm256_fmadd_ps(vq, _mm256_loadu_ps(r1 + t), a1);
+            a2 = _mm256_fmadd_ps(vq, _mm256_loadu_ps(r2 + t), a2);
+            a3 = _mm256_fmadd_ps(vq, _mm256_loadu_ps(r3 + t), a3);
+        }
+        float s0 = hsum256(a0), s1 = hsum256(a1);
+        float s2 = hsum256(a2), s3 = hsum256(a3);
+        for (; t < d; ++t) {
+            float qv = q[t];
+            s0 += qv * r0[t];
+            s1 += qv * r1[t];
+            s2 += qv * r2[t];
+            s3 += qv * r3[t];
+        }
+        out[r] = s0;
+        out[r + 1] = s1;
+        out[r + 2] = s2;
+        out[r + 3] = s3;
+    }
+    for (; r < n; ++r)
+        out[r] = dotAvx2(q, rows + r * d, d);
+}
+
+/**
+ * Indexed-row variant of dotBatchAvx2: same four interleaved per-row
+ * chains, but row pointers come from ids[] instead of a stride — the
+ * scattered-candidate (rerank) shape without a gather copy.
+ */
+REACH_AVX2 void
+dotIdxAvx2(const float *q, const float *base, const std::uint32_t *ids,
+           std::size_t n, std::size_t d, float *out)
+{
+    std::size_t r = 0;
+    for (; r + 4 <= n; r += 4) {
+        const float *r0 = base + std::size_t(ids[r]) * d;
+        const float *r1 = base + std::size_t(ids[r + 1]) * d;
+        const float *r2 = base + std::size_t(ids[r + 2]) * d;
+        const float *r3 = base + std::size_t(ids[r + 3]) * d;
+        __m256 a0 = _mm256_setzero_ps(), a1 = _mm256_setzero_ps();
+        __m256 a2 = _mm256_setzero_ps(), a3 = _mm256_setzero_ps();
+        std::size_t t = 0;
+        for (; t + 8 <= d; t += 8) {
+            __m256 vq = _mm256_loadu_ps(q + t);
+            a0 = _mm256_fmadd_ps(vq, _mm256_loadu_ps(r0 + t), a0);
+            a1 = _mm256_fmadd_ps(vq, _mm256_loadu_ps(r1 + t), a1);
+            a2 = _mm256_fmadd_ps(vq, _mm256_loadu_ps(r2 + t), a2);
+            a3 = _mm256_fmadd_ps(vq, _mm256_loadu_ps(r3 + t), a3);
+        }
+        float s0 = hsum256(a0), s1 = hsum256(a1);
+        float s2 = hsum256(a2), s3 = hsum256(a3);
+        for (; t < d; ++t) {
+            float qv = q[t];
+            s0 += qv * r0[t];
+            s1 += qv * r1[t];
+            s2 += qv * r2[t];
+            s3 += qv * r3[t];
+        }
+        out[r] = s0;
+        out[r + 1] = s1;
+        out[r + 2] = s2;
+        out[r + 3] = s3;
+    }
+    for (; r < n; ++r)
+        out[r] = dotAvx2(q, base + std::size_t(ids[r]) * d, d);
+}
+
+REACH_AVX2 void
+l2sqBatchAvx2(const float *q, const float *rows, std::size_t n,
+              std::size_t d, float *out)
+{
+    std::size_t r = 0;
+    for (; r + 4 <= n; r += 4) {
+        const float *r0 = rows + r * d;
+        const float *r1 = r0 + d;
+        const float *r2 = r1 + d;
+        const float *r3 = r2 + d;
+        __m256 a0 = _mm256_setzero_ps(), a1 = _mm256_setzero_ps();
+        __m256 a2 = _mm256_setzero_ps(), a3 = _mm256_setzero_ps();
+        std::size_t t = 0;
+        for (; t + 8 <= d; t += 8) {
+            __m256 vq = _mm256_loadu_ps(q + t);
+            __m256 d0 = _mm256_sub_ps(vq, _mm256_loadu_ps(r0 + t));
+            __m256 d1 = _mm256_sub_ps(vq, _mm256_loadu_ps(r1 + t));
+            __m256 d2 = _mm256_sub_ps(vq, _mm256_loadu_ps(r2 + t));
+            __m256 d3 = _mm256_sub_ps(vq, _mm256_loadu_ps(r3 + t));
+            a0 = _mm256_fmadd_ps(d0, d0, a0);
+            a1 = _mm256_fmadd_ps(d1, d1, a1);
+            a2 = _mm256_fmadd_ps(d2, d2, a2);
+            a3 = _mm256_fmadd_ps(d3, d3, a3);
+        }
+        float s0 = hsum256(a0), s1 = hsum256(a1);
+        float s2 = hsum256(a2), s3 = hsum256(a3);
+        for (; t < d; ++t) {
+            float qv = q[t];
+            float e0 = qv - r0[t], e1 = qv - r1[t];
+            float e2 = qv - r2[t], e3 = qv - r3[t];
+            s0 += e0 * e0;
+            s1 += e1 * e1;
+            s2 += e2 * e2;
+            s3 += e3 * e3;
+        }
+        out[r] = s0;
+        out[r + 1] = s1;
+        out[r + 2] = s2;
+        out[r + 3] = s3;
+    }
+    for (; r < n; ++r)
+        out[r] = l2sqAvx2(q, rows + r * d, d);
+}
+
+/**
+ * 2x4 register block: eight live accumulators (two A rows x four B
+ * rows), each an 8-lane FMA chain over d. Remainders fall back to
+ * 1x4 and then 1x1 tiles.
+ */
+REACH_AVX2 void
+gemmNtAvx2(const float *a, std::size_t n, const float *b,
+           std::size_t m, std::size_t d, float *c, std::size_t ldc)
+{
+    std::size_t i = 0;
+    for (; i + 2 <= n; i += 2) {
+        const float *a0 = a + i * d;
+        const float *a1 = a0 + d;
+        float *c0 = c + i * ldc;
+        float *c1 = c0 + ldc;
+        std::size_t j = 0;
+        for (; j + 4 <= m; j += 4) {
+            const float *b0 = b + j * d;
+            const float *b1 = b0 + d;
+            const float *b2 = b1 + d;
+            const float *b3 = b2 + d;
+            __m256 p00 = _mm256_setzero_ps(),
+                   p01 = _mm256_setzero_ps(),
+                   p02 = _mm256_setzero_ps(),
+                   p03 = _mm256_setzero_ps();
+            __m256 p10 = _mm256_setzero_ps(),
+                   p11 = _mm256_setzero_ps(),
+                   p12 = _mm256_setzero_ps(),
+                   p13 = _mm256_setzero_ps();
+            std::size_t t = 0;
+            for (; t + 8 <= d; t += 8) {
+                __m256 va0 = _mm256_loadu_ps(a0 + t);
+                __m256 va1 = _mm256_loadu_ps(a1 + t);
+                __m256 vb0 = _mm256_loadu_ps(b0 + t);
+                __m256 vb1 = _mm256_loadu_ps(b1 + t);
+                __m256 vb2 = _mm256_loadu_ps(b2 + t);
+                __m256 vb3 = _mm256_loadu_ps(b3 + t);
+                p00 = _mm256_fmadd_ps(va0, vb0, p00);
+                p01 = _mm256_fmadd_ps(va0, vb1, p01);
+                p02 = _mm256_fmadd_ps(va0, vb2, p02);
+                p03 = _mm256_fmadd_ps(va0, vb3, p03);
+                p10 = _mm256_fmadd_ps(va1, vb0, p10);
+                p11 = _mm256_fmadd_ps(va1, vb1, p11);
+                p12 = _mm256_fmadd_ps(va1, vb2, p12);
+                p13 = _mm256_fmadd_ps(va1, vb3, p13);
+            }
+            float s00 = hsum256(p00), s01 = hsum256(p01);
+            float s02 = hsum256(p02), s03 = hsum256(p03);
+            float s10 = hsum256(p10), s11 = hsum256(p11);
+            float s12 = hsum256(p12), s13 = hsum256(p13);
+            for (; t < d; ++t) {
+                float v0 = a0[t], v1 = a1[t];
+                s00 += v0 * b0[t];
+                s01 += v0 * b1[t];
+                s02 += v0 * b2[t];
+                s03 += v0 * b3[t];
+                s10 += v1 * b0[t];
+                s11 += v1 * b1[t];
+                s12 += v1 * b2[t];
+                s13 += v1 * b3[t];
+            }
+            c0[j] = s00;
+            c0[j + 1] = s01;
+            c0[j + 2] = s02;
+            c0[j + 3] = s03;
+            c1[j] = s10;
+            c1[j + 1] = s11;
+            c1[j + 2] = s12;
+            c1[j + 3] = s13;
+        }
+        for (; j < m; ++j) {
+            const float *bj = b + j * d;
+            c0[j] = dotAvx2(a0, bj, d);
+            c1[j] = dotAvx2(a1, bj, d);
+        }
+    }
+    if (i < n) {
+        dotBatchAvx2(a + i * d, b, m, d, c + i * ldc);
+        // dotBatch writes m contiguous values == the final C row.
+    }
+}
+
+} // namespace
+
+const Kernels &
+avx2Kernels()
+{
+    static const Kernels k{dotAvx2,      l2sqAvx2,   normSqAvx2,
+                           axpyAvx2,     dotBatchAvx2, dotIdxAvx2,
+                           l2sqBatchAvx2, gemmNtAvx2};
+    return k;
+}
+
+} // namespace reach::simd::detail
+
+#endif // REACH_SIMD_HAVE_X86_AVX2

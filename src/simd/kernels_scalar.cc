@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Scalar baseline kernels. These preserve the exact accumulation
+ * order of the pre-SIMD linalg code (one sequential chain per value,
+ * multiply-then-add), so pinning REACH_SIMD=scalar reproduces the
+ * historical results bitwise on any host.
+ */
+
+#include "simd/kernels.hh"
+
+namespace reach::simd::detail
+{
+
+namespace
+{
+
+float
+dotScalar(const float *a, const float *b, std::size_t d)
+{
+    float acc = 0;
+    for (std::size_t t = 0; t < d; ++t)
+        acc += a[t] * b[t];
+    return acc;
+}
+
+float
+l2sqScalar(const float *a, const float *b, std::size_t d)
+{
+    float acc = 0;
+    for (std::size_t t = 0; t < d; ++t) {
+        float diff = a[t] - b[t];
+        acc += diff * diff;
+    }
+    return acc;
+}
+
+float
+normSqScalar(const float *a, std::size_t d)
+{
+    return dotScalar(a, a, d);
+}
+
+void
+axpyScalar(float alpha, const float *x, float *y, std::size_t d)
+{
+    for (std::size_t t = 0; t < d; ++t)
+        y[t] += alpha * x[t];
+}
+
+void
+dotBatchScalar(const float *q, const float *rows, std::size_t n,
+               std::size_t d, float *out)
+{
+    for (std::size_t r = 0; r < n; ++r)
+        out[r] = dotScalar(q, rows + r * d, d);
+}
+
+void
+l2sqBatchScalar(const float *q, const float *rows, std::size_t n,
+                std::size_t d, float *out)
+{
+    for (std::size_t r = 0; r < n; ++r)
+        out[r] = l2sqScalar(q, rows + r * d, d);
+}
+
+void
+dotIdxScalar(const float *q, const float *base, const std::uint32_t *ids,
+             std::size_t n, std::size_t d, float *out)
+{
+    for (std::size_t r = 0; r < n; ++r)
+        out[r] = dotScalar(q, base + std::size_t(ids[r]) * d, d);
+}
+
+/**
+ * 1x4 register tile: each A row streams once across four B rows with
+ * four live accumulators; per-element order over d matches dot(), so
+ * the tiling never changes a C value.
+ */
+void
+gemmNtScalar(const float *a, std::size_t n, const float *b,
+             std::size_t m, std::size_t d, float *c, std::size_t ldc)
+{
+    for (std::size_t i = 0; i < n; ++i) {
+        const float *ra = a + i * d;
+        float *rc = c + i * ldc;
+        std::size_t j = 0;
+        for (; j + 4 <= m; j += 4) {
+            const float *b0 = b + j * d;
+            const float *b1 = b0 + d;
+            const float *b2 = b1 + d;
+            const float *b3 = b2 + d;
+            float acc0 = 0, acc1 = 0, acc2 = 0, acc3 = 0;
+            for (std::size_t t = 0; t < d; ++t) {
+                float av = ra[t];
+                acc0 += av * b0[t];
+                acc1 += av * b1[t];
+                acc2 += av * b2[t];
+                acc3 += av * b3[t];
+            }
+            rc[j] = acc0;
+            rc[j + 1] = acc1;
+            rc[j + 2] = acc2;
+            rc[j + 3] = acc3;
+        }
+        for (; j < m; ++j)
+            rc[j] = dotScalar(ra, b + j * d, d);
+    }
+}
+
+} // namespace
+
+const Kernels &
+scalarKernels()
+{
+    static const Kernels k{dotScalar,      l2sqScalar,
+                           normSqScalar,   axpyScalar,
+                           dotBatchScalar, dotIdxScalar,
+                           l2sqBatchScalar, gemmNtScalar};
+    return k;
+}
+
+} // namespace reach::simd::detail

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Runtime-dispatched SIMD kernel layer for the functional CBIR hot
+ * paths. Every primitive exists in a scalar baseline and (on x86
+ * hosts whose CPU reports AVX2+FMA) an AVX2/FMA variant; the variant
+ * is picked once at runtime via __builtin_cpu_supports, so one binary
+ * runs unchanged on non-AVX2 hosts.
+ *
+ * Backend selection, strongest to weakest:
+ *   1. an explicit simd::Choice pinned on a config
+ *      (parallel::ParallelConfig::simd, and through it
+ *      CbirService::Config),
+ *   2. the REACH_SIMD environment variable (auto|scalar|avx2),
+ *   3. CPU auto-detection.
+ *
+ * Determinism contract (refined from the thread-level one in
+ * parallel.hh): for a *fixed backend* every kernel is a pure function
+ * of its inputs — per-row/per-pair arithmetic never depends on where
+ * the row sits inside a batch or tile, so chunked parallel callers
+ * stay bitwise identical at 1 and N threads. Across backends results
+ * agree only to rounding tolerance (different accumulation orders and
+ * FMA contraction), which is why reproducibility-sensitive runs pin
+ * the backend.
+ *
+ * Cross-kernel invariants each backend upholds (tests assert them
+ * bitwise):
+ *   normSq(a, d)              == dot(a, a, d)
+ *   dotBatch(q, rows, ...)[r] == dot(q, rows + r*d, d)
+ *   l2sqBatch(q, rows,...)[r] == l2sq(q, rows + r*d, d)
+ *   dotIdx(q, base, ids,..)[r]== dot(q, base + ids[r]*d, d)
+ */
+
+#ifndef REACH_SIMD_SIMD_HH
+#define REACH_SIMD_SIMD_HH
+
+#include <cstddef>
+#include <cstdint>
+
+namespace reach::simd
+{
+
+/** A concrete kernel implementation. */
+enum class Backend : std::uint8_t { scalar, avx2 };
+
+/** A backend request: pin one, or defer to REACH_SIMD / detection. */
+enum class Choice : std::uint8_t { autoDetect, scalar, avx2 };
+
+/** True when the host CPU can execute @p b. */
+bool supported(Backend b);
+
+/** Best CPU-supported backend (ignores REACH_SIMD). */
+Backend detect();
+
+/**
+ * Resolve a request to a runnable backend: an explicit choice wins,
+ * then REACH_SIMD, then detection. An explicitly requested backend
+ * the CPU lacks falls back to detect() with a one-time warning on
+ * stderr rather than crashing.
+ */
+Backend resolve(Choice c = Choice::autoDetect);
+
+/** "scalar" / "avx2". */
+const char *name(Backend b);
+
+/**
+ * Parse "auto" / "scalar" / "avx2" (the REACH_SIMD grammar).
+ * @return true and sets @p out on success.
+ */
+bool parseChoice(const char *text, Choice &out);
+
+/**
+ * The dispatch table. All row/tile pointers refer to contiguous
+ * row-major storage; @p d is the vector length (no alignment
+ * requirement, though 64-byte aligned rows are fastest).
+ */
+struct Kernels
+{
+    /** sum_t a[t] * b[t] */
+    float (*dot)(const float *a, const float *b, std::size_t d);
+    /** sum_t (a[t] - b[t])^2 */
+    float (*l2sq)(const float *a, const float *b, std::size_t d);
+    /** sum_t a[t]^2, bitwise equal to dot(a, a, d). */
+    float (*normSq)(const float *a, std::size_t d);
+    /** y[t] += alpha * x[t] */
+    void (*axpy)(float alpha, const float *x, float *y, std::size_t d);
+    /** out[r] = dot(q, rows + r*d) for r in [0, n). */
+    void (*dotBatch)(const float *q, const float *rows, std::size_t n,
+                     std::size_t d, float *out);
+    /**
+     * Indexed rows: out[r] = dot(q, base + ids[r]*d) for r in [0, n).
+     * The gather-free form of dotBatch for scattered candidates
+     * (rerank); per-row arithmetic is identical.
+     */
+    void (*dotIdx)(const float *q, const float *base,
+                   const std::uint32_t *ids, std::size_t n,
+                   std::size_t d, float *out);
+    /** out[r] = l2sq(q, rows + r*d) for r in [0, n). */
+    void (*l2sqBatch)(const float *q, const float *rows, std::size_t n,
+                      std::size_t d, float *out);
+    /**
+     * Register-blocked C = A * B^T micro-kernel over one row block:
+     * A is (n x d), B is (m x d), C rows are written at stride
+     * @p ldc >= m. Per-(i,j) accumulation never depends on n or the
+     * block split, so row-block parallel callers stay deterministic.
+     */
+    void (*gemmNt)(const float *a, std::size_t n, const float *b,
+                   std::size_t m, std::size_t d, float *c,
+                   std::size_t ldc);
+};
+
+/** Kernel table of a backend (valid for the process lifetime). */
+const Kernels &kernels(Backend b);
+
+/** Shorthand: table of the resolved backend for @p c. */
+inline const Kernels &
+kernels(Choice c)
+{
+    return kernels(resolve(c));
+}
+
+} // namespace reach::simd
+
+#endif // REACH_SIMD_SIMD_HH

@@ -3,7 +3,9 @@
  * The determinism contract of the parallel execution layer applied to
  * the CBIR hot paths: every kernel must produce bitwise-identical
  * results at 1 thread and at N threads, because the chunk
- * decomposition never depends on the thread count.
+ * decomposition never depends on the thread count. The contract is
+ * per SIMD backend — the tests below run once under the default
+ * (auto-detected) backend and once per explicitly pinned backend.
  */
 
 #include <gtest/gtest.h>
@@ -14,6 +16,7 @@
 #include "cbir/rerank.hh"
 #include "cbir/shortlist.hh"
 #include "sim/rng.hh"
+#include "simd/simd.hh"
 #include "workload/dataset.hh"
 
 using namespace reach;
@@ -131,3 +134,102 @@ TEST(ParallelDeterminism, MiniCnnBatchIdenticalAcrossThreadCounts)
     Matrix fN = MiniCnn(cN).extractBatch(imgs);
     expectSameFloats(f1.flat(), fN.flat());
 }
+
+namespace
+{
+
+/**
+ * 1-vs-N-thread bitwise determinism with the SIMD backend pinned:
+ * the per-backend refinement of the contract above. Backends that
+ * the host CPU cannot run are skipped.
+ */
+class PinnedBackendDeterminism
+    : public ::testing::TestWithParam<simd::Choice>
+{
+  protected:
+    void
+    SetUp() override
+    {
+        if (GetParam() == simd::Choice::avx2 &&
+            !simd::supported(simd::Backend::avx2))
+            GTEST_SKIP() << "avx2 not supported on this host";
+        serial = parallel::ParallelConfig::serial();
+        serial.simd = GetParam();
+        threaded = parallel::ParallelConfig{kThreads};
+        threaded.simd = GetParam();
+    }
+
+    parallel::ParallelConfig serial;
+    parallel::ParallelConfig threaded;
+};
+
+} // namespace
+
+TEST_P(PinnedBackendDeterminism, GemmNtBitwiseEqual)
+{
+    Matrix a = randomMatrix(33, 96, 5);
+    Matrix b = randomMatrix(500, 96, 6);
+    Matrix c1(a.rows(), b.rows());
+    Matrix cn(a.rows(), b.rows());
+    gemmNt(a, b, c1, serial);
+    gemmNt(a, b, cn, threaded);
+    expectSameFloats(c1.flat(), cn.flat());
+}
+
+TEST_P(PinnedBackendDeterminism, RerankAndBruteForceBitwiseEqual)
+{
+    workload::DatasetConfig dc;
+    dc.numVectors = 2000;
+    dc.dim = 24;
+    dc.latentClusters = 10;
+    workload::Dataset ds(dc);
+
+    KMeansConfig kc;
+    kc.clusters = 16;
+    kc.parallel = serial;
+    InvertedFileIndex idx(ds.vectors(), kc);
+    Matrix queries = ds.makeQueries(16, 0.05, 17);
+
+    auto lists = shortlistRetrieve(queries, idx, 5, serial);
+    EXPECT_EQ(lists, shortlistRetrieve(queries, idx, 5, threaded));
+
+    RerankConfig rc1;
+    rc1.k = 8;
+    rc1.parallel = serial;
+    RerankConfig rcN = rc1;
+    rcN.parallel = threaded;
+    EXPECT_EQ(rerank(queries, ds.vectors(), idx, lists, rc1),
+              rerank(queries, ds.vectors(), idx, lists, rcN));
+
+    EXPECT_EQ(bruteForce(queries, ds.vectors(), 8, serial),
+              bruteForce(queries, ds.vectors(), 8, threaded));
+}
+
+TEST_P(PinnedBackendDeterminism, KMeansBitwiseEqual)
+{
+    workload::DatasetConfig dc;
+    dc.numVectors = 1500;
+    dc.dim = 16;
+    dc.latentClusters = 8;
+    workload::Dataset ds(dc);
+
+    KMeansConfig c1;
+    c1.clusters = 12;
+    c1.maxIterations = 5;
+    c1.parallel = serial;
+    KMeansConfig cN = c1;
+    cN.parallel = threaded;
+
+    KMeansResult r1 = kMeans(ds.vectors(), c1);
+    KMeansResult rN = kMeans(ds.vectors(), cN);
+    EXPECT_EQ(r1.assignment, rN.assignment);
+    EXPECT_EQ(r1.inertia, rN.inertia);
+    expectSameFloats(r1.centroids.flat(), rN.centroids.flat());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Backends, PinnedBackendDeterminism,
+    ::testing::Values(simd::Choice::scalar, simd::Choice::avx2),
+    [](const auto &info) {
+        return info.param == simd::Choice::scalar ? "scalar" : "avx2";
+    });

@@ -1,0 +1,274 @@
+/**
+ * @file
+ * The SIMD kernel layer's contract: scalar and dispatched backends
+ * agree to rounding tolerance on random vectors (all tail lengths,
+ * d = 0 / d = 1 edge cases), the cross-kernel bitwise invariants of
+ * simd.hh hold per backend, and backend resolution obeys the
+ * choice > REACH_SIMD > detection hierarchy.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "sim/rng.hh"
+#include "simd/aligned.hh"
+#include "simd/simd.hh"
+
+using namespace reach;
+
+namespace
+{
+
+std::vector<simd::Backend>
+availableBackends()
+{
+    std::vector<simd::Backend> out{simd::Backend::scalar};
+    if (simd::supported(simd::Backend::avx2))
+        out.push_back(simd::Backend::avx2);
+    return out;
+}
+
+std::vector<float>
+randomVec(std::size_t n, std::uint64_t seed)
+{
+    sim::Rng rng(seed);
+    std::vector<float> v(n);
+    for (auto &x : v)
+        x = static_cast<float>(rng.nextGaussian());
+    return v;
+}
+
+/** Lengths that cover d=0, d=1, every d%8 residue and multi-block. */
+const std::size_t kLengths[] = {0,  1,  2,  3,  5,  7,  8,  9,
+                                15, 16, 17, 31, 33, 95, 96, 97};
+
+float
+relTol(float ref)
+{
+    return 1e-5f * std::abs(ref) + 1e-6f;
+}
+
+} // namespace
+
+TEST(SimdDispatch, ScalarAlwaysSupported)
+{
+    EXPECT_TRUE(simd::supported(simd::Backend::scalar));
+    EXPECT_STREQ(simd::name(simd::Backend::scalar), "scalar");
+    EXPECT_STREQ(simd::name(simd::Backend::avx2), "avx2");
+}
+
+TEST(SimdDispatch, ExplicitChoiceWins)
+{
+    EXPECT_EQ(simd::resolve(simd::Choice::scalar),
+              simd::Backend::scalar);
+    if (simd::supported(simd::Backend::avx2))
+        EXPECT_EQ(simd::resolve(simd::Choice::avx2),
+                  simd::Backend::avx2);
+    else
+        EXPECT_EQ(simd::resolve(simd::Choice::avx2), simd::detect());
+}
+
+TEST(SimdDispatch, ParsesTheReachSimdGrammar)
+{
+    simd::Choice c;
+    ASSERT_TRUE(simd::parseChoice("auto", c));
+    EXPECT_EQ(c, simd::Choice::autoDetect);
+    ASSERT_TRUE(simd::parseChoice("scalar", c));
+    EXPECT_EQ(c, simd::Choice::scalar);
+    ASSERT_TRUE(simd::parseChoice("avx2", c));
+    EXPECT_EQ(c, simd::Choice::avx2);
+    EXPECT_FALSE(simd::parseChoice("sse", c));
+    EXPECT_FALSE(simd::parseChoice("", c));
+    EXPECT_FALSE(simd::parseChoice(nullptr, c));
+}
+
+TEST(SimdDispatch, ResolvedBackendIsRunnable)
+{
+    EXPECT_TRUE(simd::supported(simd::resolve()));
+    EXPECT_TRUE(simd::supported(simd::detect()));
+}
+
+/** Per-backend kernel behaviour on known values and edge lengths. */
+class SimdBackend : public ::testing::TestWithParam<simd::Backend>
+{
+  protected:
+    void
+    SetUp() override
+    {
+        if (!simd::supported(GetParam()))
+            GTEST_SKIP() << "backend not supported on this host";
+    }
+
+    const simd::Kernels &
+    k() const
+    {
+        return simd::kernels(GetParam());
+    }
+};
+
+TEST_P(SimdBackend, KnownValues)
+{
+    const float a[] = {1, 2, 3};
+    const float b[] = {4, 5, 6};
+    EXPECT_FLOAT_EQ(k().dot(a, b, 3), 32.0f);
+    EXPECT_FLOAT_EQ(k().l2sq(a, b, 3), 27.0f);
+    EXPECT_FLOAT_EQ(k().normSq(b, 3), 77.0f);
+}
+
+TEST_P(SimdBackend, ZeroAndOneLengthEdgeCases)
+{
+    const float a[] = {3.0f};
+    const float b[] = {5.0f};
+    EXPECT_EQ(k().dot(a, b, 0), 0.0f);
+    EXPECT_EQ(k().l2sq(a, b, 0), 0.0f);
+    EXPECT_EQ(k().normSq(a, 0), 0.0f);
+    EXPECT_FLOAT_EQ(k().dot(a, b, 1), 15.0f);
+    EXPECT_FLOAT_EQ(k().l2sq(a, b, 1), 4.0f);
+    EXPECT_FLOAT_EQ(k().normSq(b, 1), 25.0f);
+
+    float y0[] = {1.0f};
+    k().axpy(2.0f, a, y0, 0); // no-op
+    EXPECT_FLOAT_EQ(y0[0], 1.0f);
+    k().axpy(2.0f, a, y0, 1);
+    EXPECT_FLOAT_EQ(y0[0], 7.0f);
+
+    float out = 42.0f;
+    k().dotBatch(a, b, 0, 1, &out); // zero rows: out untouched
+    EXPECT_FLOAT_EQ(out, 42.0f);
+    k().l2sqBatch(a, b, 1, 0, &out); // zero dim: distance 0
+    EXPECT_FLOAT_EQ(out, 0.0f);
+}
+
+TEST_P(SimdBackend, CrossKernelInvariantsBitwise)
+{
+    for (std::size_t d : kLengths) {
+        auto q = randomVec(d, 100 + d);
+        constexpr std::size_t n = 7; // exercises block + remainder
+        auto rows = randomVec(n * d, 200 + d);
+        std::vector<float> dots(n), dists(n);
+        k().dotBatch(q.data(), rows.data(), n, d, dots.data());
+        k().l2sqBatch(q.data(), rows.data(), n, d, dists.data());
+        for (std::size_t r = 0; r < n; ++r) {
+            const float *row = rows.data() + r * d;
+            EXPECT_EQ(dots[r], k().dot(q.data(), row, d))
+                << "dotBatch row " << r << " d=" << d;
+            EXPECT_EQ(dists[r], k().l2sq(q.data(), row, d))
+                << "l2sqBatch row " << r << " d=" << d;
+        }
+        EXPECT_EQ(k().normSq(q.data(), d), k().dot(q.data(), q.data(), d))
+            << "normSq d=" << d;
+
+        // dotIdx with a shuffled id order must match per-row dot (and
+        // hence dotBatch on the corresponding gathered tile) bitwise.
+        const std::uint32_t ids[n] = {5, 0, 3, 6, 1, 4, 2};
+        std::vector<float> idx_dots(n);
+        k().dotIdx(q.data(), rows.data(), ids, n, d, idx_dots.data());
+        for (std::size_t r = 0; r < n; ++r) {
+            EXPECT_EQ(idx_dots[r],
+                      k().dot(q.data(), rows.data() + ids[r] * d, d))
+                << "dotIdx row " << r << " d=" << d;
+        }
+    }
+}
+
+TEST_P(SimdBackend, GemmNtMatchesDotReference)
+{
+    // Odd shapes exercise the 2x4 block and both remainders.
+    const std::size_t n = 5, m = 7;
+    for (std::size_t d : kLengths) {
+        auto a = randomVec(n * d, 300 + d);
+        auto b = randomVec(m * d, 400 + d);
+        std::vector<float> c(n * m, -1.0f);
+        k().gemmNt(a.data(), n, b.data(), m, d, c.data(), m);
+        for (std::size_t i = 0; i < n; ++i) {
+            for (std::size_t j = 0; j < m; ++j) {
+                float ref =
+                    k().dot(a.data() + i * d, b.data() + j * d, d);
+                EXPECT_NEAR(c[i * m + j], ref, relTol(ref))
+                    << "(" << i << "," << j << ") d=" << d;
+            }
+        }
+    }
+}
+
+TEST_P(SimdBackend, GemmNtRespectsOutputStride)
+{
+    const std::size_t n = 3, m = 5, d = 17, ldc = 9;
+    auto a = randomVec(n * d, 1);
+    auto b = randomVec(m * d, 2);
+    std::vector<float> c(n * ldc, 7.0f);
+    k().gemmNt(a.data(), n, b.data(), m, d, c.data(), ldc);
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = m; j < ldc; ++j)
+            EXPECT_EQ(c[i * ldc + j], 7.0f) << "stride gap clobbered";
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Backends, SimdBackend, ::testing::ValuesIn(availableBackends()),
+    [](const auto &info) { return simd::name(info.param); });
+
+/**
+ * Property: every supported backend agrees with scalar to rounding
+ * tolerance on random vectors across all tail lengths.
+ */
+class SimdAgreement : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(SimdAgreement, AllBackendsMatchScalarWithinTolerance)
+{
+    const auto &ref = simd::kernels(simd::Backend::scalar);
+    for (simd::Backend b : availableBackends()) {
+        const auto &k = simd::kernels(b);
+        for (std::size_t d : kLengths) {
+            auto x = randomVec(d, GetParam() * 31 + d);
+            auto y = randomVec(d, GetParam() * 37 + d + 1);
+
+            float rd = ref.dot(x.data(), y.data(), d);
+            EXPECT_NEAR(k.dot(x.data(), y.data(), d), rd, relTol(rd));
+
+            float rl = ref.l2sq(x.data(), y.data(), d);
+            EXPECT_NEAR(k.l2sq(x.data(), y.data(), d), rl,
+                        relTol(rl));
+
+            float rn = ref.normSq(x.data(), d);
+            EXPECT_NEAR(k.normSq(x.data(), d), rn, relTol(rn));
+
+            auto ya = y, yb = y;
+            ref.axpy(0.75f, x.data(), ya.data(), d);
+            k.axpy(0.75f, x.data(), yb.data(), d);
+            for (std::size_t t = 0; t < d; ++t)
+                EXPECT_NEAR(yb[t], ya[t], relTol(ya[t]));
+        }
+
+        // Batched kernels at the paper's D=96 plus a ragged tail.
+        for (std::size_t d : {96u, 33u}) {
+            const std::size_t n = 13;
+            auto q = randomVec(d, GetParam() * 41 + d);
+            auto rows = randomVec(n * d, GetParam() * 43 + d);
+            std::vector<float> got(n), want(n);
+            ref.dotBatch(q.data(), rows.data(), n, d, want.data());
+            k.dotBatch(q.data(), rows.data(), n, d, got.data());
+            for (std::size_t r = 0; r < n; ++r)
+                EXPECT_NEAR(got[r], want[r], relTol(want[r]));
+            ref.l2sqBatch(q.data(), rows.data(), n, d, want.data());
+            k.l2sqBatch(q.data(), rows.data(), n, d, got.data());
+            for (std::size_t r = 0; r < n; ++r)
+                EXPECT_NEAR(got[r], want[r], relTol(want[r]));
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimdAgreement,
+                         ::testing::Values(1, 7, 23, 42, 99));
+
+TEST(AlignedAllocator, VectorStorageIs64ByteAligned)
+{
+    std::vector<float, simd::AlignedAllocator<float, 64>> v(33);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(v.data()) % 64, 0u);
+    v.resize(1027);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(v.data()) % 64, 0u);
+}
