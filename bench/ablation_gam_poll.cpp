@@ -43,19 +43,33 @@ runWith(double error_factor, sim::Tick reconfig,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     sim::setQuiet(true);
+    SweepOptions opt = parseSweepOptions(argc, argv);
     const std::uint32_t batches = 8;
+
+    const double factors[5] = {0.1, 0.5, 1.0, 1.5, 3.0};
+    const sim::Tick delays[5] = {sim::Tick(0), sim::tickPerUs,
+                                 100 * sim::tickPerUs, sim::tickPerMs,
+                                 10 * sim::tickPerMs};
+
+    // Points 0-4: estimate-error sweep; 5-9: reconfig-delay sweep.
+    auto results = runSweep(10, opt, [&](std::size_t i) {
+        if (i < 5)
+            return runWith(factors[i], 0, core::Mapping::Reach,
+                           batches);
+        return runWith(1.0, delays[i - 5],
+                       core::Mapping::OnChipOnly, batches);
+    });
 
     printHeader("Ablation: status-poll estimate error (ReACH "
                 "mapping)");
     std::printf("%-14s %16s %14s %10s\n", "error factor",
                 "throughput(b/s)", "mean lat(ms)", "polls");
-    for (double f : {0.1, 0.5, 1.0, 1.5, 3.0}) {
-        PollResult r =
-            runWith(f, 0, core::Mapping::Reach, batches);
-        std::printf("%-14.2f %16.2f %14.2f %10lu\n", f,
+    for (std::size_t i = 0; i < 5; ++i) {
+        const PollResult &r = results[i];
+        std::printf("%-14.2f %16.2f %14.2f %10lu\n", factors[i],
                     r.run.throughputBatchesPerSec(),
                     sim::secondsFromTicks(r.run.meanLatency) * 1e3,
                     static_cast<unsigned long>(r.polls));
@@ -66,14 +80,10 @@ main()
     printHeader("Ablation: partial-reconfiguration delay (on-chip "
                 "mapping reconfigures CNN->GeMM->KNN per batch)");
     std::printf("%-16s %16s\n", "reconfig delay", "throughput(b/s)");
-    for (sim::Tick d :
-         {sim::Tick(0), sim::tickPerUs, 100 * sim::tickPerUs,
-          sim::tickPerMs, 10 * sim::tickPerMs}) {
-        PollResult r =
-            runWith(1.0, d, core::Mapping::OnChipOnly, batches);
+    for (std::size_t i = 0; i < 5; ++i) {
         std::printf("%13.3f ms %16.2f\n",
-                    sim::secondsFromTicks(d) * 1e3,
-                    r.run.throughputBatchesPerSec());
+                    sim::secondsFromTicks(delays[i]) * 1e3,
+                    results[5 + i].run.throughputBatchesPerSec());
     }
     std::printf("(sub-millisecond reconfiguration is negligible — "
                 "the paper's assumption)\n");

@@ -61,26 +61,38 @@ runBurst(gam::SchedulingPolicy policy, int tasks, std::uint64_t seed)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     sim::setQuiet(true);
+    SweepOptions opt = parseSweepOptions(argc, argv);
     printHeader("Ablation: GAM placement policy, 4 near-mem modules, "
                 "size-skewed unpinned tasks");
     std::printf("%-8s %18s %18s %10s\n", "tasks", "least-loaded(ms)",
                 "earliest-free(ms)", "gain");
 
-    for (int tasks : {8, 16, 32, 64}) {
+    const int task_counts[4] = {8, 16, 32, 64};
+    const int trials = 5;
+
+    // Point layout: (task-count, trial, policy) — every burst is an
+    // independent simulation, so the full 4 x 5 x 2 grid fans out.
+    auto bursts =
+        runSweep(4 * trials * 2, opt, [&](std::size_t i) {
+            int tasks = task_counts[i / (trials * 2)];
+            int s = static_cast<int>((i / 2) % trials);
+            auto policy = i % 2 == 0
+                              ? gam::SchedulingPolicy::LeastLoaded
+                              : gam::SchedulingPolicy::EarliestFree;
+            return sim::secondsFromTicks(runBurst(
+                policy, tasks, 100 + static_cast<std::uint64_t>(s)));
+        });
+
+    for (std::size_t t = 0; t < 4; ++t) {
         double ll = 0, ef = 0;
-        const int trials = 5;
         for (int s = 0; s < trials; ++s) {
-            ll += sim::secondsFromTicks(runBurst(
-                gam::SchedulingPolicy::LeastLoaded, tasks,
-                100 + static_cast<std::uint64_t>(s)));
-            ef += sim::secondsFromTicks(runBurst(
-                gam::SchedulingPolicy::EarliestFree, tasks,
-                100 + static_cast<std::uint64_t>(s)));
+            ll += bursts[t * trials * 2 + 2 * s];
+            ef += bursts[t * trials * 2 + 2 * s + 1];
         }
-        std::printf("%-8d %18.2f %18.2f %9.2fx\n", tasks,
+        std::printf("%-8d %18.2f %18.2f %9.2fx\n", task_counts[t],
                     ll / trials * 1e3, ef / trials * 1e3, ll / ef);
     }
 

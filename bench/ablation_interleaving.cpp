@@ -18,29 +18,32 @@ using namespace reach;
 using namespace reach::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
     sim::setQuiet(true);
+    SweepOptions opt = parseSweepOptions(argc, argv);
     mem::DramTimings dram;
 
     printHeader("Ablation: interleave granularity vs streaming "
                 "bandwidth (2 channels x 2 DIMMs)");
     std::printf("%-14s %16s %12s\n", "granularity", "bandwidth(GB/s)",
                 "efficiency");
-    double line_bw = 0;
-    for (std::uint64_t gran :
-         {std::uint64_t(64), std::uint64_t(256), std::uint64_t(4096),
-          std::uint64_t(64) << 10, std::uint64_t(1) << 20}) {
-        auto cal =
-            mem::measureStreamingBandwidth(dram, 2, 2, 8 << 20, gran);
-        if (gran == 64)
-            line_bw = cal.bandwidth;
+    const std::uint64_t grans[5] = {
+        std::uint64_t(64), std::uint64_t(256), std::uint64_t(4096),
+        std::uint64_t(64) << 10, std::uint64_t(1) << 20};
+    auto cals = runSweep(5, opt, [&](std::size_t i) {
+        return mem::measureStreamingBandwidth(dram, 2, 2, 8 << 20,
+                                              grans[i]);
+    });
+    for (std::size_t i = 0; i < 5; ++i) {
         std::printf("%-14lu %16.2f %11.0f%%\n",
-                    static_cast<unsigned long>(gran),
-                    cal.bandwidth / 1e9,
-                    100.0 * cal.bandwidth /
+                    static_cast<unsigned long>(grans[i]),
+                    cals[i].bandwidth / 1e9,
+                    100.0 * cals[i].bandwidth /
                         (2 * dram.peakBandwidth()));
     }
+    double line_bw = cals[0].bandwidth;
+    double tile_bw = cals[4].bandwidth;
 
     printHeader("Effect on the on-chip short-list stage");
     auto run_with = [&](double host_bw) {
@@ -53,16 +56,17 @@ main()
         return dep.run(4);
     };
 
-    auto tile_cal = mem::measureStreamingBandwidth(
-        dram, 2, 2, 8 << 20, std::uint64_t(1) << 20);
-    core::RunResult fine = run_with(line_bw);
-    core::RunResult coarse = run_with(tile_cal.bandwidth);
+    auto runs = runSweep(2, opt, [&](std::size_t i) {
+        return run_with(i == 0 ? line_bw : tile_bw);
+    });
+    const core::RunResult &fine = runs[0];
+    const core::RunResult &coarse = runs[1];
     std::printf("host region @ line interleave (%.1f GB/s): "
                 "%.2f batches/s\n",
                 line_bw / 1e9, fine.throughputBatchesPerSec());
     std::printf("host region @ 1 MiB tiles     (%.1f GB/s): "
                 "%.2f batches/s\n",
-                tile_cal.bandwidth / 1e9,
+                tile_bw / 1e9,
                 coarse.throughputBatchesPerSec());
     std::printf("line interleave gain: %.2fx (why the GAM "
                 "reorganizes the host region, paper §III-B)\n",

@@ -58,16 +58,20 @@ runNsFeatureExtraction(bool reuse, std::uint32_t batches)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     sim::setQuiet(true);
+    SweepOptions opt = parseSweepOptions(argc, argv);
     printHeader("Ablation: near-storage DRAM parameter buffer "
                 "(feature extraction on NS modules)");
     std::printf("%-22s %14s\n", "parameter reuse", "runtime (ms)");
 
     const std::uint32_t batches = 4;
-    double with_buffer = runNsFeatureExtraction(true, batches);
-    double without = runNsFeatureExtraction(false, batches);
+    auto results = runSweep(2, opt, [&](std::size_t i) {
+        return runNsFeatureExtraction(i == 0, batches);
+    });
+    double with_buffer = results[0];
+    double without = results[1];
 
     std::printf("%-22s %14.2f\n", "buffered (hits)",
                 with_buffer * 1e3);

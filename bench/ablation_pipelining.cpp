@@ -30,16 +30,24 @@ runReach(bool pipelining, std::uint32_t batches)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     sim::setQuiet(true);
+    SweepOptions opt = parseSweepOptions(argc, argv);
     printHeader("Ablation: GAM cross-job pipelining (ReACH mapping)");
     std::printf("%-14s %10s %16s %14s\n", "pipelining", "batches",
                 "throughput(b/s)", "mean lat (ms)");
 
-    for (std::uint32_t batches : {4u, 8u, 16u}) {
-        core::RunResult on = runReach(true, batches);
-        core::RunResult off = runReach(false, batches);
+    const std::uint32_t batch_counts[3] = {4u, 8u, 16u};
+    // Points: (batches index) x {on, off}.
+    auto results = runSweep(6, opt, [&](std::size_t i) {
+        return runReach(i % 2 == 0, batch_counts[i / 2]);
+    });
+
+    for (std::size_t b = 0; b < 3; ++b) {
+        std::uint32_t batches = batch_counts[b];
+        const core::RunResult &on = results[2 * b];
+        const core::RunResult &off = results[2 * b + 1];
         std::printf("%-14s %10u %16.2f %14.2f\n", "on", batches,
                     on.throughputBatchesPerSec(),
                     sim::secondsFromTicks(on.meanLatency) * 1e3);

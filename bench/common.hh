@@ -8,13 +8,17 @@
 #ifndef REACH_BENCH_COMMON_HH
 #define REACH_BENCH_COMMON_HH
 
+#include <cstddef>
 #include <cstdint>
 #include <cstdio>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "core/cbir_deployment.hh"
 #include "core/reach_system.hh"
 #include "energy/energy_model.hh"
+#include "parallel/thread_pool.hh"
 #include "sim/logging.hh"
 
 namespace reach::bench
@@ -80,6 +84,64 @@ inline void
 printHeader(const std::string &title)
 {
     std::printf("\n=== %s ===\n", title.c_str());
+}
+
+/**
+ * Concurrency knob for the figure/ablation sweeps. Every sweep point
+ * is an independent Simulator, so points run concurrently on the
+ * process-wide parallel::ThreadPool without touching each other's
+ * state.
+ */
+struct SweepOptions
+{
+    /** Concurrent sweep points; 0 = one per hardware thread. */
+    unsigned jobs = 0;
+
+    unsigned
+    resolved() const
+    {
+        if (jobs != 0)
+            return jobs;
+        unsigned hc = std::thread::hardware_concurrency();
+        return hc != 0 ? hc : 1;
+    }
+};
+
+/**
+ * Parse the shared bench command line: `--jobs N` / `--jobs=N`, else
+ * the REACH_SWEEP_JOBS environment variable, else the default (one
+ * job per hardware thread). Unknown arguments are ignored so benches
+ * keep accepting bench-specific flags. fatal() on a malformed value.
+ */
+SweepOptions parseSweepOptions(int argc, char **argv);
+
+/**
+ * Run fn(i) for every sweep point i in [0, points) using up to
+ * opt.resolved() concurrent jobs, and return the results indexed by
+ * point.
+ *
+ * Determinism contract: fn must depend only on its point index
+ * (every point builds its own Simulator/ReachSystem), each result is
+ * written to its pre-sized slot, and callers print results in point
+ * order — so the output is bitwise identical at any job count, and
+ * `--jobs 1` reproduces the historical serial runs exactly.
+ */
+template <typename Fn>
+auto
+runSweep(std::size_t points, const SweepOptions &opt, Fn &&fn)
+    -> std::vector<decltype(fn(std::size_t{}))>
+{
+    using Result = decltype(fn(std::size_t{}));
+    std::vector<Result> results(points);
+    unsigned jobs = opt.resolved();
+    if (jobs <= 1 || points <= 1) {
+        for (std::size_t i = 0; i < points; ++i)
+            results[i] = fn(i);
+        return results;
+    }
+    parallel::ThreadPool::global().run(
+        points, jobs, [&](std::size_t i) { results[i] = fn(i); });
+    return results;
 }
 
 } // namespace reach::bench

@@ -10,6 +10,9 @@
  *  - near-memory beats on-chip with >= 2 instances (aggregated DIMM
  *    bandwidth) at 40-60% less energy;
  *  - near-storage trails near-memory (PCIe/flash access cost).
+ *
+ * Sweep points run concurrently (--jobs N / REACH_SWEEP_JOBS); the
+ * output is identical at any job count.
  */
 
 #include <cstdio>
@@ -20,13 +23,30 @@ using namespace reach;
 using namespace reach::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
     sim::setQuiet(true);
+    SweepOptions opt = parseSweepOptions(argc, argv);
     const std::uint32_t batches = 4;
 
-    StageResult base =
-        runStage(Stage::Shortlist, acc::Level::OnChip, 1, batches);
+    struct Point
+    {
+        acc::Level level;
+        std::uint32_t n;
+    };
+    std::vector<Point> points{{acc::Level::OnChip, 1}};
+    for (acc::Level level :
+         {acc::Level::NearMem, acc::Level::NearStor}) {
+        for (std::uint32_t n : {1u, 2u, 4u, 8u, 16u})
+            points.push_back({level, n});
+    }
+
+    auto results =
+        runSweep(points.size(), opt, [&](std::size_t i) {
+            return runStage(Stage::Shortlist, points[i].level,
+                            points[i].n, batches);
+        });
+    const StageResult &base = results[0];
 
     printHeader("Figure 10: short-list retrieval vs on-chip baseline");
     std::printf("on-chip baseline: %.2f ms, %.2f J (normalized 1.0)\n",
@@ -34,20 +54,17 @@ main()
     std::printf("%-12s %8s %12s %12s\n", "level", "ACCs",
                 "runtime(x)", "energy(x)");
 
-    StageResult nm2, nm_any;
-    for (acc::Level level :
-         {acc::Level::NearMem, acc::Level::NearStor}) {
-        for (std::uint32_t n : {1u, 2u, 4u, 8u, 16u}) {
-            StageResult r =
-                runStage(Stage::Shortlist, level, n, batches);
-            if (level == acc::Level::NearMem && n == 2)
-                nm2 = r;
-            std::printf("%-12s %8u %12.2f %12.2f\n",
-                        acc::levelName(level), n,
-                        r.runtimeSeconds / base.runtimeSeconds,
-                        r.energyJoules / base.energyJoules);
-        }
+    for (std::size_t i = 1; i < points.size(); ++i) {
+        std::printf("%-12s %8u %12.2f %12.2f\n",
+                    acc::levelName(points[i].level), points[i].n,
+                    results[i].runtimeSeconds / base.runtimeSeconds,
+                    results[i].energyJoules / base.energyJoules);
     }
+
+    // Points: 1..5 = NM x {1,2,4,8,16}; 6..10 = NS x {1,2,4,8,16}.
+    const StageResult &nm2 = results[2];
+    const StageResult &nm4 = results[3];
+    const StageResult &ns4 = results[8];
 
     // Two 18 GB/s DIMM ports against the ~34.6 GB/s host stream is a
     // statistical tie; with 4 the aggregated bandwidth clearly wins.
@@ -59,10 +76,6 @@ main()
                     ? "OK"
                     : "DEVIATES");
 
-    StageResult nm4 =
-        runStage(Stage::Shortlist, acc::Level::NearMem, 4, batches);
-    StageResult ns4 =
-        runStage(Stage::Shortlist, acc::Level::NearStor, 4, batches);
     std::printf("shape: near-storage (4) %s near-memory (4) "
                 "(paper: NS slightly worse)\n",
                 ns4.runtimeSeconds > nm4.runtimeSeconds ? "trails"

@@ -10,6 +10,9 @@
  *    (paper: beyond ~8 instances);
  *  - near-storage scales ~linearly with FPGA-SSD pairs and saves up
  *    to ~60% of the stage energy.
+ *
+ * Sweep points run concurrently (--jobs N / REACH_SWEEP_JOBS); the
+ * output is identical at any job count.
  */
 
 #include <cstdio>
@@ -20,13 +23,30 @@ using namespace reach;
 using namespace reach::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
     sim::setQuiet(true);
+    SweepOptions opt = parseSweepOptions(argc, argv);
     const std::uint32_t batches = 4;
 
-    StageResult base =
-        runStage(Stage::Rerank, acc::Level::OnChip, 1, batches);
+    struct Point
+    {
+        acc::Level level;
+        std::uint32_t n;
+    };
+    std::vector<Point> points{{acc::Level::OnChip, 1}};
+    for (acc::Level level :
+         {acc::Level::NearMem, acc::Level::NearStor}) {
+        for (std::uint32_t n : {1u, 2u, 4u, 8u, 16u})
+            points.push_back({level, n});
+    }
+
+    auto results =
+        runSweep(points.size(), opt, [&](std::size_t i) {
+            return runStage(Stage::Rerank, points[i].level,
+                            points[i].n, batches);
+        });
+    const StageResult &base = results[0];
 
     printHeader("Figure 11: rerank vs on-chip baseline");
     std::printf("on-chip baseline: %.2f ms, %.2f J (normalized 1.0)\n",
@@ -36,23 +56,21 @@ main()
 
     double nm8 = 0, nm16 = 0, ns_prev = 0;
     bool ns_linear = true;
-    for (acc::Level level :
-         {acc::Level::NearMem, acc::Level::NearStor}) {
-        for (std::uint32_t n : {1u, 2u, 4u, 8u, 16u}) {
-            StageResult r = runStage(Stage::Rerank, level, n, batches);
-            double rt = r.runtimeSeconds / base.runtimeSeconds;
-            std::printf("%-12s %8u %12.2f %12.2f\n",
-                        acc::levelName(level), n, rt,
-                        r.energyJoules / base.energyJoules);
-            if (level == acc::Level::NearMem && n == 8)
-                nm8 = rt;
-            if (level == acc::Level::NearMem && n == 16)
-                nm16 = rt;
-            if (level == acc::Level::NearStor) {
-                if (ns_prev > 0 && rt > 0.75 * ns_prev)
-                    ns_linear = n >= 8 ? ns_linear : false;
-                ns_prev = rt;
-            }
+    for (std::size_t i = 1; i < points.size(); ++i) {
+        acc::Level level = points[i].level;
+        std::uint32_t n = points[i].n;
+        double rt = results[i].runtimeSeconds / base.runtimeSeconds;
+        std::printf("%-12s %8u %12.2f %12.2f\n",
+                    acc::levelName(level), n, rt,
+                    results[i].energyJoules / base.energyJoules);
+        if (level == acc::Level::NearMem && n == 8)
+            nm8 = rt;
+        if (level == acc::Level::NearMem && n == 16)
+            nm16 = rt;
+        if (level == acc::Level::NearStor) {
+            if (ns_prev > 0 && rt > 0.75 * ns_prev)
+                ns_linear = n >= 8 ? ns_linear : false;
+            ns_prev = rt;
         }
     }
 

@@ -7,6 +7,11 @@
  * Paper shape: single near-data instances lose to on-chip; at 4
  * instances both near-memory and near-storage pull ahead on
  * runtime and energy.
+ *
+ * Every (stage, level, instances) cell and every pipelined run is an
+ * independent Simulator, so the whole figure fans out concurrently
+ * (--jobs N / REACH_SWEEP_JOBS); the output is identical at any job
+ * count.
  */
 
 #include <array>
@@ -27,22 +32,11 @@ struct EndToEnd
     double energy = 0;
 };
 
-EndToEnd
-runLevel(acc::Level level, std::uint32_t instances,
-         std::uint32_t batches)
+struct LevelPoint
 {
-    EndToEnd out;
-    const std::array<Stage, 3> stages = {Stage::FeatureExtraction,
-                                         Stage::Shortlist,
-                                         Stage::Rerank};
-    for (std::size_t s = 0; s < stages.size(); ++s) {
-        StageResult r = runStage(stages[s], level, instances, batches);
-        out.stage_runtime[s] = r.runtimeSeconds;
-        out.runtime += r.runtimeSeconds;
-        out.energy += r.energyJoules;
-    }
-    return out;
-}
+    acc::Level level;
+    std::uint32_t instances;
+};
 
 /** The true pipelined end-to-end run through the GAM. */
 double
@@ -65,12 +59,51 @@ runPipelined(acc::Level level, std::uint32_t instances,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     sim::setQuiet(true);
+    SweepOptions opt = parseSweepOptions(argc, argv);
     const std::uint32_t batches = 4;
+    const std::array<Stage, 3> stages = {Stage::FeatureExtraction,
+                                         Stage::Shortlist,
+                                         Stage::Rerank};
 
-    EndToEnd base = runLevel(acc::Level::OnChip, 1, batches);
+    // The distinct (level, instances) combinations: the on-chip
+    // baseline plus near-data levels at 1/2/4 instances.
+    std::vector<LevelPoint> combos{{acc::Level::OnChip, 1}};
+    for (std::uint32_t n : {1u, 2u, 4u}) {
+        combos.push_back({acc::Level::NearMem, n});
+        combos.push_back({acc::Level::NearStor, n});
+    }
+
+    // Sweep 1: every (combo, stage) cell of the stacked figure.
+    auto cells = runSweep(
+        combos.size() * stages.size(), opt, [&](std::size_t i) {
+            const LevelPoint &p = combos[i / stages.size()];
+            return runStage(stages[i % stages.size()], p.level,
+                            p.instances, batches);
+        });
+
+    // Sweep 2: the pipelined end-to-end run per combo.
+    auto piped =
+        runSweep(combos.size(), opt, [&](std::size_t i) {
+            return runPipelined(combos[i].level,
+                                combos[i].instances, batches);
+        });
+
+    auto stacked = [&](std::size_t combo) {
+        EndToEnd out;
+        for (std::size_t s = 0; s < stages.size(); ++s) {
+            const StageResult &r = cells[combo * stages.size() + s];
+            out.stage_runtime[s] = r.runtimeSeconds;
+            out.runtime += r.runtimeSeconds;
+            out.energy += r.energyJoules;
+        }
+        return out;
+    };
+
+    EndToEnd base = stacked(0);
+    double base_piped = piped[0];
 
     printHeader("Figure 12: end-to-end CBIR on a single compute "
                 "level (normalized to on-chip)");
@@ -80,32 +113,29 @@ main()
                 "level", "FeatExt", "ShortList", "Rerank",
                 "runtime(x)", "energy(x)", "pipelined(x)");
 
-    double base_piped = runPipelined(acc::Level::OnChip, 1, batches);
-    auto row = [&](std::uint32_t n, acc::Level level) {
-        EndToEnd r = level == acc::Level::OnChip
-                         ? base
-                         : runLevel(level, n, batches);
-        double piped = level == acc::Level::OnChip
-                           ? base_piped
-                           : runPipelined(level, n, batches);
+    auto row = [&](std::uint32_t n, std::size_t combo) {
+        EndToEnd r = combo == 0 ? base : stacked(combo);
+        double p = combo == 0 ? base_piped : piped[combo];
         std::printf("%-6u %-12s %9.2f %9.2f %9.2f %10.2f %10.2f "
                     "%12.2f\n",
-                    n, acc::levelName(level),
+                    n, acc::levelName(combos[combo].level),
                     r.stage_runtime[0] / base.runtime,
                     r.stage_runtime[1] / base.runtime,
                     r.stage_runtime[2] / base.runtime,
                     r.runtime / base.runtime,
-                    r.energy / base.energy, piped / base_piped);
+                    r.energy / base.energy, p / base_piped);
     };
 
-    for (std::uint32_t n : {1u, 2u, 4u}) {
-        row(n, acc::Level::OnChip);
-        row(n, acc::Level::NearMem);
-        row(n, acc::Level::NearStor);
+    // combos[] holds {OC}, {NM,1},{NS,1},{NM,2},{NS,2},{NM,4},{NS,4}.
+    for (std::uint32_t i = 0; i < 3; ++i) {
+        std::uint32_t n = 1u << i;
+        row(n, 0);
+        row(n, 1 + 2 * i);
+        row(n, 2 + 2 * i);
     }
 
-    EndToEnd nm4 = runLevel(acc::Level::NearMem, 4, batches);
-    EndToEnd ns4 = runLevel(acc::Level::NearStor, 4, batches);
+    EndToEnd nm4 = stacked(5);
+    EndToEnd ns4 = stacked(6);
     std::printf("\nshape: 4-instance near-mem %s on-chip; "
                 "near-stor %s on-chip (paper: both gain at 4)\n",
                 nm4.runtime < base.runtime ? "beats" : "trails",

@@ -8,6 +8,10 @@
  * (a) throughput improvement     — paper: ReACH ~4.5x over on-chip;
  * (b) query response latency     — paper: ~2.2x improvement;
  * (c) energy per component       — paper: ~52% total reduction.
+ *
+ * The latency and throughput runs of each option are independent
+ * simulations, so all eight fan out concurrently (--jobs N /
+ * REACH_SWEEP_JOBS); the output is identical at any job count.
  */
 
 #include <cstdio>
@@ -29,21 +33,22 @@ struct Option
     energy::EnergyBreakdown energy;
 };
 
+/** One simulation: point i = mapping i/2, odd i = throughput run. */
 Option
-runOption(Mapping m)
+runPoint(std::size_t i)
 {
+    const Mapping mappings[4] = {Mapping::OnChipOnly,
+                                 Mapping::NearMemOnly,
+                                 Mapping::NearStorOnly, Mapping::Reach};
     cbir::CbirWorkloadModel model{cbir::ScaleConfig{}};
 
     Option out;
-    out.mapping = m;
-    {
-        core::ReachSystem sys{core::SystemConfig{}};
-        core::CbirDeployment dep(sys, model, m);
+    out.mapping = mappings[i / 2];
+    core::ReachSystem sys{core::SystemConfig{}};
+    core::CbirDeployment dep(sys, model, out.mapping);
+    if (i % 2 == 0) {
         out.latency = dep.run(1);
-    }
-    {
-        core::ReachSystem sys{core::SystemConfig{}};
-        core::CbirDeployment dep(sys, model, m);
+    } else {
         out.throughput = dep.run(12);
         out.energy = sys.measureEnergy();
     }
@@ -53,14 +58,17 @@ runOption(Mapping m)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     sim::setQuiet(true);
+    SweepOptions opt = parseSweepOptions(argc, argv);
 
-    Option opts[4] = {runOption(Mapping::OnChipOnly),
-                      runOption(Mapping::NearMemOnly),
-                      runOption(Mapping::NearStorOnly),
-                      runOption(Mapping::Reach)};
+    auto points = runSweep(8, opt, runPoint);
+    Option opts[4];
+    for (std::size_t m = 0; m < 4; ++m) {
+        opts[m] = points[2 * m + 1];
+        opts[m].latency = points[2 * m].latency;
+    }
     const Option &base = opts[0];
 
     printHeader("Figure 13 (a): throughput improvement over on-chip");

@@ -8,6 +8,9 @@
  *  - a single near-data CNN instance is 7-10x slower than on-chip;
  *  - 8-16 instances surpass the on-chip engine;
  *  - on-chip keeps the best energy.
+ *
+ * Sweep points run concurrently (--jobs N / REACH_SWEEP_JOBS); the
+ * output is identical at any job count.
  */
 
 #include <cstdio>
@@ -18,13 +21,31 @@ using namespace reach;
 using namespace reach::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
     sim::setQuiet(true);
+    SweepOptions opt = parseSweepOptions(argc, argv);
     const std::uint32_t batches = 4;
 
-    StageResult base = runStage(Stage::FeatureExtraction,
-                                acc::Level::OnChip, 1, batches);
+    // Point 0 is the on-chip baseline; then {NM,NS} x {1,2,4,8,16}.
+    struct Point
+    {
+        acc::Level level;
+        std::uint32_t n;
+    };
+    std::vector<Point> points{{acc::Level::OnChip, 1}};
+    for (acc::Level level :
+         {acc::Level::NearMem, acc::Level::NearStor}) {
+        for (std::uint32_t n : {1u, 2u, 4u, 8u, 16u})
+            points.push_back({level, n});
+    }
+
+    auto results =
+        runSweep(points.size(), opt, [&](std::size_t i) {
+            return runStage(Stage::FeatureExtraction,
+                            points[i].level, points[i].n, batches);
+        });
+    const StageResult &base = results[0];
 
     printHeader("Figure 9: feature extraction vs on-chip baseline");
     std::printf("on-chip baseline: %.2f ms, %.2f J (normalized 1.0)\n",
@@ -32,23 +53,16 @@ main()
     std::printf("%-12s %8s %12s %12s\n", "level", "ACCs",
                 "runtime(x)", "energy(x)");
 
-    for (acc::Level level :
-         {acc::Level::NearMem, acc::Level::NearStor}) {
-        for (std::uint32_t n : {1u, 2u, 4u, 8u, 16u}) {
-            StageResult r =
-                runStage(Stage::FeatureExtraction, level, n, batches);
-            std::printf("%-12s %8u %12.2f %12.2f\n",
-                        acc::levelName(level), n,
-                        r.runtimeSeconds / base.runtimeSeconds,
-                        r.energyJoules / base.energyJoules);
-        }
+    for (std::size_t i = 1; i < points.size(); ++i) {
+        std::printf("%-12s %8u %12.2f %12.2f\n",
+                    acc::levelName(points[i].level), points[i].n,
+                    results[i].runtimeSeconds / base.runtimeSeconds,
+                    results[i].energyJoules / base.energyJoules);
     }
 
     // Shape checks (printed so CI logs show pass/fail).
-    StageResult nm1 = runStage(Stage::FeatureExtraction,
-                               acc::Level::NearMem, 1, batches);
-    StageResult nm16 = runStage(Stage::FeatureExtraction,
-                                acc::Level::NearMem, 16, batches);
+    const StageResult &nm1 = results[1];
+    const StageResult &nm16 = results[5];
     double single_ratio = nm1.runtimeSeconds / base.runtimeSeconds;
     std::printf("\nshape: single NM instance %.1fx slower "
                 "(paper: 7-10x) -> %s\n",

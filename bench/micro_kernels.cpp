@@ -2,19 +2,28 @@
  * @file
  * google-benchmark microbenchmarks of the functional CBIR kernels:
  * the GEMM, partial sort and distance primitives the FPGA engines
- * implement, plus k-means and the mini CNN. These are host-CPU
- * numbers (sanity and regression tracking), not simulated-FPGA
- * numbers.
+ * implement, plus k-means and the mini CNN; the discrete-event queue
+ * hot path (schedule/run/deschedule mix, against a frozen copy of the
+ * pre-rework queue as the regression baseline); and the parallel
+ * figure-sweep runner. These are host-CPU numbers (sanity and
+ * regression tracking), not simulated-FPGA numbers.
  */
 
 #include <benchmark/benchmark.h>
+
+#include <functional>
+#include <queue>
+#include <string>
+#include <unordered_set>
 
 #include "cbir/kmeans.hh"
 #include "cbir/linalg.hh"
 #include "cbir/mini_cnn.hh"
 #include "cbir/rerank.hh"
 #include "cbir/shortlist.hh"
+#include "common.hh"
 #include "parallel/parallel.hh"
+#include "sim/event_queue.hh"
 #include "sim/rng.hh"
 #include "simd/simd.hh"
 #include "workload/dataset.hh"
@@ -341,6 +350,196 @@ BM_MiniCnnExtract(benchmark::State &state)
     }
 }
 BENCHMARK(BM_MiniCnnExtract);
+
+/**
+ * The seed (pre-PR-3) event queue, frozen verbatim as the regression
+ * baseline for BM_EventQueue: fat heap entries carrying the callback
+ * and name, with cancellation tracked through two hash sets. Kept
+ * here (not in src/) so the production queue can evolve while the
+ * baseline stays fixed.
+ */
+class SeedEventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    std::uint64_t
+    schedule(sim::Tick when, Callback cb,
+             sim::EventPriority prio = sim::EventPriority::Default,
+             std::string name = {})
+    {
+        std::uint64_t id = nextSeq++;
+        queue.push(ScheduledEvent{when, static_cast<int>(prio), id,
+                                  std::move(cb), std::move(name)});
+        live.insert(id);
+        ++numPending;
+        return id;
+    }
+
+    bool
+    deschedule(std::uint64_t event_id)
+    {
+        if (live.erase(event_id) == 0)
+            return false;
+        cancelled.insert(event_id);
+        --numPending;
+        return true;
+    }
+
+    void
+    runOne()
+    {
+        skipCancelled();
+        ScheduledEvent ev = queue.top();
+        queue.pop();
+        live.erase(ev.seq);
+        --numPending;
+        curTick = ev.when;
+        ++executed;
+        ev.cb();
+    }
+
+    bool empty() const { return numPending == 0; }
+    sim::Tick now() const { return curTick; }
+
+  private:
+    struct ScheduledEvent
+    {
+        sim::Tick when;
+        int priority;
+        std::uint64_t seq;
+        Callback cb;
+        std::string name;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const ScheduledEvent &a,
+                   const ScheduledEvent &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            if (a.priority != b.priority)
+                return a.priority > b.priority;
+            return a.seq > b.seq;
+        }
+    };
+
+    void
+    skipCancelled()
+    {
+        while (!queue.empty()) {
+            auto it = cancelled.find(queue.top().seq);
+            if (it == cancelled.end())
+                return;
+            cancelled.erase(it);
+            queue.pop();
+        }
+    }
+
+    std::priority_queue<ScheduledEvent, std::vector<ScheduledEvent>,
+                        Later>
+        queue;
+    std::unordered_set<std::uint64_t> live;
+    std::unordered_set<std::uint64_t> cancelled;
+    sim::Tick curTick = 0;
+    std::uint64_t nextSeq = 0;
+    std::uint64_t executed = 0;
+    std::size_t numPending = 0;
+};
+
+/**
+ * Schedule/run/deschedule mix modeled on GAM status polling: waves
+ * of events are scheduled at pseudo-random future ticks, half of
+ * each wave is cancelled and re-armed (a wrong runtime estimate),
+ * then the queue drains. Items processed = events executed, so the
+ * benchmark reports DES events/sec.
+ */
+template <typename Queue>
+void
+runEventQueueMix(benchmark::State &state)
+{
+    const int pollers = 256;
+    const int waves = 64;
+    std::int64_t total_executed = 0;
+    for (auto _ : state) {
+        Queue q;
+        sim::Rng rng(42);
+        std::uint64_t executed = 0;
+        std::vector<std::uint64_t> ids;
+        ids.reserve(pollers);
+        for (int wave = 0; wave < waves; ++wave) {
+            ids.clear();
+            for (int p = 0; p < pollers; ++p) {
+                ids.push_back(q.schedule(
+                    q.now() + 1 + rng.nextUInt(1000),
+                    [&executed] { ++executed; }));
+            }
+            for (int p = 0; p < pollers; p += 2) {
+                if (q.deschedule(ids[p])) {
+                    q.schedule(q.now() + 1 + rng.nextUInt(1000),
+                               [&executed] { ++executed; });
+                }
+            }
+            while (!q.empty())
+                q.runOne();
+        }
+        benchmark::DoNotOptimize(executed);
+        total_executed += static_cast<std::int64_t>(executed);
+    }
+    state.SetItemsProcessed(total_executed);
+}
+
+void
+BM_EventQueue(benchmark::State &state)
+{
+    runEventQueueMix<sim::EventQueue>(state);
+}
+BENCHMARK(BM_EventQueue);
+
+void
+BM_EventQueueSeed(benchmark::State &state)
+{
+    runEventQueueMix<SeedEventQueue>(state);
+}
+BENCHMARK(BM_EventQueueSeed);
+
+/**
+ * The Figure-13 sweep (all four mapping options, latency +
+ * throughput runs) through the parallel sweep runner at Arg(0)
+ * concurrent jobs. Wall-clock vs --jobs for the figure benches;
+ * items processed = simulators run.
+ */
+void
+BM_Fig13SweepJobs(benchmark::State &state)
+{
+    sim::setQuiet(true);
+    bench::SweepOptions opt;
+    opt.jobs = static_cast<unsigned>(state.range(0));
+    const core::Mapping mappings[4] = {core::Mapping::OnChipOnly,
+                                       core::Mapping::NearMemOnly,
+                                       core::Mapping::NearStorOnly,
+                                       core::Mapping::Reach};
+    for (auto _ : state) {
+        auto makespans =
+            bench::runSweep(8, opt, [&](std::size_t i) {
+                cbir::CbirWorkloadModel model{cbir::ScaleConfig{}};
+                core::ReachSystem sys{core::SystemConfig{}};
+                core::CbirDeployment dep(sys, model, mappings[i / 2]);
+                return dep.run(i % 2 == 0 ? 1 : 12).makespan;
+            });
+        benchmark::DoNotOptimize(makespans.data());
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) * 8);
+}
+BENCHMARK(BM_Fig13SweepJobs)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime();
 
 void
 BM_KMeansIteration(benchmark::State &state)

@@ -30,13 +30,29 @@ if command -v python3 >/dev/null 2>&1; then
     python3 - "${out_json}" <<'EOF'
 import json, sys
 data = json.load(open(sys.argv[1]))
-times = {}
+times, rates = {}, {}
 for b in data.get("benchmarks", []):
     if b.get("run_type") == "iteration" and "error_occurred" not in b:
         times[b["name"]] = b["real_time"]
+        if "items_per_second" in b:
+            rates[b["name"]] = b["items_per_second"]
 for base in sorted({n.rsplit("/", 1)[0] for n in times if "/" in n}):
     s, v = times.get(base + "/scalar"), times.get(base + "/avx2")
     if s and v:
         print(f"{base}: scalar/avx2 speedup {s / v:.2f}x")
+# Slot-arena event queue vs the frozen seed implementation.
+new, seed = rates.get("BM_EventQueue"), rates.get("BM_EventQueueSeed")
+if new and seed:
+    print(f"BM_EventQueue: {new / 1e6:.2f}M events/s vs seed "
+          f"{seed / 1e6:.2f}M events/s -> {new / seed:.2f}x")
+# Parallel sweep runner wall-clock per job count (1-core hosts show
+# no speedup; the row documents the determinism-preserving overhead).
+sweep = sorted((int(n.split("/")[1]), t) for n, t in times.items()
+               if n.startswith("BM_Fig13SweepJobs/"))
+if sweep:
+    base = sweep[0][1]
+    for jobs, t in sweep:
+        print(f"BM_Fig13SweepJobs jobs={jobs}: {t / 1e6:.0f} ms "
+              f"({base / t:.2f}x vs jobs=1)")
 EOF
 fi

@@ -344,15 +344,20 @@ CbirDeployment::run(std::uint32_t batches)
     // queueing (the runtime's stream depth).
     constexpr std::uint32_t window = 4;
 
-    // Recursive submitter.
+    // Recursive submitter. The function captures itself weakly —
+    // outstanding completion callbacks hold the strong references,
+    // so the whole chain is freed once the run drains.
     auto submit = std::make_shared<std::function<void()>>();
-    *submit = [this, st, batches, submit, &sim]() {
+    std::weak_ptr<std::function<void()>> weak_submit = submit;
+    *submit = [this, st, batches, weak_submit, &sim]() {
         if (st->submitted >= batches)
             return;
         std::uint32_t idx = st->submitted++;
         sim::Tick submitted_at = sim.now();
         gam::JobDesc job = makeBatchJob(
-            idx, [st, submitted_at, submit](sim::Tick at) {
+            idx,
+            [st, submitted_at,
+             submit = weak_submit.lock()](sim::Tick at) {
                 sim::Tick lat = at - submitted_at;
                 st->latencySum += lat;
                 st->latencyMax = std::max(st->latencyMax, lat);

@@ -1,6 +1,7 @@
 #include "runtime.hh"
 
 #include <algorithm>
+#include <mutex>
 
 #include "cbir/vgg.hh"
 #include "sim/logging.hh"
@@ -52,7 +53,12 @@ ReachRuntime::lookupTemplate(const std::string &id) const
     // its dataflow roles by kernel family.
     const acc::KernelProfile &prof = acc::findKernel(id);
 
+    // The memoized table is shared by every runtime in the process;
+    // concurrent simulators (parallel sweep points) may look up
+    // templates at the same time, so guard it.
+    static std::mutex table_mu;
     static std::map<std::string, TemplateInfo> table;
+    std::lock_guard<std::mutex> lock(table_mu);
     auto it = table.find(id);
     if (it != table.end())
         return it->second;

@@ -161,9 +161,12 @@ MemorySystem::accessRange(Addr addr, std::uint64_t bytes, bool write,
     st->done = std::move(on_done);
 
     // Issue as many lines as the controllers accept, then retry on a
-    // short backoff. Completion of the last line fires on_done.
+    // short backoff. Completion of the last line fires on_done. The
+    // function captures itself weakly — a retry event holds the only
+    // strong reference, so finished pumps are actually freed.
     auto pump = std::make_shared<std::function<void()>>();
-    *pump = [this, st, write, source, pump]() {
+    std::weak_ptr<std::function<void()>> weak_pump = pump;
+    *pump = [this, st, write, source, weak_pump]() {
         while (st->next < st->end) {
             MemRequest req;
             req.addr = st->next;
@@ -176,7 +179,8 @@ MemorySystem::accessRange(Addr addr, std::uint64_t bytes, bool write,
             };
             if (!access(req)) {
                 // Backpressure: retry after roughly one burst time.
-                scheduleIn(cfg.dimmTimings.tBL * 4, [pump] { (*pump)(); },
+                scheduleIn(cfg.dimmTimings.tBL * 4,
+                           [p = weak_pump.lock()] { (*p)(); },
                            sim::EventPriority::Default, "rangeRetry");
                 return;
             }

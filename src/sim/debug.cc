@@ -1,10 +1,12 @@
 #include "debug.hh"
 
+#include <atomic>
 #include <cstdlib>
 #include <iostream>
 #include <mutex>
 #include <set>
 #include <sstream>
+#include <string>
 
 namespace reach::sim
 {
@@ -12,40 +14,25 @@ namespace reach::sim
 namespace
 {
 
+/**
+ * The enabled-flag set, shared by every simulator in the process.
+ * debugFlagEnabled() is on the per-event hot path, so the common
+ * "nothing enabled" case is answered by one relaxed atomic load; the
+ * set itself is only consulted (under the mutex) when at least one
+ * flag is on. setDebugFlags() may race with concurrent readers, so
+ * all set accesses are guarded.
+ */
 struct FlagState
 {
+    std::mutex mu;
     std::set<std::string> flags;
     bool all = false;
+    std::atomic<bool> any{false};
 };
 
-FlagState &
-state()
-{
-    static FlagState s = [] {
-        FlagState init;
-        if (const char *env = std::getenv("REACH_DEBUG")) {
-            std::istringstream is(env);
-            std::string item;
-            while (std::getline(is, item, ',')) {
-                if (item == "all")
-                    init.all = true;
-                else if (!item.empty())
-                    init.flags.insert(item);
-            }
-        }
-        return init;
-    }();
-    return s;
-}
-
-} // namespace
-
 void
-setDebugFlags(const std::string &csv)
+parseInto(FlagState &s, const std::string &csv)
 {
-    FlagState &s = state();
-    s.flags.clear();
-    s.all = false;
     std::istringstream is(csv);
     std::string item;
     while (std::getline(is, item, ',')) {
@@ -56,10 +43,39 @@ setDebugFlags(const std::string &csv)
     }
 }
 
+FlagState &
+state()
+{
+    static FlagState s;
+    static std::once_flag envOnce;
+    std::call_once(envOnce, [] {
+        if (const char *env = std::getenv("REACH_DEBUG"))
+            parseInto(s, env);
+        s.any.store(s.all || !s.flags.empty());
+    });
+    return s;
+}
+
+} // namespace
+
+void
+setDebugFlags(const std::string &csv)
+{
+    FlagState &s = state();
+    std::lock_guard<std::mutex> lock(s.mu);
+    s.flags.clear();
+    s.all = false;
+    parseInto(s, csv);
+    s.any.store(s.all || !s.flags.empty());
+}
+
 bool
 debugFlagEnabled(const std::string &flag)
 {
-    const FlagState &s = state();
+    FlagState &s = state();
+    if (!s.any.load(std::memory_order_relaxed))
+        return false;
+    std::lock_guard<std::mutex> lock(s.mu);
     return s.all || s.flags.count(flag) > 0;
 }
 
@@ -67,7 +83,12 @@ void
 detail::emitTrace(Tick when, const std::string &flag,
                   const std::string &msg)
 {
-    std::cerr << when << ": " << flag << ": " << msg << "\n";
+    // Build the full line first so concurrent simulators emit whole
+    // lines, then write it under the shared sink mutex.
+    std::ostringstream os;
+    os << when << ": " << flag << ": " << msg << "\n";
+    std::lock_guard<std::mutex> lock(detail::logSinkMutex());
+    std::cerr << os.str();
 }
 
 } // namespace reach::sim

@@ -5,16 +5,25 @@
  * Events are callbacks ordered by (tick, priority, sequence number);
  * the sequence number makes same-tick/same-priority ordering follow
  * insertion order, so simulations are fully deterministic.
+ *
+ * Hot-path layout: the binary heap holds 24-byte POD entries (tick,
+ * packed priority|sequence, slot index, generation); callbacks — and,
+ * in debug builds, event names — live in a pooled slot arena recycled
+ * through a free list, so steady-state scheduling performs no heap
+ * allocation beyond what the callback's own closure needs. A
+ * per-slot generation counter makes deschedule() O(1) with no
+ * hashing: cancelling bumps the generation, and stale heap entries
+ * are dropped when they surface — or in bulk by a lazy compaction
+ * pass once they outnumber the live ones.
  */
 
 #ifndef REACH_SIM_EVENT_QUEUE_HH
 #define REACH_SIM_EVENT_QUEUE_HH
 
+#include <cstddef>
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <string>
-#include <unordered_set>
 #include <vector>
 
 #include "types.hh"
@@ -51,15 +60,19 @@ class EventQueue
      * @param when  Absolute tick; must not be before the current tick.
      * @param cb    Callback to invoke.
      * @param prio  Same-tick ordering class.
-     * @param name  Optional label used in error messages.
-     * @return Monotonically increasing event id (usable with deschedule).
+     * @param name  Optional label used in error messages (retained
+     *              only in debug builds).
+     * @return Event id usable with deschedule(). Ids are unique among
+     *         pending events but are recycled over time; they are
+     *         *not* monotonically increasing.
      */
     std::uint64_t schedule(Tick when, Callback cb,
                            EventPriority prio = EventPriority::Default,
                            std::string name = {});
 
     /**
-     * Cancel a previously scheduled event.
+     * Cancel a previously scheduled event. O(1): no hashing, no heap
+     * traversal.
      * @retval true if the event was pending and is now cancelled.
      */
     bool deschedule(std::uint64_t event_id);
@@ -82,41 +95,84 @@ class EventQueue
     /** Total events executed since construction. */
     std::uint64_t numExecuted() const { return executed; }
 
+    /**
+     * Heap entries currently held, including cancelled ones awaiting
+     * compaction. Exposed so tests can assert that schedule/cancel
+     * storms do not grow the heap without bound.
+     */
+    std::size_t heapEntries() const { return heap.size(); }
+
+    /** Arena slots allocated (live + free-listed). */
+    std::size_t arenaSlots() const { return slots.size(); }
+
   private:
-    struct ScheduledEvent
+    /**
+     * One pending occurrence in the time order. POD: the callback
+     * lives in the slot arena, not on the heap entry, so sift
+     * operations move 24 bytes instead of a std::function + string.
+     */
+    struct HeapEntry
     {
         Tick when;
-        int priority;
-        std::uint64_t seq;
-        Callback cb;
-        std::string name;
+        /**
+         * (priority << 48) | sequence. Comparing this single word
+         * equals the lexicographic (priority, seq) comparison because
+         * priorities fit in 16 bits and the insertion sequence stays
+         * below 2^48.
+         */
+        std::uint64_t prioSeq;
+        std::uint32_t slot;
+        /** Slot generation at scheduling time; stale => cancelled. */
+        std::uint32_t gen;
     };
 
+    /** Min-heap order on (when, prioSeq). */
     struct Later
     {
         bool
-        operator()(const ScheduledEvent &a, const ScheduledEvent &b) const
+        operator()(const HeapEntry &a, const HeapEntry &b) const
         {
             if (a.when != b.when)
                 return a.when > b.when;
-            if (a.priority != b.priority)
-                return a.priority > b.priority;
-            return a.seq > b.seq;
+            return a.prioSeq > b.prioSeq;
         }
     };
 
-    /** Drop cancelled entries sitting at the top of the heap. */
-    void skipCancelled();
+    /**
+     * Callback storage for one pending event. Recycled through
+     * freeSlots; gen increments on every release so ids and heap
+     * entries from earlier occupancies can be recognized as stale.
+     */
+    struct Slot
+    {
+        Callback cb;
+        std::uint32_t gen = 0;
+#ifndef NDEBUG
+        std::string name;
+#endif
+    };
 
-    std::priority_queue<ScheduledEvent, std::vector<ScheduledEvent>, Later>
-        queue;
-    /** Ids of live (scheduled, not yet run or cancelled) events. */
-    std::unordered_set<std::uint64_t> live;
-    std::unordered_set<std::uint64_t> cancelled;
+    /** Compact once stale entries dominate a heap at least this big. */
+    static constexpr std::size_t compactMinStale = 64;
+
+    /** Drop cancelled entries sitting at the top of the heap. */
+    void dropStaleTop();
+
+    /** Rebuild the heap without cancelled entries. */
+    void compact();
+
+    /** Release @p slot back to the free list, invalidating its ids. */
+    void releaseSlot(std::uint32_t slot);
+
+    std::vector<HeapEntry> heap;
+    std::vector<Slot> slots;
+    std::vector<std::uint32_t> freeSlots;
     Tick curTick = 0;
     std::uint64_t nextSeq = 0;
     std::uint64_t executed = 0;
     std::size_t numPending = 0;
+    /** Cancelled entries still sitting somewhere in the heap. */
+    std::size_t heapStale = 0;
 };
 
 } // namespace reach::sim

@@ -2,13 +2,29 @@
 
 #include <atomic>
 #include <iostream>
+#include <mutex>
 
 namespace reach::sim
 {
 
 namespace
 {
+
 std::atomic<bool> quietMode{false};
+
+/**
+ * Serializes writes to the shared stderr sink so lines from
+ * concurrent simulators never interleave mid-message. Shared with
+ * debug.cc via logSinkMutex().
+ */
+std::mutex sinkMu;
+
+} // namespace
+
+std::mutex &
+detail::logSinkMutex()
+{
+    return sinkMu;
 }
 
 void
@@ -24,7 +40,12 @@ detail::emit(const char *level, const std::string &msg)
     bool noisy = level[0] == 'p' || level[0] == 'f';
     if (!noisy && quietMode.load())
         return;
-    std::cerr << "[" << level << "] " << msg << "\n";
+    std::string line;
+    line.reserve(msg.size() + 16);
+    line.append("[").append(level).append("] ").append(msg).append(
+        "\n");
+    std::lock_guard<std::mutex> lock(sinkMu);
+    std::cerr << line;
 }
 
 } // namespace reach::sim

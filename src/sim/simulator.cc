@@ -22,8 +22,15 @@ std::uint64_t
 SimObject::schedule(Tick when, EventQueue::Callback cb, EventPriority prio,
                     const std::string &what)
 {
+#ifdef NDEBUG
+    // Event names are debug-only; skip the dotted-name construction
+    // (two string allocations per event) on the release hot path.
+    (void)what;
+    return _sim->events().schedule(when, std::move(cb), prio);
+#else
     return _sim->events().schedule(when, std::move(cb), prio,
                                    what.empty() ? _name : _name + "." + what);
+#endif
 }
 
 std::uint64_t

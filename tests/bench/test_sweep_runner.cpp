@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Tests for the parallel sweep runner and its command-line plumbing
+ * (bench/common.hh): option parsing, result ordering, and the
+ * determinism contract — a sweep at any job count must produce
+ * results bitwise identical to the serial run.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <vector>
+
+#include "common.hh"
+#include "sim/logging.hh"
+
+namespace reach::bench
+{
+namespace
+{
+
+SweepOptions
+parse(std::vector<const char *> args)
+{
+    args.insert(args.begin(), "bench");
+    return parseSweepOptions(
+        static_cast<int>(args.size()),
+        const_cast<char **>(args.data()));
+}
+
+class SweepOptionsEnv : public ::testing::Test
+{
+  protected:
+    void SetUp() override { ::unsetenv("REACH_SWEEP_JOBS"); }
+    void TearDown() override { ::unsetenv("REACH_SWEEP_JOBS"); }
+};
+
+TEST_F(SweepOptionsEnv, DefaultsToHardwareConcurrency)
+{
+    SweepOptions opt = parse({});
+    EXPECT_EQ(opt.jobs, 0u);
+    EXPECT_GE(opt.resolved(), 1u);
+}
+
+TEST_F(SweepOptionsEnv, ParsesJobsFlagBothSpellings)
+{
+    EXPECT_EQ(parse({"--jobs", "3"}).jobs, 3u);
+    EXPECT_EQ(parse({"--jobs=5"}).jobs, 5u);
+    // Flag beats environment.
+    ::setenv("REACH_SWEEP_JOBS", "7", 1);
+    EXPECT_EQ(parse({"--jobs", "2"}).jobs, 2u);
+}
+
+TEST_F(SweepOptionsEnv, ReadsEnvironmentWhenNoFlag)
+{
+    ::setenv("REACH_SWEEP_JOBS", "6", 1);
+    EXPECT_EQ(parse({}).jobs, 6u);
+}
+
+TEST_F(SweepOptionsEnv, IgnoresUnknownArguments)
+{
+    EXPECT_EQ(parse({"--frobnicate", "--jobs", "4", "positional"}).jobs,
+              4u);
+}
+
+TEST_F(SweepOptionsEnv, RejectsMalformedValues)
+{
+    EXPECT_THROW(parse({"--jobs", "banana"}), sim::SimFatal);
+    EXPECT_THROW(parse({"--jobs", "-2"}), sim::SimFatal);
+    EXPECT_THROW(parse({"--jobs=99999"}), sim::SimFatal);
+    ::setenv("REACH_SWEEP_JOBS", "nope", 1);
+    EXPECT_THROW(parse({}), sim::SimFatal);
+}
+
+TEST(RunSweep, ResultsLandInPointOrder)
+{
+    SweepOptions opt;
+    opt.jobs = 4;
+    std::atomic<int> calls{0};
+    auto out = runSweep(37, opt, [&](std::size_t i) {
+        calls.fetch_add(1, std::memory_order_relaxed);
+        return static_cast<int>(i * i);
+    });
+    ASSERT_EQ(out.size(), 37u);
+    EXPECT_EQ(calls.load(), 37);
+    for (std::size_t i = 0; i < out.size(); ++i)
+        EXPECT_EQ(out[i], static_cast<int>(i * i));
+}
+
+TEST(RunSweep, SerialAndZeroPointEdgeCases)
+{
+    SweepOptions serial;
+    serial.jobs = 1;
+    auto one = runSweep(1, serial, [](std::size_t i) { return i + 1; });
+    ASSERT_EQ(one.size(), 1u);
+    EXPECT_EQ(one[0], 1u);
+    auto none =
+        runSweep(0, serial, [](std::size_t i) { return i; });
+    EXPECT_TRUE(none.empty());
+}
+
+/** Bitwise equality, field by field (double == is exact here). */
+void
+expectStageResultsIdentical(const StageResult &a, const StageResult &b)
+{
+    EXPECT_EQ(std::memcmp(&a.runtimeSeconds, &b.runtimeSeconds,
+                          sizeof(double)),
+              0);
+    EXPECT_EQ(std::memcmp(&a.energyJoules, &b.energyJoules,
+                          sizeof(double)),
+              0);
+    for (std::size_t c = 0; c < a.breakdown.joules.size(); ++c)
+        EXPECT_EQ(std::memcmp(&a.breakdown.joules[c],
+                              &b.breakdown.joules[c], sizeof(double)),
+                  0)
+            << "component " << c;
+}
+
+TEST(RunSweep, StageSweepIsBitwiseIdenticalAcrossJobCounts)
+{
+    sim::setQuiet(true);
+    // A small slice of the Fig. 10 sweep: enough points to actually
+    // overlap when jobs > 1, cheap enough for a unit test.
+    struct Point
+    {
+        acc::Level level;
+        std::uint32_t instances;
+    };
+    const std::vector<Point> points = {
+        {acc::Level::OnChip, 1},
+        {acc::Level::NearMem, 1},
+        {acc::Level::NearMem, 2},
+        {acc::Level::NearStor, 2},
+    };
+    auto run = [&](unsigned jobs) {
+        SweepOptions opt;
+        opt.jobs = jobs;
+        return runSweep(points.size(), opt, [&](std::size_t i) {
+            return runStage(Stage::Shortlist, points[i].level,
+                            points[i].instances, 1);
+        });
+    };
+    auto serial = run(1);
+    auto wide = run(4);
+    ASSERT_EQ(serial.size(), wide.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+        SCOPED_TRACE("point " + std::to_string(i));
+        expectStageResultsIdentical(serial[i], wide[i]);
+    }
+}
+
+} // namespace
+} // namespace reach::bench

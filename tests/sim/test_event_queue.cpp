@@ -1,15 +1,20 @@
 /**
  * @file
  * Unit tests for the discrete-event queue: ordering, determinism,
- * cancellation, and error handling.
+ * cancellation and compaction, replay equivalence against a reference
+ * model of the seed implementation, and error handling.
  */
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <map>
+#include <utility>
 #include <vector>
 
 #include "sim/event_queue.hh"
 #include "sim/logging.hh"
+#include "sim/rng.hh"
 
 using namespace reach::sim;
 
@@ -186,6 +191,313 @@ TEST(EventQueue, CountsExecutedEvents)
     while (!q.empty())
         q.runOne();
     EXPECT_EQ(q.numExecuted(), 5u);
+}
+
+TEST(EventQueue, SameTickInterleavedPrioritiesFollowInsertionOrder)
+{
+    // All three priority classes interleaved at one tick: execution
+    // must sort by priority first and by insertion order within each
+    // class.
+    EventQueue q;
+    std::vector<int> order;
+    const EventPriority prios[3] = {EventPriority::Observer,
+                                    EventPriority::Control,
+                                    EventPriority::Default};
+    for (int i = 0; i < 12; ++i) {
+        q.schedule(77, [&order, i] { order.push_back(i); },
+                   prios[i % 3]);
+    }
+    while (!q.empty())
+        q.runOne();
+
+    // Control events (i % 3 == 1) first, then Default (2), then
+    // Observer (0), each sub-sequence in insertion order.
+    std::vector<int> expect;
+    for (int r : {1, 2, 0})
+        for (int i = r; i < 12; i += 3)
+            expect.push_back(i);
+    EXPECT_EQ(order, expect);
+}
+
+TEST(EventQueue, DescheduleOfAlreadyRunIdReturnsFalse)
+{
+    EventQueue q;
+    auto id = q.schedule(10, [] {});
+    q.runOne();
+    EXPECT_FALSE(q.deschedule(id));
+    // Even after the slot is recycled by a new event, the old id must
+    // stay dead (generation check).
+    auto id2 = q.schedule(20, [] {});
+    EXPECT_FALSE(q.deschedule(id));
+    EXPECT_TRUE(q.deschedule(id2));
+}
+
+TEST(EventQueue, DescheduleDuringCallbackOfSelfReturnsFalse)
+{
+    EventQueue q;
+    std::uint64_t id = 0;
+    bool self_cancel = true;
+    id = q.schedule(10, [&] { self_cancel = q.deschedule(id); });
+    q.runOne();
+    EXPECT_FALSE(self_cancel);
+}
+
+TEST(EventQueue, CancelStormDoesNotGrowHeapOrArena)
+{
+    // Regression for the seed leak: cancelled entries used to linger
+    // in the heap (and in a hash set) until they surfaced at the
+    // top. One million schedule/cancel pairs must leave both the
+    // heap and the slot arena bounded.
+    EventQueue q;
+    std::size_t max_heap = 0;
+    for (int i = 0; i < 1'000'000; ++i) {
+        auto id = q.schedule(1000 + i, [] {});
+        ASSERT_TRUE(q.deschedule(id));
+        max_heap = std::max(max_heap, q.heapEntries());
+    }
+    EXPECT_TRUE(q.empty());
+    // Lazy compaction keeps stale entries below the threshold's
+    // small multiple; the arena recycles through the free list.
+    EXPECT_LT(max_heap, 1000u);
+    EXPECT_LT(q.arenaSlots(), 64u);
+
+    // The queue stays fully usable afterwards.
+    int ran = 0;
+    q.schedule(2'000'000, [&] { ++ran; });
+    q.runOne();
+    EXPECT_EQ(ran, 1);
+}
+
+TEST(EventQueue, PendingCancelStormBoundedWithLiveEvents)
+{
+    // Reschedule-storm shape: a few long-lived events plus a churn
+    // of cancel/re-arm pairs below them (status-packet polling).
+    EventQueue q;
+    int ran = 0;
+    for (int i = 0; i < 16; ++i)
+        q.schedule(1'000'000 + i, [&] { ++ran; });
+    std::size_t max_heap = 0;
+    std::uint64_t pending_id = q.schedule(500'000, [] {});
+    for (int i = 0; i < 200'000; ++i) {
+        ASSERT_TRUE(q.deschedule(pending_id));
+        pending_id = q.schedule(500'000 + i, [] {});
+        max_heap = std::max(max_heap, q.heapEntries());
+    }
+    EXPECT_LT(max_heap, 1000u);
+    EXPECT_EQ(q.size(), 17u);
+    q.deschedule(pending_id);
+    while (!q.empty())
+        q.runOne();
+    EXPECT_EQ(ran, 16);
+}
+
+TEST(EventQueue, RescheduleStormPreservesOrderAndIds)
+{
+    // Cancel-and-re-arm the same logical event many times; only the
+    // final arming may fire, at the right time, and every stale id
+    // must stay dead.
+    EventQueue q;
+    std::vector<Tick> fired;
+    std::uint64_t id = q.schedule(100, [&] { fired.push_back(q.now()); });
+    std::vector<std::uint64_t> stale;
+    for (int i = 1; i <= 1000; ++i) {
+        stale.push_back(id);
+        ASSERT_TRUE(q.deschedule(id));
+        id = q.schedule(100 + i, [&] { fired.push_back(q.now()); });
+    }
+    for (auto s : stale)
+        EXPECT_FALSE(q.deschedule(s));
+    while (!q.empty())
+        q.runOne();
+    ASSERT_EQ(fired.size(), 1u);
+    EXPECT_EQ(fired[0], 1100u);
+}
+
+namespace
+{
+
+/**
+ * A transliteration of the seed EventQueue semantics — a flat list
+ * scanned for the minimum (when, priority, seq) — used as the
+ * reference model for replay equivalence.
+ */
+class ReferenceQueue
+{
+  public:
+    std::uint64_t
+    schedule(Tick when, int label, EventPriority prio)
+    {
+        events.push_back({when, static_cast<int>(prio), nextSeq,
+                          label, true});
+        return nextSeq++;
+    }
+
+    bool
+    deschedule(std::uint64_t seq)
+    {
+        for (auto &e : events) {
+            if (e.seq == seq && e.live) {
+                e.live = false;
+                return true;
+            }
+        }
+        return false;
+    }
+
+    bool
+    empty() const
+    {
+        for (const auto &e : events)
+            if (e.live)
+                return false;
+        return true;
+    }
+
+    /** Run the earliest live event; returns (tick, label). */
+    std::pair<Tick, int>
+    runOne()
+    {
+        Ev *best = nullptr;
+        for (auto &e : events) {
+            if (!e.live)
+                continue;
+            if (best == nullptr || e.when < best->when ||
+                (e.when == best->when &&
+                 (e.prio < best->prio ||
+                  (e.prio == best->prio && e.seq < best->seq)))) {
+                best = &e;
+            }
+        }
+        best->live = false;
+        curTick = best->when;
+        return {best->when, best->label};
+    }
+
+    Tick now() const { return curTick; }
+
+  private:
+    struct Ev
+    {
+        Tick when;
+        int prio;
+        std::uint64_t seq;
+        int label;
+        bool live;
+    };
+    std::vector<Ev> events;
+    std::uint64_t nextSeq = 0;
+    Tick curTick = 0;
+};
+
+} // namespace
+
+TEST(EventQueue, ReplaysIdenticalTraceToReferenceModel)
+{
+    // A recorded pseudo-random scenario of schedules (all three
+    // priorities, including same-tick collisions and zero-delay
+    // self-schedules from callbacks), deschedules and runs, executed
+    // against both the production queue and the reference model of
+    // the seed semantics. The (tick, label) execution traces must be
+    // bitwise identical.
+    EventQueue q;
+    ReferenceQueue ref;
+    Rng rng(20260806);
+
+    std::vector<std::pair<Tick, int>> trace;     // production
+    std::vector<std::pair<Tick, int>> ref_trace; // reference
+
+    std::map<int, std::uint64_t> pending_q;   // label -> queue id
+    std::map<int, std::uint64_t> pending_ref; // label -> ref seq
+    std::map<int, int> ref_children; // parent label -> child label
+    int next_label = 0;
+
+    const EventPriority prios[3] = {EventPriority::Control,
+                                    EventPriority::Default,
+                                    EventPriority::Observer};
+
+    // Schedules from inside callbacks mirror into the reference by
+    // replaying the same decision stream: the lambda captures the
+    // label of its child, chosen at scheduling time.
+    std::function<void(int, bool)> arm = [&](int label, bool child) {
+        Tick delay = rng.nextUInt(50);
+        EventPriority prio = prios[rng.nextUInt(3)];
+        bool spawns = !child && rng.nextUInt(4) == 0;
+        int child_label = spawns ? 1'000'000 + label : -1;
+        Tick when = q.now() + delay;
+        auto id = q.schedule(
+            when,
+            [&, label, child_label] {
+                trace.push_back({q.now(), label});
+                pending_q.erase(label);
+                if (child_label >= 0) {
+                    // Zero-delay child at the current tick exercises
+                    // same-tick insertion ordering.
+                    pending_q[child_label] = q.schedule(
+                        q.now(), [&, child_label] {
+                            trace.push_back({q.now(), child_label});
+                            pending_q.erase(child_label);
+                        });
+                }
+            },
+            prio);
+        pending_q[label] = id;
+        pending_ref[label] = ref.schedule(when, label, prio);
+        // Remember the child decision for the reference replay.
+        if (child_label >= 0)
+            ref_children[label] = child_label;
+    };
+
+    // Drive the scenario.
+    for (int step = 0; step < 4000; ++step) {
+        std::uint64_t action = rng.nextUInt(10);
+        if (action < 5 || pending_ref.empty()) {
+            arm(next_label++, false);
+        } else if (action < 7) {
+            // Deschedule a pseudo-random pending label (same pick
+            // for both sides).
+            auto it = pending_ref.begin();
+            std::advance(it,
+                         static_cast<long>(
+                             rng.nextUInt(pending_ref.size())));
+            int label = it->first;
+            bool a = q.deschedule(pending_q.at(label));
+            bool b = ref.deschedule(pending_ref.at(label));
+            ASSERT_EQ(a, b);
+            pending_q.erase(label);
+            pending_ref.erase(label);
+            ref_children.erase(label);
+        } else {
+            if (q.empty())
+                continue;
+            q.runOne();
+            auto [when, label] = ref.runOne();
+            ref_trace.push_back({when, label});
+            pending_ref.erase(label);
+            auto child = ref_children.find(label);
+            if (child != ref_children.end()) {
+                pending_ref[child->second] = ref.schedule(
+                    when, child->second, EventPriority::Default);
+                ref_children.erase(child);
+            }
+        }
+    }
+    // Drain both queues completely.
+    while (!q.empty()) {
+        q.runOne();
+        auto [when, label] = ref.runOne();
+        ref_trace.push_back({when, label});
+        pending_ref.erase(label);
+        auto child = ref_children.find(label);
+        if (child != ref_children.end()) {
+            pending_ref[child->second] = ref.schedule(
+                when, child->second, EventPriority::Default);
+            ref_children.erase(child);
+        }
+    }
+    EXPECT_TRUE(ref.empty());
+    ASSERT_GT(trace.size(), 1000u);
+    EXPECT_EQ(trace, ref_trace);
+    EXPECT_EQ(q.now(), ref.now());
 }
 
 /** Property: any schedule order yields the same execution order. */
