@@ -37,7 +37,9 @@ Accelerator::Accelerator(sim::Simulator &sim, const std::string &name,
       statBytesOut(name + ".bytesOut", "output bytes streamed"),
       statParamHits(name + ".paramHits", "parameter buffer hits"),
       statParamMisses(name + ".paramMisses", "parameter buffer misses"),
-      statReconfigs(name + ".reconfigs", "bitstream loads")
+      statReconfigs(name + ".reconfigs", "bitstream loads"),
+      statFaultsInjected(name + ".faultsInjected",
+                         "tasks lost to injected faults")
 {
     registerStat(statTasks);
     registerStat(statActive);
@@ -48,6 +50,7 @@ Accelerator::Accelerator(sim::Simulator &sim, const std::string &name,
     registerStat(statParamHits);
     registerStat(statParamMisses);
     registerStat(statReconfigs);
+    registerStat(statFaultsInjected);
 }
 
 void
@@ -221,6 +224,26 @@ Accelerator::execute(const WorkUnit &work,
 
     schedule(start, [this] { onTaskStart(now()); },
              sim::EventPriority::Control, "taskStart");
+
+    // Injected faults: a crash kills the device (every task is lost
+    // until repair()), a hang loses just this task. Either way the
+    // memory-controller timeout eventually reclaims the module's
+    // resources, so the subclass teardown (onTaskEnd — e.g. the AIM
+    // module releasing its DIMM) still runs at the reservation end;
+    // only the completion signal (statTasks, on_done) never arrives.
+    auto injected = fault::FaultInjector::AccFault::None;
+    if (faultInj && !isFaulted)
+        injected = faultInj->onTaskExecute(name());
+    if (injected != fault::FaultInjector::AccFault::None)
+        ++statFaultsInjected;
+    if (injected == fault::FaultInjector::AccFault::Crash)
+        isFaulted = true;
+    if (isFaulted || injected != fault::FaultInjector::AccFault::None) {
+        schedule(end, [this] { onTaskEnd(now()); },
+                 sim::EventPriority::Default, "taskLost");
+        return;
+    }
+
     schedule(end, [this, on_done] {
         ++statTasks;
         onTaskEnd(now());

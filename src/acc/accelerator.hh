@@ -23,6 +23,7 @@
 
 #include "acc/kernel_profile.hh"
 #include "acc/path.hh"
+#include "fault/fault.hh"
 #include "mem/tlb.hh"
 #include "sim/simulator.hh"
 #include "sim/stats.hh"
@@ -168,6 +169,23 @@ class Accelerator : public sim::SimObject
     virtual void onTaskStart(sim::Tick at);
     virtual void onTaskEnd(sim::Tick at);
 
+    /** Attach a fault injector consulted once per execute(). */
+    void setFaultInjector(fault::FaultInjector *inj) { faultInj = inj; }
+
+    /**
+     * A crashed module never signals completion until repaired. The
+     * GAM's watchdog detects the silence and quarantines the module.
+     */
+    bool faulted() const { return isFaulted; }
+
+    /** Clear the crashed state (GAM recovery path). */
+    void repair() { isFaulted = false; }
+
+    std::uint64_t faultsInjected() const
+    {
+        return static_cast<std::uint64_t>(statFaultsInjected.value());
+    }
+
   protected:
     /** Chunks a task's stream is split into for pipelining. */
     static constexpr std::uint64_t maxChunks = 64;
@@ -200,6 +218,9 @@ class Accelerator : public sim::SimObject
     /** Virtual stream position used to exercise the TLB. */
     std::uint64_t streamCursor = 0;
 
+    fault::FaultInjector *faultInj = nullptr;
+    bool isFaulted = false;
+
     sim::Scalar statTasks;
     sim::Scalar statActive;
     sim::Scalar statCompute;
@@ -209,6 +230,7 @@ class Accelerator : public sim::SimObject
     sim::Scalar statParamHits;
     sim::Scalar statParamMisses;
     sim::Scalar statReconfigs;
+    sim::Scalar statFaultsInjected;
 };
 
 } // namespace reach::acc

@@ -93,13 +93,21 @@ kernelCatalog()
     return catalog;
 }
 
-const KernelProfile &
-findKernel(const std::string &id)
+const KernelProfile *
+findKernelMaybe(const std::string &id)
 {
     for (const auto &k : kernelCatalog()) {
         if (k.id == id)
-            return k;
+            return &k;
     }
+    return nullptr;
+}
+
+const KernelProfile &
+findKernel(const std::string &id)
+{
+    if (const KernelProfile *k = findKernelMaybe(id))
+        return *k;
     sim::fatal("unknown kernel template '", id,
                "'; see kernelCatalog()");
 }

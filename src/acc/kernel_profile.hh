@@ -111,6 +111,9 @@ const std::vector<KernelProfile> &kernelCatalog();
 /** Look up a profile by template id; fatal() if missing. */
 const KernelProfile &findKernel(const std::string &id);
 
+/** Look up a profile by template id; nullptr if missing. */
+const KernelProfile *findKernelMaybe(const std::string &id);
+
 /**
  * Table III lists two power numbers for ZCU9 kernels: near-memory /
  * near-storage. Returns the right one for the deployment.

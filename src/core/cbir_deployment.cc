@@ -301,13 +301,15 @@ CbirDeployment::addReverseLookupTasks(
 
 gam::JobDesc
 CbirDeployment::makeBatchJob(std::uint32_t batch_index,
-                             std::function<void(sim::Tick)> on_done)
+                             std::function<void(sim::Tick)> on_done,
+                             std::function<void(sim::Tick)> on_failed)
 {
     gam::JobDesc job;
     job.threadId = 0;
     job.label = std::string(mappingName(map)) + "-batch" +
                 std::to_string(batch_index);
     job.onComplete = std::move(on_done);
+    job.onFailed = std::move(on_failed);
 
     addFeatureTasks(job);
     std::vector<std::size_t> fe(job.tasks.size());
@@ -334,9 +336,10 @@ CbirDeployment::run(std::uint32_t batches)
     {
         std::uint32_t submitted = 0;
         std::uint32_t completed = 0;
+        std::uint32_t failed = 0;
         sim::Tick latencySum = 0;
         sim::Tick latencyMax = 0;
-        sim::Tick lastComplete = 0;
+        sim::Tick lastDone = 0;
     };
     auto st = std::make_shared<RunState>();
 
@@ -361,8 +364,15 @@ CbirDeployment::run(std::uint32_t batches)
                 sim::Tick lat = at - submitted_at;
                 st->latencySum += lat;
                 st->latencyMax = std::max(st->latencyMax, lat);
-                st->lastComplete = at;
+                st->lastDone = at;
                 ++st->completed;
+                (*submit)();
+            },
+            // A failed batch frees its window slot so the run still
+            // drains; the caller sees it in failedBatches.
+            [st, submit = weak_submit.lock()](sim::Tick at) {
+                st->lastDone = std::max(st->lastDone, at);
+                ++st->failed;
                 (*submit)();
             });
         sys.gam().submitJob(std::move(job));
@@ -371,16 +381,20 @@ CbirDeployment::run(std::uint32_t batches)
     for (std::uint32_t i = 0; i < window && i < batches; ++i)
         (*submit)();
 
-    sim.runUntil([st, batches] { return st->completed >= batches; });
+    sim.runUntil([st, batches] {
+        return st->completed + st->failed >= batches;
+    });
 
-    if (st->completed < batches)
-        sim::panic("CBIR run ended with ", st->completed, "/", batches,
-                   " batches complete (deadlock?)");
+    if (st->completed + st->failed < batches)
+        sys.gam().reportWedge("CbirDeployment::run");
 
     RunResult res;
     res.batches = batches;
-    res.makespan = st->lastComplete - t0;
-    res.meanLatency = st->latencySum / batches;
+    res.completedBatches = st->completed;
+    res.failedBatches = st->failed;
+    res.makespan = st->lastDone - t0;
+    res.meanLatency =
+        st->completed > 0 ? st->latencySum / st->completed : 0;
     res.maxLatency = st->latencyMax;
     return res;
 }

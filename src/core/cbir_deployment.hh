@@ -48,10 +48,23 @@ const char *mappingName(Mapping m);
 struct RunResult
 {
     std::uint32_t batches = 0;
+    /** Batches that completed; the rest failed explicitly. */
+    std::uint32_t completedBatches = 0;
+    /** Batches the fault-recovery machinery gave up on. */
+    std::uint32_t failedBatches = 0;
     sim::Tick makespan = 0;
-    /** Mean / max submit-to-complete latency of one batch. */
+    /** Mean / max submit-to-complete latency of a completed batch. */
     sim::Tick meanLatency = 0;
     sim::Tick maxLatency = 0;
+
+    /** Fraction of batches that produced a result. */
+    double
+    completionFraction() const
+    {
+        if (batches == 0)
+            return 1.0;
+        return static_cast<double>(completedBatches) / batches;
+    }
 
     double
     throughputBatchesPerSec() const
@@ -79,14 +92,22 @@ class CbirDeployment
                    const cbir::CbirWorkloadModel &model, Mapping mapping,
                    std::uint32_t instances = 0);
 
-    /** Build the job for one query batch. */
-    gam::JobDesc makeBatchJob(std::uint32_t batch_index,
-                              std::function<void(sim::Tick)> on_done);
+    /**
+     * Build the job for one query batch. @p on_failed (optional)
+     * fires instead of @p on_done when the GAM exhausts the job's
+     * fault-recovery budget.
+     */
+    gam::JobDesc makeBatchJob(
+        std::uint32_t batch_index,
+        std::function<void(sim::Tick)> on_done,
+        std::function<void(sim::Tick)> on_failed = {});
 
     /**
      * Submit @p batches jobs back-to-back and simulate to
      * completion. Jobs pipeline through the GAM, so makespan reflects
-     * steady-state throughput.
+     * steady-state throughput. Under fault injection, batches whose
+     * recovery budget is exhausted count in failedBatches instead of
+     * hanging the run.
      */
     RunResult run(std::uint32_t batches);
 

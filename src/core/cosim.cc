@@ -51,10 +51,11 @@ CbirService::measureRecall(std::size_t num_queries, double noise,
 
 CoSimulation::CoSimulation(const CbirService::Config &service_cfg,
                            const cbir::ScaleConfig &timing_scale,
-                           Mapping mapping)
+                           Mapping mapping,
+                           const SystemConfig &system_cfg)
     : svc(service_cfg), model(timing_scale)
 {
-    sys = std::make_unique<ReachSystem>(SystemConfig{});
+    sys = std::make_unique<ReachSystem>(system_cfg);
     deployment = std::make_unique<CbirDeployment>(*sys, model,
                                                   mapping);
 }
@@ -74,14 +75,20 @@ CoSimulation::processBatch(const cbir::Matrix &queries)
     // Charge one batch through the simulated machine.
     auto &sim = sys->simulator();
     sim::Tick submitted = sim.now();
-    sim::Tick completed = 0;
+    sim::Tick done = 0;
+    bool failed = false;
     sys->gam().submitJob(deployment->makeBatchJob(
-        batches, [&completed](sim::Tick t) { completed = t; }));
-    sim.runUntil([&completed] { return completed != 0; });
-    if (completed == 0)
-        sim::panic("co-sim batch never completed");
+        batches, [&done](sim::Tick t) { done = t; },
+        [&done, &failed](sim::Tick t) {
+            done = t;
+            failed = true;
+        }));
+    sim.runUntil([&done] { return done != 0; });
+    if (done == 0)
+        sys->gam().reportWedge("CoSimulation::processBatch");
 
-    out.latency = completed - submitted;
+    out.latency = done - submitted;
+    out.timingCompleted = !failed;
 
     double total = sys->measureEnergy().total();
     out.energyJoules = total - lastEnergy;

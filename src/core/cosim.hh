@@ -80,6 +80,14 @@ struct CoSimBatch
     sim::Tick latency = 0;
     /** Simulated energy consumed by the machine over the batch. */
     double energyJoules = 0;
+    /**
+     * False when the simulated machine gave up on the batch (fault
+     * recovery budget exhausted). The functional answers above are
+     * still exact; a real deployment would have to re-issue the
+     * batch, so charge `latency` as the time wasted discovering the
+     * failure.
+     */
+    bool timingCompleted = true;
 };
 
 class CoSimulation
@@ -91,10 +99,12 @@ class CoSimulation
      *                     model; batchSize must match the batches
      *                     passed to processBatch.
      * @param mapping      Stage-to-level assignment.
+     * @param system_cfg   Machine configuration for the timing layer
+     *                     (fault plan, instance counts, ...).
      */
     CoSimulation(const CbirService::Config &service_cfg,
                  const cbir::ScaleConfig &timing_scale,
-                 Mapping mapping);
+                 Mapping mapping, const SystemConfig &system_cfg = {});
 
     /**
      * Answer @p queries functionally and charge one batch through

@@ -24,11 +24,25 @@ ReachSystem::ReachSystem(const SystemConfig &config) : cfg(config)
         sim::fatal("instance counts above 64 are outside the "
                    "validated model range");
     }
+    for (double bw :
+         {cfg.cacheLinkBw, cfg.aimLocalBw, cfg.nsLocalBw,
+          cfg.hostPcieBw, cfg.perSsdHostBw, cfg.aimBusBw,
+          cfg.onChipGatherBw, cfg.cpuGatherBw, cfg.nmGatherBw,
+          cfg.nsGatherBw}) {
+        if (!(bw > 0)) {
+            sim::fatal("system link/gather bandwidths must be "
+                       "positive (got ", bw, " B/s)");
+        }
+    }
+    if (cfg.hostDramStreamBw < 0)
+        sim::fatal("hostDramStreamBw must be >= 0 (0 = calibrate)");
+    cfg.faultPlan.validate();
 
     buildMemory();
     buildStorage();
     buildAccelerators();
     wireGam();
+    wireFaults();
     registerEnergy();
 }
 
@@ -231,6 +245,38 @@ ReachSystem::wireGam()
         });
 }
 
+void
+ReachSystem::wireFaults()
+{
+    if (!cfg.faultPlan.enabled())
+        return;
+
+    faultInj = std::make_unique<fault::FaultInjector>(sim, "faultInj",
+                                                      cfg.faultPlan);
+
+    gamUnit->setFaultInjector(faultInj.get());
+    if (onChipAcc)
+        onChipAcc->setFaultInjector(faultInj.get());
+    cpuCore->setFaultInjector(faultInj.get());
+    for (auto &a : aims)
+        a->setFaultInjector(faultInj.get());
+    for (auto &n : nss)
+        n->setFaultInjector(faultInj.get());
+
+    for (noc::Link *l : {hostDram.get(), cachePort.get(),
+                         aimBus.get(), hostIo.get()})
+        l->setFaultInjector(faultInj.get());
+    for (auto &l : aimLocal)
+        l->setFaultInjector(faultInj.get());
+    for (auto &l : nsLocal)
+        l->setFaultInjector(faultInj.get());
+    for (auto &l : ssdHost)
+        l->setFaultInjector(faultInj.get());
+
+    for (auto &s : ssds)
+        s->setFaultInjector(faultInj.get());
+}
+
 acc::Path
 ReachSystem::pathBetween(const acc::Accelerator *from,
                          const acc::Accelerator *to)
@@ -309,6 +355,8 @@ ReachSystem::registerEnergy()
         energy.addLink(*l, Component::Pcie);
     for (auto &l : ssdHost)
         energy.addLink(*l, Component::Pcie);
+
+    energy.addGam(*gamUnit);
 }
 
 acc::Accelerator &
@@ -322,7 +370,14 @@ ReachSystem::onChip()
 sim::Tick
 ReachSystem::runUntilIdle()
 {
-    return sim.runUntil([this] { return gamUnit->idle(); });
+    sim::Tick t = sim.runUntil([this] { return gamUnit->idle(); });
+    // runUntil() also returns when the event queue drains. If jobs
+    // are still pending at that point the simulated system wedged —
+    // fail loudly with the progress table instead of letting callers
+    // see a silent partial result.
+    if (!gamUnit->idle())
+        gamUnit->reportWedge("ReachSystem::runUntilIdle");
+    return t;
 }
 
 energy::EnergyBreakdown

@@ -18,6 +18,7 @@
 #include "acc/ns_module.hh"
 #include "core/system_config.hh"
 #include "energy/energy_model.hh"
+#include "fault/fault.hh"
 #include "gam/gam.hh"
 #include "mem/cache.hh"
 #include "mem/memory_system.hh"
@@ -74,8 +75,15 @@ class ReachSystem
     /** The calibrated host-DRAM streaming bandwidth in use (B/s). */
     double hostDramBandwidth() const { return hostDramBw; }
 
-    /** Run the simulation until the GAM is idle. */
+    /**
+     * Run the simulation until the GAM is idle (every job completed
+     * or explicitly failed). Panics with the dumped progress table if
+     * the event queue drains with jobs still pending.
+     */
     sim::Tick runUntilIdle();
+
+    /** The fault injector, or null when the plan injects nothing. */
+    fault::FaultInjector *faultInjector() { return faultInj.get(); }
 
     /** Energy per component over the simulated interval so far. */
     energy::EnergyBreakdown measureEnergy();
@@ -106,10 +114,13 @@ class ReachSystem
     void buildStorage();
     void buildAccelerators();
     void wireGam();
+    void wireFaults();
     void registerEnergy();
 
     SystemConfig cfg;
     sim::Simulator sim;
+
+    std::unique_ptr<fault::FaultInjector> faultInj;
 
     std::unique_ptr<mem::MemorySystem> memSys;
     std::unique_ptr<mem::Cache> cache;

@@ -416,6 +416,13 @@ ReachRuntime::flushJob()
         --inflight;
         drainBacklog();
     };
+    // A failed job still releases its stream-window credit; later
+    // iterations keep flowing and the host loop terminates.
+    currentJob.onFailed = [this](sim::Tick) {
+        ++failed;
+        --inflight;
+        drainBacklog();
+    };
     std::uint32_t window = currentWindow == 0 ? 4 : currentWindow;
     submitOrQueue(std::move(currentJob), window);
     jobOpen = false;
@@ -450,9 +457,12 @@ ReachRuntime::run()
 {
     flushJob();
     drainBacklog();
-    return sys->simulator().runUntil([this] {
+    sim::Tick t = sys->simulator().runUntil([this] {
         return sys->gam().idle() && backlog.empty();
     });
+    if (!sys->gam().idle() || !backlog.empty())
+        sys->gam().reportWedge("ReachRuntime::run");
+    return t;
 }
 
 } // namespace reach::core

@@ -148,10 +148,20 @@ class ReachRuntime
     /** Close the current job explicitly (optional). */
     void endJob();
 
-    /** Simulate until every submitted job completed. */
+    /**
+     * Simulate until every submitted job completed or failed. Panics
+     * with the GAM progress table if the simulation wedges.
+     */
     sim::Tick run();
 
     std::uint32_t jobsSubmitted() const { return submitted; }
+    std::uint32_t jobsCompleted() const { return completed; }
+
+    /**
+     * Jobs that ended with an explicit failure (fault-recovery budget
+     * exhausted). Zero unless fault injection is enabled.
+     */
+    std::uint32_t jobsFailed() const { return failed; }
 
   private:
     struct TemplateInfo
@@ -231,6 +241,7 @@ class ReachRuntime
     std::uint32_t enqueued = 0;
     std::uint32_t submitted = 0;
     std::uint32_t completed = 0;
+    std::uint32_t failed = 0;
     std::uint32_t inflight = 0;
 };
 

@@ -9,6 +9,7 @@
 
 #include <cstdint>
 
+#include "fault/fault.hh"
 #include "gam/gam.hh"
 #include "mem/cache.hh"
 #include "mem/dram_timings.hh"
@@ -37,6 +38,12 @@ struct SystemConfig
     mem::TlbConfig tlb{};
     storage::SsdConfig ssd{};
     gam::GamConfig gam{};
+    /**
+     * Fault-injection plan (default: nothing injected). When enabled,
+     * the system builds a FaultInjector and wires it into every
+     * accelerator, link, SSD, and the GAM's status polls.
+     */
+    fault::FaultPlan faultPlan{};
 
     // ----- Link bandwidths (bytes/second) -----
 

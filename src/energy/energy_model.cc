@@ -102,6 +102,17 @@ EnergyModel::measure(sim::Tick horizon) const
     for (const auto *s : ssds)
         out[Component::Ssd] += s->energyJoules(horizon);
 
+    // GAM control packets (launch commands, status polls and their
+    // fault-recovery retries) are small but cross the MC fabric; model
+    // them as one 64 B flit each.
+    constexpr double control_packet_bytes = 64.0;
+    for (const auto *g : gams) {
+        double packets =
+            static_cast<double>(g->tasksDispatched() + g->statusPolls());
+        out[Component::McInterconnect] +=
+            packets * control_packet_bytes * rates.mcPjPerByte * 1e-12;
+    }
+
     for (const auto &[link, comp] : links) {
         double bytes = static_cast<double>(link->bytesMoved());
         switch (comp) {

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "acc/accelerator.hh"
+#include "gam/gam.hh"
 #include "mem/cache.hh"
 #include "mem/memory_system.hh"
 #include "noc/link.hh"
@@ -98,6 +99,13 @@ class EnergyModel
     void addSsd(const storage::Ssd &s) { ssds.push_back(&s); }
 
     /**
+     * Register the GAM's control traffic: every command/status packet
+     * (including fault-recovery retries and re-polls) crosses the
+     * memory-controller interconnect, so retries cost energy.
+     */
+    void addGam(const gam::Gam &g) { gams.push_back(&g); }
+
+    /**
      * Register a bulk-traffic link and classify its bytes. A link
      * carrying DRAM streams contributes both DRAM array energy and
      * channel (MC) energy; PCIe links contribute PCIe energy.
@@ -113,6 +121,7 @@ class EnergyModel
     std::vector<const mem::Cache *> caches;
     std::vector<const mem::MemorySystem *> memSystems;
     std::vector<const storage::Ssd *> ssds;
+    std::vector<const gam::Gam *> gams;
     std::vector<std::pair<const noc::Link *, Component>> links;
 };
 

@@ -1,0 +1,198 @@
+#include "fault.hh"
+
+#include <cstdlib>
+
+#include "sim/logging.hh"
+
+namespace reach::fault
+{
+
+const char *
+faultKindName(FaultKind kind)
+{
+    switch (kind) {
+      case FaultKind::AccCrash:
+        return "acc-crash";
+      case FaultKind::AccHang:
+        return "acc-hang";
+      case FaultKind::PollDrop:
+        return "poll-drop";
+      case FaultKind::LinkStall:
+        return "link-stall";
+      case FaultKind::SsdTimeout:
+        return "ssd-timeout";
+    }
+    return "?";
+}
+
+bool
+FaultPlan::enabled() const
+{
+    return accCrashProb > 0 || accHangProb > 0 || pollDropProb > 0 ||
+           linkStallProb > 0 || ssdTimeoutProb > 0 ||
+           !scripted.empty();
+}
+
+void
+FaultPlan::validate() const
+{
+    auto check_prob = [](double p, const char *what) {
+        if (!(p >= 0.0 && p <= 1.0)) {
+            sim::fatal("fault plan: ", what,
+                       " must be a probability in [0, 1], got ", p);
+        }
+    };
+    check_prob(accCrashProb, "accCrashProb");
+    check_prob(accHangProb, "accHangProb");
+    check_prob(pollDropProb, "pollDropProb");
+    check_prob(linkStallProb, "linkStallProb");
+    check_prob(ssdTimeoutProb, "ssdTimeoutProb");
+    if (accCrashProb + accHangProb > 1.0) {
+        sim::fatal("fault plan: accCrashProb + accHangProb exceeds 1");
+    }
+    if (linkStallProb > 0 && linkStallDelay == 0) {
+        sim::fatal("fault plan: linkStallProb set but linkStallDelay "
+                   "is zero");
+    }
+    if (ssdTimeoutProb > 0 && ssdTimeoutDelay == 0) {
+        sim::fatal("fault plan: ssdTimeoutProb set but ssdTimeoutDelay "
+                   "is zero");
+    }
+}
+
+std::uint64_t
+envFaultSeed(std::uint64_t fallback)
+{
+    const char *env = std::getenv("REACH_FAULT_SEED");
+    if (!env || !*env)
+        return fallback;
+    char *end = nullptr;
+    unsigned long long v = std::strtoull(env, &end, 0);
+    if (end == env || *end != '\0')
+        sim::fatal("REACH_FAULT_SEED is not a number: '", env, "'");
+    return static_cast<std::uint64_t>(v);
+}
+
+FaultInjector::FaultInjector(sim::Simulator &sim,
+                             const std::string &name,
+                             const FaultPlan &plan)
+    : sim::SimObject(sim, name),
+      cfg(plan),
+      rng(plan.seed),
+      statCrashes(name + ".crashes", "accelerator crashes injected"),
+      statHangs(name + ".hangs", "task hangs injected"),
+      statPollDrops(name + ".pollDrops", "status polls dropped"),
+      statLinkStalls(name + ".linkStalls", "link stalls injected"),
+      statSsdTimeouts(name + ".ssdTimeouts", "SSD timeouts injected")
+{
+    cfg.validate();
+    remaining.reserve(cfg.scripted.size());
+    for (const auto &s : cfg.scripted)
+        remaining.push_back(s.count == 0 ? ~0u : s.count);
+    registerStat(statCrashes);
+    registerStat(statHangs);
+    registerStat(statPollDrops);
+    registerStat(statLinkStalls);
+    registerStat(statSsdTimeouts);
+}
+
+bool
+FaultInjector::roll(double prob)
+{
+    if (prob <= 0)
+        return false;
+    return rng.nextDouble() < prob;
+}
+
+bool
+FaultInjector::scriptedHit(FaultKind kind,
+                           const std::string &target_name)
+{
+    for (std::size_t i = 0; i < cfg.scripted.size(); ++i) {
+        const ScriptedFault &s = cfg.scripted[i];
+        if (s.kind != kind || remaining[i] == 0 || now() < s.notBefore)
+            continue;
+        if (!s.target.empty() &&
+            target_name.compare(0, s.target.size(), s.target) != 0) {
+            continue;
+        }
+        if (remaining[i] != ~0u)
+            --remaining[i];
+        return true;
+    }
+    return false;
+}
+
+FaultInjector::AccFault
+FaultInjector::onTaskExecute(const std::string &acc_name)
+{
+    // Scripted faults take priority, then the probabilistic stream.
+    // Both probabilities are always rolled (in a fixed order) so the
+    // draw sequence depends only on the plan, keeping runs with the
+    // same plan bit-identical.
+    bool crash = scriptedHit(FaultKind::AccCrash, acc_name);
+    bool hang = scriptedHit(FaultKind::AccHang, acc_name);
+    crash = roll(cfg.accCrashProb) || crash;
+    hang = roll(cfg.accHangProb) || hang;
+    if (crash) {
+        ++statCrashes;
+        return AccFault::Crash;
+    }
+    if (hang) {
+        ++statHangs;
+        return AccFault::Hang;
+    }
+    return AccFault::None;
+}
+
+bool
+FaultInjector::dropPoll(const std::string &acc_name)
+{
+    bool drop = scriptedHit(FaultKind::PollDrop, acc_name);
+    drop = roll(cfg.pollDropProb) || drop;
+    if (drop)
+        ++statPollDrops;
+    return drop;
+}
+
+sim::Tick
+FaultInjector::linkStallTicks(const std::string &link_name)
+{
+    bool stall = scriptedHit(FaultKind::LinkStall, link_name);
+    stall = roll(cfg.linkStallProb) || stall;
+    if (!stall)
+        return 0;
+    ++statLinkStalls;
+    return cfg.linkStallDelay;
+}
+
+sim::Tick
+FaultInjector::ssdTimeoutTicks(const std::string &ssd_name)
+{
+    bool timeout = scriptedHit(FaultKind::SsdTimeout, ssd_name);
+    timeout = roll(cfg.ssdTimeoutProb) || timeout;
+    if (!timeout)
+        return 0;
+    ++statSsdTimeouts;
+    return cfg.ssdTimeoutDelay;
+}
+
+std::uint64_t
+FaultInjector::injected(FaultKind kind) const
+{
+    switch (kind) {
+      case FaultKind::AccCrash:
+        return static_cast<std::uint64_t>(statCrashes.value());
+      case FaultKind::AccHang:
+        return static_cast<std::uint64_t>(statHangs.value());
+      case FaultKind::PollDrop:
+        return static_cast<std::uint64_t>(statPollDrops.value());
+      case FaultKind::LinkStall:
+        return static_cast<std::uint64_t>(statLinkStalls.value());
+      case FaultKind::SsdTimeout:
+        return static_cast<std::uint64_t>(statSsdTimeouts.value());
+    }
+    return 0;
+}
+
+} // namespace reach::fault

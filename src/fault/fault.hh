@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Deterministic fault injection for the simulated hierarchy.
+ *
+ * A FaultPlan describes what can go wrong: scripted one-shot faults
+ * ("crash aim0 after 2 ms") and per-decision-point probabilities
+ * ("each status poll is lost with p = 0.01"). The FaultInjector draws
+ * from one sim::Rng in event execution order, so a given plan + seed
+ * reproduces the exact same fault sequence on every run and at any
+ * sweep --jobs count — faults are part of the experiment, not noise.
+ *
+ * Components consult the injector at their natural decision points:
+ *  - Accelerator::execute      -> crash (device dead until repaired)
+ *                                 or hang (this task never completes)
+ *  - Gam::pollStatus           -> status request/response lost
+ *  - Link::reserve             -> transfer stalled (retraining /
+ *                                 backpressure holds the link)
+ *  - Ssd::reserve              -> command timeout + retry delay
+ *
+ * The GAM's watchdogs, poll retries and failover (gam/gam.hh) are the
+ * recovery side of this model.
+ */
+
+#ifndef REACH_FAULT_FAULT_HH
+#define REACH_FAULT_FAULT_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/rng.hh"
+#include "sim/simulator.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace reach::fault
+{
+
+enum class FaultKind
+{
+    /** Device dies: every task on it is lost until repair(). */
+    AccCrash,
+    /** One task never signals completion; the device survives. */
+    AccHang,
+    /** A GAM status request or its response is lost. */
+    PollDrop,
+    /** A link reservation is stretched by a stall delay. */
+    LinkStall,
+    /** An SSD command times out and is retried after a delay. */
+    SsdTimeout,
+};
+
+const char *faultKindName(FaultKind kind);
+
+/** One deterministic, targeted fault. */
+struct ScriptedFault
+{
+    FaultKind kind = FaultKind::AccCrash;
+    /**
+     * Component-name prefix the fault applies to ("aim0", "ssd",
+     * ...); empty matches any component consulting for this kind.
+     */
+    std::string target;
+    /** Fires at the first matching decision point at/after this. */
+    sim::Tick notBefore = 0;
+    /** Occurrences to inject; 0 = every matching occurrence. */
+    std::uint32_t count = 1;
+};
+
+struct FaultPlan
+{
+    static constexpr std::uint64_t defaultSeed = 0x5eac4a11u;
+
+    /**
+     * RNG seed for the probabilistic stream. Benches and the
+     * integration suite take it from envFaultSeed() so a CI run can
+     * pin a different fault schedule via REACH_FAULT_SEED.
+     */
+    std::uint64_t seed = defaultSeed;
+
+    // ----- Per-decision-point probabilities (all default off) -----
+
+    /** P(crash) per task handed to an accelerator. */
+    double accCrashProb = 0;
+    /** P(hang) per task handed to an accelerator. */
+    double accHangProb = 0;
+    /** P(lost) per GAM status poll. */
+    double pollDropProb = 0;
+    /** P(stall) per link reservation. */
+    double linkStallProb = 0;
+    /** P(timeout) per SSD command. */
+    double ssdTimeoutProb = 0;
+
+    /** Extra link occupancy charged on a stall. */
+    sim::Tick linkStallDelay = 50 * sim::tickPerUs;
+    /** Command retry delay charged on an SSD timeout. */
+    sim::Tick ssdTimeoutDelay = 2 * sim::tickPerMs;
+
+    std::vector<ScriptedFault> scripted;
+
+    /** Whether this plan can inject anything at all. */
+    bool enabled() const;
+
+    /** Fatal on malformed probabilities/delays. */
+    void validate() const;
+};
+
+/** REACH_FAULT_SEED env override, else @p fallback. */
+std::uint64_t envFaultSeed(std::uint64_t fallback = FaultPlan::defaultSeed);
+
+class FaultInjector : public sim::SimObject
+{
+  public:
+    FaultInjector(sim::Simulator &sim, const std::string &name,
+                  const FaultPlan &plan);
+
+    enum class AccFault
+    {
+        None,
+        Hang,
+        Crash,
+    };
+
+    /** Consulted once per task an accelerator begins executing. */
+    AccFault onTaskExecute(const std::string &acc_name);
+
+    /** Consulted once per GAM status poll; true = the poll is lost. */
+    bool dropPoll(const std::string &acc_name);
+
+    /** Extra occupancy for this link reservation (0 = no stall). */
+    sim::Tick linkStallTicks(const std::string &link_name);
+
+    /** Retry delay for this SSD command (0 = no timeout). */
+    sim::Tick ssdTimeoutTicks(const std::string &ssd_name);
+
+    const FaultPlan &plan() const { return cfg; }
+
+    /** Faults injected so far, by kind. */
+    std::uint64_t injected(FaultKind kind) const;
+
+  private:
+    bool roll(double prob);
+    bool scriptedHit(FaultKind kind, const std::string &target_name);
+
+    FaultPlan cfg;
+    sim::Rng rng;
+    /** Remaining occurrences per scripted entry (~0u = unlimited). */
+    std::vector<std::uint32_t> remaining;
+
+    sim::Scalar statCrashes;
+    sim::Scalar statHangs;
+    sim::Scalar statPollDrops;
+    sim::Scalar statLinkStalls;
+    sim::Scalar statSsdTimeouts;
+};
+
+} // namespace reach::fault
+
+#endif // REACH_FAULT_FAULT_HH

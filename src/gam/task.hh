@@ -67,6 +67,13 @@ struct JobDesc
     std::vector<TaskDesc> tasks;
     /** Host interrupt: invoked when every task has completed. */
     std::function<void(sim::Tick)> onComplete;
+    /**
+     * Host interrupt: invoked instead of onComplete when the GAM
+     * abandons the job (retry budget exhausted, no healthy
+     * accelerator left). Jobs never hang: exactly one of onComplete
+     * and onFailed fires for every submitted job.
+     */
+    std::function<void(sim::Tick)> onFailed;
 };
 
 /** Lifecycle of a task inside the GAM. */
@@ -79,7 +86,11 @@ enum class TaskState
     /** Finished on the device, waiting for a status poll to notice. */
     DoneUnobserved,
     Complete,
+    /** Abandoned: its job failed (budget exhausted / no device). */
+    Failed,
 };
+
+const char *taskStateName(TaskState state);
 
 } // namespace reach::gam
 

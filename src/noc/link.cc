@@ -13,13 +13,15 @@ Link::Link(sim::Simulator &sim, const std::string &name,
       cfg(config),
       statBytes(name + ".bytes", "bytes moved"),
       statTransfers(name + ".transfers", "transfers"),
-      statBusy(name + ".busyTicks", "ticks spent serializing")
+      statBusy(name + ".busyTicks", "ticks spent serializing"),
+      statStalls(name + ".stalls", "injected stall events")
 {
     if (cfg.bandwidth <= 0)
         sim::fatal(name, ": link bandwidth must be positive");
     registerStat(statBytes);
     registerStat(statTransfers);
     registerStat(statBusy);
+    registerStat(statStalls);
 }
 
 sim::Tick
@@ -31,6 +33,17 @@ Link::reserve(std::uint64_t bytes, sim::Tick at)
     statBytes += static_cast<double>(bytes);
     ++statTransfers;
     statBusy += static_cast<double>(ser);
+
+    // An injected stall (retraining, backpressure) occupies the link
+    // for the stall duration on top of serialization, delaying both
+    // this transfer and everything queued behind it.
+    if (faultInj) {
+        sim::Tick stall = faultInj->linkStallTicks(name());
+        if (stall > 0) {
+            dur += stall;
+            ++statStalls;
+        }
+    }
 
     if (dur == 0)
         return at + cfg.latency;

@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <functional>
 
+#include "fault/fault.hh"
 #include "sim/interval_resource.hh"
 #include "sim/simulator.hh"
 #include "sim/stats.hh"
@@ -86,13 +87,23 @@ class Link : public sim::SimObject
     /** Utilization in [0,1] over the sim so far. */
     double utilization() const;
 
+    /** Attach a fault injector consulted once per reservation. */
+    void setFaultInjector(fault::FaultInjector *inj) { faultInj = inj; }
+
+    std::uint64_t stallsInjected() const
+    {
+        return static_cast<std::uint64_t>(statStalls.value());
+    }
+
   private:
     LinkConfig cfg;
     sim::IntervalResource schedule_;
+    fault::FaultInjector *faultInj = nullptr;
 
     sim::Scalar statBytes;
     sim::Scalar statTransfers;
     sim::Scalar statBusy;
+    sim::Scalar statStalls;
 };
 
 /**

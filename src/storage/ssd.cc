@@ -15,7 +15,8 @@ Ssd::Ssd(sim::Simulator &sim, const std::string &name,
       statReadBytes(name + ".readBytes", "bytes read from flash"),
       statWriteBytes(name + ".writeBytes", "bytes written to flash"),
       statCommands(name + ".commands", "NVMe commands processed"),
-      statActive(name + ".activeTicks", "ticks moving data")
+      statActive(name + ".activeTicks", "ticks moving data"),
+      statTimeouts(name + ".timeouts", "injected command timeouts")
 {
     if (cfg.flashChannels == 0)
         sim::fatal(name, ": SSD needs at least one flash channel");
@@ -23,17 +24,29 @@ Ssd::Ssd(sim::Simulator &sim, const std::string &name,
     registerStat(statWriteBytes);
     registerStat(statCommands);
     registerStat(statActive);
+    registerStat(statTimeouts);
 }
 
 sim::Tick
 Ssd::reserve(std::uint64_t bytes, bool write, sim::Tick at)
 {
     ++statCommands;
+
+    // An injected timeout models a dropped NVMe command: the host
+    // retries after the timeout window, so the effective start of the
+    // operation slips by the retry delay.
+    sim::Tick retry = 0;
+    if (faultInj) {
+        retry = faultInj->ssdTimeoutTicks(name());
+        if (retry > 0)
+            ++statTimeouts;
+    }
+
     if (bytes == 0)
-        return at + cfg.commandOverhead;
+        return at + retry + cfg.commandOverhead;
 
     sim::Tick media_latency = write ? cfg.writeLatency : cfg.readLatency;
-    sim::Tick start = at + cfg.commandOverhead;
+    sim::Tick start = at + retry + cfg.commandOverhead;
 
     // Stripe evenly across flash channels; completion is the slowest
     // channel's finish time plus the media first-access latency.

@@ -17,6 +17,7 @@
 #include <functional>
 #include <vector>
 
+#include "fault/fault.hh"
 #include "sim/interval_resource.hh"
 #include "sim/simulator.hh"
 #include "sim/stats.hh"
@@ -91,15 +92,25 @@ class Ssd : public sim::SimObject
      */
     double energyJoules(sim::Tick horizon) const;
 
+    /** Attach a fault injector consulted once per command. */
+    void setFaultInjector(fault::FaultInjector *inj) { faultInj = inj; }
+
+    std::uint64_t timeoutsInjected() const
+    {
+        return static_cast<std::uint64_t>(statTimeouts.value());
+    }
+
   private:
     SsdConfig cfg;
     /** Per-flash-channel reservation schedule (gap-filling). */
     std::vector<sim::IntervalResource> channels;
+    fault::FaultInjector *faultInj = nullptr;
 
     sim::Scalar statReadBytes;
     sim::Scalar statWriteBytes;
     sim::Scalar statCommands;
     sim::Scalar statActive;
+    sim::Scalar statTimeouts;
 };
 
 } // namespace reach::storage
