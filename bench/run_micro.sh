@@ -5,6 +5,9 @@
 # layer's single-thread speedup on the build host.
 #
 # Usage: bench/run_micro.sh [build-dir] [output-json]
+#
+# Set REACH_BENCH_ALLOW_DEBUG=1 to record numbers against a debug
+# google-benchmark library anyway (they are tagged as tainted).
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
@@ -17,19 +20,45 @@ if [[ ! -x "${bin}" ]]; then
     exit 1
 fi
 
+git_sha="$(git -C "${repo_root}" rev-parse HEAD 2>/dev/null || echo unknown)"
+
 "${bin}" \
     --benchmark_out="${out_json}" \
     --benchmark_out_format=json \
     --benchmark_min_time=0.2 \
+    --benchmark_context=git_sha="${git_sha}" \
     "${@:3}"
 
-echo "wrote ${out_json}"
+# A debug google-benchmark library inflates per-iteration overhead;
+# numbers recorded against it are not comparable across commits.
+# Refuse to keep them unless the caller opts in explicitly.
+lib_build_type="$(python3 -c '
+import json, sys
+print(json.load(open(sys.argv[1]))["context"].get("library_build_type", "unknown"))
+' "${out_json}" 2>/dev/null || echo unknown)"
+if [[ "${lib_build_type}" == "debug" ]]; then
+    if [[ "${REACH_BENCH_ALLOW_DEBUG:-0}" != "1" ]]; then
+        echo "error: google-benchmark was built as DEBUG" \
+             "(library_build_type: debug in ${out_json})." >&2
+        echo "Timings are tainted; rebuild the benchmark library in" \
+             "Release, or re-run with REACH_BENCH_ALLOW_DEBUG=1 to" \
+             "keep the tagged output." >&2
+        rm -f "${out_json}"
+        exit 1
+    fi
+    echo "warning: google-benchmark library is a DEBUG build -" \
+         "recorded timings are tainted" >&2
+fi
+
+echo "wrote ${out_json} (git_sha ${git_sha})"
 
 # Summarise the scalar-vs-avx2 pairs if python3 is around.
 if command -v python3 >/dev/null 2>&1; then
     python3 - "${out_json}" <<'EOF'
 import json, sys
 data = json.load(open(sys.argv[1]))
+if data.get("context", {}).get("library_build_type") == "debug":
+    print("WARNING: debug google-benchmark library; timings tainted")
 times, rates = {}, {}
 for b in data.get("benchmarks", []):
     if b.get("run_type") == "iteration" and "error_occurred" not in b:
@@ -40,6 +69,13 @@ for base in sorted({n.rsplit("/", 1)[0] for n in times if "/" in n}):
     s, v = times.get(base + "/scalar"), times.get(base + "/avx2")
     if s and v:
         print(f"{base}: scalar/avx2 speedup {s / v:.2f}x")
+# Compressed vs exact rerank on the shared near-storage-scale
+# fixture (same backend): the PQ subsystem's headline ratio.
+for be in ("scalar", "avx2"):
+    exact = times.get(f"BM_RerankPqExact/{be}")
+    pq = times.get(f"BM_RerankPq/{be}")
+    if exact and pq:
+        print(f"BM_RerankPq/{be}: exact/pq speedup {exact / pq:.2f}x")
 # Slot-arena event queue vs the frozen seed implementation.
 new, seed = rates.get("BM_EventQueue"), rates.get("BM_EventQueueSeed")
 if new and seed:

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "sim/logging.hh"
+
 namespace reach::cbir
 {
 
@@ -48,6 +50,51 @@ InvertedFileIndex::computeNorms()
     centNormSq.resize(cents.rows());
     for (std::size_t c = 0; c < cents.rows(); ++c)
         centNormSq[c] = normSq(cents.row(c));
+}
+
+void
+InvertedFileIndex::buildPq(const Matrix &vectors, const PqConfig &cfg,
+                           const parallel::ParallelConfig &par)
+{
+    if (vectors.rows() != totalIds()) {
+        sim::panic("buildPq: ", vectors.rows(), " vectors for an index "
+                   "over ", totalIds(), " ids");
+    }
+    auto cb = std::make_shared<const PqCodebook>(
+        PqCodebook::train(vectors, cfg, par));
+    std::vector<std::uint8_t> codes = cb->encodeAll(vectors, par);
+    attachPq(std::move(cb), codes);
+}
+
+void
+InvertedFileIndex::attachPq(std::shared_ptr<const PqCodebook> codebook,
+                            const std::vector<std::uint8_t> &codesByVectorId)
+{
+    if (!codebook)
+        sim::panic("attachPq: null codebook");
+    const std::size_t mb = codebook->codeBytes();
+    if (codesByVectorId.size() != totalIds() * mb) {
+        sim::panic("attachPq: ", codesByVectorId.size(), " code bytes "
+                   "for ", totalIds(), " ids of ", mb, " bytes each");
+    }
+    pq = std::move(codebook);
+    codeLists.assign(lists.size(), {});
+    for (std::size_t c = 0; c < lists.size(); ++c) {
+        codeLists[c].resize(lists[c].size() * mb);
+        for (std::size_t i = 0; i < lists[c].size(); ++i) {
+            std::copy_n(
+                codesByVectorId.data() + std::size_t(lists[c][i]) * mb,
+                mb, codeLists[c].data() + i * mb);
+        }
+    }
+}
+
+const PqCodebook &
+InvertedFileIndex::pqCodebook() const
+{
+    if (!pq)
+        sim::panic("pqCodebook: index carries no PQ codes");
+    return *pq;
 }
 
 std::size_t

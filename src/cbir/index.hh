@@ -10,10 +10,13 @@
 #define REACH_CBIR_INDEX_HH
 
 #include <cstdint>
+#include <memory>
+#include <span>
 #include <vector>
 
 #include "cbir/kmeans.hh"
 #include "cbir/linalg.hh"
+#include "cbir/pq.hh"
 
 namespace reach::cbir
 {
@@ -61,6 +64,40 @@ class InvertedFileIndex
     std::size_t maxClusterSize() const;
     std::size_t minClusterSize() const;
 
+    /**
+     * Train PQ codebooks on @p vectors (the dataset this index was
+     * built over, in id order) and store each cluster's member codes
+     * as one contiguous block in list order — the compressed
+     * near-storage layout the rerank stage scans sequentially.
+     */
+    void buildPq(const Matrix &vectors, const PqConfig &cfg,
+                 const parallel::ParallelConfig &par = {});
+
+    /**
+     * Attach an externally trained codebook. @p codesByVectorId holds
+     * totalIds() codes of codebook->codeBytes() bytes, indexed by
+     * vector id; they are re-blocked per cluster.
+     */
+    void attachPq(std::shared_ptr<const PqCodebook> codebook,
+                  const std::vector<std::uint8_t> &codesByVectorId);
+
+    bool hasPq() const { return pq != nullptr; }
+
+    /** The attached codebook; sim::panic without one. */
+    const PqCodebook &pqCodebook() const;
+
+    /**
+     * PQ codes of cluster @p c's members, in cluster(c) order:
+     * cluster(c).size() * codeBytes() bytes. Empty span when no PQ
+     * codes are attached.
+     */
+    std::span<const std::uint8_t> clusterCodes(std::size_t c) const
+    {
+        if (codeLists.empty())
+            return {};
+        return {codeLists[c].data(), codeLists[c].size()};
+    }
+
   private:
     void buildLists(const std::vector<std::uint32_t> &assignment);
     void computeNorms();
@@ -69,6 +106,8 @@ class InvertedFileIndex
     std::vector<float> centNormSq;
     std::vector<float> vecNormSq;
     std::vector<std::vector<std::uint32_t>> lists;
+    std::shared_ptr<const PqCodebook> pq;
+    std::vector<std::vector<std::uint8_t>> codeLists;
 };
 
 } // namespace reach::cbir

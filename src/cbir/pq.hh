@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Product quantization (PQ) for the rerank stage. A D-dim vector is
+ * split into M contiguous subspaces of D/M floats; each subspace has
+ * its own k-means codebook of up to 256 centroids, so a vector
+ * compresses to M bytes (one u8 centroid id per subspace) — 12x
+ * smaller than float32 at the paper's D = 96 with M = 32.
+ *
+ * Query scoring is asymmetric-distance computation (ADC): per query,
+ * precompute an M x 256 lookup table lut[s][j] = l2sq(q_s, c_{s,j});
+ * the distance of a candidate code is then the sum of M table
+ * lookups, which equals l2sq(q, decode(code)) exactly. The table has
+ * a fixed row stride of simd::kAdcLutStride floats (rows are
+ * zero-padded past the trained centroid count) so any u8 code indexes
+ * in bounds and the SIMD gather kernel uses constant lane offsets.
+ */
+
+#ifndef REACH_CBIR_PQ_HH
+#define REACH_CBIR_PQ_HH
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "cbir/linalg.hh"
+#include "parallel/parallel.hh"
+#include "simd/simd.hh"
+
+namespace reach::cbir
+{
+
+struct PqConfig
+{
+    /** Compressed-domain rerank on/off. */
+    bool enabled = false;
+    /** Subspaces == bytes per code; must divide the dimensionality. */
+    std::uint32_t m = 32;
+    /**
+     * Exact-refine budget: the top R ADC candidates are re-scored
+     * with full-precision distances before the cut to K (two-stage
+     * rerank). 0 keeps the pure ADC order.
+     */
+    std::uint32_t refine = 128;
+    /** Lloyd iterations per subspace codebook. */
+    std::uint32_t trainIterations = 8;
+    std::uint64_t seed = 13;
+};
+
+/**
+ * sim::fatal unless @p cfg can quantize @p dim-dimensional vectors:
+ * m in [1, dim], dim % m == 0, trainIterations >= 1. The enabled
+ * flag is not consulted — callers gate on it.
+ */
+void validatePqConfig(const PqConfig &cfg, std::size_t dim);
+
+/** Trained per-subspace codebooks plus the codec built on them. */
+class PqCodebook
+{
+  public:
+    /**
+     * Train cfg.m codebooks of min(256, vectors.rows()) centroids
+     * each, by running the existing k-means per subspace slice.
+     * Deterministic for a given (cfg, backend); subspace s seeds with
+     * cfg.seed + s.
+     */
+    static PqCodebook train(const Matrix &vectors, const PqConfig &cfg,
+                            const parallel::ParallelConfig &par = {});
+
+    std::size_t numSubspaces() const { return m; }
+    std::size_t subDim() const { return dsub; }
+    std::size_t numCentroids() const { return ksub; }
+    std::size_t dim() const { return m * dsub; }
+    /** Bytes per encoded vector (one u8 per subspace). */
+    std::size_t codeBytes() const { return m; }
+
+    /** Centroid @p j of subspace @p s (subDim() floats). */
+    std::span<const float> centroid(std::size_t s, std::size_t j) const;
+
+    /**
+     * Quantize one vector of dim() floats into codeBytes() bytes:
+     * per subspace, the index of the nearest centroid (ties to the
+     * lower index). Backend-independent for the same reason as
+     * adcTable: distances come from the fixed component-major loop.
+     */
+    void encode(std::span<const float> v, std::uint8_t *code) const;
+
+    /**
+     * Encode every row; returns rows x codeBytes() bytes. Chunked
+     * parallel, bitwise identical at any thread count and backend.
+     */
+    std::vector<std::uint8_t>
+    encodeAll(const Matrix &vectors,
+              const parallel::ParallelConfig &par = {}) const;
+
+    /** Reconstruct the centroid concatenation of @p code. */
+    void decode(const std::uint8_t *code, std::span<float> out) const;
+
+    /**
+     * Fill the ADC table for @p query (dim() floats): row s holds
+     * l2sq(q_s, c_{s,j}) for j < numCentroids(), zero beyond. @p lut
+     * must hold lutFloats(numSubspaces()) floats. The build is one
+     * fixed loop over a component-major centroid copy (vectorized
+     * across centroids, not within the short subspace), so the table
+     * bits do not depend on the SIMD backend choice — combined with
+     * the bitwise adcAccum/adcBatch contract, a pure-ADC rerank
+     * returns identical bits on every backend. Entries match l2sq on
+     * the subspace pair up to fp contraction.
+     */
+    void adcTable(std::span<const float> query, float *lut) const;
+
+    /** Floats an ADC table for @p m subspaces occupies. */
+    static std::size_t lutFloats(std::size_t m)
+    {
+        return m * simd::kAdcLutStride;
+    }
+
+  private:
+    /**
+     * scratch[j] = l2sq of @p v's subspace-@p s slice against
+     * centroid j, for j < numCentroids() — the shared inner loop of
+     * encode and adcTable, vectorized across centroids via centsT.
+     */
+    void subspaceL2(std::size_t s, const float *v,
+                    float *scratch) const;
+    void encodeWith(std::span<const float> v, std::uint8_t *code,
+                    float *scratch) const;
+
+    std::size_t m = 0;
+    std::size_t dsub = 0;
+    std::size_t ksub = 0;
+    /** Subspace-major: block s is ksub x dsub row-major centroids. */
+    std::vector<float, simd::AlignedAllocator<float, 64>> cents;
+    /**
+     * Component-major transpose of @ref cents for the ADC table
+     * build: block s is dsub rows of ksub floats, so the per-centroid
+     * accumulation vectorizes across the 256 table entries instead of
+     * the (typically 3-float) subspace.
+     */
+    std::vector<float, simd::AlignedAllocator<float, 64>> centsT;
+};
+
+} // namespace reach::cbir
+
+#endif // REACH_CBIR_PQ_HH

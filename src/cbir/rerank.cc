@@ -19,17 +19,20 @@ namespace
  * candidate buffer. The (distSq, id) order is total, so the selected
  * set and its order are independent of the scan order.
  */
+bool
+better(const Neighbor &a, const Neighbor &b)
+{
+    if (a.distSq != b.distSq)
+        return a.distSq < b.distSq;
+    return a.id < b.id;
+}
+
 std::vector<Neighbor>
 selectK(const std::vector<Neighbor> &cands, std::size_t k)
 {
     k = std::min(k, cands.size());
     if (k == 0)
         return {};
-    auto better = [](const Neighbor &a, const Neighbor &b) {
-        if (a.distSq != b.distSq)
-            return a.distSq < b.distSq;
-        return a.id < b.id;
-    };
     std::vector<Neighbor> heap(
         cands.begin(), cands.begin() + static_cast<std::ptrdiff_t>(k));
     std::make_heap(heap.begin(), heap.end(), better);
@@ -37,6 +40,36 @@ selectK(const std::vector<Neighbor> &cands, std::size_t k)
         if (better(cands[i], heap.front())) {
             std::pop_heap(heap.begin(), heap.end(), better);
             heap.back() = cands[i];
+            std::push_heap(heap.begin(), heap.end(), better);
+        }
+    }
+    std::sort_heap(heap.begin(), heap.end(), better);
+    return heap;
+}
+
+/**
+ * selectK over parallel (id, distance) arrays: same total order and
+ * result bits, but the candidates are never materialised as Neighbor
+ * records — the ADC hot path scans two flat 4-byte streams instead
+ * of packing 4096 structs per query just to throw them away.
+ */
+std::vector<Neighbor>
+selectKFlat(std::span<const std::uint32_t> ids,
+            std::span<const float> dists, std::size_t k)
+{
+    k = std::min(k, ids.size());
+    if (k == 0)
+        return {};
+    std::vector<Neighbor> heap;
+    heap.reserve(k);
+    for (std::size_t i = 0; i < k; ++i)
+        heap.push_back({ids[i], dists[i]});
+    std::make_heap(heap.begin(), heap.end(), better);
+    for (std::size_t i = k; i < ids.size(); ++i) {
+        Neighbor nb{ids[i], dists[i]};
+        if (better(nb, heap.front())) {
+            std::pop_heap(heap.begin(), heap.end(), better);
+            heap.back() = nb;
             std::push_heap(heap.begin(), heap.end(), better);
         }
     }
@@ -98,6 +131,45 @@ databaseNorms(const Matrix &database, const std::vector<float> *pre,
     return norms;
 }
 
+/**
+ * Compressed scoring of one query: build the ADC table once, then
+ * scan each short-listed cluster's contiguous code block with the
+ * batched gather kernel — M table lookups per candidate instead of a
+ * D-dim dot product, and M bytes read instead of a full row. The
+ * candidate set (per-cluster prefixes up to the budget) is exactly
+ * the one the exact path gathers. The table build is
+ * backend-independent and adcBatch is bitwise cross-backend, so this
+ * scoring returns identical bits on every backend.
+ */
+void
+scoreCandidatesPq(const simd::Kernels &k, const PqCodebook &cb,
+                  std::span<const float> query,
+                  const InvertedFileIndex &index,
+                  const std::vector<std::uint32_t> &clusters,
+                  std::size_t max_candidates, float *lut,
+                  std::vector<std::uint32_t> &ids,
+                  AlignedFloats &dists)
+{
+    cb.adcTable(query, lut);
+    const std::size_t m = cb.codeBytes();
+    for (std::uint32_t cluster : clusters) {
+        const auto &members = index.cluster(cluster);
+        std::size_t take = members.size();
+        if (max_candidates)
+            take = std::min(take, max_candidates - ids.size());
+        if (take == 0)
+            continue;
+        const std::size_t base = ids.size();
+        ids.insert(ids.end(), members.begin(),
+                   members.begin() + static_cast<std::ptrdiff_t>(take));
+        dists.resize(base + take);
+        k.adcBatch(lut, index.clusterCodes(cluster).data(), take, m,
+                   dists.data() + base);
+        if (max_candidates && ids.size() >= max_candidates)
+            break;
+    }
+}
+
 } // namespace
 
 RerankResults
@@ -107,10 +179,21 @@ rerank(const Matrix &queries, const Matrix &database,
 {
     if (lists.size() != queries.rows())
         sim::panic("rerank: one short-list per query required");
+    if (cfg.usePq && !index.hasPq()) {
+        sim::panic("rerank: usePq requires an index with PQ codes "
+                   "(InvertedFileIndex::buildPq)");
+    }
 
     const simd::Kernels &k = simd::kernels(cfg.parallel.simd);
+    // Pure-ADC runs never touch the float rows, so skip the norm
+    // precompute (it is a full database pass when the index lacks
+    // cached norms).
+    const bool needs_exact = !cfg.usePq || cfg.pqRefine > 0;
     const std::vector<float> norms =
-        databaseNorms(database, &index.vectorNormsSq(), cfg.parallel);
+        needs_exact
+            ? databaseNorms(database, &index.vectorNormsSq(),
+                            cfg.parallel)
+            : std::vector<float>{};
 
     RerankResults out(queries.rows());
     constexpr std::size_t query_grain = 4;
@@ -120,13 +203,40 @@ rerank(const Matrix &queries, const Matrix &database,
             std::vector<std::uint32_t> ids;
             std::vector<Neighbor> cands;
             AlignedFloats dots;
+            AlignedFloats adc;
+            AlignedFloats lut;
+            if (cfg.usePq) {
+                lut.resize(PqCodebook::lutFloats(
+                    index.pqCodebook().numSubspaces()));
+            }
             if (cfg.maxCandidates) {
                 ids.reserve(cfg.maxCandidates);
                 cands.reserve(cfg.maxCandidates);
+                adc.reserve(cfg.maxCandidates);
             }
             for (std::size_t q = qb; q < qe; ++q) {
                 ids.clear();
                 cands.clear();
+                if (cfg.usePq) {
+                    adc.clear();
+                    scoreCandidatesPq(k, index.pqCodebook(),
+                                      queries.row(q), index, lists[q],
+                                      cfg.maxCandidates, lut.data(),
+                                      ids, adc);
+                    if (cfg.pqRefine > 0) {
+                        std::vector<Neighbor> top = selectKFlat(
+                            ids, adc, std::max(cfg.k, cfg.pqRefine));
+                        ids.clear();
+                        for (const Neighbor &nb : top)
+                            ids.push_back(nb.id);
+                        scoreCandidates(k, queries.row(q), database,
+                                        norms, ids, dots, cands);
+                        out[q] = selectK(cands, cfg.k);
+                    } else {
+                        out[q] = selectKFlat(ids, adc, cfg.k);
+                    }
+                    continue;
+                }
                 for (std::uint32_t cluster : lists[q]) {
                     for (std::uint32_t id : index.cluster(cluster)) {
                         if (cfg.maxCandidates &&

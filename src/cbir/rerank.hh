@@ -50,6 +50,20 @@ struct RerankConfig
      * distance kernels.
      */
     parallel::ParallelConfig parallel{};
+    /**
+     * Compressed-domain scoring: rank candidates by PQ asymmetric
+     * distance over their stored codes instead of exact distances
+     * over the full vectors. Requires an index carrying PQ codes
+     * (InvertedFileIndex::buildPq); panics otherwise.
+     */
+    bool usePq = false;
+    /**
+     * With usePq, re-score the top max(k, pqRefine) ADC candidates
+     * with exact full-precision distances before the cut to K (the
+     * two-stage rerank that keeps recall controllable). 0 keeps the
+     * pure ADC order and never touches the float vectors.
+     */
+    std::size_t pqRefine = 128;
 };
 
 /**

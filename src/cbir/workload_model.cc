@@ -1,7 +1,21 @@
 #include "workload_model.hh"
 
+#include <algorithm>
+
 namespace reach::cbir
 {
+
+CbirWorkloadModel::CbirWorkloadModel(const ScaleConfig &cfg) : cfg(cfg)
+{
+    if (cfg.pq.enabled)
+        validatePqConfig(cfg.pq, cfg.dim);
+}
+
+std::uint64_t
+CbirWorkloadModel::rerankCandidateBytes() const
+{
+    return cfg.pq.enabled ? cfg.pq.m : cfg.flashPageBytes;
+}
 
 std::uint64_t
 CbirWorkloadModel::modelParamBytes() const
@@ -130,12 +144,33 @@ CbirWorkloadModel::rerankBatch(std::uint32_t partitions) const
     std::uint64_t candidates =
         std::uint64_t(cfg.batchSize) * cfg.rerankCandidates;
 
-    // KNN distance lanes: D MACs per candidate.
-    w.ops = static_cast<double>(candidates) * cfg.dim / partitions;
+    if (cfg.pq.enabled) {
+        // Compressed rerank. Compute: M lookup-adds per candidate,
+        // the per-query M x 256 ADC table build (256 * D MACs), and
+        // D MACs per exact-refined candidate.
+        std::uint64_t refined =
+            std::uint64_t(cfg.batchSize) *
+            std::min(cfg.pq.refine, cfg.rerankCandidates);
+        w.ops = (static_cast<double>(candidates) * cfg.pq.m +
+                 static_cast<double>(cfg.batchSize) * 256.0 * cfg.dim +
+                 static_cast<double>(refined) * cfg.dim) /
+                partitions;
+        // Codes stream sequentially from per-cluster blocks — the
+        // device reads M bytes per candidate, not a page. Only the
+        // refined candidates still gather full vectors at page
+        // granularity.
+        w.bytesIn = (candidates * cfg.pq.m +
+                     refined * cfg.flashPageBytes) /
+                    partitions;
+    } else {
+        // KNN distance lanes: D MACs per candidate.
+        w.ops = static_cast<double>(candidates) * cfg.dim / partitions;
 
-    // Random gather: each candidate pulls one flash page (the vector
-    // occupies a fraction of it, but the device reads pages).
-    w.bytesIn = candidates * cfg.flashPageBytes / partitions;
+        // Random gather: each candidate pulls one flash page (the
+        // vector occupies a fraction of it, but the device reads
+        // pages).
+        w.bytesIn = candidates * cfg.flashPageBytes / partitions;
+    }
 
     // K results per query (id + distance).
     w.bytesOut =

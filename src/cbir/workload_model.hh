@@ -16,6 +16,7 @@
 #include <cstdint>
 
 #include "acc/accelerator.hh"
+#include "cbir/pq.hh"
 #include "cbir/vgg.hh"
 
 namespace reach::cbir
@@ -66,14 +67,33 @@ struct ScaleConfig
     bool includeReverseLookup = false;
     /** Average stored image size (compressed). */
     std::uint32_t avgImageBytes = 200'000;
+
+    /**
+     * Product-quantized rerank (mirrors the functional layer's
+     * CbirService::Config::pq; CoSimulation keeps the two in sync).
+     * When enabled, candidates are scanned as pq.m-byte codes laid
+     * out contiguously per cluster — sequential code reads replace
+     * the page-granular random gathers — and only the pq.refine
+     * exact-refined candidates per query still pull full flash pages.
+     */
+    PqConfig pq{};
 };
 
 class CbirWorkloadModel
 {
   public:
-    explicit CbirWorkloadModel(const ScaleConfig &cfg) : cfg(cfg) {}
+    /** Validates cfg (sim::fatal on a malformed pq block). */
+    explicit CbirWorkloadModel(const ScaleConfig &cfg);
 
     const ScaleConfig &scale() const { return cfg; }
+
+    /**
+     * Storage bytes one rerank candidate costs at gather granularity:
+     * a full flash page for the exact float pipeline, codeBytes for
+     * the PQ scan (codes stream sequentially from per-cluster
+     * blocks, so the device reads codes, not pages).
+     */
+    std::uint64_t rerankCandidateBytes() const;
 
     // ----- Table I footprints -----
 

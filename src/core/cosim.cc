@@ -17,13 +17,33 @@ kmeansConfigOf(const CbirService::Config &cfg)
     return km;
 }
 
+/** Fail fast on a bad PQ block, before the dataset/index builds. */
+CbirService::Config
+validatedServiceConfig(CbirService::Config cfg)
+{
+    if (cfg.pq.enabled)
+        cbir::validatePqConfig(cfg.pq, cfg.dataset.dim);
+    return cfg;
+}
+
+/** The timing layer's traffic mode must match the functional one. */
+cbir::ScaleConfig
+scaleWithServicePq(cbir::ScaleConfig scale,
+                   const CbirService::Config &svc)
+{
+    scale.pq = svc.pq;
+    return scale;
+}
+
 } // namespace
 
 CbirService::CbirService(const Config &config)
-    : cfg(config),
+    : cfg(validatedServiceConfig(config)),
       data(config.dataset),
       ivf(data.vectors(), kmeansConfigOf(config))
 {
+    if (cfg.pq.enabled)
+        ivf.buildPq(data.vectors(), cfg.pq, cfg.parallel);
 }
 
 cbir::RerankResults
@@ -35,6 +55,8 @@ CbirService::query(const cbir::Matrix &queries) const
     rc.k = cfg.topK;
     rc.maxCandidates = cfg.maxCandidates;
     rc.parallel = cfg.parallel;
+    rc.usePq = cfg.pq.enabled;
+    rc.pqRefine = cfg.pq.refine;
     return cbir::rerank(queries, data.vectors(), ivf, lists, rc);
 }
 
@@ -53,7 +75,8 @@ CoSimulation::CoSimulation(const CbirService::Config &service_cfg,
                            const cbir::ScaleConfig &timing_scale,
                            Mapping mapping,
                            const SystemConfig &system_cfg)
-    : svc(service_cfg), model(timing_scale)
+    : svc(service_cfg),
+      model(scaleWithServicePq(timing_scale, service_cfg))
 {
     sys = std::make_unique<ReachSystem>(system_cfg);
     deployment = std::make_unique<CbirDeployment>(*sys, model,

@@ -39,6 +39,13 @@ class CbirService
         std::uint32_t topK = 10;
         std::size_t maxCandidates = 4096;
         /**
+         * Product-quantized rerank: when enabled, the index stores
+         * pq.m-byte codes per cluster and query() ranks candidates by
+         * ADC, exact-refining the top pq.refine. Validated against
+         * the dataset dimensionality at construction (sim::fatal).
+         */
+        cbir::PqConfig pq{};
+        /**
          * Host-side thread budget and SIMD backend for the
          * functional kernels (index build, shortlist GEMM, rerank,
          * ground truth). Flows down into every kernel invocation; 1
@@ -97,7 +104,10 @@ class CoSimulation
      * @param service_cfg  Functional engine (sampled scale).
      * @param timing_scale Billion-scale parameters for the timing
      *                     model; batchSize must match the batches
-     *                     passed to processBatch.
+     *                     passed to processBatch. Its pq block is
+     *                     overwritten with service_cfg.pq so the
+     *                     timing traffic always matches the
+     *                     functional mode.
      * @param mapping      Stage-to-level assignment.
      * @param system_cfg   Machine configuration for the timing layer
      *                     (fault plan, instance counts, ...).

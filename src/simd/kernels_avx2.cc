@@ -222,6 +222,100 @@ l2sqBatchAvx2(const float *q, const float *rows, std::size_t n,
 }
 
 /**
+ * ADC: expand 8 u8 codes to i32 lanes, add the per-lane LUT row
+ * offsets (lane j reads subspace s+j, i.e. base lut + s*stride plus
+ * j*stride + code), gather, accumulate with plain adds. Lane j sums
+ * subspaces s, s+8, ... and hsum256 folds the lanes — the exact
+ * order adcAccumScalar reproduces, so the backends agree bitwise.
+ */
+REACH_AVX2 inline __m256i
+adcLaneBase()
+{
+    return _mm256_setr_epi32(0 * int(kAdcLutStride), 1 * int(kAdcLutStride),
+                             2 * int(kAdcLutStride), 3 * int(kAdcLutStride),
+                             4 * int(kAdcLutStride), 5 * int(kAdcLutStride),
+                             6 * int(kAdcLutStride), 7 * int(kAdcLutStride));
+}
+
+REACH_AVX2 float
+adcAccumAvx2(const float *lut, const std::uint8_t *code, std::size_t m)
+{
+    const __m256i base = adcLaneBase();
+    __m256 acc = _mm256_setzero_ps();
+    std::size_t s = 0;
+    for (; s + 8 <= m; s += 8) {
+        __m128i raw = _mm_loadl_epi64(
+            reinterpret_cast<const __m128i *>(code + s));
+        __m256i idx = _mm256_add_epi32(_mm256_cvtepu8_epi32(raw), base);
+        acc = _mm256_add_ps(
+            acc, _mm256_i32gather_ps(lut + s * kAdcLutStride, idx, 4));
+    }
+    float out = hsum256(acc);
+    for (; s < m; ++s)
+        out += lut[s * kAdcLutStride + code[s]];
+    return out;
+}
+
+/**
+ * Four candidate rows per step keep 32 gather lanes in flight; each
+ * row's chain is exactly the adcAccumAvx2 sequence.
+ */
+REACH_AVX2 void
+adcBatchAvx2(const float *lut, const std::uint8_t *codes, std::size_t n,
+             std::size_t m, float *out)
+{
+    const __m256i base = adcLaneBase();
+    std::size_t r = 0;
+    for (; r + 4 <= n; r += 4) {
+        const std::uint8_t *c0 = codes + r * m;
+        const std::uint8_t *c1 = c0 + m;
+        const std::uint8_t *c2 = c1 + m;
+        const std::uint8_t *c3 = c2 + m;
+        __m256 a0 = _mm256_setzero_ps(), a1 = _mm256_setzero_ps();
+        __m256 a2 = _mm256_setzero_ps(), a3 = _mm256_setzero_ps();
+        std::size_t s = 0;
+        for (; s + 8 <= m; s += 8) {
+            const float *row = lut + s * kAdcLutStride;
+            __m256i i0 = _mm256_add_epi32(
+                _mm256_cvtepu8_epi32(_mm_loadl_epi64(
+                    reinterpret_cast<const __m128i *>(c0 + s))),
+                base);
+            __m256i i1 = _mm256_add_epi32(
+                _mm256_cvtepu8_epi32(_mm_loadl_epi64(
+                    reinterpret_cast<const __m128i *>(c1 + s))),
+                base);
+            __m256i i2 = _mm256_add_epi32(
+                _mm256_cvtepu8_epi32(_mm_loadl_epi64(
+                    reinterpret_cast<const __m128i *>(c2 + s))),
+                base);
+            __m256i i3 = _mm256_add_epi32(
+                _mm256_cvtepu8_epi32(_mm_loadl_epi64(
+                    reinterpret_cast<const __m128i *>(c3 + s))),
+                base);
+            a0 = _mm256_add_ps(a0, _mm256_i32gather_ps(row, i0, 4));
+            a1 = _mm256_add_ps(a1, _mm256_i32gather_ps(row, i1, 4));
+            a2 = _mm256_add_ps(a2, _mm256_i32gather_ps(row, i2, 4));
+            a3 = _mm256_add_ps(a3, _mm256_i32gather_ps(row, i3, 4));
+        }
+        float s0 = hsum256(a0), s1 = hsum256(a1);
+        float s2 = hsum256(a2), s3 = hsum256(a3);
+        for (; s < m; ++s) {
+            const float *row = lut + s * kAdcLutStride;
+            s0 += row[c0[s]];
+            s1 += row[c1[s]];
+            s2 += row[c2[s]];
+            s3 += row[c3[s]];
+        }
+        out[r] = s0;
+        out[r + 1] = s1;
+        out[r + 2] = s2;
+        out[r + 3] = s3;
+    }
+    for (; r < n; ++r)
+        out[r] = adcAccumAvx2(lut, codes + r * m, m);
+}
+
+/**
  * 2x4 register block: eight live accumulators (two A rows x four B
  * rows), each an 8-lane FMA chain over d. Remainders fall back to
  * 1x4 and then 1x1 tiles.
@@ -310,7 +404,8 @@ avx2Kernels()
 {
     static const Kernels k{dotAvx2,      l2sqAvx2,   normSqAvx2,
                            axpyAvx2,     dotBatchAvx2, dotIdxAvx2,
-                           l2sqBatchAvx2, gemmNtAvx2};
+                           l2sqBatchAvx2, gemmNtAvx2,
+                           adcAccumAvx2, adcBatchAvx2};
     return k;
 }
 

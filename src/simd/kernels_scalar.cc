@@ -72,6 +72,41 @@ dotIdxScalar(const float *q, const float *base, const std::uint32_t *ids,
 }
 
 /**
+ * The ADC sum mirrors the avx2 layout exactly: eight virtual lanes
+ * accumulate subspaces s, s+8, s+16, ... independently, the lanes
+ * fold in the hsum256 tree order ((l0+l4)+(l2+l6)) + ((l1+l5)+(l3+l7)),
+ * and the m % 8 tail adds sequentially. Addition only (no FMA
+ * contraction to differ on), so scalar == avx2 bitwise.
+ */
+float
+adcAccumScalar(const float *lut, const std::uint8_t *code, std::size_t m)
+{
+    float lane[8] = {0, 0, 0, 0, 0, 0, 0, 0};
+    std::size_t s = 0;
+    for (; s + 8 <= m; s += 8) {
+        const float *row = lut + s * kAdcLutStride;
+        for (std::size_t j = 0; j < 8; ++j)
+            lane[j] += row[j * kAdcLutStride + code[s + j]];
+    }
+    float s04 = lane[0] + lane[4];
+    float s15 = lane[1] + lane[5];
+    float s26 = lane[2] + lane[6];
+    float s37 = lane[3] + lane[7];
+    float acc = (s04 + s26) + (s15 + s37);
+    for (; s < m; ++s)
+        acc += lut[s * kAdcLutStride + code[s]];
+    return acc;
+}
+
+void
+adcBatchScalar(const float *lut, const std::uint8_t *codes, std::size_t n,
+               std::size_t m, float *out)
+{
+    for (std::size_t r = 0; r < n; ++r)
+        out[r] = adcAccumScalar(lut, codes + r * m, m);
+}
+
+/**
  * 1x4 register tile: each A row streams once across four B rows with
  * four live accumulators; per-element order over d matches dot(), so
  * the tiling never changes a C value.
@@ -115,7 +150,8 @@ scalarKernels()
     static const Kernels k{dotScalar,      l2sqScalar,
                            normSqScalar,   axpyScalar,
                            dotBatchScalar, dotIdxScalar,
-                           l2sqBatchScalar, gemmNtScalar};
+                           l2sqBatchScalar, gemmNtScalar,
+                           adcAccumScalar, adcBatchScalar};
     return k;
 }
 

@@ -28,6 +28,13 @@
  *   dotBatch(q, rows, ...)[r] == dot(q, rows + r*d, d)
  *   l2sqBatch(q, rows,...)[r] == l2sq(q, rows + r*d, d)
  *   dotIdx(q, base, ids,..)[r]== dot(q, base + ids[r]*d, d)
+ *   adcBatch(lut, codes,..)[r]== adcAccum(lut, codes + r*m, m)
+ *
+ * The ADC pair is stricter than the rest: its sum contains no
+ * multiplies, so both backends commit to one accumulation order
+ * (eight interleaved partial sums folded by the fixed hsum tree,
+ * then a sequential tail) and scalar/avx2 agree BITWISE, not just to
+ * tolerance.
  */
 
 #ifndef REACH_SIMD_SIMD_HH
@@ -38,6 +45,14 @@
 
 namespace reach::simd
 {
+
+/**
+ * Row stride (in floats) of the ADC lookup table: every subspace row
+ * holds kAdcLutStride entries regardless of the trained centroid
+ * count, so a u8 code always indexes in bounds and the avx2 gather
+ * can use one constant lane offset.
+ */
+inline constexpr std::size_t kAdcLutStride = 256;
 
 /** A concrete kernel implementation. */
 enum class Backend : std::uint8_t { scalar, avx2 };
@@ -106,6 +121,17 @@ struct Kernels
     void (*gemmNt)(const float *a, std::size_t n, const float *b,
                    std::size_t m, std::size_t d, float *c,
                    std::size_t ldc);
+    /**
+     * PQ asymmetric-distance accumulation:
+     *   sum_s lut[s * kAdcLutStride + code[s]]  for s in [0, m).
+     * Pure fp32 additions in the fixed order documented above, so the
+     * result is bitwise identical across backends.
+     */
+    float (*adcAccum)(const float *lut, const std::uint8_t *code,
+                      std::size_t m);
+    /** out[r] = adcAccum(lut, codes + r*m, m) for r in [0, n). */
+    void (*adcBatch)(const float *lut, const std::uint8_t *codes,
+                     std::size_t n, std::size_t m, float *out);
 };
 
 /** Kernel table of a backend (valid for the process lifetime). */

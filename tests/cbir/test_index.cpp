@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include "cbir/index.hh"
+#include "cbir/rerank.hh"
+#include "cbir/shortlist.hh"
 #include "workload/dataset.hh"
 
 using namespace reach;
@@ -66,6 +68,43 @@ TEST(InvertedFileIndex, PrebuiltAssignmentConstructor)
     EXPECT_EQ(idx.totalIds(), 5u);
     EXPECT_EQ(idx.maxClusterSize(), 3u);
     EXPECT_EQ(idx.minClusterSize(), 2u);
+}
+
+/**
+ * An index rebuilt from a precomputed clustering has no vectors to
+ * cache norms from (vectorNormsSq() is empty); rerank must fall back
+ * to computing database norms on the fly and return results bitwise
+ * identical to the vector-built index.
+ */
+TEST(InvertedFileIndex, PrecomputedClusteringRerankFallback)
+{
+    workload::DatasetConfig dc;
+    dc.numVectors = 800;
+    dc.dim = 16;
+    dc.latentClusters = 10;
+    workload::Dataset ds(dc);
+
+    KMeansConfig cfg;
+    cfg.clusters = 12;
+    KMeansResult km = kMeans(ds.vectors(), cfg);
+
+    InvertedFileIndex from_vectors(ds.vectors(), cfg);
+    InvertedFileIndex from_clustering(km.centroids, km.assignment);
+    EXPECT_FALSE(from_vectors.vectorNormsSq().empty());
+    EXPECT_TRUE(from_clustering.vectorNormsSq().empty());
+    ASSERT_EQ(from_clustering.totalIds(), ds.size());
+
+    cbir::Matrix queries = ds.makeQueries(6, 0.2, 17);
+    auto lists = shortlistRetrieve(queries, from_vectors, 4);
+    RerankConfig rc;
+    rc.k = 10;
+    auto want = rerank(queries, ds.vectors(), from_vectors, lists, rc);
+    auto got =
+        rerank(queries, ds.vectors(), from_clustering, lists, rc);
+
+    ASSERT_EQ(got.size(), want.size());
+    for (std::size_t q = 0; q < want.size(); ++q)
+        EXPECT_EQ(got[q], want[q]) << "query " << q;
 }
 
 TEST(InvertedFileIndex, MembersAreNearTheirCentroid)

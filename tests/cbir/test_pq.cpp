@@ -1,0 +1,375 @@
+/**
+ * @file
+ * The PQ codec's contract: encode picks nearest subspace centroids,
+ * ADC equals the exact distance to the decoded vector, the table
+ * build is a backend-independent pure function, the compressed
+ * rerank path is bitwise identical across thread counts and (without
+ * refine) across backends, and refine covering the budget recovers
+ * the exact pipeline.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cbir/index.hh"
+#include "cbir/pq.hh"
+#include "cbir/rerank.hh"
+#include "cbir/shortlist.hh"
+#include "sim/logging.hh"
+#include "workload/dataset.hh"
+
+using namespace reach;
+using namespace reach::cbir;
+
+namespace
+{
+
+workload::Dataset
+pqDataset()
+{
+    workload::DatasetConfig dc;
+    dc.numVectors = 1000;
+    dc.dim = 32;
+    dc.latentClusters = 12;
+    return workload::Dataset(dc);
+}
+
+PqConfig
+pqConfig(std::uint32_t m)
+{
+    PqConfig pc;
+    pc.enabled = true;
+    pc.m = m;
+    pc.trainIterations = 4;
+    return pc;
+}
+
+} // namespace
+
+TEST(PqCodebook, TrainShapes)
+{
+    auto ds = pqDataset();
+    PqCodebook cb = PqCodebook::train(ds.vectors(), pqConfig(8));
+    EXPECT_EQ(cb.numSubspaces(), 8u);
+    EXPECT_EQ(cb.subDim(), 4u);
+    EXPECT_EQ(cb.numCentroids(), 256u);
+    EXPECT_EQ(cb.dim(), 32u);
+    EXPECT_EQ(cb.codeBytes(), 8u);
+    EXPECT_EQ(PqCodebook::lutFloats(8), 8 * simd::kAdcLutStride);
+}
+
+TEST(PqCodebook, FewerVectorsThanCentroidsShrinksCodebooks)
+{
+    Matrix tiny(10, 8);
+    for (std::size_t r = 0; r < 10; ++r)
+        tiny.at(r, 0) = static_cast<float>(r);
+    PqConfig pc = pqConfig(2);
+    PqCodebook cb = PqCodebook::train(tiny, pc);
+    EXPECT_EQ(cb.numCentroids(), 10u);
+}
+
+TEST(PqConfigValidation, RejectsMalformedConfigs)
+{
+    PqConfig pc = pqConfig(8);
+    pc.m = 0;
+    EXPECT_THROW(validatePqConfig(pc, 32), sim::SimFatal);
+    pc.m = 7; // does not divide 32
+    EXPECT_THROW(validatePqConfig(pc, 32), sim::SimFatal);
+    pc.m = 64; // exceeds dim
+    EXPECT_THROW(validatePqConfig(pc, 32), sim::SimFatal);
+    pc.m = 8;
+    pc.trainIterations = 0;
+    EXPECT_THROW(validatePqConfig(pc, 32), sim::SimFatal);
+    pc.trainIterations = 4;
+    validatePqConfig(pc, 32); // well-formed: no throw
+}
+
+TEST(PqCodebook, EncodePicksNearestSubspaceCentroid)
+{
+    auto ds = pqDataset();
+    PqCodebook cb = PqCodebook::train(ds.vectors(), pqConfig(8));
+    std::vector<std::uint8_t> code(cb.codeBytes());
+    for (std::size_t r = 0; r < 20; ++r) {
+        std::span<const float> v = ds.vectors().row(r);
+        cb.encode(v, code.data());
+        for (std::size_t s = 0; s < cb.numSubspaces(); ++s) {
+            std::span<const float> sub{v.data() + s * cb.subDim(),
+                                       cb.subDim()};
+            float own = l2sq(sub, cb.centroid(s, code[s]));
+            for (std::size_t j = 0; j < cb.numCentroids(); ++j) {
+                EXPECT_LE(own, l2sq(sub, cb.centroid(s, j)) + 1e-4f)
+                    << "row " << r << " subspace " << s;
+            }
+        }
+    }
+}
+
+TEST(PqCodebook, AdcEqualsDistanceToDecodedVector)
+{
+    auto ds = pqDataset();
+    PqCodebook cb = PqCodebook::train(ds.vectors(), pqConfig(8));
+    cbir::Matrix queries = ds.makeQueries(5, 0.3, 99);
+
+    std::vector<float> lut(PqCodebook::lutFloats(cb.numSubspaces()));
+    std::vector<std::uint8_t> code(cb.codeBytes());
+    std::vector<float> decoded(cb.dim());
+    const auto &k = simd::kernels(simd::Choice::autoDetect);
+
+    for (std::size_t q = 0; q < queries.rows(); ++q) {
+        cb.adcTable(queries.row(q), lut.data());
+        for (std::size_t r = 0; r < 50; ++r) {
+            cb.encode(ds.vectors().row(r), code.data());
+            cb.decode(code.data(), decoded);
+            float adc = k.adcAccum(lut.data(), code.data(),
+                                   cb.numSubspaces());
+            float ref = l2sq(queries.row(q),
+                             std::span<const float>(decoded));
+            EXPECT_NEAR(adc, ref, 1e-4f * (1.0f + ref))
+                << "query " << q << " row " << r;
+        }
+    }
+}
+
+TEST(PqCodebook, AdcTableRowsMatchSubspaceL2AndPadWithZeros)
+{
+    auto ds = pqDataset();
+    PqCodebook cb = PqCodebook::train(ds.vectors(), pqConfig(8));
+    cbir::Matrix queries = ds.makeQueries(1, 0.3, 7);
+    std::span<const float> q = queries.row(0);
+
+    std::vector<float> lut(PqCodebook::lutFloats(cb.numSubspaces()));
+    cb.adcTable(q, lut.data());
+    // The build is a fixed function of (query, codebook): a second
+    // build reproduces the exact bits regardless of backend choice.
+    std::vector<float> again(lut.size(), -1.0f);
+    cb.adcTable(q, again.data());
+    EXPECT_EQ(lut, again);
+
+    for (std::size_t s = 0; s < cb.numSubspaces(); ++s) {
+        for (std::size_t j = 0; j < cb.numCentroids(); ++j) {
+            float ref = l2sq(
+                std::span<const float>(q.data() + s * cb.subDim(),
+                                       cb.subDim()),
+                cb.centroid(s, j));
+            EXPECT_NEAR(lut[s * simd::kAdcLutStride + j], ref,
+                        1e-5f * (1.0f + ref))
+                << "s=" << s << " j=" << j;
+        }
+        // Padding past the trained centroids stays zero.
+        for (std::size_t j = cb.numCentroids();
+             j < simd::kAdcLutStride; ++j)
+            EXPECT_EQ(lut[s * simd::kAdcLutStride + j], 0.0f);
+    }
+}
+
+TEST(PqCodebook, EncodeAllMatchesEncodeAndIsThreadInvariant)
+{
+    auto ds = pqDataset();
+    PqCodebook cb = PqCodebook::train(ds.vectors(), pqConfig(8));
+
+    parallel::ParallelConfig serial = parallel::ParallelConfig::serial();
+    parallel::ParallelConfig four;
+    four.threads = 4;
+    four.simd = serial.simd;
+    auto codes1 = cb.encodeAll(ds.vectors(), serial);
+    auto codes4 = cb.encodeAll(ds.vectors(), four);
+    EXPECT_EQ(codes1, codes4);
+
+    std::vector<std::uint8_t> one(cb.codeBytes());
+    for (std::size_t r : {std::size_t(0), std::size_t(421)}) {
+        cb.encode(ds.vectors().row(r), one.data());
+        for (std::size_t s = 0; s < cb.codeBytes(); ++s)
+            EXPECT_EQ(one[s], codes1[r * cb.codeBytes() + s]);
+    }
+}
+
+TEST(PqCodebook, ShapeMismatchesPanic)
+{
+    auto ds = pqDataset();
+    PqCodebook cb = PqCodebook::train(ds.vectors(), pqConfig(8));
+    std::vector<float> wrong(cb.dim() + 1);
+    std::vector<std::uint8_t> code(cb.codeBytes());
+    std::vector<float> lut(PqCodebook::lutFloats(cb.numSubspaces()));
+    EXPECT_THROW(cb.encode(wrong, code.data()), sim::SimPanic);
+    EXPECT_THROW(cb.adcTable(wrong, lut.data()), sim::SimPanic);
+    std::vector<float> out(cb.dim() - 1);
+    EXPECT_THROW(cb.decode(code.data(), out), sim::SimPanic);
+}
+
+TEST(InvertedFileIndexPq, ClusterCodesMatchMemberEncodings)
+{
+    auto ds = pqDataset();
+    KMeansConfig kc;
+    kc.clusters = 16;
+    InvertedFileIndex idx(ds.vectors(), kc);
+    EXPECT_FALSE(idx.hasPq());
+    EXPECT_TRUE(idx.clusterCodes(0).empty());
+
+    idx.buildPq(ds.vectors(), pqConfig(8));
+    ASSERT_TRUE(idx.hasPq());
+    const PqCodebook &cb = idx.pqCodebook();
+    auto codes = cb.encodeAll(ds.vectors());
+
+    for (std::size_t c = 0; c < idx.numClusters(); ++c) {
+        const auto &members = idx.cluster(c);
+        auto block = idx.clusterCodes(c);
+        ASSERT_EQ(block.size(), members.size() * cb.codeBytes());
+        for (std::size_t i = 0; i < members.size(); ++i) {
+            for (std::size_t s = 0; s < cb.codeBytes(); ++s) {
+                EXPECT_EQ(block[i * cb.codeBytes() + s],
+                          codes[members[i] * cb.codeBytes() + s])
+                    << "cluster " << c << " member " << i;
+            }
+        }
+    }
+}
+
+TEST(InvertedFileIndexPq, AttachRejectsWrongSizes)
+{
+    auto ds = pqDataset();
+    KMeansConfig kc;
+    kc.clusters = 8;
+    InvertedFileIndex idx(ds.vectors(), kc);
+    EXPECT_THROW(idx.pqCodebook(), sim::SimPanic);
+
+    auto cb = std::make_shared<const PqCodebook>(
+        PqCodebook::train(ds.vectors(), pqConfig(8)));
+    std::vector<std::uint8_t> short_codes(ds.size() * 8 - 1);
+    EXPECT_THROW(idx.attachPq(cb, short_codes), sim::SimPanic);
+    EXPECT_THROW(idx.attachPq(nullptr, short_codes), sim::SimPanic);
+
+    Matrix half(ds.size() / 2, ds.vectors().cols());
+    EXPECT_THROW(idx.buildPq(half, pqConfig(8)), sim::SimPanic);
+}
+
+namespace
+{
+
+struct PqRerankFixture
+{
+    workload::Dataset ds = pqDataset();
+    InvertedFileIndex idx;
+    cbir::Matrix queries;
+    ShortLists lists;
+
+    PqRerankFixture()
+        : idx(ds.vectors(),
+              [] {
+                  KMeansConfig kc;
+                  kc.clusters = 20;
+                  return kc;
+              }()),
+          queries(ds.makeQueries(10, 0.2, 31))
+    {
+        idx.buildPq(ds.vectors(), pqConfig(8));
+        lists = shortlistRetrieve(queries, idx, 6);
+    }
+};
+
+} // namespace
+
+TEST(RerankPq, PanicsWithoutCodes)
+{
+    auto ds = pqDataset();
+    KMeansConfig kc;
+    kc.clusters = 20;
+    InvertedFileIndex bare(ds.vectors(), kc);
+    cbir::Matrix queries = ds.makeQueries(4, 0.2, 31);
+    auto lists = shortlistRetrieve(queries, bare, 6);
+    RerankConfig rc;
+    rc.usePq = true;
+    EXPECT_THROW(rerank(queries, ds.vectors(), bare, lists, rc),
+                 sim::SimPanic);
+}
+
+TEST(RerankPq, RefineCoveringTheBudgetRecoversTheExactPipeline)
+{
+    PqRerankFixture f;
+    RerankConfig exact;
+    exact.k = 10;
+    exact.maxCandidates = 300;
+    auto want = rerank(f.queries, f.ds.vectors(), f.idx, f.lists,
+                       exact);
+
+    // Refine >= the candidate budget re-scores every candidate with
+    // exact distances: identical neighbours, bitwise.
+    RerankConfig pq = exact;
+    pq.usePq = true;
+    pq.pqRefine = 300;
+    auto got = rerank(f.queries, f.ds.vectors(), f.idx, f.lists, pq);
+    ASSERT_EQ(got.size(), want.size());
+    for (std::size_t q = 0; q < want.size(); ++q)
+        EXPECT_EQ(got[q], want[q]) << "query " << q;
+}
+
+TEST(RerankPq, RecallAgainstTheExactPipeline)
+{
+    PqRerankFixture f;
+    RerankConfig exact;
+    exact.k = 10;
+    exact.maxCandidates = 4096;
+    auto want = rerank(f.queries, f.ds.vectors(), f.idx, f.lists,
+                       exact);
+
+    RerankConfig pq = exact;
+    pq.usePq = true;
+    pq.pqRefine = 0;
+    double pure = recallAtK(
+        rerank(f.queries, f.ds.vectors(), f.idx, f.lists, pq), want,
+        10);
+    pq.pqRefine = 64;
+    double refined = recallAtK(
+        rerank(f.queries, f.ds.vectors(), f.idx, f.lists, pq), want,
+        10);
+
+    // Pure ADC ordering is approximate but far from random; the
+    // two-stage refine pass must recover near-exact recall.
+    EXPECT_GT(pure, 0.5);
+    EXPECT_GE(refined, pure);
+    EXPECT_GE(refined, 0.9);
+}
+
+TEST(RerankPq, BackendsAgreeBitwiseWithoutRefine)
+{
+    if (!simd::supported(simd::Backend::avx2))
+        GTEST_SKIP() << "avx2 not supported on this host";
+    // The ADC table build is backend-independent and adcBatch is
+    // bitwise cross-backend, so a pure-ADC rerank (no exact refine)
+    // returns identical bits on scalar and avx2 — a stronger contract
+    // than the float pipeline's tolerance-based agreement.
+    PqRerankFixture f;
+    RerankConfig rc;
+    rc.k = 10;
+    rc.maxCandidates = 4096;
+    rc.usePq = true;
+    rc.pqRefine = 0;
+    rc.parallel = parallel::ParallelConfig::serial();
+    rc.parallel.simd = simd::Choice::scalar;
+    auto scalar = rerank(f.queries, f.ds.vectors(), f.idx, f.lists,
+                         rc);
+    rc.parallel.simd = simd::Choice::avx2;
+    auto avx2 = rerank(f.queries, f.ds.vectors(), f.idx, f.lists, rc);
+    ASSERT_EQ(scalar.size(), avx2.size());
+    for (std::size_t q = 0; q < scalar.size(); ++q)
+        EXPECT_EQ(scalar[q], avx2[q]) << "query " << q;
+}
+
+TEST(RerankPq, ThreadCountDoesNotChangeResults)
+{
+    PqRerankFixture f;
+    RerankConfig rc;
+    rc.k = 10;
+    rc.maxCandidates = 4096;
+    rc.usePq = true;
+    rc.pqRefine = 32;
+    rc.parallel = parallel::ParallelConfig::serial();
+    auto serial = rerank(f.queries, f.ds.vectors(), f.idx, f.lists,
+                         rc);
+    rc.parallel.threads = 4;
+    auto threaded = rerank(f.queries, f.ds.vectors(), f.idx, f.lists,
+                           rc);
+    ASSERT_EQ(serial.size(), threaded.size());
+    for (std::size_t q = 0; q < serial.size(); ++q)
+        EXPECT_EQ(serial[q], threaded[q]) << "query " << q;
+}

@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include "cbir/workload_model.hh"
+#include "sim/logging.hh"
 
 using namespace reach;
 using namespace reach::cbir;
@@ -99,6 +100,55 @@ TEST(WorkloadModel, RerankTrafficIsPageGranular)
               std::uint64_t(16) * 4096 * 4096); // B*cands*page
 }
 
+TEST(WorkloadModel, PqRerankBytesDropToCodeSize)
+{
+    ScaleConfig s = paperScale();
+    s.pq.enabled = true;
+    s.pq.m = 32;
+    s.pq.refine = 0;
+    CbirWorkloadModel m(s);
+    auto w = m.rerankBatch(1);
+    // No refine: the sequential code scan is the only storage read —
+    // bytes drop from candidates * flashPage to candidates * m,
+    // exactly proportional to the code size.
+    std::uint64_t candidates = 16ull * 4096;
+    EXPECT_EQ(w.bytesIn, candidates * 32);
+    EXPECT_EQ(m.rerankCandidateBytes(), 32u);
+
+    CbirWorkloadModel exact(paperScale());
+    EXPECT_EQ(exact.rerankBatch(1).bytesIn / w.bytesIn,
+              std::uint64_t(exact.rerankCandidateBytes()) / 32);
+}
+
+TEST(WorkloadModel, PqRefineAddsPageGranularGathers)
+{
+    ScaleConfig s = paperScale();
+    s.pq.enabled = true;
+    s.pq.m = 32;
+    s.pq.refine = 128;
+    CbirWorkloadModel m(s);
+    auto w = m.rerankBatch(1);
+    std::uint64_t candidates = 16ull * 4096;
+    EXPECT_EQ(w.bytesIn, candidates * 32 + 16ull * 128 * 4096);
+    // Even with refine, compressed traffic stays far below exact.
+    CbirWorkloadModel exact(paperScale());
+    EXPECT_LT(w.bytesIn, exact.rerankBatch(1).bytesIn / 10);
+    // Compute: lookups + LUT build + refine MACs stay below the
+    // exact path's D MACs per candidate.
+    EXPECT_LT(w.ops, exact.rerankBatch(1).ops);
+}
+
+TEST(WorkloadModel, PqConfigValidatedAtConstruction)
+{
+    ScaleConfig s = paperScale();
+    s.pq.enabled = true;
+    s.pq.m = 7; // does not divide dim = 96
+    EXPECT_THROW(CbirWorkloadModel{s}, sim::SimFatal);
+    s.pq.enabled = false;
+    CbirWorkloadModel ok{s}; // disabled blocks are not validated
+    EXPECT_EQ(ok.rerankCandidateBytes(), 4096u);
+}
+
 TEST(WorkloadModel, RerankComputeLight)
 {
     CbirWorkloadModel m(paperScale());
@@ -142,6 +192,15 @@ TEST_P(WorkloadPartitions, ConservationAcrossPartitions)
     EXPECT_NEAR(static_cast<double>(rr.bytesIn) * p,
                 static_cast<double>(rr1.bytesIn),
                 static_cast<double>(rr1.bytesIn) * 0.02);
+
+    ScaleConfig ps = paperScale();
+    ps.pq.enabled = true;
+    CbirWorkloadModel pm(ps);
+    auto prr = pm.rerankBatch(p);
+    auto prr1 = pm.rerankBatch(1);
+    EXPECT_NEAR(static_cast<double>(prr.bytesIn) * p,
+                static_cast<double>(prr1.bytesIn),
+                static_cast<double>(prr1.bytesIn) * 0.02);
 }
 
 INSTANTIATE_TEST_SUITE_P(Partitions, WorkloadPartitions,

@@ -64,6 +64,39 @@ TEST(CbirService, RecallIsHighForEasyQueries)
     EXPECT_GT(svc.measureRecall(16, 0.05, 77), 0.85);
 }
 
+TEST(CbirService, PqModeAnswersWithHighRecallAndLessTraffic)
+{
+    CbirService::Config cfg = smallService();
+    cfg.pq.enabled = true;
+    cfg.pq.m = 8; // dim = 24 -> 3 floats per subspace
+    cfg.pq.refine = 128;
+    cfg.pq.trainIterations = 4;
+    CbirService svc(cfg);
+    EXPECT_TRUE(svc.index().hasPq());
+    EXPECT_GT(svc.measureRecall(16, 0.05, 77), 0.85);
+
+    // The co-sim timing layer must inherit the service's PQ mode:
+    // near-storage rerank reads shrink from pages to codes.
+    CoSimulation pq_sim(cfg, smallScale(), Mapping::Reach);
+    CoSimulation exact_sim(smallService(), smallScale(),
+                           Mapping::Reach);
+    cbir::Matrix queries =
+        pq_sim.service().dataset().makeQueries(8, 0.05, 5);
+    CoSimBatch pq_batch = pq_sim.processBatch(queries);
+    EXPECT_EQ(pq_batch.results.size(), 8u);
+    EXPECT_GT(pq_batch.latency, 0u);
+    EXPECT_LT(pq_batch.latency,
+              exact_sim.processBatch(queries).latency);
+}
+
+TEST(CbirService, MalformedPqConfigIsFatal)
+{
+    CbirService::Config cfg = smallService();
+    cfg.pq.enabled = true;
+    cfg.pq.m = 7; // does not divide dim = 24
+    EXPECT_THROW(CbirService{cfg}, sim::SimFatal);
+}
+
 TEST(CoSim, BatchProducesAnswersAndTiming)
 {
     CoSimulation cosim(smallService(), smallScale(),

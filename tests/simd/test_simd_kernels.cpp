@@ -173,6 +173,74 @@ TEST_P(SimdBackend, CrossKernelInvariantsBitwise)
     }
 }
 
+TEST_P(SimdBackend, AdcBatchMatchesAdcAccumBitwise)
+{
+    // Subspace counts covering m=0, m=1, every m%8 residue, and
+    // multi-block; n=7 exercises the 4-row block and its remainder.
+    const std::size_t kSubspaces[] = {0, 1, 3, 7, 8, 9, 16, 32, 33};
+    for (std::size_t m : kSubspaces) {
+        auto lut = randomVec(std::max<std::size_t>(m, 1) *
+                                 simd::kAdcLutStride,
+                             500 + m);
+        constexpr std::size_t n = 7;
+        sim::Rng rng(600 + m);
+        std::vector<std::uint8_t> codes(n * std::max<std::size_t>(m, 1));
+        for (auto &c : codes)
+            c = static_cast<std::uint8_t>(rng.nextUInt(256));
+        std::vector<float> out(n, -1.0f);
+        k().adcBatch(lut.data(), codes.data(), n, m, out.data());
+        for (std::size_t r = 0; r < n; ++r) {
+            EXPECT_EQ(out[r],
+                      k().adcAccum(lut.data(), codes.data() + r * m, m))
+                << "adcBatch row " << r << " m=" << m;
+        }
+    }
+}
+
+TEST_P(SimdBackend, AdcEdgeCases)
+{
+    float lut[simd::kAdcLutStride] = {};
+    lut[0] = 2.5f;
+    lut[200] = 4.0f;
+    const std::uint8_t code[] = {200};
+    EXPECT_EQ(k().adcAccum(lut, code, 0), 0.0f);
+    EXPECT_FLOAT_EQ(k().adcAccum(lut, code, 1), 4.0f);
+
+    float out = 42.0f;
+    k().adcBatch(lut, code, 0, 1, &out); // zero rows: out untouched
+    EXPECT_FLOAT_EQ(out, 42.0f);
+}
+
+/**
+ * The ADC pair is held to a stricter contract than the other
+ * kernels: the fixed accumulation order makes scalar and avx2 agree
+ * BITWISE (simd.hh), not just to tolerance.
+ */
+TEST(SimdAdc, BackendsAgreeBitwise)
+{
+    if (!simd::supported(simd::Backend::avx2))
+        GTEST_SKIP() << "no avx2 on this host";
+    const auto &sc = simd::kernels(simd::Backend::scalar);
+    const auto &av = simd::kernels(simd::Backend::avx2);
+    const std::size_t kSubspaces[] = {1, 5, 8, 12, 16, 32, 37};
+    for (std::size_t m : kSubspaces) {
+        auto lut = randomVec(m * simd::kAdcLutStride, 700 + m);
+        constexpr std::size_t n = 11;
+        sim::Rng rng(800 + m);
+        std::vector<std::uint8_t> codes(n * m);
+        for (auto &c : codes)
+            c = static_cast<std::uint8_t>(rng.nextUInt(256));
+        std::vector<float> a(n), b(n);
+        sc.adcBatch(lut.data(), codes.data(), n, m, a.data());
+        av.adcBatch(lut.data(), codes.data(), n, m, b.data());
+        for (std::size_t r = 0; r < n; ++r)
+            EXPECT_EQ(a[r], b[r]) << "row " << r << " m=" << m;
+        EXPECT_EQ(sc.adcAccum(lut.data(), codes.data(), m),
+                  av.adcAccum(lut.data(), codes.data(), m))
+            << "m=" << m;
+    }
+}
+
 TEST_P(SimdBackend, GemmNtMatchesDotReference)
 {
     // Odd shapes exercise the 2x4 block and both remainders.
