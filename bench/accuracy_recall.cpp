@@ -12,15 +12,22 @@
  * rerank (code size M x exact-refine budget R), reporting recall@10
  * against exhaustive ground truth and against the exact pipeline.
  *
- * --smoke shrinks every sweep to CI-sized inputs. In both modes the
- * binary exits non-zero if the PQ configuration the timing model
- * defaults to (M=32, refine=128) fails to reach recall@10 >= 0.9
- * against the exact pipeline.
+ * --smoke shrinks every sweep to CI-sized inputs. The PQ grid runs
+ * at both code precisions (bits = 8 and the packed 4-bit FastScan
+ * mode) and, with --out=FILE, is recorded as a self-checking JSON
+ * artifact (git_sha context via --git-sha=SHA, thresholds embedded)
+ * — bench/run_recall.sh writes it to BENCH_recall.json at the repo
+ * root. In every mode the binary exits non-zero if either gate
+ * fails: the timing model's default 8-bit point (M=32, refine=128)
+ * or the best 4-bit point must reach recall@10 >= 0.9 against the
+ * exact pipeline.
  */
 
 #include <cmath>
 #include <cstdio>
 #include <cstring>
+#include <string>
+#include <vector>
 
 #include "cbir/pq.hh"
 #include "cbir/rerank.hh"
@@ -54,6 +61,17 @@ quantize(const Matrix &m, int bits)
     return out;
 }
 
+/** One PQ grid point for the JSON artifact. */
+struct GridRow
+{
+    std::uint32_t bits;
+    std::uint32_t m;
+    std::uint32_t refine;
+    std::uint32_t bytesPerCand;
+    double vsExact;
+    double vsTruth;
+};
+
 } // namespace
 
 int
@@ -61,8 +79,15 @@ main(int argc, char **argv)
 {
     sim::setQuiet(true);
     bool smoke = false;
-    for (int i = 1; i < argc; ++i)
-        smoke = smoke || std::strcmp(argv[i], "--smoke") == 0;
+    std::string out_path, git_sha = "unknown";
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--smoke") == 0)
+            smoke = true;
+        else if (std::strncmp(argv[i], "--out=", 6) == 0)
+            out_path = argv[i] + 6;
+        else if (std::strncmp(argv[i], "--git-sha=", 10) == 0)
+            git_sha = argv[i] + 10;
+    }
 
     workload::DatasetConfig dc;
     dc.numVectors = smoke ? 3'000 : 20'000;
@@ -132,27 +157,42 @@ main(int argc, char **argv)
 
     bench::printHeader("Recall@10 of the product-quantized rerank "
                        "(vs exact pipeline / vs truth)");
-    std::printf("%-6s %-8s %12s %10s %10s %12s\n", "M", "refine",
-                "bytes/cand", "vs exact", "vs truth", "size vs fp32");
-    double headline = 0.0;
-    for (std::uint32_t m : {8u, 16u, 32u}) {
-        PqConfig pc;
-        pc.enabled = true;
-        pc.m = m;
-        pc.trainIterations = smoke ? 4 : 8;
-        index.buildPq(ds.vectors(), pc);
-        for (std::uint32_t refine : {0u, 32u, 128u}) {
-            RerankConfig rc = ex;
-            rc.usePq = true;
-            rc.pqRefine = refine;
-            auto got = rerank(queries, ds.vectors(), index, lists, rc);
-            double vs_exact = recallAtK(got, exact, 10);
-            double vs_truth = recallAtK(got, truth, 10);
-            if (m == 32 && refine == 128)
-                headline = vs_exact;
-            std::printf("%-6u %-8u %12u %10.3f %10.3f %11.1f%%\n", m,
-                        refine, m, vs_exact, vs_truth,
-                        100.0 * m / (dc.dim * 4.0));
+    std::printf("%-6s %-6s %-8s %12s %10s %10s %12s\n", "bits", "M",
+                "refine", "bytes/cand", "vs exact", "vs truth",
+                "size vs fp32");
+    std::vector<GridRow> grid;
+    double headline8 = 0.0, headline4 = 0.0;
+    for (std::uint32_t bits : {8u, 4u}) {
+        // M = 48 (2-dim subspaces) costs the same 24 B/candidate as
+        // 8-bit M = 24: the 4-bit mode buys subspaces with nibbles.
+        for (std::uint32_t m : {8u, 16u, 32u, 48u}) {
+            PqConfig pc;
+            pc.enabled = true;
+            pc.m = m;
+            pc.bits = bits;
+            pc.trainIterations = smoke ? 4 : 8;
+            index.buildPq(ds.vectors(), pc);
+            for (std::uint32_t refine : {0u, 32u, 128u, 512u}) {
+                RerankConfig rc = ex;
+                rc.usePq = true;
+                rc.pqRefine = refine;
+                auto got =
+                    rerank(queries, ds.vectors(), index, lists, rc);
+                double vs_exact = recallAtK(got, exact, 10);
+                double vs_truth = recallAtK(got, truth, 10);
+                auto code_bytes =
+                    static_cast<std::uint32_t>(pqCodeBytes(pc));
+                if (bits == 8 && m == 32 && refine == 128)
+                    headline8 = vs_exact;
+                if (bits == 4)
+                    headline4 = std::max(headline4, vs_exact);
+                grid.push_back({bits, m, refine, code_bytes,
+                                vs_exact, vs_truth});
+                std::printf(
+                    "%-6u %-6u %-8u %12u %10.3f %10.3f %11.1f%%\n",
+                    bits, m, refine, code_bytes, vs_exact, vs_truth,
+                    100.0 * code_bytes / (dc.dim * 4.0));
+            }
         }
     }
 
@@ -162,9 +202,68 @@ main(int argc, char **argv)
                 "middle ground: ADC ordering from M-byte codes, "
                 "exact-refine of the top R to claw recall back.\n");
 
-    if (headline < 0.9) {
-        std::printf("FAIL: M=32 refine=128 recall@10 vs exact = "
-                    "%.3f < 0.9\n", headline);
+    const double threshold = 0.9;
+    bool pass8 = headline8 >= threshold;
+    bool pass4 = headline4 >= threshold;
+
+    if (!out_path.empty()) {
+        std::FILE *f = std::fopen(out_path.c_str(), "w");
+        if (!f) {
+            std::printf("FAIL: cannot write %s\n", out_path.c_str());
+            return 1;
+        }
+        std::fprintf(f, "{\n  \"context\": {\n");
+        std::fprintf(f, "    \"git_sha\": \"%s\",\n",
+                     git_sha.c_str());
+        std::fprintf(f, "    \"smoke\": %s,\n",
+                     smoke ? "true" : "false");
+        std::fprintf(f, "    \"dataset_vectors\": %zu,\n",
+                     ds.size());
+        std::fprintf(f, "    \"dim\": %u,\n", dc.dim);
+        std::fprintf(f, "    \"queries\": %zu,\n", queries.rows());
+        std::fprintf(f, "    \"nprobe\": %zu,\n", nprobe);
+        std::fprintf(f, "    \"candidate_budget\": %zu\n",
+                     budget);
+        std::fprintf(f, "  },\n  \"thresholds\": {\n");
+        std::fprintf(f,
+                     "    \"recall_at_10_vs_exact\": %.2f,\n"
+                     "    \"gate_pq8\": \"bits=8 M=32 "
+                     "refine=128\",\n"
+                     "    \"gate_pq4\": \"best 4-bit point\"\n",
+                     threshold);
+        std::fprintf(f, "  },\n  \"grid\": [\n");
+        for (std::size_t i = 0; i < grid.size(); ++i) {
+            const GridRow &g = grid[i];
+            std::fprintf(
+                f,
+                "    {\"bits\": %u, \"m\": %u, \"refine\": %u, "
+                "\"bytes_per_candidate\": %u, "
+                "\"recall_at_10_vs_exact\": %.4f, "
+                "\"recall_at_10_vs_truth\": %.4f}%s\n",
+                g.bits, g.m, g.refine, g.bytesPerCand, g.vsExact,
+                g.vsTruth, i + 1 < grid.size() ? "," : "");
+        }
+        std::fprintf(f, "  ],\n  \"results\": {\n");
+        std::fprintf(f, "    \"headline_pq8\": %.4f,\n",
+                     headline8);
+        std::fprintf(f, "    \"headline_pq4\": %.4f,\n",
+                     headline4);
+        std::fprintf(f, "    \"pass\": %s\n",
+                     pass8 && pass4 ? "true" : "false");
+        std::fprintf(f, "  }\n}\n");
+        std::fclose(f);
+        std::printf("wrote %s (git_sha %s)\n", out_path.c_str(),
+                    git_sha.c_str());
+    }
+
+    if (!pass8) {
+        std::printf("FAIL: bits=8 M=32 refine=128 recall@10 vs exact "
+                    "= %.3f < %.2f\n", headline8, threshold);
+        return 1;
+    }
+    if (!pass4) {
+        std::printf("FAIL: best 4-bit point recall@10 vs exact = "
+                    "%.3f < %.2f\n", headline4, threshold);
         return 1;
     }
     return 0;

@@ -179,7 +179,8 @@ StageResult
 runStage(Stage stage, acc::Level level, std::uint32_t instances,
          std::uint32_t batches, const cbir::ScaleConfig &scale)
 {
-    core::ReachSystem sys(sweepConfig(level, instances));
+    core::ReachSystem sys(
+        systemForScale(sweepConfig(level, instances), scale));
     cbir::CbirWorkloadModel model(scale);
 
     std::uint32_t done = 0;

@@ -71,9 +71,23 @@ sweepConfig(acc::Level level, std::uint32_t instances)
 }
 
 /**
+ * Apply the workload-side placement knob to a machine config: AIM
+ * links run at HBM bandwidth/latency iff the scale places the
+ * shortlist scan in HBM (the same sync CoSimulation performs).
+ */
+inline core::SystemConfig
+systemForScale(core::SystemConfig cfg, const cbir::ScaleConfig &scale)
+{
+    cfg.aimUsesHbm =
+        scale.shortlistPlacement == cbir::ScanPlacement::Hbm;
+    return cfg;
+}
+
+/**
  * Build the task list for one batch of @p stage executed entirely at
  * @p level using @p instances modules, and run @p batches of them
- * through the GAM. Mirrors CbirDeployment's per-stage construction.
+ * through the GAM. Mirrors CbirDeployment's per-stage construction,
+ * including the shortlist-placement link sync (systemForScale).
  */
 StageResult runStage(Stage stage, acc::Level level,
                      std::uint32_t instances, std::uint32_t batches,

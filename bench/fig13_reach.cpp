@@ -124,5 +124,66 @@ main(int argc, char **argv)
                 "latency %.2fx (paper 2.2x), energy -%.0f%% "
                 "(paper -52%%)\n",
                 thr_gain, lat_gain, 100.0 * energy_red);
+
+    // Shortlist-scan ablation on the full ReACH mapping: centroid
+    // storage precision (fp32 vs fp16) shrinks the scan stream, and
+    // the placement knob moves it from the AIM DIMMs onto HBM
+    // stacks (systemForScale keeps the timing links in sync). All
+    // variants fan out through the deterministic sweep runner.
+    struct Variant
+    {
+        const char *name;
+        std::uint32_t centroidBytes;
+        cbir::ScanPlacement placement;
+    };
+    const std::vector<Variant> variants{
+        {"fp32+ddr", 4, cbir::ScanPlacement::Ddr},
+        {"fp16+ddr", 2, cbir::ScanPlacement::Ddr},
+        {"fp32+hbm", 4, cbir::ScanPlacement::Hbm},
+        {"fp16+hbm", 2, cbir::ScanPlacement::Hbm},
+    };
+    struct VariantRun
+    {
+        core::RunResult pipeline;
+        StageResult shortlist;
+    };
+    auto vruns = runSweep(variants.size(), opt, [&](std::size_t i) {
+        cbir::ScaleConfig scale;
+        // A finer coarse quantizer (64k centroids vs the default
+        // 1000) is where billion-scale deployments land, and where
+        // the centroid stream is a first-order term of the scan —
+        // at 1000 centroids the cell-info traffic buries it.
+        scale.numCentroids = 65'536;
+        scale.centroidBytesPerDim = variants[i].centroidBytes;
+        scale.shortlistPlacement = variants[i].placement;
+        VariantRun out;
+        // Stage-isolated scan on the near-memory modules, where the
+        // placement swap changes the link the bytes cross...
+        out.shortlist = runStage(Stage::Shortlist,
+                                 acc::Level::NearMem, 4, 12, scale);
+        // ...and the full pipeline, where the effect is damped by
+        // whichever stage bounds the steady state.
+        cbir::CbirWorkloadModel model{scale};
+        core::ReachSystem sys{
+            systemForScale(core::SystemConfig{}, scale)};
+        core::CbirDeployment dep(sys, model, Mapping::Reach);
+        out.pipeline = dep.run(12);
+        return out;
+    });
+
+    printHeader("Shortlist scan: centroid precision x placement "
+                "(ReACH mapping, 64k centroids, 12 batches)");
+    std::printf("%-10s %14s %12s %14s %12s\n", "variant",
+                "scan(ms)", "vs base", "batches/s", "vs base");
+    for (std::size_t i = 0; i < variants.size(); ++i) {
+        std::printf(
+            "%-10s %14.2f %11.2fx %14.2f %11.2fx\n",
+            variants[i].name, vruns[i].shortlist.runtimeSeconds * 1e3,
+            vruns[0].shortlist.runtimeSeconds /
+                vruns[i].shortlist.runtimeSeconds,
+            vruns[i].pipeline.throughputBatchesPerSec(),
+            vruns[i].pipeline.throughputBatchesPerSec() /
+                vruns[0].pipeline.throughputBatchesPerSec());
+    }
     return 0;
 }

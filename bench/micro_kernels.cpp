@@ -362,7 +362,8 @@ BM_AdcBatch(benchmark::State &state, simd::Choice choice)
         c = static_cast<std::uint8_t>(rng.nextUInt(256));
     std::vector<float> out(n);
     for (auto _ : state) {
-        k.adcBatch(lut.data(), codes.data(), n, m, out.data());
+        k.adcBatch(lut.data(), simd::kAdcLutStride, codes.data(), n,
+                   m, out.data());
         benchmark::DoNotOptimize(out.data());
     }
     state.SetItemsProcessed(
@@ -370,6 +371,40 @@ BM_AdcBatch(benchmark::State &state, simd::Choice choice)
 }
 BENCHMARK_CAPTURE(BM_AdcBatch, scalar, simd::Choice::scalar);
 BENCHMARK_CAPTURE(BM_AdcBatch, avx2, simd::Choice::avx2);
+
+void
+BM_AdcShuffle(benchmark::State &state, simd::Choice choice)
+{
+    if (!pinBackendOrSkip(state, choice))
+        return;
+    // The 4-bit FastScan counterpart of BM_AdcBatch at the same
+    // shape (4096 candidates, M=32): register-resident u8 tables,
+    // 32 lookups per shuffle. run_micro.sh gates on the
+    // avx2-shuffle / avx2-gather ratio.
+    const simd::Kernels &k = simd::kernels(choice);
+    const std::size_t n = 4096, m = 32;
+    sim::Rng rng(11);
+    std::vector<std::uint8_t, simd::AlignedAllocator<std::uint8_t, 64>>
+        lut(m * simd::kAdc4LutStride);
+    for (auto &v : lut)
+        v = static_cast<std::uint8_t>(rng.nextUInt(256));
+    std::vector<std::uint8_t> codes(n * simd::adc4CodeBytes(m));
+    for (auto &c : codes)
+        c = static_cast<std::uint8_t>(rng.nextUInt(256));
+    std::vector<std::uint8_t, simd::AlignedAllocator<std::uint8_t, 64>>
+        blocks(simd::adc4PackedBytes(n, m));
+    simd::adc4Pack(codes.data(), n, m, blocks.data());
+    std::vector<float> out(n);
+    for (auto _ : state) {
+        k.adcBatch4(lut.data(), blocks.data(), n, m, 0.03125f, 1.5f,
+                    out.data());
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) * n * m);
+}
+BENCHMARK_CAPTURE(BM_AdcShuffle, scalar, simd::Choice::scalar);
+BENCHMARK_CAPTURE(BM_AdcShuffle, avx2, simd::Choice::avx2);
 
 /**
  * Near-storage-scale fixture for the PQ-vs-exact rerank comparison:
@@ -384,7 +419,9 @@ BENCHMARK_CAPTURE(BM_AdcBatch, avx2, simd::Choice::avx2);
 struct PqCompareFixture
 {
     workload::Dataset ds;
-    InvertedFileIndex idx;
+    KMeansResult km;
+    InvertedFileIndex idx;  // 8-bit codes
+    InvertedFileIndex idx4; // 4-bit packed codes, same clustering
     Matrix queries;
     ShortLists lists;
 
@@ -395,13 +432,16 @@ struct PqCompareFixture
               dc.dim = 96;
               return dc;
           }()),
-          idx(ds.vectors(),
-              [] {
-                  KMeansConfig kc;
-                  kc.clusters = 256;
-                  kc.maxIterations = 2;
-                  return kc;
-              }()),
+          km(kMeans(ds.vectors(),
+                    [] {
+                        KMeansConfig kc;
+                        kc.clusters = 256;
+                        kc.maxIterations = 2;
+                        return kc;
+                    }())),
+          idx(km.centroids, km.assignment, ds.vectors()),
+          idx4(std::move(km.centroids), std::move(km.assignment),
+               ds.vectors()),
           queries(ds.makeQueries(256, 0.05, 9))
     {
         std::size_t sample_rows =
@@ -417,6 +457,11 @@ struct PqCompareFixture
         auto cb = std::make_shared<PqCodebook>(
             PqCodebook::train(sample, pc));
         idx.attachPq(cb, cb->encodeAll(ds.vectors()));
+        pc.bits = 4;
+        auto cb4 = std::make_shared<PqCodebook>(
+            PqCodebook::train(sample, pc));
+        idx4.attachPq(cb4, cb4->encodeAll(ds.vectors()));
+        // Identical centroids -> identical shortlists for both.
         lists = shortlistRetrieve(queries, idx, 8);
     }
 };
@@ -431,11 +476,12 @@ pqCompareFixture()
 /** PQ-vs-exact on the shared fixture; refine < 0 = exact rerank. */
 void
 rerankPqBench(benchmark::State &state, simd::Choice choice,
-              std::ptrdiff_t refine)
+              std::ptrdiff_t refine, bool fourBit = false)
 {
     if (!pinBackendOrSkip(state, choice))
         return;
     const PqCompareFixture &f = pqCompareFixture();
+    const InvertedFileIndex &index = fourBit ? f.idx4 : f.idx;
     RerankConfig rc;
     rc.k = 10;
     rc.maxCandidates = 4096;
@@ -446,7 +492,7 @@ rerankPqBench(benchmark::State &state, simd::Choice choice,
         rc.pqRefine = static_cast<std::size_t>(refine);
     }
     for (auto _ : state) {
-        auto res = rerank(f.queries, f.ds.vectors(), f.idx, f.lists,
+        auto res = rerank(f.queries, f.ds.vectors(), index, f.lists,
                           rc);
         benchmark::DoNotOptimize(res.data());
     }
@@ -471,6 +517,14 @@ BM_RerankPq(benchmark::State &state, simd::Choice choice)
 }
 BENCHMARK_CAPTURE(BM_RerankPq, scalar, simd::Choice::scalar);
 BENCHMARK_CAPTURE(BM_RerankPq, avx2, simd::Choice::avx2);
+
+void
+BM_RerankPq4(benchmark::State &state, simd::Choice choice)
+{
+    rerankPqBench(state, choice, 0, /*fourBit=*/true);
+}
+BENCHMARK_CAPTURE(BM_RerankPq4, scalar, simd::Choice::scalar);
+BENCHMARK_CAPTURE(BM_RerankPq4, avx2, simd::Choice::avx2);
 
 void
 BM_RerankPqRefine(benchmark::State &state, simd::Choice choice)

@@ -4,10 +4,13 @@
 # pairs (BM_*/scalar vs BM_*/avx2) in that file document the SIMD
 # layer's single-thread speedup on the build host.
 #
-# Usage: bench/run_micro.sh [build-dir] [output-json]
+# Usage: bench/run_micro.sh [build-dir] [output-json] [extra args]
 #
-# Set REACH_BENCH_ALLOW_DEBUG=1 to record numbers against a debug
-# google-benchmark library anyway (they are tagged as tainted).
+# The default build links the vendored minibench runner
+# (third_party/minibench), which is always compiled Release, so no
+# opt-in is needed. With -DREACH_SYSTEM_BENCHMARK=ON and a debug
+# system google-benchmark, set REACH_BENCH_ALLOW_DEBUG=1 to record
+# the (tainted-tagged) numbers anyway.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
@@ -76,6 +79,18 @@ for be in ("scalar", "avx2"):
     pq = times.get(f"BM_RerankPq/{be}")
     if exact and pq:
         print(f"BM_RerankPq/{be}: exact/pq speedup {exact / pq:.2f}x")
+# The 4-bit FastScan gate: the register-shuffle ADC kernel must beat
+# the 8-bit gather ADC by >= 3x at the same (n=4096, M=32) shape on
+# avx2, else the FastScan mode is not earning its second code copy.
+gather = times.get("BM_AdcBatch/avx2")
+shuffle = times.get("BM_AdcShuffle/avx2")
+if gather and shuffle:
+    ratio = gather / shuffle
+    print(f"BM_AdcShuffle/avx2: {ratio:.2f}x the gather ADC "
+          f"(gate: >= 3x)")
+    if ratio < 3.0:
+        print(f"FAIL: shuffle/gather ADC ratio {ratio:.2f} < 3.0")
+        sys.exit(1)
 # Slot-arena event queue vs the frozen seed implementation.
 new, seed = rates.get("BM_EventQueue"), rates.get("BM_EventQueueSeed")
 if new and seed:

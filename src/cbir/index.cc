@@ -36,6 +36,31 @@ InvertedFileIndex::InvertedFileIndex(
     computeNorms();
 }
 
+InvertedFileIndex::InvertedFileIndex(
+    Matrix centroids, std::vector<std::uint32_t> assignment,
+    const Matrix &vectors, const parallel::ParallelConfig &par)
+    : cents(std::move(centroids))
+{
+    if (vectors.rows() != assignment.size()) {
+        sim::panic("InvertedFileIndex: ", assignment.size(),
+                   " assignments for ", vectors.rows(), " vectors");
+    }
+    buildLists(assignment);
+    computeNorms();
+
+    const simd::Kernels &k = simd::kernels(par.simd);
+    vecNormSq.resize(vectors.rows());
+    parallel::parallelFor(
+        0, vectors.rows(), 1024,
+        [&](std::size_t b, std::size_t e) {
+            for (std::size_t i = b; i < e; ++i) {
+                vecNormSq[i] =
+                    k.normSq(vectors.row(i).data(), vectors.cols());
+            }
+        },
+        par);
+}
+
 void
 InvertedFileIndex::buildLists(const std::vector<std::uint32_t> &assignment)
 {
@@ -85,6 +110,19 @@ InvertedFileIndex::attachPq(std::shared_ptr<const PqCodebook> codebook,
             std::copy_n(
                 codesByVectorId.data() + std::size_t(lists[c][i]) * mb,
                 mb, codeLists[c].data() + i * mb);
+        }
+    }
+    packedLists.clear();
+    if (pq->codeBits() == 4) {
+        // Second, block-transposed copy for the shuffle kernel; the
+        // per-member layout above stays for decode/refine tooling.
+        const std::size_t m = pq->numSubspaces();
+        packedLists.assign(lists.size(), {});
+        for (std::size_t c = 0; c < lists.size(); ++c) {
+            const std::size_t n = lists[c].size();
+            packedLists[c].resize(simd::adc4PackedBytes(n, m));
+            simd::adc4Pack(codeLists[c].data(), n, m,
+                           packedLists[c].data());
         }
     }
 }

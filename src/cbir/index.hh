@@ -31,6 +31,17 @@ class InvertedFileIndex
     InvertedFileIndex(Matrix centroids,
                       std::vector<std::uint32_t> assignment);
 
+    /**
+     * Build from precomputed clustering with the dataset available:
+     * same as above but also precomputes ||x_i||^2, so several
+     * indexes (e.g. 8-bit and 4-bit PQ variants) can share one
+     * k-means run without losing the rerank norm decomposition.
+     */
+    InvertedFileIndex(Matrix centroids,
+                      std::vector<std::uint32_t> assignment,
+                      const Matrix &vectors,
+                      const parallel::ParallelConfig &par = {});
+
     const Matrix &centroids() const { return cents; }
 
     /** Precomputed ||C_m||^2 terms (Eq. 1's reusable component). */
@@ -88,14 +99,29 @@ class InvertedFileIndex
 
     /**
      * PQ codes of cluster @p c's members, in cluster(c) order:
-     * cluster(c).size() * codeBytes() bytes. Empty span when no PQ
-     * codes are attached.
+     * cluster(c).size() * codeBytes() bytes (packed nibble pairs at
+     * 4 bits). Empty span when no PQ codes are attached.
      */
     std::span<const std::uint8_t> clusterCodes(std::size_t c) const
     {
         if (codeLists.empty())
             return {};
         return {codeLists[c].data(), codeLists[c].size()};
+    }
+
+    /**
+     * Cluster @p c's codes in the block-transposed FastScan layout
+     * (simd::adc4Pack of clusterCodes(c), whole 32-candidate blocks
+     * with a zero-coded tail) that adcBatch4 scans 32 candidates per
+     * shuffle sweep. Built only for a 4-bit codebook; empty span
+     * otherwise.
+     */
+    std::span<const std::uint8_t> clusterPackedCodes(std::size_t c)
+        const
+    {
+        if (packedLists.empty())
+            return {};
+        return {packedLists[c].data(), packedLists[c].size()};
     }
 
   private:
@@ -108,6 +134,8 @@ class InvertedFileIndex
     std::vector<std::vector<std::uint32_t>> lists;
     std::shared_ptr<const PqCodebook> pq;
     std::vector<std::vector<std::uint8_t>> codeLists;
+    /** 4-bit only: codeLists re-tiled into FastScan blocks. */
+    std::vector<std::vector<std::uint8_t>> packedLists;
 };
 
 } // namespace reach::cbir

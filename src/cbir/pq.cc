@@ -20,6 +20,14 @@ validatePqConfig(const PqConfig &cfg, std::size_t dim)
                    " does not divide dim = ", dim);
     if (cfg.trainIterations == 0)
         sim::fatal("PqConfig: trainIterations must be >= 1");
+    if (cfg.bits != 4 && cfg.bits != 8)
+        sim::fatal("PqConfig: bits must be 4 or 8, got ", cfg.bits);
+    if (cfg.bits == 4 && cfg.m > 256) {
+        // 256 subspaces of worst-case 255 saturate the shuffle
+        // kernel's u16 accumulators; wider splits make no sense at
+        // the paper's dimensionalities anyway.
+        sim::fatal("PqConfig: 4-bit mode caps m at 256, got ", cfg.m);
+    }
 }
 
 PqCodebook
@@ -33,7 +41,9 @@ PqCodebook::train(const Matrix &vectors, const PqConfig &cfg,
     PqCodebook cb;
     cb.m = cfg.m;
     cb.dsub = vectors.cols() / cfg.m;
-    cb.ksub = std::min<std::size_t>(256, vectors.rows());
+    cb.bits = cfg.bits;
+    cb.ksub = std::min<std::size_t>(cfg.bits == 4 ? 16 : 256,
+                                    vectors.rows());
     cb.cents.resize(cb.m * cb.ksub * cb.dsub);
 
     Matrix sub(vectors.rows(), cb.dsub);
@@ -96,7 +106,14 @@ PqCodebook::encodeWith(std::span<const float> v, std::uint8_t *code,
             if (scratch[j] < scratch[best])
                 best = j;
         }
-        code[s] = static_cast<std::uint8_t>(best);
+        if (bits == 4) {
+            if (s % 2 == 0)
+                code[s / 2] = static_cast<std::uint8_t>(best);
+            else
+                code[s / 2] |= static_cast<std::uint8_t>(best << 4);
+        } else {
+            code[s] = static_cast<std::uint8_t>(best);
+        }
     }
 }
 
@@ -117,13 +134,14 @@ PqCodebook::encodeAll(const Matrix &vectors,
     if (vectors.cols() != dim())
         sim::panic("PqCodebook::encodeAll: vectors have ",
                    vectors.cols(), " dims, codebook expects ", dim());
-    std::vector<std::uint8_t> codes(vectors.rows() * m);
+    const std::size_t cb = codeBytes();
+    std::vector<std::uint8_t> codes(vectors.rows() * cb);
     parallel::parallelFor(
         0, vectors.rows(), 256,
         [&](std::size_t b, std::size_t e) {
             std::vector<float> scratch(ksub);
             for (std::size_t r = b; r < e; ++r) {
-                encodeWith(vectors.row(r), codes.data() + r * m,
+                encodeWith(vectors.row(r), codes.data() + r * cb,
                            scratch.data());
             }
         },
@@ -138,7 +156,11 @@ PqCodebook::decode(const std::uint8_t *code, std::span<float> out) const
         sim::panic("PqCodebook::decode: output has ", out.size(),
                    " dims, codebook expects ", dim());
     for (std::size_t s = 0; s < m; ++s) {
-        std::span<const float> c = centroid(s, code[s]);
+        const std::size_t j =
+            bits == 4 ? (s % 2 == 0 ? code[s / 2] & 0x0F
+                                    : code[s / 2] >> 4)
+                      : code[s];
+        std::span<const float> c = centroid(s, j);
         std::copy_n(c.data(), dsub, out.data() + s * dsub);
     }
 }
@@ -151,11 +173,64 @@ PqCodebook::adcTable(std::span<const float> query, float *lut) const
                    " dims, codebook expects ", dim());
     // Backend-independent on purpose: one fixed loop, vectorized by
     // the compiler across the ksub table entries (see subspaceL2).
+    const std::size_t stride = lutStride();
     for (std::size_t s = 0; s < m; ++s) {
-        float *row = lut + s * simd::kAdcLutStride;
+        float *row = lut + s * stride;
         subspaceL2(s, query.data(), row);
-        std::fill(row + ksub, row + simd::kAdcLutStride, 0.0f);
+        std::fill(row + ksub, row + stride, 0.0f);
     }
+}
+
+PqCodebook::AdcQuantParams
+PqCodebook::adcTable4(std::span<const float> query,
+                      std::uint8_t *lut4) const
+{
+    if (bits != 4)
+        sim::panic("PqCodebook::adcTable4: codebook is ", bits,
+                   "-bit, shuffle tables need 4");
+    if (query.size() != dim())
+        sim::panic("PqCodebook::adcTable4: query has ", query.size(),
+                   " dims, codebook expects ", dim());
+
+    // Float rows first (same arithmetic as adcTable), then one
+    // affine map to u8: per-row minimum folds into the bias so the
+    // full 0..255 range covers only the spread that matters, and a
+    // single shared scale keeps the kernel's sum dequantizable with
+    // one fma.
+    std::vector<float> rows(m * simd::kAdc4LutStride);
+    std::vector<float> lo(m);
+    float range = 0;
+    for (std::size_t s = 0; s < m; ++s) {
+        float *row = rows.data() + s * simd::kAdc4LutStride;
+        subspaceL2(s, query.data(), row);
+        float mn = row[0], mx = row[0];
+        for (std::size_t j = 1; j < ksub; ++j) {
+            mn = std::min(mn, row[j]);
+            mx = std::max(mx, row[j]);
+        }
+        lo[s] = mn;
+        range = std::max(range, mx - mn);
+    }
+
+    AdcQuantParams qp;
+    qp.scale = range > 0 ? range / 255.0f : 0.0f;
+    const float inv = range > 0 ? 255.0f / range : 0.0f;
+    for (std::size_t s = 0; s < m; ++s) {
+        qp.bias += lo[s];
+        const float *row = rows.data() + s * simd::kAdc4LutStride;
+        std::uint8_t *qrow = lut4 + s * simd::kAdc4LutStride;
+        for (std::size_t j = 0; j < ksub; ++j) {
+            // Round half up; the cast floors the non-negative value.
+            float q = (row[j] - lo[s]) * inv + 0.5f;
+            qrow[j] = static_cast<std::uint8_t>(std::min(q, 255.0f));
+        }
+        // Saturate the untrained tail: codes never reference it, but
+        // a saturated entry can at worst push a phantom candidate
+        // away, never pull it into a short-list.
+        std::fill(qrow + ksub, qrow + simd::kAdc4LutStride,
+                  std::uint8_t{255});
+    }
+    return qp;
 }
 
 } // namespace reach::cbir

@@ -151,7 +151,8 @@ scoreCandidatesPq(const simd::Kernels &k, const PqCodebook &cb,
                   AlignedFloats &dists)
 {
     cb.adcTable(query, lut);
-    const std::size_t m = cb.codeBytes();
+    const std::size_t m = cb.numSubspaces();
+    const std::size_t stride = cb.lutStride();
     for (std::uint32_t cluster : clusters) {
         const auto &members = index.cluster(cluster);
         std::size_t take = members.size();
@@ -163,8 +164,49 @@ scoreCandidatesPq(const simd::Kernels &k, const PqCodebook &cb,
         ids.insert(ids.end(), members.begin(),
                    members.begin() + static_cast<std::ptrdiff_t>(take));
         dists.resize(base + take);
-        k.adcBatch(lut, index.clusterCodes(cluster).data(), take, m,
-                   dists.data() + base);
+        k.adcBatch(lut, stride, index.clusterCodes(cluster).data(),
+                   take, m, dists.data() + base);
+        if (max_candidates && ids.size() >= max_candidates)
+            break;
+    }
+}
+
+/** 64-byte aligned u8 scratch (the register-resident shuffle LUT). */
+using AlignedBytes =
+    std::vector<std::uint8_t, simd::AlignedAllocator<std::uint8_t, 64>>;
+
+/**
+ * 4-bit sibling of scoreCandidatesPq: one u8-quantized table per
+ * query, then each cluster's FastScan block stream is scored 32
+ * candidates per shuffle sweep. The quantization and packing are
+ * backend-independent and adcBatch4 is bitwise cross-backend (exact
+ * integer sums, one fused multiply-add), so this path too returns
+ * identical bits on every backend and thread count.
+ */
+void
+scoreCandidatesPq4(const simd::Kernels &k, const PqCodebook &cb,
+                   std::span<const float> query,
+                   const InvertedFileIndex &index,
+                   const std::vector<std::uint32_t> &clusters,
+                   std::size_t max_candidates, std::uint8_t *lut4,
+                   std::vector<std::uint32_t> &ids,
+                   AlignedFloats &dists)
+{
+    const PqCodebook::AdcQuantParams qp = cb.adcTable4(query, lut4);
+    const std::size_t m = cb.numSubspaces();
+    for (std::uint32_t cluster : clusters) {
+        const auto &members = index.cluster(cluster);
+        std::size_t take = members.size();
+        if (max_candidates)
+            take = std::min(take, max_candidates - ids.size());
+        if (take == 0)
+            continue;
+        const std::size_t base = ids.size();
+        ids.insert(ids.end(), members.begin(),
+                   members.begin() + static_cast<std::ptrdiff_t>(take));
+        dists.resize(base + take);
+        k.adcBatch4(lut4, index.clusterPackedCodes(cluster).data(),
+                    take, m, qp.scale, qp.bias, dists.data() + base);
         if (max_candidates && ids.size() >= max_candidates)
             break;
     }
@@ -205,9 +247,14 @@ rerank(const Matrix &queries, const Matrix &database,
             AlignedFloats dots;
             AlignedFloats adc;
             AlignedFloats lut;
-            if (cfg.usePq) {
-                lut.resize(PqCodebook::lutFloats(
-                    index.pqCodebook().numSubspaces()));
+            AlignedBytes lut4;
+            const bool pq4 =
+                cfg.usePq && index.pqCodebook().codeBits() == 4;
+            if (pq4) {
+                lut4.resize(index.pqCodebook().numSubspaces() *
+                            simd::kAdc4LutStride);
+            } else if (cfg.usePq) {
+                lut.resize(index.pqCodebook().lutFloats());
             }
             if (cfg.maxCandidates) {
                 ids.reserve(cfg.maxCandidates);
@@ -219,10 +266,19 @@ rerank(const Matrix &queries, const Matrix &database,
                 cands.clear();
                 if (cfg.usePq) {
                     adc.clear();
-                    scoreCandidatesPq(k, index.pqCodebook(),
-                                      queries.row(q), index, lists[q],
-                                      cfg.maxCandidates, lut.data(),
-                                      ids, adc);
+                    if (pq4) {
+                        scoreCandidatesPq4(k, index.pqCodebook(),
+                                           queries.row(q), index,
+                                           lists[q],
+                                           cfg.maxCandidates,
+                                           lut4.data(), ids, adc);
+                    } else {
+                        scoreCandidatesPq(k, index.pqCodebook(),
+                                          queries.row(q), index,
+                                          lists[q],
+                                          cfg.maxCandidates,
+                                          lut.data(), ids, adc);
+                    }
                     if (cfg.pqRefine > 0) {
                         std::vector<Neighbor> top = selectKFlat(
                             ids, adc, std::max(cfg.k, cfg.pqRefine));

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "sim/logging.hh"
+
 namespace reach::cbir
 {
 
@@ -9,12 +11,16 @@ CbirWorkloadModel::CbirWorkloadModel(const ScaleConfig &cfg) : cfg(cfg)
 {
     if (cfg.pq.enabled)
         validatePqConfig(cfg.pq, cfg.dim);
+    if (cfg.centroidBytesPerDim != 2 && cfg.centroidBytesPerDim != 4) {
+        sim::fatal("ScaleConfig: centroidBytesPerDim must be 2 (fp16) "
+                   "or 4 (fp32), got ", cfg.centroidBytesPerDim);
+    }
 }
 
 std::uint64_t
 CbirWorkloadModel::rerankCandidateBytes() const
 {
-    return cfg.pq.enabled ? cfg.pq.m : cfg.flashPageBytes;
+    return cfg.pq.enabled ? pqCodeBytes(cfg.pq) : cfg.flashPageBytes;
 }
 
 std::uint64_t
@@ -27,11 +33,13 @@ CbirWorkloadModel::modelParamBytes() const
 std::uint64_t
 CbirWorkloadModel::centroidAndCellBytes() const
 {
-    // Centroids (M x D floats) + precomputed ||C||^2 + compact
-    // inverted-list entries: cellBytesPerId per database vector.
-    // For N=1e9 at 2.2 B/id this is Table I's ~2.2 GB.
+    // Centroids (M x D components at the configured precision) +
+    // precomputed ||C||^2 + compact inverted-list entries:
+    // cellBytesPerId per database vector. For N=1e9 at 2.2 B/id this
+    // is Table I's ~2.2 GB.
     std::uint64_t centroids =
-        std::uint64_t(cfg.numCentroids) * cfg.dim * 4 +
+        std::uint64_t(cfg.numCentroids) * cfg.dim *
+            cfg.centroidBytesPerDim +
         std::uint64_t(cfg.numCentroids) * 4;
     auto cell_info = static_cast<std::uint64_t>(
         static_cast<double>(cfg.databaseVectors) * cfg.cellBytesPerId);
@@ -116,9 +124,11 @@ CbirWorkloadModel::shortlistBatch(std::uint32_t partitions) const
 
     // Streams the centroid matrix once per batch plus the inverted
     // lists of the short-listed clusters (the "cell info" traffic
-    // that makes this stage memory-bound, Table I).
+    // that makes this stage memory-bound, Table I). The centroid
+    // stream shrinks with the configured storage precision.
     std::uint64_t centroid_bytes =
-        std::uint64_t(cfg.numCentroids) * cfg.dim * 4;
+        std::uint64_t(cfg.numCentroids) * cfg.dim *
+        cfg.centroidBytesPerDim;
     auto cell_bytes = static_cast<std::uint64_t>(
         scan_words * cfg.cellBytesPerId);
     w.bytesIn = (centroid_bytes + cell_bytes) / partitions;
@@ -151,15 +161,18 @@ CbirWorkloadModel::rerankBatch(std::uint32_t partitions) const
         std::uint64_t refined =
             std::uint64_t(cfg.batchSize) *
             std::min(cfg.pq.refine, cfg.rerankCandidates);
+        const double table_entries =
+            static_cast<double>(cfg.pq.bits == 4 ? 16 : 256);
         w.ops = (static_cast<double>(candidates) * cfg.pq.m +
-                 static_cast<double>(cfg.batchSize) * 256.0 * cfg.dim +
+                 static_cast<double>(cfg.batchSize) * table_entries *
+                     cfg.dim +
                  static_cast<double>(refined) * cfg.dim) /
                 partitions;
         // Codes stream sequentially from per-cluster blocks — the
-        // device reads M bytes per candidate, not a page. Only the
-        // refined candidates still gather full vectors at page
-        // granularity.
-        w.bytesIn = (candidates * cfg.pq.m +
+        // device reads the packed code bytes per candidate (half as
+        // many at 4 bits), not a page. Only the refined candidates
+        // still gather full vectors at page granularity.
+        w.bytesIn = (candidates * pqCodeBytes(cfg.pq) +
                      refined * cfg.flashPageBytes) /
                     partitions;
     } else {

@@ -22,6 +22,15 @@
 namespace reach::cbir
 {
 
+/**
+ * Memory medium backing the shortlist-scan structures (centroids +
+ * cell info). The timing layer translates the choice into the
+ * AIM-local link's bandwidth/latency (SystemConfig::aimHbmBw /
+ * aimHbmLatency vs the DDR defaults); CoSimulation and the bench
+ * sweeps keep the two sides in sync.
+ */
+enum class ScanPlacement : std::uint8_t { Ddr, Hbm };
+
 /** Scale of the deployed retrieval system (paper §V "CBIR setup"). */
 struct ScaleConfig
 {
@@ -57,6 +66,16 @@ struct ScaleConfig
      * "centroids + cell info" structure at Table I's ~2.2 GB.
      */
     double cellBytesPerId = 2.2;
+    /**
+     * Bytes per stored centroid component: 4 keeps the fp32 matrix
+     * the shortlist GEMM streams every batch, 2 models an fp16 copy
+     * (half the scan traffic; the paper's 96-dim features tolerate
+     * half precision in the coarse quantizer, and the exact rerank
+     * absorbs any shortlist jitter).
+     */
+    std::uint32_t centroidBytesPerDim = 4;
+    /** Where the shortlist scan structures live (DDR vs HBM). */
+    ScanPlacement shortlistPlacement = ScanPlacement::Ddr;
 
     /**
      * Include the reverse-lookup stage (fetch the top-K images from
@@ -89,9 +108,10 @@ class CbirWorkloadModel
 
     /**
      * Storage bytes one rerank candidate costs at gather granularity:
-     * a full flash page for the exact float pipeline, codeBytes for
-     * the PQ scan (codes stream sequentially from per-cluster
-     * blocks, so the device reads codes, not pages).
+     * a full flash page for the exact float pipeline, pqCodeBytes
+     * for the PQ scan (codes stream sequentially from per-cluster
+     * blocks, so the device reads codes, not pages — half as many at
+     * 4 bits as at 8).
      */
     std::uint64_t rerankCandidateBytes() const;
 

@@ -35,6 +35,18 @@ scaleWithServicePq(cbir::ScaleConfig scale,
     return scale;
 }
 
+/**
+ * Derive the machine's AIM medium from the workload's shortlist
+ * placement knob so the timing links always match the modeled scan.
+ */
+SystemConfig
+systemWithScanPlacement(SystemConfig sys, const cbir::ScaleConfig &scale)
+{
+    sys.aimUsesHbm =
+        scale.shortlistPlacement == cbir::ScanPlacement::Hbm;
+    return sys;
+}
+
 } // namespace
 
 CbirService::CbirService(const Config &config)
@@ -78,7 +90,8 @@ CoSimulation::CoSimulation(const CbirService::Config &service_cfg,
     : svc(service_cfg),
       model(scaleWithServicePq(timing_scale, service_cfg))
 {
-    sys = std::make_unique<ReachSystem>(system_cfg);
+    sys = std::make_unique<ReachSystem>(
+        systemWithScanPlacement(system_cfg, model.scale()));
     deployment = std::make_unique<CbirDeployment>(*sys, model,
                                                   mapping);
 }

@@ -110,7 +110,10 @@ class CoSimulation
      *                     functional mode.
      * @param mapping      Stage-to-level assignment.
      * @param system_cfg   Machine configuration for the timing layer
-     *                     (fault plan, instance counts, ...).
+     *                     (fault plan, instance counts, ...). Its
+     *                     aimUsesHbm flag is overwritten from
+     *                     timing_scale.shortlistPlacement so the AIM
+     *                     links match the modeled scan medium.
      */
     CoSimulation(const CbirService::Config &service_cfg,
                  const cbir::ScaleConfig &timing_scale,

@@ -160,8 +160,10 @@ ReachSystem::buildAccelerators()
                          slot / cfg.numChannels};
 
         noc::LinkConfig local;
-        local.bandwidth = cfg.aimLocalBw;
-        local.latency = 50'000;
+        local.bandwidth = cfg.aimUsesHbm ? cfg.aimHbmBw
+                                         : cfg.aimLocalBw;
+        local.latency = cfg.aimUsesHbm ? cfg.aimHbmLatency
+                                       : cfg.aimLocalLatency;
         aimLocal.push_back(std::make_unique<noc::Link>(
             sim, "aimLocal" + std::to_string(i), local));
 
@@ -172,7 +174,7 @@ ReachSystem::buildAccelerators()
         module->setOutputPath(acc::Path{}.via(*aimLocal.back()));
         module->setParamPath(acc::Path{}.via(*aimLocal.back()));
         // The module's parameters stay in its DIMM.
-        module->enableParamBuffer(cfg.aimRegionBytes, cfg.aimLocalBw);
+        module->enableParamBuffer(cfg.aimRegionBytes, local.bandwidth);
         aims.push_back(std::move(module));
 
         // Tile-granular region so each tile lives in one DIMM.

@@ -51,6 +51,23 @@ struct SystemConfig
     double cacheLinkBw = 100e9;
     /** AIM module to its DIMM (Table II: 18 GB/s). */
     double aimLocalBw = 18e9;
+    /** DDR DIMM access latency charged on the AIM-local link. */
+    sim::Tick aimLocalLatency = 50'000;
+    /**
+     * HBM option for the AIM-local links (ScanPlacement::Hbm): an
+     * HBM2 stack per module trades a wider interface (per-module
+     * share of stack bandwidth) for slightly longer access latency
+     * than a directly attached DIMM.
+     */
+    double aimHbmBw = 64e9;
+    sim::Tick aimHbmLatency = 60'000;
+    /**
+     * Back the AIM modules with HBM instead of DDR DIMMs. Mirrors
+     * ScaleConfig::shortlistPlacement — CoSimulation and the bench
+     * sweeps derive this flag from the workload knob so the timing
+     * links always match the modeled placement.
+     */
+    bool aimUsesHbm = false;
     /** Near-storage FPGA to its SSD (Table II: 12 GB/s effective). */
     double nsLocalBw = 12e9;
     /** Host PCIe uplink, gen3 x16 after IO-stack derating. */

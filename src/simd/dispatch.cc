@@ -9,6 +9,7 @@
 
 #include "simd/kernels.hh"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -135,6 +136,23 @@ parseChoice(const char *text, Choice &out)
         return true;
     }
     return false;
+}
+
+void
+adc4Pack(const std::uint8_t *codes, std::size_t n, std::size_t m,
+         std::uint8_t *blocks)
+{
+    const std::size_t rows = adc4CodeBytes(m);
+    std::fill(blocks, blocks + adc4PackedBytes(n, m),
+              std::uint8_t{0});
+    for (std::size_t r = 0; r < n; ++r) {
+        std::uint8_t *blk =
+            blocks + r / kAdc4BlockCands * adc4BlockBytes(m);
+        const std::size_t c = r % kAdc4BlockCands;
+        const std::uint8_t *code = codes + r * rows;
+        for (std::size_t p = 0; p < rows; ++p)
+            blk[p * kAdc4BlockCands + c] = code[p];
+    }
 }
 
 const Kernels &

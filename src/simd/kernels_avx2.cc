@@ -227,20 +227,23 @@ l2sqBatchAvx2(const float *q, const float *rows, std::size_t n,
  * j*stride + code), gather, accumulate with plain adds. Lane j sums
  * subspaces s, s+8, ... and hsum256 folds the lanes — the exact
  * order adcAccumScalar reproduces, so the backends agree bitwise.
+ * The row stride is a runtime parameter: a 16-entry 4-bit table is
+ * gathered as eight 16-float rows and the lanes never stray past a
+ * row's valid entries.
  */
 REACH_AVX2 inline __m256i
-adcLaneBase()
+adcLaneBase(std::size_t stride)
 {
-    return _mm256_setr_epi32(0 * int(kAdcLutStride), 1 * int(kAdcLutStride),
-                             2 * int(kAdcLutStride), 3 * int(kAdcLutStride),
-                             4 * int(kAdcLutStride), 5 * int(kAdcLutStride),
-                             6 * int(kAdcLutStride), 7 * int(kAdcLutStride));
+    const int st = static_cast<int>(stride);
+    return _mm256_setr_epi32(0 * st, 1 * st, 2 * st, 3 * st, 4 * st,
+                             5 * st, 6 * st, 7 * st);
 }
 
 REACH_AVX2 float
-adcAccumAvx2(const float *lut, const std::uint8_t *code, std::size_t m)
+adcAccumAvx2(const float *lut, std::size_t stride,
+             const std::uint8_t *code, std::size_t m)
 {
-    const __m256i base = adcLaneBase();
+    const __m256i base = adcLaneBase(stride);
     __m256 acc = _mm256_setzero_ps();
     std::size_t s = 0;
     for (; s + 8 <= m; s += 8) {
@@ -248,11 +251,11 @@ adcAccumAvx2(const float *lut, const std::uint8_t *code, std::size_t m)
             reinterpret_cast<const __m128i *>(code + s));
         __m256i idx = _mm256_add_epi32(_mm256_cvtepu8_epi32(raw), base);
         acc = _mm256_add_ps(
-            acc, _mm256_i32gather_ps(lut + s * kAdcLutStride, idx, 4));
+            acc, _mm256_i32gather_ps(lut + s * stride, idx, 4));
     }
     float out = hsum256(acc);
     for (; s < m; ++s)
-        out += lut[s * kAdcLutStride + code[s]];
+        out += lut[s * stride + code[s]];
     return out;
 }
 
@@ -261,10 +264,11 @@ adcAccumAvx2(const float *lut, const std::uint8_t *code, std::size_t m)
  * row's chain is exactly the adcAccumAvx2 sequence.
  */
 REACH_AVX2 void
-adcBatchAvx2(const float *lut, const std::uint8_t *codes, std::size_t n,
-             std::size_t m, float *out)
+adcBatchAvx2(const float *lut, std::size_t stride,
+             const std::uint8_t *codes, std::size_t n, std::size_t m,
+             float *out)
 {
-    const __m256i base = adcLaneBase();
+    const __m256i base = adcLaneBase(stride);
     std::size_t r = 0;
     for (; r + 4 <= n; r += 4) {
         const std::uint8_t *c0 = codes + r * m;
@@ -275,7 +279,7 @@ adcBatchAvx2(const float *lut, const std::uint8_t *codes, std::size_t n,
         __m256 a2 = _mm256_setzero_ps(), a3 = _mm256_setzero_ps();
         std::size_t s = 0;
         for (; s + 8 <= m; s += 8) {
-            const float *row = lut + s * kAdcLutStride;
+            const float *row = lut + s * stride;
             __m256i i0 = _mm256_add_epi32(
                 _mm256_cvtepu8_epi32(_mm_loadl_epi64(
                     reinterpret_cast<const __m128i *>(c0 + s))),
@@ -300,7 +304,7 @@ adcBatchAvx2(const float *lut, const std::uint8_t *codes, std::size_t n,
         float s0 = hsum256(a0), s1 = hsum256(a1);
         float s2 = hsum256(a2), s3 = hsum256(a3);
         for (; s < m; ++s) {
-            const float *row = lut + s * kAdcLutStride;
+            const float *row = lut + s * stride;
             s0 += row[c0[s]];
             s1 += row[c1[s]];
             s2 += row[c2[s]];
@@ -312,7 +316,99 @@ adcBatchAvx2(const float *lut, const std::uint8_t *codes, std::size_t n,
         out[r + 3] = s3;
     }
     for (; r < n; ++r)
-        out[r] = adcAccumAvx2(lut, codes + r * m, m);
+        out[r] = adcAccumAvx2(lut, stride, codes + r * m, m);
+}
+
+/** Dequantize 8 u16 sums: out = fma(scale, float(sum), bias). */
+REACH_AVX2 inline void
+adc4Emit8(__m128i sums, __m256 vscale, __m256 vbias, float *dst)
+{
+    __m256 f = _mm256_cvtepi32_ps(_mm256_cvtepu16_epi32(sums));
+    _mm256_storeu_ps(dst, _mm256_fmadd_ps(vscale, f, vbias));
+}
+
+/**
+ * 4-bit FastScan: per block of 32 candidates, each packed row feeds
+ * two register-resident shuffles — the low nibbles index the even
+ * subspace's 16-byte table (broadcast to both 128-bit halves), the
+ * high nibbles the odd subspace's — and the u8 results widen into
+ * two u16 accumulators (unpack lo/hi against zero). 32 table
+ * lookups per shuffle replace 8 gather lanes. After the rows, the
+ * four u16 octets dequantize in candidate order: acc0 holds lanes
+ * 0-7 / 16-23, acc1 lanes 8-15 / 24-31. A partial last block lands
+ * in a stack buffer so only out[0, n) is written, matching the
+ * scalar reference exactly (integer sums + one fused multiply-add).
+ */
+REACH_AVX2 void
+adcBatch4Avx2(const std::uint8_t *lut, const std::uint8_t *blocks,
+              std::size_t n, std::size_t m, float scale, float bias,
+              float *out)
+{
+    const std::size_t pairs = m / 2;
+    const __m256i low4 = _mm256_set1_epi8(0x0F);
+    const __m256i zero = _mm256_setzero_si256();
+    const __m256 vscale = _mm256_set1_ps(scale);
+    const __m256 vbias = _mm256_set1_ps(bias);
+    for (std::size_t done = 0, b = 0; done < n;
+         done += kAdc4BlockCands, ++b) {
+        const std::uint8_t *blk = blocks + b * adc4BlockBytes(m);
+        __m256i acc0 = zero;
+        __m256i acc1 = zero;
+        for (std::size_t p = 0; p < pairs; ++p) {
+            __m256i packed = _mm256_loadu_si256(
+                reinterpret_cast<const __m256i *>(
+                    blk + p * kAdc4BlockCands));
+            __m256i lo = _mm256_and_si256(packed, low4);
+            __m256i hi = _mm256_and_si256(
+                _mm256_srli_epi16(packed, 4), low4);
+            __m256i lutLo = _mm256_broadcastsi128_si256(
+                _mm_loadu_si128(reinterpret_cast<const __m128i *>(
+                    lut + 2 * p * kAdc4LutStride)));
+            __m256i lutHi = _mm256_broadcastsi128_si256(
+                _mm_loadu_si128(reinterpret_cast<const __m128i *>(
+                    lut + (2 * p + 1) * kAdc4LutStride)));
+            __m256i vlo = _mm256_shuffle_epi8(lutLo, lo);
+            __m256i vhi = _mm256_shuffle_epi8(lutHi, hi);
+            acc0 = _mm256_add_epi16(acc0,
+                                    _mm256_unpacklo_epi8(vlo, zero));
+            acc1 = _mm256_add_epi16(acc1,
+                                    _mm256_unpackhi_epi8(vlo, zero));
+            acc0 = _mm256_add_epi16(acc0,
+                                    _mm256_unpacklo_epi8(vhi, zero));
+            acc1 = _mm256_add_epi16(acc1,
+                                    _mm256_unpackhi_epi8(vhi, zero));
+        }
+        if (m % 2) {
+            // Odd tail subspace: only the low nibbles are codes (the
+            // packer zeroes the phantom high nibbles).
+            __m256i packed = _mm256_loadu_si256(
+                reinterpret_cast<const __m256i *>(
+                    blk + pairs * kAdc4BlockCands));
+            __m256i lo = _mm256_and_si256(packed, low4);
+            __m256i lutLo = _mm256_broadcastsi128_si256(
+                _mm_loadu_si128(reinterpret_cast<const __m128i *>(
+                    lut + (m - 1) * kAdc4LutStride)));
+            __m256i vlo = _mm256_shuffle_epi8(lutLo, lo);
+            acc0 = _mm256_add_epi16(acc0,
+                                    _mm256_unpacklo_epi8(vlo, zero));
+            acc1 = _mm256_add_epi16(acc1,
+                                    _mm256_unpackhi_epi8(vlo, zero));
+        }
+        float buf[kAdc4BlockCands];
+        const std::size_t valid = n - done;
+        float *dst = valid >= kAdc4BlockCands ? out + done : buf;
+        adc4Emit8(_mm256_castsi256_si128(acc0), vscale, vbias, dst);
+        adc4Emit8(_mm256_castsi256_si128(acc1), vscale, vbias,
+                  dst + 8);
+        adc4Emit8(_mm256_extracti128_si256(acc0, 1), vscale, vbias,
+                  dst + 16);
+        adc4Emit8(_mm256_extracti128_si256(acc1, 1), vscale, vbias,
+                  dst + 24);
+        if (dst == buf) {
+            for (std::size_t c = 0; c < valid; ++c)
+                out[done + c] = buf[c];
+        }
+    }
 }
 
 /**
@@ -405,7 +501,7 @@ avx2Kernels()
     static const Kernels k{dotAvx2,      l2sqAvx2,   normSqAvx2,
                            axpyAvx2,     dotBatchAvx2, dotIdxAvx2,
                            l2sqBatchAvx2, gemmNtAvx2,
-                           adcAccumAvx2, adcBatchAvx2};
+                           adcAccumAvx2, adcBatchAvx2, adcBatch4Avx2};
     return k;
 }
 

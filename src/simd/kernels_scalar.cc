@@ -8,6 +8,8 @@
 
 #include "simd/kernels.hh"
 
+#include <cmath>
+
 namespace reach::simd::detail
 {
 
@@ -79,14 +81,15 @@ dotIdxScalar(const float *q, const float *base, const std::uint32_t *ids,
  * contraction to differ on), so scalar == avx2 bitwise.
  */
 float
-adcAccumScalar(const float *lut, const std::uint8_t *code, std::size_t m)
+adcAccumScalar(const float *lut, std::size_t stride,
+               const std::uint8_t *code, std::size_t m)
 {
     float lane[8] = {0, 0, 0, 0, 0, 0, 0, 0};
     std::size_t s = 0;
     for (; s + 8 <= m; s += 8) {
-        const float *row = lut + s * kAdcLutStride;
+        const float *row = lut + s * stride;
         for (std::size_t j = 0; j < 8; ++j)
-            lane[j] += row[j * kAdcLutStride + code[s + j]];
+            lane[j] += row[j * stride + code[s + j]];
     }
     float s04 = lane[0] + lane[4];
     float s15 = lane[1] + lane[5];
@@ -94,16 +97,45 @@ adcAccumScalar(const float *lut, const std::uint8_t *code, std::size_t m)
     float s37 = lane[3] + lane[7];
     float acc = (s04 + s26) + (s15 + s37);
     for (; s < m; ++s)
-        acc += lut[s * kAdcLutStride + code[s]];
+        acc += lut[s * stride + code[s]];
     return acc;
 }
 
 void
-adcBatchScalar(const float *lut, const std::uint8_t *codes, std::size_t n,
-               std::size_t m, float *out)
+adcBatchScalar(const float *lut, std::size_t stride,
+               const std::uint8_t *codes, std::size_t n, std::size_t m,
+               float *out)
 {
     for (std::size_t r = 0; r < n; ++r)
-        out[r] = adcAccumScalar(lut, codes + r * m, m);
+        out[r] = adcAccumScalar(lut, stride, codes + r * m, m);
+}
+
+/**
+ * 4-bit FastScan reference: per candidate, walk its lane down the
+ * block's rows, summing both nibbles' table entries into a u32. The
+ * integer sum is exact, so no lane emulation is needed for bitwise
+ * agreement with avx2 — only the final fma must match, and std::fma
+ * is the same correctly-rounded operation as _mm256_fmadd_ps.
+ */
+void
+adcBatch4Scalar(const std::uint8_t *lut, const std::uint8_t *blocks,
+                std::size_t n, std::size_t m, float scale, float bias,
+                float *out)
+{
+    const std::size_t rows = adc4CodeBytes(m);
+    for (std::size_t r = 0; r < n; ++r) {
+        const std::uint8_t *blk =
+            blocks + r / kAdc4BlockCands * adc4BlockBytes(m);
+        const std::size_t c = r % kAdc4BlockCands;
+        std::uint32_t sum = 0;
+        for (std::size_t p = 0; p < rows; ++p) {
+            const std::uint8_t byte = blk[p * kAdc4BlockCands + c];
+            sum += lut[2 * p * kAdc4LutStride + (byte & 0x0F)];
+            if (2 * p + 1 < m)
+                sum += lut[(2 * p + 1) * kAdc4LutStride + (byte >> 4)];
+        }
+        out[r] = std::fma(scale, static_cast<float>(sum), bias);
+    }
 }
 
 /**
@@ -151,7 +183,8 @@ scalarKernels()
                            normSqScalar,   axpyScalar,
                            dotBatchScalar, dotIdxScalar,
                            l2sqBatchScalar, gemmNtScalar,
-                           adcAccumScalar, adcBatchScalar};
+                           adcAccumScalar, adcBatchScalar,
+                           adcBatch4Scalar};
     return k;
 }
 

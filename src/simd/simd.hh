@@ -28,13 +28,15 @@
  *   dotBatch(q, rows, ...)[r] == dot(q, rows + r*d, d)
  *   l2sqBatch(q, rows,...)[r] == l2sq(q, rows + r*d, d)
  *   dotIdx(q, base, ids,..)[r]== dot(q, base + ids[r]*d, d)
- *   adcBatch(lut, codes,..)[r]== adcAccum(lut, codes + r*m, m)
+ *   adcBatch(lut, st, codes,..)[r]
+ *                             == adcAccum(lut, st, codes + r*m, m)
  *
- * The ADC pair is stricter than the rest: its sum contains no
- * multiplies, so both backends commit to one accumulation order
- * (eight interleaved partial sums folded by the fixed hsum tree,
- * then a sequential tail) and scalar/avx2 agree BITWISE, not just to
- * tolerance.
+ * The ADC kernels are stricter than the rest: the 8-bit gather sum
+ * contains no multiplies, so both backends commit to one
+ * accumulation order (eight interleaved partial sums folded by the
+ * fixed hsum tree, then a sequential tail); the 4-bit shuffle sum is
+ * an exact integer finished by one fused multiply-add. Either way
+ * scalar/avx2 agree BITWISE, not just to tolerance.
  */
 
 #ifndef REACH_SIMD_SIMD_HH
@@ -47,12 +49,57 @@ namespace reach::simd
 {
 
 /**
- * Row stride (in floats) of the ADC lookup table: every subspace row
- * holds kAdcLutStride entries regardless of the trained centroid
- * count, so a u8 code always indexes in bounds and the avx2 gather
- * can use one constant lane offset.
+ * Default row stride (in floats) of the 8-bit ADC lookup table: a
+ * full u8 code range per subspace row, so any code indexes in bounds.
+ * The gather kernels take the stride as a runtime parameter — a
+ * codebook trained with fewer centroids (notably the 4-bit mode's 16)
+ * passes its own row stride and the kernels never read past it.
  */
 inline constexpr std::size_t kAdcLutStride = 256;
+
+/** Row stride (in u8 entries) of the 4-bit shuffle ADC table. */
+inline constexpr std::size_t kAdc4LutStride = 16;
+
+/**
+ * Candidates per 4-bit FastScan block: one AVX2 register of packed
+ * bytes scores 32 candidates per shuffle sweep.
+ */
+inline constexpr std::size_t kAdc4BlockCands = 32;
+
+/** Packed bytes one vector's 4-bit code occupies (two per byte). */
+constexpr std::size_t
+adc4CodeBytes(std::size_t m)
+{
+    return (m + 1) / 2;
+}
+
+/** Bytes of one FastScan block: adc4CodeBytes(m) rows of 32 lanes. */
+constexpr std::size_t
+adc4BlockBytes(std::size_t m)
+{
+    return adc4CodeBytes(m) * kAdc4BlockCands;
+}
+
+/** Bytes the block-transposed layout of @p n packed codes occupies. */
+constexpr std::size_t
+adc4PackedBytes(std::size_t n, std::size_t m)
+{
+    return (n + kAdc4BlockCands - 1) / kAdc4BlockCands *
+           adc4BlockBytes(m);
+}
+
+/**
+ * Transpose @p n packed 4-bit codes (rows of adc4CodeBytes(m) bytes;
+ * byte p holds subspace 2p in the low nibble and 2p+1 in the high)
+ * into the FastScan block layout adcBatch4 scans: blocks of 32
+ * candidates, each a row-major [adc4CodeBytes(m)][32] tile whose byte
+ * (p, c) is candidate c's packed byte p. Tail lanes of the last block
+ * are zero-coded; @p blocks must hold adc4PackedBytes(n, m) bytes.
+ * Plain byte moves — layout, thread count and backend cannot change
+ * the result.
+ */
+void adc4Pack(const std::uint8_t *codes, std::size_t n, std::size_t m,
+              std::uint8_t *blocks);
 
 /** A concrete kernel implementation. */
 enum class Backend : std::uint8_t { scalar, avx2 };
@@ -122,16 +169,39 @@ struct Kernels
                    std::size_t m, std::size_t d, float *c,
                    std::size_t ldc);
     /**
-     * PQ asymmetric-distance accumulation:
-     *   sum_s lut[s * kAdcLutStride + code[s]]  for s in [0, m).
-     * Pure fp32 additions in the fixed order documented above, so the
-     * result is bitwise identical across backends.
+     * PQ asymmetric-distance accumulation over a table with @p stride
+     * floats per subspace row:
+     *   sum_s lut[s * stride + code[s]]  for s in [0, m).
+     * Every code must be < stride (the codebook guarantees codes <
+     * numCentroids() <= its lutStride()), so the kernel never reads
+     * past a row's valid entries. Pure fp32 additions in the fixed
+     * order documented above, so the result is bitwise identical
+     * across backends.
      */
-    float (*adcAccum)(const float *lut, const std::uint8_t *code,
-                      std::size_t m);
-    /** out[r] = adcAccum(lut, codes + r*m, m) for r in [0, n). */
-    void (*adcBatch)(const float *lut, const std::uint8_t *codes,
-                     std::size_t n, std::size_t m, float *out);
+    float (*adcAccum)(const float *lut, std::size_t stride,
+                      const std::uint8_t *code, std::size_t m);
+    /** out[r] = adcAccum(lut, stride, codes + r*m, m), r in [0, n). */
+    void (*adcBatch)(const float *lut, std::size_t stride,
+                     const std::uint8_t *codes, std::size_t n,
+                     std::size_t m, float *out);
+    /**
+     * 4-bit FastScan ADC: score @p n candidates from the packed block
+     * layout adc4Pack builds, against a u8-quantized table of m rows
+     * by kAdc4LutStride entries (each row register-resident in the
+     * avx2 backend, looked up with _mm256_shuffle_epi8, 32 candidates
+     * per sweep). Per candidate:
+     *   out[r] = fma(scale, sum_s lut[s * 16 + code(r, s)], bias)
+     * The sum is an exact integer (u16 lanes; m <= 256 keeps the
+     * worst case 255 * 256 below overflow — validatePqConfig enforces
+     * it) and the one fp op is a correctly-rounded fused
+     * multiply-add, so scalar and avx2 agree BITWISE with no
+     * lane-order emulation needed. @p blocks must span whole blocks
+     * (adc4PackedBytes(n, m) bytes); only out[0, n) is written.
+     */
+    void (*adcBatch4)(const std::uint8_t *lut,
+                      const std::uint8_t *blocks, std::size_t n,
+                      std::size_t m, float scale, float bias,
+                      float *out);
 };
 
 /** Kernel table of a backend (valid for the process lifetime). */

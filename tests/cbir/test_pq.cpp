@@ -17,6 +17,7 @@
 #include "cbir/rerank.hh"
 #include "cbir/shortlist.hh"
 #include "sim/logging.hh"
+#include "sim/rng.hh"
 #include "workload/dataset.hh"
 
 using namespace reach;
@@ -36,11 +37,12 @@ pqDataset()
 }
 
 PqConfig
-pqConfig(std::uint32_t m)
+pqConfig(std::uint32_t m, std::uint32_t bits = 8)
 {
     PqConfig pc;
     pc.enabled = true;
     pc.m = m;
+    pc.bits = bits;
     pc.trainIterations = 4;
     return pc;
 }
@@ -56,7 +58,22 @@ TEST(PqCodebook, TrainShapes)
     EXPECT_EQ(cb.numCentroids(), 256u);
     EXPECT_EQ(cb.dim(), 32u);
     EXPECT_EQ(cb.codeBytes(), 8u);
-    EXPECT_EQ(PqCodebook::lutFloats(8), 8 * simd::kAdcLutStride);
+    EXPECT_EQ(cb.codeBits(), 8u);
+    EXPECT_EQ(cb.lutStride(), simd::kAdcLutStride);
+    EXPECT_EQ(cb.lutFloats(), 8 * simd::kAdcLutStride);
+}
+
+TEST(PqCodebook, FourBitTrainShapes)
+{
+    auto ds = pqDataset();
+    PqCodebook cb = PqCodebook::train(ds.vectors(), pqConfig(8, 4));
+    EXPECT_EQ(cb.numSubspaces(), 8u);
+    EXPECT_EQ(cb.numCentroids(), 16u);
+    EXPECT_EQ(cb.codeBits(), 4u);
+    EXPECT_EQ(cb.codeBytes(), 4u); // two codes per byte
+    EXPECT_EQ(cb.lutStride(), simd::kAdc4LutStride);
+    EXPECT_EQ(cb.lutFloats(), 8 * simd::kAdc4LutStride);
+    EXPECT_EQ(pqCodeBytes(pqConfig(9, 4)), 5u); // odd m rounds up
 }
 
 TEST(PqCodebook, FewerVectorsThanCentroidsShrinksCodebooks)
@@ -83,6 +100,10 @@ TEST(PqConfigValidation, RejectsMalformedConfigs)
     EXPECT_THROW(validatePqConfig(pc, 32), sim::SimFatal);
     pc.trainIterations = 4;
     validatePqConfig(pc, 32); // well-formed: no throw
+    pc.bits = 5;
+    EXPECT_THROW(validatePqConfig(pc, 32), sim::SimFatal);
+    pc.bits = 4;
+    validatePqConfig(pc, 32); // 4-bit mode: no throw
 }
 
 TEST(PqCodebook, EncodePicksNearestSubspaceCentroid)
@@ -111,7 +132,7 @@ TEST(PqCodebook, AdcEqualsDistanceToDecodedVector)
     PqCodebook cb = PqCodebook::train(ds.vectors(), pqConfig(8));
     cbir::Matrix queries = ds.makeQueries(5, 0.3, 99);
 
-    std::vector<float> lut(PqCodebook::lutFloats(cb.numSubspaces()));
+    std::vector<float> lut(cb.lutFloats());
     std::vector<std::uint8_t> code(cb.codeBytes());
     std::vector<float> decoded(cb.dim());
     const auto &k = simd::kernels(simd::Choice::autoDetect);
@@ -121,8 +142,8 @@ TEST(PqCodebook, AdcEqualsDistanceToDecodedVector)
         for (std::size_t r = 0; r < 50; ++r) {
             cb.encode(ds.vectors().row(r), code.data());
             cb.decode(code.data(), decoded);
-            float adc = k.adcAccum(lut.data(), code.data(),
-                                   cb.numSubspaces());
+            float adc = k.adcAccum(lut.data(), cb.lutStride(),
+                                   code.data(), cb.numSubspaces());
             float ref = l2sq(queries.row(q),
                              std::span<const float>(decoded));
             EXPECT_NEAR(adc, ref, 1e-4f * (1.0f + ref))
@@ -138,7 +159,7 @@ TEST(PqCodebook, AdcTableRowsMatchSubspaceL2AndPadWithZeros)
     cbir::Matrix queries = ds.makeQueries(1, 0.3, 7);
     std::span<const float> q = queries.row(0);
 
-    std::vector<float> lut(PqCodebook::lutFloats(cb.numSubspaces()));
+    std::vector<float> lut(cb.lutFloats());
     cb.adcTable(q, lut.data());
     // The build is a fixed function of (query, codebook): a second
     // build reproduces the exact bits regardless of backend choice.
@@ -190,11 +211,134 @@ TEST(PqCodebook, ShapeMismatchesPanic)
     PqCodebook cb = PqCodebook::train(ds.vectors(), pqConfig(8));
     std::vector<float> wrong(cb.dim() + 1);
     std::vector<std::uint8_t> code(cb.codeBytes());
-    std::vector<float> lut(PqCodebook::lutFloats(cb.numSubspaces()));
+    std::vector<float> lut(cb.lutFloats());
     EXPECT_THROW(cb.encode(wrong, code.data()), sim::SimPanic);
     EXPECT_THROW(cb.adcTable(wrong, lut.data()), sim::SimPanic);
     std::vector<float> out(cb.dim() - 1);
     EXPECT_THROW(cb.decode(code.data(), out), sim::SimPanic);
+}
+
+namespace
+{
+
+/** A small dataset whose dim admits an odd subspace count. */
+workload::Dataset
+oddDataset()
+{
+    workload::DatasetConfig dc;
+    dc.numVectors = 400;
+    dc.dim = 12;
+    dc.latentClusters = 6;
+    return workload::Dataset(dc);
+}
+
+} // namespace
+
+TEST(PqCodebook, FourBitEncodeDecodeRoundtripAtOddM)
+{
+    auto ds = oddDataset();
+    PqCodebook cb = PqCodebook::train(ds.vectors(), pqConfig(3, 4));
+    ASSERT_EQ(cb.numSubspaces(), 3u);
+    ASSERT_EQ(cb.codeBytes(), 2u);
+
+    std::vector<std::uint8_t> code(cb.codeBytes());
+    std::vector<float> decoded(cb.dim());
+    for (std::size_t r = 0; r < 40; ++r) {
+        cb.encode(ds.vectors().row(r), code.data());
+        // Odd m: the last byte's phantom high nibble stays zero — the
+        // pack/shuffle contract the 4-bit kernels rely on.
+        EXPECT_EQ(code.back() >> 4, 0);
+        cb.decode(code.data(), decoded);
+        for (std::size_t s = 0; s < cb.numSubspaces(); ++s) {
+            const std::uint8_t j = s % 2 == 0 ? code[s / 2] & 0x0F
+                                              : code[s / 2] >> 4;
+            ASSERT_LT(j, cb.numCentroids());
+            std::span<const float> cent = cb.centroid(s, j);
+            for (std::size_t d = 0; d < cb.subDim(); ++d)
+                EXPECT_EQ(decoded[s * cb.subDim() + d], cent[d])
+                    << "row " << r << " s=" << s;
+        }
+    }
+}
+
+TEST(PqCodebook, FourBitEncodeAllIsThreadInvariant)
+{
+    auto ds = pqDataset();
+    PqCodebook cb = PqCodebook::train(ds.vectors(), pqConfig(8, 4));
+
+    parallel::ParallelConfig serial = parallel::ParallelConfig::serial();
+    parallel::ParallelConfig four;
+    four.threads = 4;
+    four.simd = serial.simd;
+    auto codes1 = cb.encodeAll(ds.vectors(), serial);
+    auto codes4 = cb.encodeAll(ds.vectors(), four);
+    EXPECT_EQ(codes1.size(), ds.size() * cb.codeBytes());
+    EXPECT_EQ(codes1, codes4);
+}
+
+/**
+ * Satellite regression for the LUT padding contract: the 4-bit table
+ * is exactly m x 16 — allocated at that size so any kernel read past
+ * a row's 16 entries is out of bounds — and rows pad entries beyond
+ * the trained centroids with 255 (saturated-far), so a phantom code
+ * can never rank as a near neighbour.
+ */
+TEST(PqCodebook, FourBitAdcTableIsExactlySixteenWide)
+{
+    Matrix tiny(10, 8); // 10 vectors < 16 -> ksub shrinks to 10
+    sim::Rng rng(7);
+    for (std::size_t r = 0; r < tiny.rows(); ++r)
+        for (std::size_t d = 0; d < tiny.cols(); ++d)
+            tiny.at(r, d) = static_cast<float>(rng.nextGaussian());
+    PqCodebook cb = PqCodebook::train(tiny, pqConfig(2, 4));
+    ASSERT_EQ(cb.numCentroids(), 10u);
+    ASSERT_EQ(cb.lutStride(), simd::kAdc4LutStride);
+
+    std::vector<std::uint8_t> lut(cb.lutFloats());
+    ASSERT_EQ(lut.size(), cb.numSubspaces() * simd::kAdc4LutStride);
+    std::vector<float> query(cb.dim(), 0.25f);
+    cb.adcTable4(query, lut.data());
+    for (std::size_t s = 0; s < cb.numSubspaces(); ++s) {
+        for (std::size_t j = cb.numCentroids();
+             j < simd::kAdc4LutStride; ++j)
+            EXPECT_EQ(lut[s * simd::kAdc4LutStride + j], 255)
+                << "s=" << s << " j=" << j;
+    }
+}
+
+TEST(PqCodebook, FourBitAdcWithinQuantizationBoundOfExact)
+{
+    auto ds = pqDataset();
+    PqCodebook cb = PqCodebook::train(ds.vectors(), pqConfig(8, 4));
+    cbir::Matrix queries = ds.makeQueries(4, 0.3, 17);
+    const auto &k = simd::kernels(simd::Choice::autoDetect);
+
+    const std::size_t n = 64, m = cb.numSubspaces();
+    std::vector<std::uint8_t> codes(n * cb.codeBytes());
+    for (std::size_t r = 0; r < n; ++r)
+        cb.encode(ds.vectors().row(r), codes.data() + r * cb.codeBytes());
+    std::vector<std::uint8_t> blocks(simd::adc4PackedBytes(n, m));
+    simd::adc4Pack(codes.data(), n, m, blocks.data());
+
+    std::vector<std::uint8_t> lut4(cb.lutFloats());
+    std::vector<float> got(n), decoded(cb.dim());
+    for (std::size_t q = 0; q < queries.rows(); ++q) {
+        auto qp = cb.adcTable4(queries.row(q), lut4.data());
+        k.adcBatch4(lut4.data(), blocks.data(), n, m, qp.scale,
+                    qp.bias, got.data());
+        // Each quantized entry sits within scale/2 of the true
+        // subspace distance, so the sum is within m*scale/2 (plus
+        // fp noise) of the distance to the decoded vector.
+        const float tol = 0.5f * static_cast<float>(m) * qp.scale +
+                          1e-3f;
+        for (std::size_t r = 0; r < n; ++r) {
+            cb.decode(codes.data() + r * cb.codeBytes(), decoded);
+            float ref = l2sq(queries.row(q),
+                             std::span<const float>(decoded));
+            EXPECT_NEAR(got[r], ref, tol) << "query " << q
+                                          << " row " << r;
+        }
+    }
 }
 
 TEST(InvertedFileIndexPq, ClusterCodesMatchMemberEncodings)
@@ -225,6 +369,42 @@ TEST(InvertedFileIndexPq, ClusterCodesMatchMemberEncodings)
     }
 }
 
+TEST(InvertedFileIndexPq, FourBitAttachBuildsPackedBlocks)
+{
+    auto ds = pqDataset();
+    KMeansConfig kc;
+    kc.clusters = 16;
+    InvertedFileIndex idx(ds.vectors(), kc);
+    idx.buildPq(ds.vectors(), pqConfig(8, 4));
+    ASSERT_TRUE(idx.hasPq());
+    const PqCodebook &cb = idx.pqCodebook();
+    const std::size_t m = cb.numSubspaces();
+
+    for (std::size_t c = 0; c < idx.numClusters(); ++c) {
+        const std::size_t n = idx.cluster(c).size();
+        auto codes = idx.clusterCodes(c);
+        auto blocks = idx.clusterPackedCodes(c);
+        ASSERT_EQ(blocks.size(), simd::adc4PackedBytes(n, m));
+        // The block layout is the transpose adc4Pack defines; rebuild
+        // it from the per-member codes and compare bytes.
+        std::vector<std::uint8_t> want(blocks.size());
+        simd::adc4Pack(codes.data(), n, m, want.data());
+        for (std::size_t i = 0; i < want.size(); ++i)
+            EXPECT_EQ(blocks[i], want[i]) << "cluster " << c
+                                          << " byte " << i;
+    }
+}
+
+TEST(InvertedFileIndexPq, EightBitIndexHasNoPackedBlocks)
+{
+    auto ds = pqDataset();
+    KMeansConfig kc;
+    kc.clusters = 16;
+    InvertedFileIndex idx(ds.vectors(), kc);
+    idx.buildPq(ds.vectors(), pqConfig(8));
+    EXPECT_TRUE(idx.clusterPackedCodes(0).empty());
+}
+
 TEST(InvertedFileIndexPq, AttachRejectsWrongSizes)
 {
     auto ds = pqDataset();
@@ -253,7 +433,8 @@ struct PqRerankFixture
     cbir::Matrix queries;
     ShortLists lists;
 
-    PqRerankFixture()
+    explicit PqRerankFixture(std::uint32_t bits = 8,
+                             std::uint32_t m = 8)
         : idx(ds.vectors(),
               [] {
                   KMeansConfig kc;
@@ -262,7 +443,7 @@ struct PqRerankFixture
               }()),
           queries(ds.makeQueries(10, 0.2, 31))
     {
-        idx.buildPq(ds.vectors(), pqConfig(8));
+        idx.buildPq(ds.vectors(), pqConfig(m, bits));
         lists = shortlistRetrieve(queries, idx, 6);
     }
 };
@@ -358,6 +539,106 @@ TEST(RerankPq, BackendsAgreeBitwiseWithoutRefine)
 TEST(RerankPq, ThreadCountDoesNotChangeResults)
 {
     PqRerankFixture f;
+    RerankConfig rc;
+    rc.k = 10;
+    rc.maxCandidates = 4096;
+    rc.usePq = true;
+    rc.pqRefine = 32;
+    rc.parallel = parallel::ParallelConfig::serial();
+    auto serial = rerank(f.queries, f.ds.vectors(), f.idx, f.lists,
+                         rc);
+    rc.parallel.threads = 4;
+    auto threaded = rerank(f.queries, f.ds.vectors(), f.idx, f.lists,
+                           rc);
+    ASSERT_EQ(serial.size(), threaded.size());
+    for (std::size_t q = 0; q < serial.size(); ++q)
+        EXPECT_EQ(serial[q], threaded[q]) << "query " << q;
+}
+
+/**
+ * The 4-bit mirror of the suite above: the shuffle-ADC rerank path
+ * keeps every reproducibility contract of the 8-bit gather path.
+ */
+
+TEST(RerankPq4, RefineCoveringTheBudgetRecoversTheExactPipeline)
+{
+    PqRerankFixture f(4);
+    RerankConfig exact;
+    exact.k = 10;
+    exact.maxCandidates = 300;
+    auto want = rerank(f.queries, f.ds.vectors(), f.idx, f.lists,
+                       exact);
+
+    RerankConfig pq = exact;
+    pq.usePq = true;
+    pq.pqRefine = 300;
+    auto got = rerank(f.queries, f.ds.vectors(), f.idx, f.lists, pq);
+    ASSERT_EQ(got.size(), want.size());
+    for (std::size_t q = 0; q < want.size(); ++q)
+        EXPECT_EQ(got[q], want[q]) << "query " << q;
+}
+
+TEST(RerankPq4, RecallAgainstTheExactPipeline)
+{
+    // M=16 x 4 bits matches the 8-bit test's 64-bit-per-vector code
+    // budget; 16-centroid subspaces are coarser per lookup, so the
+    // bar for the pure-ADC ordering is lower, but refine must still
+    // recover near-exact recall.
+    PqRerankFixture f(4, 16);
+    RerankConfig exact;
+    exact.k = 10;
+    exact.maxCandidates = 4096;
+    auto want = rerank(f.queries, f.ds.vectors(), f.idx, f.lists,
+                       exact);
+
+    RerankConfig pq = exact;
+    pq.usePq = true;
+    pq.pqRefine = 0;
+    double pure = recallAtK(
+        rerank(f.queries, f.ds.vectors(), f.idx, f.lists, pq), want,
+        10);
+    pq.pqRefine = 96;
+    double refined = recallAtK(
+        rerank(f.queries, f.ds.vectors(), f.idx, f.lists, pq), want,
+        10);
+
+    // 16 centroids per subspace order far more loosely than 256
+    // (pure ADC only pre-sorts), so the exact-refine pass carries
+    // more of the recall: a deeper budget must recover near-exact
+    // results.
+    EXPECT_GT(pure, 0.1);
+    EXPECT_GE(refined, pure);
+    EXPECT_GE(refined, 0.9);
+}
+
+TEST(RerankPq4, BackendsAgreeBitwiseWithoutRefine)
+{
+    if (!simd::supported(simd::Backend::avx2))
+        GTEST_SKIP() << "avx2 not supported on this host";
+    // The quantized table build is a fixed scalar function and
+    // adcBatch4 is exact-integer + one fma on both backends, so a
+    // pure-ADC 4-bit rerank returns identical bits on scalar and
+    // avx2.
+    PqRerankFixture f(4);
+    RerankConfig rc;
+    rc.k = 10;
+    rc.maxCandidates = 4096;
+    rc.usePq = true;
+    rc.pqRefine = 0;
+    rc.parallel = parallel::ParallelConfig::serial();
+    rc.parallel.simd = simd::Choice::scalar;
+    auto scalar = rerank(f.queries, f.ds.vectors(), f.idx, f.lists,
+                         rc);
+    rc.parallel.simd = simd::Choice::avx2;
+    auto avx2 = rerank(f.queries, f.ds.vectors(), f.idx, f.lists, rc);
+    ASSERT_EQ(scalar.size(), avx2.size());
+    for (std::size_t q = 0; q < scalar.size(); ++q)
+        EXPECT_EQ(scalar[q], avx2[q]) << "query " << q;
+}
+
+TEST(RerankPq4, ThreadCountDoesNotChangeResults)
+{
+    PqRerankFixture f(4);
     RerankConfig rc;
     rc.k = 10;
     rc.maxCandidates = 4096;

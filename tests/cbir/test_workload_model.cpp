@@ -138,6 +138,59 @@ TEST(WorkloadModel, PqRefineAddsPageGranularGathers)
     EXPECT_LT(w.ops, exact.rerankBatch(1).ops);
 }
 
+TEST(WorkloadModel, FourBitHalvesTheCodeScan)
+{
+    ScaleConfig s8 = paperScale();
+    s8.pq.enabled = true;
+    s8.pq.m = 32;
+    s8.pq.refine = 0;
+    ScaleConfig s4 = s8;
+    s4.pq.bits = 4;
+    CbirWorkloadModel m8(s8), m4(s4);
+    // Packed codes: (m+1)/2 bytes per candidate instead of m.
+    EXPECT_EQ(m4.rerankCandidateBytes(), 16u);
+    EXPECT_EQ(m8.rerankBatch(1).bytesIn, 2 * m4.rerankBatch(1).bytesIn);
+    // The per-query table build shrinks 16x (16 vs 256 entries per
+    // subspace), so total rerank compute drops too.
+    EXPECT_LT(m4.rerankBatch(1).ops, m8.rerankBatch(1).ops);
+}
+
+TEST(WorkloadModel, HalfPrecisionCentroidsShrinkTheScan)
+{
+    ScaleConfig fp32 = paperScale();
+    ScaleConfig fp16 = paperScale();
+    fp16.centroidBytesPerDim = 2;
+    CbirWorkloadModel a(fp32), b(fp16);
+
+    // The centroid matrix halves; the ||C||^2 tail and cell info are
+    // unchanged.
+    std::uint64_t cents32 = 1000ull * 96 * 4;
+    std::uint64_t cents16 = 1000ull * 96 * 2;
+    EXPECT_EQ(a.centroidAndCellBytes() - b.centroidAndCellBytes(),
+              cents32 - cents16);
+    EXPECT_EQ(a.shortlistBatch(1).bytesIn - b.shortlistBatch(1).bytesIn,
+              cents32 - cents16);
+    // Compute is unchanged: precision only affects storage traffic.
+    EXPECT_EQ(a.shortlistBatch(1).ops, b.shortlistBatch(1).ops);
+
+    ScaleConfig bad = paperScale();
+    bad.centroidBytesPerDim = 3;
+    EXPECT_THROW(CbirWorkloadModel{bad}, sim::SimFatal);
+}
+
+TEST(WorkloadModel, ShortlistPlacementDefaultsToDdr)
+{
+    ScaleConfig s = paperScale();
+    EXPECT_EQ(s.shortlistPlacement, ScanPlacement::Ddr);
+    s.shortlistPlacement = ScanPlacement::Hbm;
+    // The knob lives on ScaleConfig so sweeps carry it alongside the
+    // traffic model; the byte counts themselves do not change — only
+    // the link the system charges them to.
+    CbirWorkloadModel ddr(paperScale()), hbm(s);
+    EXPECT_EQ(ddr.shortlistBatch(1).bytesIn, hbm.shortlistBatch(1).bytesIn);
+    EXPECT_EQ(hbm.scale().shortlistPlacement, ScanPlacement::Hbm);
+}
+
 TEST(WorkloadModel, PqConfigValidatedAtConstruction)
 {
     ScaleConfig s = paperScale();

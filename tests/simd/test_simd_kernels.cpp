@@ -9,7 +9,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <vector>
 
 #include "sim/rng.hh"
@@ -188,12 +190,48 @@ TEST_P(SimdBackend, AdcBatchMatchesAdcAccumBitwise)
         for (auto &c : codes)
             c = static_cast<std::uint8_t>(rng.nextUInt(256));
         std::vector<float> out(n, -1.0f);
-        k().adcBatch(lut.data(), codes.data(), n, m, out.data());
+        k().adcBatch(lut.data(), simd::kAdcLutStride, codes.data(), n,
+                     m, out.data());
         for (std::size_t r = 0; r < n; ++r) {
             EXPECT_EQ(out[r],
-                      k().adcAccum(lut.data(), codes.data() + r * m, m))
+                      k().adcAccum(lut.data(), simd::kAdcLutStride,
+                                   codes.data() + r * m, m))
                 << "adcBatch row " << r << " m=" << m;
         }
+    }
+}
+
+/**
+ * The gather pair honours a runtime row stride: a table laid out at
+ * 16 floats per row (the 4-bit codebook's lutStride) produces the
+ * same sums as the equivalent 256-stride table, and — because the
+ * tight table is allocated at exactly m*16 floats — any read past a
+ * row's 16 valid entries would be out of bounds (ASan-visible) and
+ * land on the next row's values (assertion-visible).
+ */
+TEST_P(SimdBackend, AdcHonoursNarrowLutStride)
+{
+    const std::size_t kSubspaces[] = {1, 3, 8, 9, 16, 32};
+    for (std::size_t m : kSubspaces) {
+        auto narrow = randomVec(m * simd::kAdc4LutStride, 900 + m);
+        std::vector<float> wide(m * simd::kAdcLutStride, 1e30f);
+        for (std::size_t s = 0; s < m; ++s) {
+            std::copy_n(narrow.data() + s * simd::kAdc4LutStride,
+                        simd::kAdc4LutStride,
+                        wide.data() + s * simd::kAdcLutStride);
+        }
+        constexpr std::size_t n = 7;
+        sim::Rng rng(950 + m);
+        std::vector<std::uint8_t> codes(n * m);
+        for (auto &c : codes)
+            c = static_cast<std::uint8_t>(rng.nextUInt(16));
+        std::vector<float> a(n), b(n);
+        k().adcBatch(narrow.data(), simd::kAdc4LutStride, codes.data(),
+                     n, m, a.data());
+        k().adcBatch(wide.data(), simd::kAdcLutStride, codes.data(),
+                     n, m, b.data());
+        for (std::size_t r = 0; r < n; ++r)
+            EXPECT_EQ(a[r], b[r]) << "row " << r << " m=" << m;
     }
 }
 
@@ -203,11 +241,13 @@ TEST_P(SimdBackend, AdcEdgeCases)
     lut[0] = 2.5f;
     lut[200] = 4.0f;
     const std::uint8_t code[] = {200};
-    EXPECT_EQ(k().adcAccum(lut, code, 0), 0.0f);
-    EXPECT_FLOAT_EQ(k().adcAccum(lut, code, 1), 4.0f);
+    EXPECT_EQ(k().adcAccum(lut, simd::kAdcLutStride, code, 0), 0.0f);
+    EXPECT_FLOAT_EQ(k().adcAccum(lut, simd::kAdcLutStride, code, 1),
+                    4.0f);
 
     float out = 42.0f;
-    k().adcBatch(lut, code, 0, 1, &out); // zero rows: out untouched
+    // zero rows: out untouched
+    k().adcBatch(lut, simd::kAdcLutStride, code, 0, 1, &out);
     EXPECT_FLOAT_EQ(out, 42.0f);
 }
 
@@ -231,13 +271,130 @@ TEST(SimdAdc, BackendsAgreeBitwise)
         for (auto &c : codes)
             c = static_cast<std::uint8_t>(rng.nextUInt(256));
         std::vector<float> a(n), b(n);
-        sc.adcBatch(lut.data(), codes.data(), n, m, a.data());
-        av.adcBatch(lut.data(), codes.data(), n, m, b.data());
+        sc.adcBatch(lut.data(), simd::kAdcLutStride, codes.data(), n,
+                    m, a.data());
+        av.adcBatch(lut.data(), simd::kAdcLutStride, codes.data(), n,
+                    m, b.data());
         for (std::size_t r = 0; r < n; ++r)
             EXPECT_EQ(a[r], b[r]) << "row " << r << " m=" << m;
-        EXPECT_EQ(sc.adcAccum(lut.data(), codes.data(), m),
-                  av.adcAccum(lut.data(), codes.data(), m))
+        EXPECT_EQ(sc.adcAccum(lut.data(), simd::kAdcLutStride,
+                              codes.data(), m),
+                  av.adcAccum(lut.data(), simd::kAdcLutStride,
+                              codes.data(), m))
             << "m=" << m;
+    }
+}
+
+namespace
+{
+
+/** Random packed 4-bit codes + the blocks adc4Pack builds of them. */
+struct Adc4Fixture
+{
+    std::vector<std::uint8_t> lut;    // m x 16
+    std::vector<std::uint8_t> codes;  // n x adc4CodeBytes(m)
+    std::vector<std::uint8_t> blocks; // adc4PackedBytes(n, m)
+
+    Adc4Fixture(std::size_t n, std::size_t m, std::uint64_t seed)
+        : lut(std::max<std::size_t>(m, 1) * simd::kAdc4LutStride),
+          codes(n * simd::adc4CodeBytes(m)),
+          blocks(simd::adc4PackedBytes(n, m))
+    {
+        sim::Rng rng(seed);
+        for (auto &x : lut)
+            x = static_cast<std::uint8_t>(rng.nextUInt(256));
+        for (auto &c : codes)
+            c = static_cast<std::uint8_t>(rng.nextUInt(256));
+        if (m % 2) {
+            // The packer contract: phantom high nibbles are zero.
+            for (std::size_t r = 0; r < n; ++r)
+                codes[(r + 1) * simd::adc4CodeBytes(m) - 1] &= 0x0F;
+        }
+        simd::adc4Pack(codes.data(), n, m, blocks.data());
+    }
+
+    /** Plain-integer reference sum of candidate r. */
+    std::uint32_t
+    refSum(std::size_t r, std::size_t m) const
+    {
+        std::uint32_t sum = 0;
+        const std::uint8_t *code =
+            codes.data() + r * simd::adc4CodeBytes(m);
+        for (std::size_t s = 0; s < m; ++s) {
+            const std::uint8_t j = s % 2 == 0 ? code[s / 2] & 0x0F
+                                              : code[s / 2] >> 4;
+            sum += lut[s * simd::kAdc4LutStride + j];
+        }
+        return sum;
+    }
+};
+
+} // namespace
+
+/**
+ * The 4-bit shuffle kernel against a from-scratch reference: exact
+ * integer sums finished by one fused multiply-add, for every
+ * odd/even subspace count and every block-tail shape.
+ */
+TEST_P(SimdBackend, AdcBatch4MatchesIntegerReference)
+{
+    const std::size_t kSubspaces[] = {0, 1, 2, 3, 5, 8, 32, 96};
+    const std::size_t kCounts[] = {0, 1, 7, 31, 32, 33, 64, 100};
+    const float scale = 0.03125f, bias = 1.75f;
+    for (std::size_t m : kSubspaces) {
+        for (std::size_t n : kCounts) {
+            Adc4Fixture fx(n, m, 1000 + 17 * m + n);
+            std::vector<float> out(std::max<std::size_t>(n, 1),
+                                   -1.0f);
+            k().adcBatch4(fx.lut.data(), fx.blocks.data(), n, m,
+                          scale, bias, out.data());
+            for (std::size_t r = 0; r < n; ++r) {
+                const float want = std::fma(
+                    scale, static_cast<float>(fx.refSum(r, m)), bias);
+                EXPECT_EQ(out[r], want)
+                    << "row " << r << " m=" << m << " n=" << n;
+            }
+            if (n == 0)
+                EXPECT_EQ(out[0], -1.0f) << "zero rows wrote output";
+        }
+    }
+}
+
+/** Saturating sums: 256 subspaces of 255 stay exact in u16 lanes. */
+TEST_P(SimdBackend, AdcBatch4SurvivesWorstCaseSums)
+{
+    const std::size_t m = 256, n = 33;
+    Adc4Fixture fx(n, m, 4242);
+    std::fill(fx.lut.begin(), fx.lut.end(), std::uint8_t{255});
+    std::vector<float> out(n);
+    k().adcBatch4(fx.lut.data(), fx.blocks.data(), n, m, 1.0f, 0.0f,
+                  out.data());
+    for (std::size_t r = 0; r < n; ++r)
+        EXPECT_EQ(out[r], 65280.0f) << "row " << r;
+}
+
+/** 4-bit shuffle ADC: scalar and avx2 agree bitwise (simd.hh). */
+TEST(SimdAdc, Batch4BackendsAgreeBitwise)
+{
+    if (!simd::supported(simd::Backend::avx2))
+        GTEST_SKIP() << "no avx2 on this host";
+    const auto &sc = simd::kernels(simd::Backend::scalar);
+    const auto &av = simd::kernels(simd::Backend::avx2);
+    const std::size_t kSubspaces[] = {1, 2, 3, 8, 31, 32, 96};
+    const std::size_t kCounts[] = {1, 13, 32, 77, 128};
+    for (std::size_t m : kSubspaces) {
+        for (std::size_t n : kCounts) {
+            Adc4Fixture fx(n, m, 5000 + 13 * m + n);
+            const float scale = 0.017f, bias = -2.5f;
+            std::vector<float> a(n), b(n);
+            sc.adcBatch4(fx.lut.data(), fx.blocks.data(), n, m, scale,
+                         bias, a.data());
+            av.adcBatch4(fx.lut.data(), fx.blocks.data(), n, m, scale,
+                         bias, b.data());
+            for (std::size_t r = 0; r < n; ++r)
+                EXPECT_EQ(a[r], b[r])
+                    << "row " << r << " m=" << m << " n=" << n;
+        }
     }
 }
 

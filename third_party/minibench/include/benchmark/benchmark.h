@@ -1,0 +1,200 @@
+/**
+ * @file
+ * minibench: a small, vendored implementation of the subset of the
+ * google-benchmark API this repository uses, so the bench binaries
+ * build and run Release-quality timings without any system or
+ * fetched dependency. Drop-in for:
+ *
+ *   - BENCHMARK(fn) / BENCHMARK_CAPTURE(fn, label, args...) with
+ *     ->Arg(n) and ->UseRealTime() chaining, BENCHMARK_MAIN()
+ *   - benchmark::State: for (auto _ : state), range(i),
+ *     iterations(), SetItemsProcessed(), SkipWithError()
+ *   - benchmark::DoNotOptimize()
+ *   - flags: --benchmark_out=FILE, --benchmark_out_format=json,
+ *     --benchmark_min_time=T[s]|Nx, --benchmark_filter=REGEX,
+ *     --benchmark_context=key=value, --benchmark_repetitions=N
+ *
+ * The JSON writer emits the same shape google-benchmark does
+ * (context block + one object per run with run_type "iteration"),
+ * which is what bench/run_micro.sh and the CI gates parse. The
+ * library is always compiled optimized with NDEBUG (see its
+ * CMakeLists), so the recorded context reports
+ * library_build_type: "release" regardless of the embedding build.
+ *
+ * Not implemented (and not used in-tree): threads, fixtures,
+ * templated benchmarks, manual timing, counters, aggregate
+ * (mean/median/stddev) reports, console color tables.
+ */
+
+#ifndef MINIBENCH_BENCHMARK_H
+#define MINIBENCH_BENCHMARK_H
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace benchmark
+{
+
+class State
+{
+  public:
+    State(std::int64_t iters, std::vector<std::int64_t> ranges);
+
+    /** The per-instance argument list set with ->Arg(). */
+    std::int64_t range(std::size_t i = 0) const;
+
+    std::int64_t iterations() const { return maxIters; }
+
+    void SetItemsProcessed(std::int64_t n) { items = n; }
+    std::int64_t itemsProcessed() const { return items; }
+
+    /** Mark this run skipped; the report carries the message. */
+    void SkipWithError(const std::string &msg);
+    bool errorOccurred() const { return skipped; }
+    const std::string &errorMessage() const { return error; }
+
+    // Range-for protocol: `for (auto _ : state)`. begin() starts the
+    // timers; the != comparison that ends the loop stops them, so
+    // only the measured region is charged.
+    struct Value
+    {
+    };
+
+    class iterator
+    {
+      public:
+        iterator(State *s, std::int64_t remaining)
+            : state(s), left(remaining)
+        {
+        }
+        Value operator*() const { return {}; }
+        iterator &operator++()
+        {
+            --left;
+            return *this;
+        }
+        bool operator!=(const iterator &) const
+        {
+            if (left > 0 && !state->skipped)
+                return true;
+            state->finish();
+            return false;
+        }
+
+      private:
+        State *state;
+        mutable std::int64_t left;
+    };
+
+    iterator begin();
+    iterator end() { return iterator(this, 0); }
+
+    /** Measured wall / process-CPU time of the timed region (ns). */
+    double realTimeNs() const { return realNs; }
+    double cpuTimeNs() const { return cpuNs; }
+
+  private:
+    friend class iterator;
+    void finish();
+
+    std::int64_t maxIters;
+    std::vector<std::int64_t> ranges;
+    std::int64_t items = 0;
+    bool skipped = false;
+    bool finished = false;
+    std::string error;
+    double startReal = 0, startCpu = 0;
+    double realNs = 0, cpuNs = 0;
+};
+
+namespace internal
+{
+
+class Benchmark
+{
+  public:
+    Benchmark(std::string name, std::function<void(State &)> fn);
+
+    Benchmark *Arg(std::int64_t x);
+    Benchmark *Args(const std::vector<std::int64_t> &xs);
+    /** Accepted for compatibility; minibench always reports both. */
+    Benchmark *UseRealTime();
+
+    const std::string &name() const { return benchName; }
+    void run(State &state) const { func(state); }
+    /** One argument list per registered instance (may be empty). */
+    const std::vector<std::vector<std::int64_t>> &argLists() const
+    {
+        return args;
+    }
+
+  private:
+    std::string benchName;
+    std::function<void(State &)> func;
+    std::vector<std::vector<std::int64_t>> args;
+};
+
+Benchmark *RegisterBenchmark(std::string name,
+                             std::function<void(State &)> fn);
+
+} // namespace internal
+
+/** Defeat dead-code elimination of a benchmarked value. */
+template <class T>
+inline void
+DoNotOptimize(T const &value)
+{
+    asm volatile("" : : "r,m"(value) : "memory");
+}
+
+template <class T>
+inline void
+DoNotOptimize(T &value)
+{
+    asm volatile("" : "+r,m"(value) : : "memory");
+}
+
+inline void
+ClobberMemory()
+{
+    asm volatile("" : : : "memory");
+}
+
+/** Parse --benchmark_* flags (consumed in place, like google's). */
+void Initialize(int *argc, char **argv);
+/** Run every registered instance matching the filter; returns the
+ *  number that ran. */
+std::size_t RunSpecifiedBenchmarks();
+void Shutdown();
+
+} // namespace benchmark
+
+#define MINIBENCH_CONCAT2(a, b) a##b
+#define MINIBENCH_CONCAT(a, b) MINIBENCH_CONCAT2(a, b)
+
+#define BENCHMARK(fn)                                                 \
+    static ::benchmark::internal::Benchmark *MINIBENCH_CONCAT(        \
+        minibench_reg_, __LINE__) =                                   \
+        ::benchmark::internal::RegisterBenchmark(#fn, fn)
+
+#define BENCHMARK_CAPTURE(fn, label, ...)                             \
+    static ::benchmark::internal::Benchmark *MINIBENCH_CONCAT(        \
+        minibench_reg_, __LINE__) =                                   \
+        ::benchmark::internal::RegisterBenchmark(                     \
+            #fn "/" #label, [](::benchmark::State &st) {              \
+                fn(st, __VA_ARGS__);                                  \
+            })
+
+#define BENCHMARK_MAIN()                                              \
+    int main(int argc, char **argv)                                   \
+    {                                                                 \
+        ::benchmark::Initialize(&argc, argv);                         \
+        ::benchmark::RunSpecifiedBenchmarks();                        \
+        ::benchmark::Shutdown();                                      \
+        return 0;                                                     \
+    }
+
+#endif // MINIBENCH_BENCHMARK_H

@@ -1,0 +1,404 @@
+/**
+ * @file
+ * minibench implementation: the run loop (doubling iterations until
+ * the min-time target is met), flag parsing, and the
+ * google-benchmark-shaped console + JSON reporters.
+ */
+
+#include "benchmark/benchmark.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <ctime>
+#include <map>
+#include <memory>
+#include <regex>
+#include <stdexcept>
+#include <thread>
+
+#include <unistd.h>
+
+namespace benchmark
+{
+
+namespace
+{
+
+double
+nowRealNs()
+{
+    timespec ts{};
+    clock_gettime(CLOCK_MONOTONIC, &ts);
+    return double(ts.tv_sec) * 1e9 + double(ts.tv_nsec);
+}
+
+double
+nowCpuNs()
+{
+    timespec ts{};
+    clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &ts);
+    return double(ts.tv_sec) * 1e9 + double(ts.tv_nsec);
+}
+
+struct Flags
+{
+    std::string outFile;
+    std::string outFormat = "json";
+    std::string filter;
+    double minTimeSeconds = 0.5;
+    std::int64_t fixedIters = 0; // >0: --benchmark_min_time=Nx
+    int repetitions = 1;
+    std::map<std::string, std::string> context;
+};
+
+Flags flags;
+
+std::vector<std::unique_ptr<internal::Benchmark>> &
+registry()
+{
+    static std::vector<std::unique_ptr<internal::Benchmark>> r;
+    return r;
+}
+
+/** One completed (or skipped) instance run. */
+struct RunResult
+{
+    std::string name;
+    std::int64_t iterations = 0;
+    double realNsPerIter = 0;
+    double cpuNsPerIter = 0;
+    double itemsPerSecond = 0; // 0 = not set
+    bool skipped = false;
+    std::string error;
+};
+
+RunResult
+runInstance(const internal::Benchmark &bench, const std::string &name,
+            const std::vector<std::int64_t> &args)
+{
+    RunResult res;
+    res.name = name;
+
+    std::int64_t iters =
+        flags.fixedIters > 0 ? flags.fixedIters : 1;
+    for (;;) {
+        State state(iters, args);
+        bench.run(state);
+        if (state.errorOccurred()) {
+            res.skipped = true;
+            res.error = state.errorMessage();
+            return res;
+        }
+        const double elapsed_s = state.realTimeNs() / 1e9;
+        const bool enough =
+            flags.fixedIters > 0 ||
+            elapsed_s >= flags.minTimeSeconds ||
+            iters >= std::int64_t(1) << 40;
+        if (enough) {
+            res.iterations = iters;
+            res.realNsPerIter = state.realTimeNs() / double(iters);
+            res.cpuNsPerIter = state.cpuTimeNs() / double(iters);
+            if (state.itemsProcessed() > 0 && elapsed_s > 0) {
+                res.itemsPerSecond =
+                    double(state.itemsProcessed()) / elapsed_s;
+            }
+            return res;
+        }
+        // Scale towards the target with the usual benchmark
+        // heuristic: overshoot slightly, never grow more than 10x.
+        double mult = 2.0;
+        if (elapsed_s > 0)
+            mult = flags.minTimeSeconds * 1.4 / elapsed_s;
+        mult = std::min(std::max(mult, 2.0), 10.0);
+        iters = std::int64_t(double(iters) * mult) + 1;
+    }
+}
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          default:
+            out += c;
+        }
+    }
+    return out;
+}
+
+void
+writeJson(const std::string &path,
+          const std::vector<RunResult> &results)
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f) {
+        std::fprintf(stderr, "minibench: cannot write %s\n",
+                     path.c_str());
+        return;
+    }
+
+    char datebuf[64];
+    std::time_t t = std::time(nullptr);
+    std::tm tmv{};
+    localtime_r(&t, &tmv);
+    std::strftime(datebuf, sizeof(datebuf), "%Y-%m-%dT%H:%M:%S%z",
+                  &tmv);
+    char host[256] = "unknown";
+    gethostname(host, sizeof(host) - 1);
+
+    std::fprintf(f, "{\n  \"context\": {\n");
+    std::fprintf(f, "    \"date\": \"%s\",\n", datebuf);
+    std::fprintf(f, "    \"host_name\": \"%s\",\n", host);
+    std::fprintf(f, "    \"num_cpus\": %u,\n",
+                 std::thread::hardware_concurrency());
+    std::fprintf(f, "    \"library_name\": \"minibench\",\n");
+#ifdef NDEBUG
+    std::fprintf(f, "    \"library_build_type\": \"release\",\n");
+#else
+    std::fprintf(f, "    \"library_build_type\": \"debug\",\n");
+#endif
+    for (const auto &[k, v] : flags.context) {
+        std::fprintf(f, "    \"%s\": \"%s\",\n",
+                     jsonEscape(k).c_str(), jsonEscape(v).c_str());
+    }
+    std::fprintf(f, "    \"executable\": \"minibench\"\n  },\n");
+
+    std::fprintf(f, "  \"benchmarks\": [\n");
+    bool first = true;
+    for (const auto &r : results) {
+        if (!first)
+            std::fprintf(f, ",\n");
+        first = false;
+        std::fprintf(f, "    {\n      \"name\": \"%s\",\n",
+                     jsonEscape(r.name).c_str());
+        std::fprintf(f, "      \"run_name\": \"%s\",\n",
+                     jsonEscape(r.name).c_str());
+        std::fprintf(f, "      \"run_type\": \"iteration\",\n");
+        std::fprintf(f, "      \"repetitions\": %d,\n",
+                     flags.repetitions);
+        if (r.skipped) {
+            std::fprintf(f, "      \"error_occurred\": true,\n");
+            std::fprintf(f, "      \"error_message\": \"%s\"\n",
+                         jsonEscape(r.error).c_str());
+        } else {
+            std::fprintf(f, "      \"iterations\": %lld,\n",
+                         static_cast<long long>(r.iterations));
+            std::fprintf(f, "      \"real_time\": %.6f,\n",
+                         r.realNsPerIter);
+            std::fprintf(f, "      \"cpu_time\": %.6f,\n",
+                         r.cpuNsPerIter);
+            if (r.itemsPerSecond > 0) {
+                std::fprintf(f,
+                             "      \"items_per_second\": %.6f,\n",
+                             r.itemsPerSecond);
+            }
+            std::fprintf(f, "      \"time_unit\": \"ns\"\n");
+        }
+        std::fprintf(f, "    }");
+    }
+    std::fprintf(f, "\n  ]\n}\n");
+    std::fclose(f);
+}
+
+} // namespace
+
+State::State(std::int64_t iters, std::vector<std::int64_t> rs)
+    : maxIters(iters), ranges(std::move(rs))
+{
+}
+
+std::int64_t
+State::range(std::size_t i) const
+{
+    if (i >= ranges.size())
+        throw std::out_of_range("benchmark::State::range");
+    return ranges[i];
+}
+
+void
+State::SkipWithError(const std::string &msg)
+{
+    skipped = true;
+    error = msg;
+}
+
+State::iterator
+State::begin()
+{
+    startReal = nowRealNs();
+    startCpu = nowCpuNs();
+    return iterator(this, maxIters);
+}
+
+void
+State::finish()
+{
+    if (finished || skipped)
+        return;
+    finished = true;
+    realNs = nowRealNs() - startReal;
+    cpuNs = nowCpuNs() - startCpu;
+}
+
+namespace internal
+{
+
+Benchmark::Benchmark(std::string name, std::function<void(State &)> fn)
+    : benchName(std::move(name)), func(std::move(fn))
+{
+}
+
+Benchmark *
+Benchmark::Arg(std::int64_t x)
+{
+    args.push_back({x});
+    return this;
+}
+
+Benchmark *
+Benchmark::Args(const std::vector<std::int64_t> &xs)
+{
+    args.push_back(xs);
+    return this;
+}
+
+Benchmark *
+Benchmark::UseRealTime()
+{
+    return this;
+}
+
+Benchmark *
+RegisterBenchmark(std::string name, std::function<void(State &)> fn)
+{
+    registry().push_back(std::make_unique<Benchmark>(
+        std::move(name), std::move(fn)));
+    return registry().back().get();
+}
+
+} // namespace internal
+
+void
+Initialize(int *argc, char **argv)
+{
+    auto value = [](const std::string &arg,
+                    const std::string &prefix) -> const char * {
+        if (arg.rfind(prefix, 0) == 0)
+            return arg.c_str() + prefix.size();
+        return nullptr;
+    };
+
+    int out = 1;
+    for (int i = 1; i < *argc; ++i) {
+        std::string arg = argv[i];
+        if (const char *v = value(arg, "--benchmark_out=")) {
+            flags.outFile = v;
+        } else if (const char *v =
+                       value(arg, "--benchmark_out_format=")) {
+            flags.outFormat = v;
+        } else if (const char *v = value(arg, "--benchmark_filter=")) {
+            flags.filter = v;
+        } else if (const char *v =
+                       value(arg, "--benchmark_repetitions=")) {
+            flags.repetitions = std::max(1, std::atoi(v));
+        } else if (const char *v =
+                       value(arg, "--benchmark_min_time=")) {
+            std::string t = v;
+            if (!t.empty() && t.back() == 'x') {
+                flags.fixedIters =
+                    std::atoll(t.substr(0, t.size() - 1).c_str());
+            } else {
+                if (!t.empty() && t.back() == 's')
+                    t.pop_back();
+                flags.minTimeSeconds = std::atof(t.c_str());
+            }
+        } else if (const char *v = value(arg, "--benchmark_context=")) {
+            std::string kv = v;
+            auto eq = kv.find('=');
+            if (eq != std::string::npos)
+                flags.context[kv.substr(0, eq)] = kv.substr(eq + 1);
+        } else if (arg.rfind("--benchmark_", 0) == 0) {
+            std::fprintf(stderr,
+                         "minibench: ignoring unsupported flag %s\n",
+                         arg.c_str());
+        } else {
+            argv[out++] = argv[i];
+            continue;
+        }
+    }
+    *argc = out;
+}
+
+std::size_t
+RunSpecifiedBenchmarks()
+{
+    std::regex filter;
+    bool haveFilter = !flags.filter.empty();
+    if (haveFilter)
+        filter = std::regex(flags.filter);
+
+    std::vector<RunResult> results;
+    for (const auto &bench : registry()) {
+        std::vector<std::vector<std::int64_t>> lists =
+            bench->argLists();
+        if (lists.empty())
+            lists.push_back({});
+        for (const auto &args : lists) {
+            std::string name = bench->name();
+            for (std::int64_t a : args)
+                name += "/" + std::to_string(a);
+            if (haveFilter &&
+                !std::regex_search(name, filter))
+                continue;
+            for (int rep = 0; rep < flags.repetitions; ++rep) {
+                RunResult r = runInstance(*bench, name, args);
+                if (r.skipped) {
+                    std::fprintf(stderr, "%-40s SKIPPED: %s\n",
+                                 r.name.c_str(), r.error.c_str());
+                } else if (r.itemsPerSecond > 0) {
+                    std::fprintf(stderr,
+                                 "%-40s %12.1f ns %10lld iters "
+                                 "%10.2fM items/s\n",
+                                 r.name.c_str(), r.realNsPerIter,
+                                 static_cast<long long>(r.iterations),
+                                 r.itemsPerSecond / 1e6);
+                } else {
+                    std::fprintf(stderr,
+                                 "%-40s %12.1f ns %10lld iters\n",
+                                 r.name.c_str(), r.realNsPerIter,
+                                 static_cast<long long>(
+                                     r.iterations));
+                }
+                results.push_back(std::move(r));
+            }
+        }
+    }
+
+    if (!flags.outFile.empty()) {
+        if (flags.outFormat != "json") {
+            std::fprintf(stderr,
+                         "minibench: only json output supported\n");
+        } else {
+            writeJson(flags.outFile, results);
+        }
+    }
+    return results.size();
+}
+
+void
+Shutdown()
+{
+}
+
+} // namespace benchmark
