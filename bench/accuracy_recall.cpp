@@ -155,6 +155,26 @@ main(int argc, char **argv)
     ex.maxCandidates = budget;
     auto exact = rerank(queries, ds.vectors(), index, lists, ex);
 
+    // fp16 shortlist-scan parity: the same pipeline with the coarse
+    // scan reading the packed-half centroid stream. The quantization
+    // only perturbs which clusters are probed; rerank stays exact, so
+    // recall@10 must sit within the gate of the fp32 pipeline's.
+    auto lists16 =
+        shortlistRetrieve(queries, index, nprobe, {},
+                          ShortlistPrecision::Fp16);
+    auto got16 = rerank(queries, ds.vectors(), index, lists16, ex);
+    const double recall_fp32 = recallAtK(exact, truth, 10);
+    const double recall_fp16 = recallAtK(got16, truth, 10);
+    const double fp16_delta = std::abs(recall_fp16 - recall_fp32);
+    const double fp16_gate = 0.005;
+    bench::printHeader("Recall@10 of the fp16 shortlist scan "
+                       "(half-precision centroid stream, exact "
+                       "rerank)");
+    std::printf("%-12s %10s\n", "scan", "recall@10");
+    std::printf("%-12s %10.3f\n", "fp32", recall_fp32);
+    std::printf("%-12s %10.3f   (|delta| %.4f, gate <= %.3f)\n",
+                "fp16", recall_fp16, fp16_delta, fp16_gate);
+
     bench::printHeader("Recall@10 of the product-quantized rerank "
                        "(vs exact pipeline / vs truth)");
     std::printf("%-6s %-6s %-8s %12s %10s %10s %12s\n", "bits", "M",
@@ -205,6 +225,7 @@ main(int argc, char **argv)
     const double threshold = 0.9;
     bool pass8 = headline8 >= threshold;
     bool pass4 = headline4 >= threshold;
+    bool pass16 = fp16_delta <= fp16_gate;
 
     if (!out_path.empty()) {
         std::FILE *f = std::fopen(out_path.c_str(), "w");
@@ -229,8 +250,9 @@ main(int argc, char **argv)
                      "    \"recall_at_10_vs_exact\": %.2f,\n"
                      "    \"gate_pq8\": \"bits=8 M=32 "
                      "refine=128\",\n"
-                     "    \"gate_pq4\": \"best 4-bit point\"\n",
-                     threshold);
+                     "    \"gate_pq4\": \"best 4-bit point\",\n"
+                     "    \"fp16_shortlist_recall_delta\": %.3f\n",
+                     threshold, fp16_gate);
         std::fprintf(f, "  },\n  \"grid\": [\n");
         for (std::size_t i = 0; i < grid.size(); ++i) {
             const GridRow &g = grid[i];
@@ -248,8 +270,12 @@ main(int argc, char **argv)
                      headline8);
         std::fprintf(f, "    \"headline_pq4\": %.4f,\n",
                      headline4);
+        std::fprintf(f, "    \"recall_fp32_shortlist\": %.4f,\n",
+                     recall_fp32);
+        std::fprintf(f, "    \"recall_fp16_shortlist\": %.4f,\n",
+                     recall_fp16);
         std::fprintf(f, "    \"pass\": %s\n",
-                     pass8 && pass4 ? "true" : "false");
+                     pass8 && pass4 && pass16 ? "true" : "false");
         std::fprintf(f, "  }\n}\n");
         std::fclose(f);
         std::printf("wrote %s (git_sha %s)\n", out_path.c_str(),
@@ -264,6 +290,11 @@ main(int argc, char **argv)
     if (!pass4) {
         std::printf("FAIL: best 4-bit point recall@10 vs exact = "
                     "%.3f < %.2f\n", headline4, threshold);
+        return 1;
+    }
+    if (!pass16) {
+        std::printf("FAIL: fp16 shortlist recall@10 delta vs fp32 = "
+                    "%.4f > %.3f\n", fp16_delta, fp16_gate);
         return 1;
     }
     return 0;

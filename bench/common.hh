@@ -15,6 +15,7 @@
 #include <thread>
 #include <vector>
 
+#include "cbir/shortlist.hh"
 #include "core/cbir_deployment.hh"
 #include "core/reach_system.hh"
 #include "energy/energy_model.hh"
@@ -81,6 +82,21 @@ systemForScale(core::SystemConfig cfg, const cbir::ScaleConfig &scale)
     cfg.aimUsesHbm =
         scale.shortlistPlacement == cbir::ScanPlacement::Hbm;
     return cfg;
+}
+
+/**
+ * Apply a shortlist scan precision to a timing scale through the one
+ * shared precision -> bytes mapping (the same sync CoSimulation
+ * performs from CbirService::Config::shortlistPrecision), so ablation
+ * variants can never hand the byte model a width the functional path
+ * does not implement.
+ */
+inline cbir::ScaleConfig
+scaleWithPrecision(cbir::ScaleConfig scale,
+                   cbir::ShortlistPrecision precision)
+{
+    scale.centroidBytesPerDim = cbir::centroidBytesPerDim(precision);
+    return scale;
 }
 
 /**

@@ -133,14 +133,15 @@ main(int argc, char **argv)
     struct Variant
     {
         const char *name;
-        std::uint32_t centroidBytes;
+        cbir::ShortlistPrecision precision;
         cbir::ScanPlacement placement;
     };
+    using cbir::ShortlistPrecision;
     const std::vector<Variant> variants{
-        {"fp32+ddr", 4, cbir::ScanPlacement::Ddr},
-        {"fp16+ddr", 2, cbir::ScanPlacement::Ddr},
-        {"fp32+hbm", 4, cbir::ScanPlacement::Hbm},
-        {"fp16+hbm", 2, cbir::ScanPlacement::Hbm},
+        {"fp32+ddr", ShortlistPrecision::Fp32, cbir::ScanPlacement::Ddr},
+        {"fp16+ddr", ShortlistPrecision::Fp16, cbir::ScanPlacement::Ddr},
+        {"fp32+hbm", ShortlistPrecision::Fp32, cbir::ScanPlacement::Hbm},
+        {"fp16+hbm", ShortlistPrecision::Fp16, cbir::ScanPlacement::Hbm},
     };
     struct VariantRun
     {
@@ -148,13 +149,14 @@ main(int argc, char **argv)
         StageResult shortlist;
     };
     auto vruns = runSweep(variants.size(), opt, [&](std::size_t i) {
-        cbir::ScaleConfig scale;
         // A finer coarse quantizer (64k centroids vs the default
         // 1000) is where billion-scale deployments land, and where
         // the centroid stream is a first-order term of the scan —
         // at 1000 centroids the cell-info traffic buries it.
+        cbir::ScaleConfig scale =
+            scaleWithPrecision(cbir::ScaleConfig{},
+                               variants[i].precision);
         scale.numCentroids = 65'536;
-        scale.centroidBytesPerDim = variants[i].centroidBytes;
         scale.shortlistPlacement = variants[i].placement;
         VariantRun out;
         // Stage-isolated scan on the near-memory modules, where the

@@ -29,6 +29,7 @@
 #include "sim/event_queue.hh"
 #include "sim/rng.hh"
 #include "simd/aligned.hh"
+#include "simd/half.hh"
 #include "simd/simd.hh"
 #include "workload/dataset.hh"
 
@@ -405,6 +406,108 @@ BM_AdcShuffle(benchmark::State &state, simd::Choice choice)
 }
 BENCHMARK_CAPTURE(BM_AdcShuffle, scalar, simd::Choice::scalar);
 BENCHMARK_CAPTURE(BM_AdcShuffle, avx2, simd::Choice::avx2);
+
+/**
+ * DRAM-resident fixture for the fused shortlist-scan kernels: one
+ * query streamed against 1M centroids at D=96. The fp32 stream is
+ * 402 MB and the packed-half copy 201 MB — both far beyond any LLC,
+ * so the benchmark measures the memory-bound regime the paper's scan
+ * lives in and the fp16 win comes from the halved stream, exactly
+ * the effect the timing model's centroidBytesPerDim=2 charges for.
+ */
+struct ShortlistScanFixture
+{
+    static constexpr std::size_t kM = 1u << 20;
+    static constexpr std::size_t kD = 96;
+    static constexpr std::size_t kBlock = 4096;
+
+    Matrix query;
+    Matrix cents;
+    std::vector<std::uint16_t,
+                simd::AlignedAllocator<std::uint16_t, 64>>
+        centsH;
+    std::vector<float> cnorm;
+    std::vector<float> cnormH;
+    float qn = 0;
+
+    ShortlistScanFixture()
+        : query(randomMatrix(1, kD, 21)),
+          cents(randomMatrix(kM, kD, 22)),
+          centsH(kM * kD),
+          cnorm(rowNormsSq(cents)),
+          cnormH(kM)
+    {
+        simd::halfFromFloats(cents.flat().data(),
+                             cents.flat().size(), centsH.data());
+        for (std::size_t c = 0; c < kM; ++c)
+            cnormH[c] = simd::halfNormSq(centsH.data() + c * kD, kD);
+        qn = normSq(query.row(0));
+    }
+};
+
+const ShortlistScanFixture &
+shortlistScanFixture()
+{
+    static ShortlistScanFixture f;
+    return f;
+}
+
+/**
+ * The blocked fused scan exactly as shortlistRetrieve runs it (one
+ * kColBlock-wide shortlistScore call per block, distances landing in
+ * a reused L2-sized tile), minus the top-K so the stream is the only
+ * variable. run_micro.sh gates fp16_avx2 >= 1.5x fp32_avx2 — the
+ * host-measurable counterpart of the modeled 2.13x scan speedup.
+ */
+void
+BM_ShortlistScan(benchmark::State &state, simd::Choice choice,
+                 ShortlistPrecision precision)
+{
+    if (!pinBackendOrSkip(state, choice))
+        return;
+    const ShortlistScanFixture &f = shortlistScanFixture();
+    const simd::Kernels &k = simd::kernels(choice);
+    const bool fp16 = precision == ShortlistPrecision::Fp16;
+    std::vector<float, simd::AlignedAllocator<float, 64>> dist(
+        ShortlistScanFixture::kBlock);
+    for (auto _ : state) {
+        for (std::size_t j0 = 0; j0 < ShortlistScanFixture::kM;
+             j0 += ShortlistScanFixture::kBlock) {
+            const std::size_t mb = std::min(
+                ShortlistScanFixture::kBlock,
+                ShortlistScanFixture::kM - j0);
+            if (fp16) {
+                k.shortlistScoreF16(
+                    f.query.row(0).data(), &f.qn, 1,
+                    f.centsH.data() + j0 * ShortlistScanFixture::kD,
+                    f.cnormH.data() + j0, mb,
+                    ShortlistScanFixture::kD, dist.data(),
+                    ShortlistScanFixture::kBlock);
+            } else {
+                k.shortlistScore(
+                    f.query.row(0).data(), &f.qn, 1,
+                    f.cents.row(j0).data(), f.cnorm.data() + j0, mb,
+                    ShortlistScanFixture::kD, dist.data(),
+                    ShortlistScanFixture::kBlock);
+            }
+            benchmark::DoNotOptimize(dist.data());
+        }
+    }
+    // Items = centroid dims scanned; the streamed bytes per item are
+    // centroidBytesPerDim(precision).
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(ShortlistScanFixture::kM *
+                                  ShortlistScanFixture::kD));
+}
+BENCHMARK_CAPTURE(BM_ShortlistScan, fp32_scalar, simd::Choice::scalar,
+                  ShortlistPrecision::Fp32);
+BENCHMARK_CAPTURE(BM_ShortlistScan, fp32_avx2, simd::Choice::avx2,
+                  ShortlistPrecision::Fp32);
+BENCHMARK_CAPTURE(BM_ShortlistScan, fp16_scalar, simd::Choice::scalar,
+                  ShortlistPrecision::Fp16);
+BENCHMARK_CAPTURE(BM_ShortlistScan, fp16_avx2, simd::Choice::avx2,
+                  ShortlistPrecision::Fp16);
 
 /**
  * Near-storage-scale fixture for the PQ-vs-exact rerank comparison:

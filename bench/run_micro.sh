@@ -91,6 +91,20 @@ if gather and shuffle:
     if ratio < 3.0:
         print(f"FAIL: shuffle/gather ADC ratio {ratio:.2f} < 3.0")
         sys.exit(1)
+# The fp16 shortlist-scan gate: on the DRAM-resident 1M x 96 stream
+# the packed-half scan must beat the fp32 one by >= 1.5x on avx2
+# (the memory-bound direction of the modeled 2.13x), else the fp16
+# path is not earning its second centroid copy.
+t32 = times.get("BM_ShortlistScan/fp32_avx2")
+t16 = times.get("BM_ShortlistScan/fp16_avx2")
+if t32 and t16:
+    ratio = t32 / t16
+    print(f"BM_ShortlistScan/avx2: fp16 {ratio:.2f}x the fp32 scan "
+          f"(gate: >= 1.5x)")
+    if ratio < 1.5:
+        print(f"FAIL: fp16/fp32 shortlist scan ratio {ratio:.2f} "
+              f"< 1.5")
+        sys.exit(1)
 # Slot-arena event queue vs the frozen seed implementation.
 new, seed = rates.get("BM_EventQueue"), rates.get("BM_EventQueueSeed")
 if new and seed:

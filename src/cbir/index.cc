@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "sim/logging.hh"
+#include "simd/half.hh"
 
 namespace reach::cbir
 {
@@ -14,18 +15,7 @@ InvertedFileIndex::InvertedFileIndex(const Matrix &vectors,
     cents = std::move(km.centroids);
     buildLists(km.assignment);
     computeNorms();
-
-    const simd::Kernels &k = simd::kernels(cfg.parallel.simd);
-    vecNormSq.resize(vectors.rows());
-    parallel::parallelFor(
-        0, vectors.rows(), 1024,
-        [&](std::size_t b, std::size_t e) {
-            for (std::size_t i = b; i < e; ++i) {
-                vecNormSq[i] =
-                    k.normSq(vectors.row(i).data(), vectors.cols());
-            }
-        },
-        cfg.parallel);
+    vecNormSq = rowNormsSq(vectors, cfg.parallel);
 }
 
 InvertedFileIndex::InvertedFileIndex(
@@ -47,18 +37,7 @@ InvertedFileIndex::InvertedFileIndex(
     }
     buildLists(assignment);
     computeNorms();
-
-    const simd::Kernels &k = simd::kernels(par.simd);
-    vecNormSq.resize(vectors.rows());
-    parallel::parallelFor(
-        0, vectors.rows(), 1024,
-        [&](std::size_t b, std::size_t e) {
-            for (std::size_t i = b; i < e; ++i) {
-                vecNormSq[i] =
-                    k.normSq(vectors.row(i).data(), vectors.cols());
-            }
-        },
-        par);
+    vecNormSq = rowNormsSq(vectors, par);
 }
 
 void
@@ -75,6 +54,19 @@ InvertedFileIndex::computeNorms()
     centNormSq.resize(cents.rows());
     for (std::size_t c = 0; c < cents.rows(); ++c)
         centNormSq[c] = normSq(cents.row(c));
+
+    // Half-precision copy + norms for the fp16 scan path. Software
+    // conversion end to end, so the packed buffer and its norms are
+    // identical whatever backend later scans them.
+    centsF16.resize(cents.rows() * cents.cols());
+    simd::halfFromFloats(cents.flat().data(), cents.flat().size(),
+                         centsF16.data());
+    centNormSqF16.resize(cents.rows());
+    for (std::size_t c = 0; c < cents.rows(); ++c) {
+        centNormSqF16[c] =
+            simd::halfNormSq(centsF16.data() + c * cents.cols(),
+                             cents.cols());
+    }
 }
 
 void

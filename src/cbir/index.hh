@@ -51,6 +51,29 @@ class InvertedFileIndex
     }
 
     /**
+     * Packed IEEE-binary16 copy of the centroids (row-major, same
+     * shape as centroids()), converted once at construction with
+     * round-to-nearest-even floatToHalfRne — pure software, so every
+     * backend and host builds the identical buffer. This is the
+     * stream the fp16 shortlist scan reads at 2 bytes/dim.
+     */
+    std::span<const std::uint16_t> centroidsF16() const
+    {
+        return {centsF16.data(), centsF16.size()};
+    }
+
+    /**
+     * ||C_m||^2 of the *half-precision* centroids (halfNormSq over
+     * centroidsF16 rows), so the fp16 distance decomposition is
+     * consistent with the quantized stream it scans. Index-side data,
+     * backend-independent like centsF16 itself.
+     */
+    const std::vector<float> &centroidNormsSqF16() const
+    {
+        return centNormSqF16;
+    }
+
+    /**
      * Precomputed ||x_i||^2 per database vector, for the rerank norm
      * decomposition ||q - x||^2 = ||q||^2 + ||x||^2 - 2 q.x. Empty
      * when the index was built from a precomputed clustering (no
@@ -129,7 +152,11 @@ class InvertedFileIndex
     void computeNorms();
 
     Matrix cents;
+    std::vector<std::uint16_t,
+                simd::AlignedAllocator<std::uint16_t, 64>>
+        centsF16;
     std::vector<float> centNormSq;
+    std::vector<float> centNormSqF16;
     std::vector<float> vecNormSq;
     std::vector<std::vector<std::uint32_t>> lists;
     std::shared_ptr<const PqCodebook> pq;

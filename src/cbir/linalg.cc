@@ -62,37 +62,71 @@ gemmNt(const Matrix &a, const Matrix &b, Matrix &c,
         par);
 }
 
-std::vector<std::uint32_t>
-topKMin(std::span<const float> values, std::size_t k)
+std::vector<float>
+rowNormsSq(const Matrix &m, const parallel::ParallelConfig &par)
 {
-    k = std::min(k, values.size());
-    if (k == 0)
-        return {};
+    const simd::Kernels &k = simd::kernels(par.simd);
+    std::vector<float> norms(m.rows());
+    constexpr std::size_t row_grain = 64;
+    parallel::parallelFor(
+        0, m.rows(), row_grain,
+        [&](std::size_t i0, std::size_t i1) {
+            for (std::size_t i = i0; i < i1; ++i) {
+                auto r = m.row(i);
+                norms[i] = k.normSq(r.data(), r.size());
+            }
+        },
+        par);
+    return norms;
+}
 
-    // "better" = smaller value, ties to the lower index. Used as the
-    // heap comparator it keeps the *worst* retained candidate at the
-    // front, so each survivor test is a single comparison.
-    auto better = [&](std::uint32_t x, std::uint32_t y) {
-        if (values[x] != values[y])
-            return values[x] < values[y];
-        return x < y;
-    };
+// "better" = smaller value, ties to the lower index. Used as the
+// heap comparator it keeps the *worst* retained candidate at the
+// front, so each survivor test is a single comparison.
+bool
+TopKMin::better(const Entry &x, const Entry &y)
+{
+    if (x.value != y.value)
+        return x.value < y.value;
+    return x.index < y.index;
+}
 
-    std::vector<std::uint32_t> heap;
-    heap.reserve(k);
-    for (std::uint32_t i = 0; i < k; ++i)
-        heap.push_back(i);
-    std::make_heap(heap.begin(), heap.end(), better);
-    for (std::size_t i = k; i < values.size(); ++i) {
-        auto cand = static_cast<std::uint32_t>(i);
-        if (better(cand, heap.front())) {
+void
+TopKMin::consider(std::span<const float> values,
+                  std::uint32_t firstIndex)
+{
+    for (std::size_t j = 0; j < values.size(); ++j) {
+        const Entry cand{values[j],
+                         firstIndex + static_cast<std::uint32_t>(j)};
+        if (heap.size() < limit) {
+            heap.push_back(cand);
+            std::push_heap(heap.begin(), heap.end(), better);
+        } else if (limit > 0 && better(cand, heap.front())) {
             std::pop_heap(heap.begin(), heap.end(), better);
             heap.back() = cand;
             std::push_heap(heap.begin(), heap.end(), better);
         }
     }
+}
+
+std::vector<std::uint32_t>
+TopKMin::finish()
+{
     std::sort_heap(heap.begin(), heap.end(), better);
-    return heap;
+    std::vector<std::uint32_t> out;
+    out.reserve(heap.size());
+    for (const Entry &e : heap)
+        out.push_back(e.index);
+    heap.clear();
+    return out;
+}
+
+std::vector<std::uint32_t>
+topKMin(std::span<const float> values, std::size_t k)
+{
+    TopKMin sel(std::min(k, values.size()));
+    sel.consider(values, 0);
+    return sel.finish();
 }
 
 } // namespace reach::cbir

@@ -103,10 +103,62 @@ void gemmNt(const Matrix &a, const Matrix &b, Matrix &c,
             const parallel::ParallelConfig &par = {});
 
 /**
+ * Squared L2 norm of every row of @p m, parallel over row blocks on
+ * the dispatched backend — the one batched norm precompute the
+ * shortlist (query norms), rerank (database norms) and index
+ * construction (centroid norms) paths all share. Per-row arithmetic
+ * is normSq of that row alone, so for a fixed backend the result is
+ * bitwise identical at any thread count.
+ */
+std::vector<float> rowNormsSq(const Matrix &m,
+                              const parallel::ParallelConfig &par = {});
+
+/**
+ * Streaming k-smallest selection over values fed in index order, in
+ * column blocks. The retained set is defined purely by the total
+ * order "smaller value wins, ties to the lower index" — the k-best
+ * subset under a total order is unique, so feeding one block at a
+ * time yields exactly the indices topKMin would return over the
+ * concatenated array, regardless of the block split. O(k) space.
+ */
+class TopKMin
+{
+  public:
+    explicit TopKMin(std::size_t k) : limit(k) { heap.reserve(k); }
+
+    /**
+     * Offer @p values, whose element j has global index
+     * @p firstIndex + j. Blocks must arrive in ascending index order
+     * only for the "ties to the lower index" rule to match a single
+     * scan — the retained *set* is split-invariant either way.
+     */
+    void consider(std::span<const float> values,
+                  std::uint32_t firstIndex);
+
+    /**
+     * Indices of the retained candidates in ascending (value, index)
+     * order — the topKMin output contract. Consumes the heap.
+     */
+    std::vector<std::uint32_t> finish();
+
+  private:
+    struct Entry
+    {
+        float value;
+        std::uint32_t index;
+    };
+
+    static bool better(const Entry &x, const Entry &y);
+
+    std::size_t limit;
+    std::vector<Entry> heap;
+};
+
+/**
  * Indices of the @p k smallest values (ties broken by lower index),
  * in ascending value order — the "partial sorting of the dist array"
- * step. Implemented as a bounded max-heap scan: O(n log k) time and
- * O(k) extra space, no O(n) index materialization.
+ * step. One-shot wrapper over TopKMin: O(n log k) time and O(k)
+ * extra space, no O(n) index materialization.
  */
 std::vector<std::uint32_t> topKMin(std::span<const float> values,
                                    std::size_t k);

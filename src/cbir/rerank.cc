@@ -109,7 +109,7 @@ scoreCandidates(const simd::Kernels &k, std::span<const float> query,
 
 /**
  * ||x||^2 per database row: reuse the index's precomputed norms when
- * they cover this database, otherwise compute them once per call.
+ * they cover this database, otherwise one shared rowNormsSq pass.
  */
 std::vector<float>
 databaseNorms(const Matrix &database, const std::vector<float> *pre,
@@ -117,18 +117,7 @@ databaseNorms(const Matrix &database, const std::vector<float> *pre,
 {
     if (pre != nullptr && pre->size() == database.rows())
         return *pre;
-    const simd::Kernels &k = simd::kernels(par.simd);
-    std::vector<float> norms(database.rows());
-    parallel::parallelFor(
-        0, database.rows(), 1024,
-        [&](std::size_t b, std::size_t e) {
-            for (std::size_t i = b; i < e; ++i) {
-                norms[i] =
-                    k.normSq(database.row(i).data(), database.cols());
-            }
-        },
-        par);
-    return norms;
+    return rowNormsSq(database, par);
 }
 
 /**

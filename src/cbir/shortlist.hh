@@ -5,9 +5,21 @@
  * For a batch of queries Q (B x D) and centroids C (M x D), distances
  * decompose as
  *   dist[q][m] = ||q||^2 + ||C_m||^2 - 2 <q, C_m>
- * so the bottleneck is the matrix-matrix product Q C^T, followed by a
- * broadcast addition and a partial sort selecting the nprobe closest
- * clusters per query.
+ * so the bottleneck is the matrix product Q C^T. The scan is blocked:
+ * centroids are scored in cache-sized column blocks through the fused
+ * simd::Kernels::shortlistScore kernel (no B x M product matrix is
+ * ever materialized) and a streaming TopKMin per query selects the
+ * nprobe closest clusters across blocks — bitwise the same lists the
+ * historical materialized-product path produced.
+ *
+ * The scan runs at one of two precisions. Fp32 streams the fp32
+ * centroid matrix (4 bytes/dim). Fp16 streams the index's packed
+ * IEEE-half copy (2 bytes/dim) through the F16C convert kernels with
+ * fp32 accumulation — half the memory traffic on a bandwidth-bound
+ * scan, at a small recall cost the accuracy_recall harness gates.
+ * ScaleConfig::centroidBytesPerDim must agree with the chosen
+ * precision; centroidBytesPerDim(ShortlistPrecision) is the one
+ * mapping both sides use.
  */
 
 #ifndef REACH_CBIR_SHORTLIST_HH
@@ -26,14 +38,40 @@ namespace reach::cbir
 /** Per-query list of candidate cluster ids, closest first. */
 using ShortLists = std::vector<std::vector<std::uint32_t>>;
 
+/** Numeric format of the streamed centroid matrix in the scan. */
+enum class ShortlistPrecision : std::uint8_t { Fp32, Fp16 };
+
+/**
+ * Bytes per centroid dimension the scan actually streams — the value
+ * ScaleConfig::centroidBytesPerDim must carry so the byte model and
+ * the functional path cannot drift apart.
+ */
+constexpr std::uint32_t
+centroidBytesPerDim(ShortlistPrecision p)
+{
+    return p == ShortlistPrecision::Fp16 ? 2u : 4u;
+}
+
+/** "fp32" / "fp16". */
+constexpr const char *
+name(ShortlistPrecision p)
+{
+    return p == ShortlistPrecision::Fp16 ? "fp16" : "fp32";
+}
+
 /**
  * Retrieve the @p nprobe closest clusters for every query in the
- * batch using the decomposed-GEMM formulation.
+ * batch using the decomposed-GEMM formulation, blocked and fused as
+ * described above. At Fp32 the lists are bitwise identical for a
+ * fixed backend at any thread count; at Fp16 the quantized distances
+ * are additionally bitwise identical *across* backends (the fp16
+ * kernels' contract), though the lists still depend on the backend
+ * through the fp32 query norms.
  */
-ShortLists shortlistRetrieve(const Matrix &queries,
-                             const InvertedFileIndex &index,
-                             std::size_t nprobe,
-                             const parallel::ParallelConfig &par = {});
+ShortLists shortlistRetrieve(
+    const Matrix &queries, const InvertedFileIndex &index,
+    std::size_t nprobe, const parallel::ParallelConfig &par = {},
+    ShortlistPrecision precision = ShortlistPrecision::Fp32);
 
 /**
  * Reference implementation: per-query direct distance evaluation

@@ -26,12 +26,18 @@ validatedServiceConfig(CbirService::Config cfg)
     return cfg;
 }
 
-/** The timing layer's traffic mode must match the functional one. */
+/**
+ * The timing layer's traffic modes must match the functional ones:
+ * the PQ block and the shortlist scan width both come from the
+ * service config, never from the caller-supplied scale.
+ */
 cbir::ScaleConfig
-scaleWithServicePq(cbir::ScaleConfig scale,
-                   const CbirService::Config &svc)
+scaleWithServiceModes(cbir::ScaleConfig scale,
+                      const CbirService::Config &svc)
 {
     scale.pq = svc.pq;
+    scale.centroidBytesPerDim =
+        cbir::centroidBytesPerDim(svc.shortlistPrecision);
     return scale;
 }
 
@@ -62,7 +68,8 @@ cbir::RerankResults
 CbirService::query(const cbir::Matrix &queries) const
 {
     auto lists = cbir::shortlistRetrieve(queries, ivf, cfg.nprobe,
-                                         cfg.parallel);
+                                         cfg.parallel,
+                                         cfg.shortlistPrecision);
     cbir::RerankConfig rc;
     rc.k = cfg.topK;
     rc.maxCandidates = cfg.maxCandidates;
@@ -88,7 +95,7 @@ CoSimulation::CoSimulation(const CbirService::Config &service_cfg,
                            Mapping mapping,
                            const SystemConfig &system_cfg)
     : svc(service_cfg),
-      model(scaleWithServicePq(timing_scale, service_cfg))
+      model(scaleWithServiceModes(timing_scale, service_cfg))
 {
     sys = std::make_unique<ReachSystem>(
         systemWithScanPlacement(system_cfg, model.scale()));

@@ -39,6 +39,15 @@ class CbirService
         std::uint32_t topK = 10;
         std::size_t maxCandidates = 4096;
         /**
+         * Numeric format of the shortlist centroid scan. Fp16 streams
+         * the index's packed half-precision centroids (half the scan
+         * bytes, small recall cost); CoSimulation derives the timing
+         * model's centroidBytesPerDim from this knob so the byte
+         * model can never disagree with the functional path.
+         */
+        cbir::ShortlistPrecision shortlistPrecision =
+            cbir::ShortlistPrecision::Fp32;
+        /**
          * Product-quantized rerank: when enabled, the index stores
          * pq.m-byte codes per cluster and query() ranks candidates by
          * ADC, exact-refining the top pq.refine. Validated against
@@ -114,6 +123,10 @@ class CoSimulation
      *                     aimUsesHbm flag is overwritten from
      *                     timing_scale.shortlistPlacement so the AIM
      *                     links match the modeled scan medium.
+     *
+     * timing_scale.centroidBytesPerDim is likewise overwritten from
+     * service_cfg.shortlistPrecision, so the scan bytes the timing
+     * layer streams always match the functional precision.
      */
     CoSimulation(const CbirService::Config &service_cfg,
                  const cbir::ScaleConfig &timing_scale,
@@ -128,6 +141,13 @@ class CoSimulation
     const CbirService &service() const { return svc; }
     ReachSystem &system() { return *sys; }
     std::uint32_t batchesProcessed() const { return batches; }
+
+    /**
+     * The effective timing scale after the service-config overrides
+     * (pq block, centroidBytesPerDim) — what the byte model actually
+     * streams, for tests asserting the two layers cannot drift.
+     */
+    const cbir::ScaleConfig &scale() const { return model.scale(); }
 
   private:
     CbirService svc;

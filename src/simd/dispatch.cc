@@ -31,6 +31,27 @@ cpuHasAvx2Fma()
 #endif
 }
 
+bool
+cpuHasF16c()
+{
+#if REACH_SIMD_HAVE_X86_AVX2
+    return __builtin_cpu_supports("f16c");
+#else
+    return false;
+#endif
+}
+
+/** Test-only pretend-the-CPU-lacks-F16C switch (see kernels.hh). */
+bool g_f16cDisabledForTest = false;
+
+/** True when the avx2 table may hand out its F16C fp16 kernels. */
+bool
+f16cUsable()
+{
+    static const bool has = cpuHasF16c();
+    return has && !g_f16cDisabledForTest;
+}
+
 /** REACH_SIMD, parsed once; invalid values warn and mean auto. */
 Choice
 envChoice()
@@ -155,15 +176,58 @@ adc4Pack(const std::uint8_t *codes, std::size_t n, std::size_t m,
     }
 }
 
+#if REACH_SIMD_HAVE_X86_AVX2
+namespace
+{
+
+/**
+ * The avx2 table for hosts (or tests) without F16C: every fp32/ADC
+ * entry stays avx2, only the fp16 kernels drop to scalar. Built on
+ * first use with a one-line note so a missing 2.13x scan speedup is
+ * explainable from the log.
+ */
+const Kernels &
+avx2NoF16cKernels()
+{
+    static const Kernels k = [] {
+        std::fprintf(stderr,
+                     "reach: CPU lacks F16C, fp16 shortlist kernels "
+                     "fall back to scalar (avx2 otherwise)\n");
+        Kernels patched = detail::avx2Kernels();
+        const Kernels &s = detail::scalarKernels();
+        patched.gemmNtF16 = s.gemmNtF16;
+        patched.shortlistScoreF16 = s.shortlistScoreF16;
+        return patched;
+    }();
+    return k;
+}
+
+} // namespace
+#endif
+
 const Kernels &
 kernels(Backend b)
 {
 #if REACH_SIMD_HAVE_X86_AVX2
-    if (b == Backend::avx2 && supported(Backend::avx2))
-        return detail::avx2Kernels();
+    if (b == Backend::avx2 && supported(Backend::avx2)) {
+        if (f16cUsable())
+            return detail::avx2Kernels();
+        return avx2NoF16cKernels();
+    }
 #endif
     (void)b;
     return detail::scalarKernels();
 }
+
+namespace detail
+{
+
+void
+setF16cOverrideForTest(bool disable)
+{
+    g_f16cDisabledForTest = disable;
+}
+
+} // namespace detail
 
 } // namespace reach::simd

@@ -1,0 +1,38 @@
+#include "simd/half.hh"
+
+#include <cmath>
+
+namespace reach::simd
+{
+
+void
+halfFromFloats(const float *src, std::size_t n, std::uint16_t *dst)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        dst[i] = floatToHalfRne(src[i]);
+}
+
+float
+halfNormSq(const std::uint16_t *h, std::size_t d)
+{
+    float lane[8] = {0, 0, 0, 0, 0, 0, 0, 0};
+    std::size_t t = 0;
+    for (; t + 8 <= d; t += 8) {
+        for (std::size_t j = 0; j < 8; ++j) {
+            const float x = halfToFloat(h[t + j]);
+            lane[j] = std::fma(x, x, lane[j]);
+        }
+    }
+    const float s04 = lane[0] + lane[4];
+    const float s15 = lane[1] + lane[5];
+    const float s26 = lane[2] + lane[6];
+    const float s37 = lane[3] + lane[7];
+    float acc = (s04 + s26) + (s15 + s37);
+    for (; t < d; ++t) {
+        const float x = halfToFloat(h[t]);
+        acc = std::fma(x, x, acc);
+    }
+    return acc;
+}
+
+} // namespace reach::simd

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Software IEEE-754 binary16 ("half") conversion, bit-exact against
+ * the x86 F16C instructions. The fp16 shortlist scan stores centroids
+ * as packed u16 halves; the *storage* conversion (float -> half,
+ * round to nearest even) always runs through floatToHalfRne here so
+ * every backend builds the identical packed buffer, and the *load*
+ * conversion (half -> float, exact) is halfToFloat here on the scalar
+ * backend and _mm256_cvtph_ps on the avx2 one — the two agree on
+ * every one of the 65536 bit patterns (including subnormals; SNaNs
+ * quiet the same way VCVTPH2PS does), which is what lets the fp16
+ * kernels promise bitwise scalar == avx2 results.
+ */
+
+#ifndef REACH_SIMD_HALF_HH
+#define REACH_SIMD_HALF_HH
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+
+namespace reach::simd
+{
+
+/**
+ * Convert @p value to binary16, rounding to nearest even — the same
+ * result as VCVTPS2PH with rounding control 0. Out-of-range values
+ * become signed infinity, NaNs become quiet half NaNs.
+ */
+constexpr std::uint16_t
+floatToHalfRne(float value)
+{
+    const std::uint32_t bits = std::bit_cast<std::uint32_t>(value);
+    const auto sign = static_cast<std::uint16_t>((bits >> 16) & 0x8000u);
+    const std::uint32_t mag = bits & 0x7FFFFFFFu;
+
+    if (mag >= 0x7F800000u) { // inf / NaN
+        if (mag > 0x7F800000u)
+            return sign | 0x7E00u; // quiet NaN
+        return sign | 0x7C00u;
+    }
+    if (mag >= 0x477FF000u) // rounds past 65504, the largest half
+        return sign | 0x7C00u;
+    if (mag >= 0x38800000u) { // normal half range (>= 2^-14)
+        const std::uint32_t exp = (mag >> 23) - 112;
+        std::uint32_t h = (exp << 10) | ((mag & 0x7FFFFFu) >> 13);
+        const std::uint32_t rem = mag & 0x1FFFu;
+        if (rem > 0x1000u || (rem == 0x1000u && (h & 1u)))
+            ++h; // mantissa carry rolls into the exponent correctly
+        return sign | static_cast<std::uint16_t>(h);
+    }
+    if (mag <= 0x33000000u) // <= 2^-25: below half of the smallest
+        return sign;        // subnormal; ties-to-even gives zero
+    // Subnormal half: value in (2^-25, 2^-14) becomes round(value /
+    // 2^-24) units of the subnormal ulp.
+    const std::uint32_t mant = (mag & 0x7FFFFFu) | 0x800000u;
+    const std::uint32_t shift = 126 - (mag >> 23); // 14..24
+    std::uint32_t q = mant >> shift;
+    const std::uint32_t rem = mant & ((1u << shift) - 1);
+    const std::uint32_t half = 1u << (shift - 1);
+    if (rem > half || (rem == half && (q & 1u)))
+        ++q; // q can reach 0x400 == the smallest normal half: correct
+    return sign | static_cast<std::uint16_t>(q);
+}
+
+/**
+ * Exact binary16 -> binary32 conversion, bitwise identical to
+ * VCVTPH2PS for every pattern (subnormal halves normalize; SNaN
+ * payloads keep their bits with the quiet bit set, as the hardware
+ * does).
+ */
+constexpr float
+halfToFloat(std::uint16_t h)
+{
+    const std::uint32_t sign = (static_cast<std::uint32_t>(h) & 0x8000u)
+                               << 16;
+    const std::uint32_t exp = (h >> 10) & 0x1Fu;
+    std::uint32_t mant = h & 0x3FFu;
+    std::uint32_t bits = sign;
+    if (exp == 0) {
+        if (mant != 0) {
+            std::uint32_t shift = 0;
+            while ((mant & 0x400u) == 0) {
+                mant <<= 1;
+                ++shift;
+            }
+            bits |= ((113 - shift) << 23) | ((mant & 0x3FFu) << 13);
+        }
+    } else if (exp == 31) {
+        bits |= 0x7F800000u | (mant << 13);
+        if (mant != 0)
+            bits |= 0x400000u; // quiet a signalling NaN like VCVTPH2PS
+    } else {
+        bits |= ((exp + 112) << 23) | (mant << 13);
+    }
+    return std::bit_cast<float>(bits);
+}
+
+/** floatToHalfRne over @p n contiguous values. */
+void halfFromFloats(const float *src, std::size_t n,
+                    std::uint16_t *dst);
+
+/**
+ * ||x||^2 of a half vector, accumulated in fp32 with the fp16
+ * kernels' fixed lane order (eight fused-multiply-add chains folded
+ * by the hsum tree, fma tail). Pure software — no dispatch — so
+ * index-side precomputed norms are identical on every backend.
+ */
+float halfNormSq(const std::uint16_t *h, std::size_t d);
+
+} // namespace reach::simd
+
+#endif // REACH_SIMD_HALF_HH

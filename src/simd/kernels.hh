@@ -28,6 +28,14 @@ const Kernels &scalarKernels();
 const Kernels &avx2Kernels();
 #endif
 
+/**
+ * Test hook: when @p disable is true, dispatch behaves as if the CPU
+ * lacked F16C — the avx2 table hands out scalar fp16 kernels — even
+ * on hosts that have it. Lets the no-F16C fallback path run in unit
+ * tests on any machine. Not thread-safe; call before spawning workers.
+ */
+void setF16cOverrideForTest(bool disable);
+
 } // namespace reach::simd::detail
 
 #endif // REACH_SIMD_KERNELS_HH

@@ -18,7 +18,18 @@
 
 #include <immintrin.h>
 
+#include <cmath>
+
+#include "simd/half.hh"
+
 #define REACH_AVX2 __attribute__((target("avx2,fma")))
+
+/**
+ * The fp16 kernels additionally need F16C for VCVTPH2PS; the
+ * dispatcher patches them back to scalar when the CPU lacks it, so
+ * nothing else in this file depends on the extension.
+ */
+#define REACH_AVX2_F16 __attribute__((target("avx2,fma,f16c")))
 
 namespace reach::simd::detail
 {
@@ -493,6 +504,143 @@ gemmNtAvx2(const float *a, std::size_t n, const float *b,
     }
 }
 
+/**
+ * fp16 dot: one 8-lane FMA chain whose B operand streams through
+ * VCVTPH2PS, hsum256, then an fma tail converting through the
+ * software halfToFloat (bit-identical to the instruction, half.hh).
+ * dotF16Scalar emulates exactly this sequence, so the backends agree
+ * bitwise — the contract the shortlist fp16 determinism tests pin.
+ */
+REACH_AVX2_F16 float
+dotF16Avx2(const float *a, const std::uint16_t *b, std::size_t d)
+{
+    __m256 acc = _mm256_setzero_ps();
+    std::size_t t = 0;
+    for (; t + 8 <= d; t += 8) {
+        __m256 vb = _mm256_cvtph_ps(_mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(b + t)));
+        acc = _mm256_fmadd_ps(_mm256_loadu_ps(a + t), vb, acc);
+    }
+    float s = hsum256(acc);
+    for (; t < d; ++t)
+        s = std::fma(a[t], halfToFloat(b[t]), s);
+    return s;
+}
+
+/**
+ * Four centroid columns per step (four independent chains, the
+ * dotBatchAvx2 shape) amortize each query load across four converts;
+ * every chain performs exactly the dotF16Avx2 sequence for its
+ * column, so the tiling never changes a value.
+ */
+REACH_AVX2_F16 void
+gemmNtF16Avx2(const float *a, std::size_t n, const std::uint16_t *b,
+              std::size_t m, std::size_t d, float *c, std::size_t ldc)
+{
+    for (std::size_t i = 0; i < n; ++i) {
+        const float *ra = a + i * d;
+        float *rc = c + i * ldc;
+        std::size_t j = 0;
+        for (; j + 4 <= m; j += 4) {
+            const std::uint16_t *b0 = b + j * d;
+            const std::uint16_t *b1 = b0 + d;
+            const std::uint16_t *b2 = b1 + d;
+            const std::uint16_t *b3 = b2 + d;
+            __m256 a0 = _mm256_setzero_ps(), a1 = _mm256_setzero_ps();
+            __m256 a2 = _mm256_setzero_ps(), a3 = _mm256_setzero_ps();
+            std::size_t t = 0;
+            for (; t + 8 <= d; t += 8) {
+                __m256 va = _mm256_loadu_ps(ra + t);
+                a0 = _mm256_fmadd_ps(
+                    va,
+                    _mm256_cvtph_ps(_mm_loadu_si128(
+                        reinterpret_cast<const __m128i *>(b0 + t))),
+                    a0);
+                a1 = _mm256_fmadd_ps(
+                    va,
+                    _mm256_cvtph_ps(_mm_loadu_si128(
+                        reinterpret_cast<const __m128i *>(b1 + t))),
+                    a1);
+                a2 = _mm256_fmadd_ps(
+                    va,
+                    _mm256_cvtph_ps(_mm_loadu_si128(
+                        reinterpret_cast<const __m128i *>(b2 + t))),
+                    a2);
+                a3 = _mm256_fmadd_ps(
+                    va,
+                    _mm256_cvtph_ps(_mm_loadu_si128(
+                        reinterpret_cast<const __m128i *>(b3 + t))),
+                    a3);
+            }
+            float s0 = hsum256(a0), s1 = hsum256(a1);
+            float s2 = hsum256(a2), s3 = hsum256(a3);
+            for (; t < d; ++t) {
+                float av = ra[t];
+                s0 = std::fma(av, halfToFloat(b0[t]), s0);
+                s1 = std::fma(av, halfToFloat(b1[t]), s1);
+                s2 = std::fma(av, halfToFloat(b2[t]), s2);
+                s3 = std::fma(av, halfToFloat(b3[t]), s3);
+            }
+            rc[j] = s0;
+            rc[j + 1] = s1;
+            rc[j + 2] = s2;
+            rc[j + 3] = s3;
+        }
+        for (; j < m; ++j)
+            rc[j] = dotF16Avx2(ra, b + j * d, d);
+    }
+}
+
+/**
+ * In-place shortlist epilogue over an (n x m) tile of dot products:
+ * out = (qn + cnorm) - (p + p). Explicit intrinsic adds/sub in the
+ * vector body and a multiply-free scalar tail, so this FMA-target TU
+ * cannot contract anything — the bits equal the generic-TU
+ * `qn + cnorm - 2.0f * p` the historical path produced (p + p is
+ * exactly 2 * p).
+ */
+REACH_AVX2 void
+scoreEpilogueAvx2(const float *qn, std::size_t n, const float *cnorm,
+                  std::size_t m, float *out, std::size_t ldo)
+{
+    for (std::size_t i = 0; i < n; ++i) {
+        float *row = out + i * ldo;
+        const float q = qn[i];
+        const __m256 vq = _mm256_set1_ps(q);
+        std::size_t j = 0;
+        for (; j + 8 <= m; j += 8) {
+            __m256 vt = _mm256_add_ps(vq, _mm256_loadu_ps(cnorm + j));
+            __m256 vp = _mm256_loadu_ps(row + j);
+            _mm256_storeu_ps(
+                row + j, _mm256_sub_ps(vt, _mm256_add_ps(vp, vp)));
+        }
+        for (; j < m; ++j) {
+            const float t = q + cnorm[j];
+            const float p = row[j];
+            row[j] = t - (p + p);
+        }
+    }
+}
+
+REACH_AVX2 void
+shortlistScoreAvx2(const float *a, const float *qn, std::size_t n,
+                   const float *b, const float *cnorm, std::size_t m,
+                   std::size_t d, float *out, std::size_t ldo)
+{
+    gemmNtAvx2(a, n, b, m, d, out, ldo);
+    scoreEpilogueAvx2(qn, n, cnorm, m, out, ldo);
+}
+
+REACH_AVX2_F16 void
+shortlistScoreF16Avx2(const float *a, const float *qn, std::size_t n,
+                      const std::uint16_t *b, const float *cnorm,
+                      std::size_t m, std::size_t d, float *out,
+                      std::size_t ldo)
+{
+    gemmNtF16Avx2(a, n, b, m, d, out, ldo);
+    scoreEpilogueAvx2(qn, n, cnorm, m, out, ldo);
+}
+
 } // namespace
 
 const Kernels &
@@ -501,7 +649,9 @@ avx2Kernels()
     static const Kernels k{dotAvx2,      l2sqAvx2,   normSqAvx2,
                            axpyAvx2,     dotBatchAvx2, dotIdxAvx2,
                            l2sqBatchAvx2, gemmNtAvx2,
-                           adcAccumAvx2, adcBatchAvx2, adcBatch4Avx2};
+                           adcAccumAvx2, adcBatchAvx2, adcBatch4Avx2,
+                           gemmNtF16Avx2, shortlistScoreAvx2,
+                           shortlistScoreF16Avx2};
     return k;
 }
 

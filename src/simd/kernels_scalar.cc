@@ -10,6 +10,8 @@
 
 #include <cmath>
 
+#include "simd/half.hh"
+
 namespace reach::simd::detail
 {
 
@@ -174,6 +176,90 @@ gemmNtScalar(const float *a, std::size_t n, const float *b,
     }
 }
 
+/**
+ * One fp16 dot: the avx2 kernel's eight fused-multiply-add lanes
+ * emulated exactly — lane j accumulates dims t, t+8, ... with
+ * std::fma (the same correctly-rounded operation as vfmadd), the
+ * lanes fold in the hsum256 tree order, and the d % 8 tail continues
+ * with std::fma. halfToFloat is bit-identical to VCVTPH2PS, so the
+ * whole chain matches the avx2 backend bitwise.
+ */
+float
+dotF16Scalar(const float *a, const std::uint16_t *b, std::size_t d)
+{
+    float lane[8] = {0, 0, 0, 0, 0, 0, 0, 0};
+    std::size_t t = 0;
+    for (; t + 8 <= d; t += 8) {
+        for (std::size_t j = 0; j < 8; ++j)
+            lane[j] = std::fma(a[t + j], halfToFloat(b[t + j]),
+                               lane[j]);
+    }
+    float s04 = lane[0] + lane[4];
+    float s15 = lane[1] + lane[5];
+    float s26 = lane[2] + lane[6];
+    float s37 = lane[3] + lane[7];
+    float acc = (s04 + s26) + (s15 + s37);
+    for (; t < d; ++t)
+        acc = std::fma(a[t], halfToFloat(b[t]), acc);
+    return acc;
+}
+
+void
+gemmNtF16Scalar(const float *a, std::size_t n, const std::uint16_t *b,
+                std::size_t m, std::size_t d, float *c,
+                std::size_t ldc)
+{
+    for (std::size_t i = 0; i < n; ++i) {
+        const float *ra = a + i * d;
+        float *rc = c + i * ldc;
+        for (std::size_t j = 0; j < m; ++j)
+            rc[j] = dotF16Scalar(ra, b + j * d, d);
+    }
+}
+
+/**
+ * Blocked-fusion shortlist scoring: the dots are gemmNtScalar's own
+ * bits (it runs into the output tile), then the epilogue rewrites
+ * them in place. This TU has no FMA target, so `t - (p + p)` cannot
+ * contract and equals the historical `qn + cnorm - 2.0f * prod`
+ * exactly (p + p == 2.0f * p bitwise).
+ */
+void
+shortlistScoreScalar(const float *a, const float *qn, std::size_t n,
+                     const float *b, const float *cnorm,
+                     std::size_t m, std::size_t d, float *out,
+                     std::size_t ldo)
+{
+    gemmNtScalar(a, n, b, m, d, out, ldo);
+    for (std::size_t i = 0; i < n; ++i) {
+        float *row = out + i * ldo;
+        const float q = qn[i];
+        for (std::size_t j = 0; j < m; ++j) {
+            const float t = q + cnorm[j];
+            const float p = row[j];
+            row[j] = t - (p + p);
+        }
+    }
+}
+
+void
+shortlistScoreF16Scalar(const float *a, const float *qn,
+                        std::size_t n, const std::uint16_t *b,
+                        const float *cnorm, std::size_t m,
+                        std::size_t d, float *out, std::size_t ldo)
+{
+    gemmNtF16Scalar(a, n, b, m, d, out, ldo);
+    for (std::size_t i = 0; i < n; ++i) {
+        float *row = out + i * ldo;
+        const float q = qn[i];
+        for (std::size_t j = 0; j < m; ++j) {
+            const float t = q + cnorm[j];
+            const float p = row[j];
+            row[j] = t - (p + p);
+        }
+    }
+}
+
 } // namespace
 
 const Kernels &
@@ -184,7 +270,9 @@ scalarKernels()
                            dotBatchScalar, dotIdxScalar,
                            l2sqBatchScalar, gemmNtScalar,
                            adcAccumScalar, adcBatchScalar,
-                           adcBatch4Scalar};
+                           adcBatch4Scalar, gemmNtF16Scalar,
+                           shortlistScoreScalar,
+                           shortlistScoreF16Scalar};
     return k;
 }
 

@@ -37,6 +37,18 @@
  * fixed hsum tree, then a sequential tail); the 4-bit shuffle sum is
  * an exact integer finished by one fused multiply-add. Either way
  * scalar/avx2 agree BITWISE, not just to tolerance.
+ *
+ * The fp16 kernels (gemmNtF16 / shortlistScoreF16) follow the ADC
+ * model: both backends commit to one accumulation order — eight
+ * fused-multiply-add lanes over d folded by the fixed hsum tree, an
+ * fma tail, and an exact half -> float load conversion (software on
+ * scalar, VCVTPH2PS on avx2; half.hh proves them identical) — so
+ * scalar and avx2 agree BITWISE. The fp32 shortlistScore instead
+ * inherits gemmNt's per-backend contract: for a fixed backend its
+ * distances are bitwise identical to gemmNt followed by the
+ * qn + cnorm - 2*dot epilogue, which is what keeps the blocked fp32
+ * shortlist path bit-for-bit equal to the historical materialized
+ * product.
  */
 
 #ifndef REACH_SIMD_SIMD_HH
@@ -202,9 +214,55 @@ struct Kernels
                       const std::uint8_t *blocks, std::size_t n,
                       std::size_t m, float scale, float bias,
                       float *out);
+    /**
+     * gemmNt over half-precision B: A is fp32 (n x d), B is packed
+     * IEEE binary16 (m x d u16, built by floatToHalfRne), C rows at
+     * stride @p ldc >= m, accumulated in fp32. Each C(i,j) is eight
+     * fma lanes over d (halves converted exactly to fp32 on load),
+     * the fixed hsum fold, then an fma tail — the same sequence on
+     * both backends, so scalar == avx2 BITWISE (see the header
+     * comment; half.hh carries the conversion proof).
+     */
+    void (*gemmNtF16)(const float *a, std::size_t n,
+                      const std::uint16_t *b, std::size_t m,
+                      std::size_t d, float *c, std::size_t ldc);
+    /**
+     * Fused shortlist scoring over one (n x m) tile:
+     *   out[i*ldo + j] = (qn[i] + cnorm[j]) - 2 * dot(A_i, B_j)
+     * with the dot computed exactly as gemmNt computes it — for a
+     * fixed backend the distances are bitwise identical to running
+     * gemmNt into a scratch tile and applying the epilogue, so a
+     * column-blocked caller reproduces the historical materialized
+     * B x M product bit for bit without ever allocating it. The
+     * epilogue is contraction-free (t = qn + cnorm; t - (p + p)), so
+     * per-backend bits never depend on the compiler fusing a
+     * multiply-subtract.
+     */
+    void (*shortlistScore)(const float *a, const float *qn,
+                           std::size_t n, const float *b,
+                           const float *cnorm, std::size_t m,
+                           std::size_t d, float *out,
+                           std::size_t ldo);
+    /**
+     * shortlistScore over half-precision centroids: the gemmNtF16
+     * accumulation followed by the same contraction-free epilogue.
+     * Like gemmNtF16, scalar == avx2 BITWISE.
+     */
+    void (*shortlistScoreF16)(const float *a, const float *qn,
+                              std::size_t n, const std::uint16_t *b,
+                              const float *cnorm, std::size_t m,
+                              std::size_t d, float *out,
+                              std::size_t ldo);
 };
 
-/** Kernel table of a backend (valid for the process lifetime). */
+/**
+ * Kernel table of a backend (valid for the process lifetime). The
+ * avx2 table's fp16 entries additionally need the F16C extension
+ * (present on every AVX2 CPU, but hypervisors can mask it): when the
+ * host reports avx2 without f16c, those two entries fall back to the
+ * scalar implementations with a one-line stderr note and everything
+ * else stays avx2 — REACH_SIMD=avx2 never faults on such a host.
+ */
 const Kernels &kernels(Backend b);
 
 /** Shorthand: table of the resolved backend for @p c. */

@@ -5,6 +5,7 @@
 #include "cbir/index.hh"
 #include "cbir/rerank.hh"
 #include "cbir/shortlist.hh"
+#include "simd/half.hh"
 #include "workload/dataset.hh"
 
 using namespace reach;
@@ -105,6 +106,63 @@ TEST(InvertedFileIndex, PrecomputedClusteringRerankFallback)
     ASSERT_EQ(got.size(), want.size());
     for (std::size_t q = 0; q < want.size(); ++q)
         EXPECT_EQ(got[q], want[q]) << "query " << q;
+}
+
+/**
+ * The packed binary16 centroid copy: element-for-element the RNE
+ * encoding of the fp32 centroids, with norms accumulated by
+ * halfNormSq over the packed rows — both pure software, so these
+ * equalities are exact on every host and backend.
+ */
+TEST(InvertedFileIndex, F16CentroidCopyIsTheRneImage)
+{
+    auto ds = smallDataset();
+    KMeansConfig cfg;
+    cfg.clusters = 8;
+    InvertedFileIndex idx(ds.vectors(), cfg);
+
+    const std::size_t d = idx.centroids().cols();
+    auto packed = idx.centroidsF16();
+    ASSERT_EQ(packed.size(), idx.numClusters() * d);
+    for (std::size_t c = 0; c < idx.numClusters(); ++c) {
+        auto row = idx.centroids().row(c);
+        for (std::size_t j = 0; j < d; ++j) {
+            EXPECT_EQ(packed[c * d + j],
+                      simd::floatToHalfRne(row[j]))
+                << "centroid " << c << " dim " << j;
+        }
+    }
+
+    ASSERT_EQ(idx.centroidNormsSqF16().size(), idx.numClusters());
+    for (std::size_t c = 0; c < idx.numClusters(); ++c) {
+        EXPECT_EQ(idx.centroidNormsSqF16()[c],
+                  simd::halfNormSq(packed.data() + c * d, d))
+            << "centroid " << c;
+        // The quantized norm tracks the fp32 norm closely.
+        EXPECT_NEAR(idx.centroidNormsSqF16()[c],
+                    idx.centroidNormsSq()[c],
+                    2e-3 * idx.centroidNormsSq()[c] + 1e-4)
+            << "centroid " << c;
+    }
+}
+
+TEST(InvertedFileIndex, PrecomputedClusteringAlsoBuildsF16Copy)
+{
+    // Both constructors must produce the packed copy: the fp16 scan
+    // is available regardless of how the index was built.
+    Matrix cents(2, 3);
+    cents.at(0, 0) = 1.0f;
+    cents.at(0, 1) = 0.5f;
+    cents.at(1, 2) = -2.0f;
+    std::vector<std::uint32_t> assign{0, 1, 0};
+    InvertedFileIndex idx(std::move(cents), assign);
+    ASSERT_EQ(idx.centroidsF16().size(), 6u);
+    EXPECT_EQ(idx.centroidsF16()[0], 0x3C00); // 1.0
+    EXPECT_EQ(idx.centroidsF16()[1], 0x3800); // 0.5
+    EXPECT_EQ(idx.centroidsF16()[5], 0xC000); // -2.0
+    ASSERT_EQ(idx.centroidNormsSqF16().size(), 2u);
+    EXPECT_FLOAT_EQ(idx.centroidNormsSqF16()[0], 1.25f);
+    EXPECT_FLOAT_EQ(idx.centroidNormsSqF16()[1], 4.0f);
 }
 
 TEST(InvertedFileIndex, MembersAreNearTheirCentroid)

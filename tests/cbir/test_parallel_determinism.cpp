@@ -78,6 +78,17 @@ TEST(ParallelDeterminism, RerankIdenticalAcrossThreadCounts)
                                     parallel::ParallelConfig{kThreads});
     EXPECT_EQ(lists1, listsN);
 
+    // The fp16 scan shares the thread-count contract: the packed
+    // stream and the column blocking are fixed, only the row split
+    // changes with the thread count.
+    auto h1 = shortlistRetrieve(queries, idx, 5,
+                                parallel::ParallelConfig::serial(),
+                                ShortlistPrecision::Fp16);
+    auto hN = shortlistRetrieve(queries, idx, 5,
+                                parallel::ParallelConfig{kThreads},
+                                ShortlistPrecision::Fp16);
+    EXPECT_EQ(h1, hN);
+
     RerankConfig rc1;
     rc1.k = 8;
     rc1.parallel = parallel::ParallelConfig::serial();
@@ -192,6 +203,11 @@ TEST_P(PinnedBackendDeterminism, RerankAndBruteForceBitwiseEqual)
 
     auto lists = shortlistRetrieve(queries, idx, 5, serial);
     EXPECT_EQ(lists, shortlistRetrieve(queries, idx, 5, threaded));
+
+    EXPECT_EQ(shortlistRetrieve(queries, idx, 5, serial,
+                                ShortlistPrecision::Fp16),
+              shortlistRetrieve(queries, idx, 5, threaded,
+                                ShortlistPrecision::Fp16));
 
     RerankConfig rc1;
     rc1.k = 8;

@@ -7,7 +7,13 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <numeric>
+#include <set>
+
 #include "cbir/shortlist.hh"
+#include "sim/rng.hh"
+#include "simd/simd.hh"
 #include "workload/dataset.hh"
 
 using namespace reach;
@@ -96,4 +102,161 @@ TEST_F(ShortlistFixture, NoDuplicateClustersInList)
         std::set<std::uint32_t> s(l.begin(), l.end());
         EXPECT_EQ(s.size(), l.size());
     }
+}
+
+/**
+ * The fp16 scan quantizes distances but must still find essentially
+ * the same clusters: on the fixture the per-query overlap with the
+ * fp32 lists is near-total. (Exact equality is not required — a pair
+ * whose fp32 distances differ by less than a half ulp may legally
+ * swap.)
+ */
+TEST_F(ShortlistFixture, Fp16ListsNearlyMatchFp32)
+{
+    const std::size_t nprobe = 5;
+    auto f32 = shortlistRetrieve(queries, *idx, nprobe);
+    auto f16 = shortlistRetrieve(queries, *idx, nprobe, {},
+                                 ShortlistPrecision::Fp16);
+    ASSERT_EQ(f16.size(), f32.size());
+    std::size_t shared = 0, total = 0;
+    for (std::size_t q = 0; q < f32.size(); ++q) {
+        EXPECT_EQ(f16[q].size(), nprobe);
+        std::set<std::uint32_t> a(f32[q].begin(), f32[q].end());
+        for (auto c : f16[q])
+            shared += a.count(c);
+        total += nprobe;
+    }
+    EXPECT_GE(static_cast<double>(shared) / total, 0.9);
+}
+
+TEST_F(ShortlistFixture, Fp16NearestClusterMatchesFp32)
+{
+    // The top-1 cluster is far from any quantization boundary on the
+    // clustered fixture; fp16 must agree with fp32 exactly there.
+    auto f32 = shortlistRetrieve(queries, *idx, 1);
+    auto f16 = shortlistRetrieve(queries, *idx, 1, {},
+                                 ShortlistPrecision::Fp16);
+    for (std::size_t q = 0; q < f32.size(); ++q)
+        EXPECT_EQ(f16[q][0], f32[q][0]) << "query " << q;
+}
+
+namespace
+{
+
+/**
+ * An index bigger than one scan column block (kColBlock = 4096
+ * centroids), with exact-duplicate centroid rows planted inside one
+ * block and straddling the block boundary — the shapes where the
+ * blocked + fused + streaming-top-K path could diverge from a single
+ * flat scan if tie-breaking or tile remainders were wrong. Odd D and
+ * odd M exercise every kernel tail.
+ */
+struct MultiBlockFixture : ::testing::Test
+{
+    static constexpr std::size_t kM = 4100; // > one 4096 column block
+    static constexpr std::size_t kD = 17;   // odd: vector tails
+
+    void
+    SetUp() override
+    {
+        sim::Rng rng(2024);
+        Matrix cents(kM, kD);
+        for (auto &v : cents.flat())
+            v = static_cast<float>(rng.nextGaussian());
+        // Adjacent tie inside block 0, and a cross-block tie: row
+        // 4099 (second block) duplicates row 2 (first block).
+        for (std::size_t c = 0; c < kD; ++c) {
+            cents.at(51, c) = cents.at(50, c);
+            cents.at(4099, c) = cents.at(2, c);
+        }
+        std::vector<std::uint32_t> assign(kM);
+        std::iota(assign.begin(), assign.end(), 0u);
+        idx = std::make_unique<InvertedFileIndex>(std::move(cents),
+                                                  std::move(assign));
+
+        queries = Matrix(5, kD);
+        for (auto &v : queries.flat())
+            v = static_cast<float>(rng.nextGaussian());
+    }
+
+    std::unique_ptr<InvertedFileIndex> idx;
+    Matrix queries;
+};
+
+} // namespace
+
+TEST_F(MultiBlockFixture, BlockedScanMatchesReferenceBitwise)
+{
+    // Against the direct Eq. 2 reference the comparison must stay at
+    // ranks whose distance gaps exceed the decomposition's rounding
+    // difference (deep ranks of 4100 random centroids have adjacent
+    // gaps below one fp32 ulp, where the two formulas legitimately
+    // disagree; the flat-scan test below covers the full ordering).
+    for (std::size_t nprobe : {1u, 12u}) {
+        auto fast = shortlistRetrieve(queries, *idx, nprobe);
+        auto ref = shortlistReference(queries, *idx, nprobe);
+        ASSERT_EQ(fast.size(), ref.size());
+        for (std::size_t q = 0; q < fast.size(); ++q)
+            EXPECT_EQ(fast[q], ref[q])
+                << "query " << q << " nprobe=" << nprobe;
+    }
+}
+
+/**
+ * The blocked + streaming scan against a single flat fused-kernel
+ * call over all 4100 centroids with a one-shot topKMin: bitwise
+ * identical lists at every nprobe, including the full ordering. This
+ * is the exact claim behind the column blocking (block starts are
+ * multiples of the kernels' column tile, so tile assignment — and
+ * hence every dot's bits — matches the unblocked call).
+ */
+TEST_F(MultiBlockFixture, BlockedScanMatchesFlatFusedScanBitwise)
+{
+    const auto &k = simd::kernels(simd::resolve());
+    const std::vector<float> qn = rowNormsSq(queries);
+    const std::vector<float> &cnorm = idx->centroidNormsSq();
+    std::vector<float> dist(queries.rows() * kM);
+    k.shortlistScore(queries.flat().data(), qn.data(), queries.rows(),
+                     idx->centroids().flat().data(), cnorm.data(), kM,
+                     kD, dist.data(), kM);
+    for (std::size_t nprobe : {1u, 12u, 4097u, 4100u}) {
+        auto fast = shortlistRetrieve(queries, *idx, nprobe);
+        for (std::size_t q = 0; q < fast.size(); ++q) {
+            auto flat = topKMin({dist.data() + q * kM, kM}, nprobe);
+            EXPECT_EQ(fast[q], flat)
+                << "query " << q << " nprobe=" << nprobe;
+        }
+    }
+}
+
+TEST_F(MultiBlockFixture, DuplicateCentroidsTieBreakToLowerIndex)
+{
+    // Every query is equidistant from the planted duplicates, so the
+    // full list must rank 50 before 51 and 2 before 4099.
+    auto lists = shortlistRetrieve(queries, *idx, kM);
+    for (std::size_t q = 0; q < lists.size(); ++q) {
+        const auto &l = lists[q];
+        auto pos = [&](std::uint32_t id) {
+            return std::find(l.begin(), l.end(), id) - l.begin();
+        };
+        EXPECT_LT(pos(50), pos(51)) << "query " << q;
+        EXPECT_LT(pos(2), pos(4099)) << "query " << q;
+        EXPECT_EQ(pos(51), pos(50) + 1) << "query " << q;
+        EXPECT_EQ(pos(4099), pos(2) + 1) << "query " << q;
+    }
+}
+
+TEST_F(MultiBlockFixture, Fp16ScanIsDeterministicAcrossBlocksSplits)
+{
+    // The fp16 list must also be identical however many threads the
+    // row dimension is split across (the column blocking is fixed).
+    auto serial = shortlistRetrieve(queries, *idx, 12,
+                                    parallel::ParallelConfig::serial(),
+                                    ShortlistPrecision::Fp16);
+    auto threaded = shortlistRetrieve(queries, *idx, 12,
+                                      parallel::ParallelConfig{4},
+                                      ShortlistPrecision::Fp16);
+    EXPECT_EQ(serial, threaded);
+    for (const auto &l : serial)
+        EXPECT_EQ(l.size(), 12u);
 }

@@ -97,6 +97,49 @@ TEST(CbirService, MalformedPqConfigIsFatal)
     EXPECT_THROW(CbirService{cfg}, sim::SimFatal);
 }
 
+TEST(CoSim, ScaleTracksShortlistPrecision)
+{
+    // The timing model's centroid stream width is derived from the
+    // functional precision knob — a scale handed in with the wrong
+    // byte width is overwritten, so the two layers cannot drift.
+    CbirService::Config cfg = smallService();
+    cbir::ScaleConfig sc = smallScale();
+    sc.centroidBytesPerDim = 4;
+
+    cfg.shortlistPrecision = cbir::ShortlistPrecision::Fp16;
+    CoSimulation fp16_sim(cfg, sc, Mapping::Reach);
+    EXPECT_EQ(fp16_sim.scale().centroidBytesPerDim, 2u);
+
+    cfg.shortlistPrecision = cbir::ShortlistPrecision::Fp32;
+    sc.centroidBytesPerDim = 2; // deliberately wrong for fp32
+    CoSimulation fp32_sim(cfg, sc, Mapping::Reach);
+    EXPECT_EQ(fp32_sim.scale().centroidBytesPerDim, 4u);
+}
+
+TEST(CoSim, Fp16ShortlistBatchAnswersMatchDirectPipeline)
+{
+    CbirService::Config cfg = smallService();
+    cfg.shortlistPrecision = cbir::ShortlistPrecision::Fp16;
+    CoSimulation cosim(cfg, smallScale(), Mapping::Reach);
+    cbir::Matrix queries =
+        cosim.service().dataset().makeQueries(8, 0.05, 31);
+
+    CoSimBatch batch = cosim.processBatch(queries);
+    ASSERT_EQ(batch.results.size(), 8u);
+    EXPECT_GT(batch.latency, 0u);
+
+    const CbirService &svc = cosim.service();
+    auto lists = cbir::shortlistRetrieve(
+        queries, svc.index(), 6, {}, cbir::ShortlistPrecision::Fp16);
+    cbir::RerankConfig rc;
+    rc.k = 10;
+    rc.maxCandidates = 4096;
+    auto direct = cbir::rerank(queries, svc.dataset().vectors(),
+                               svc.index(), lists, rc);
+    for (std::size_t q = 0; q < direct.size(); ++q)
+        EXPECT_EQ(batch.results[q], direct[q]) << "query " << q;
+}
+
 TEST(CoSim, BatchProducesAnswersAndTiming)
 {
     CoSimulation cosim(smallService(), smallScale(),

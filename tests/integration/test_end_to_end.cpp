@@ -95,6 +95,44 @@ TEST(EndToEnd, ShortlistPruningRecallVsBruteForce)
     EXPECT_GT(cbir::recallAtK(got, truth, 10), 0.85);
 }
 
+TEST(EndToEnd, Fp16ShortlistPreservesRecallVsBruteForce)
+{
+    // The same pipeline as above with the scan reading the packed
+    // binary16 centroid stream: recall must stay high — the paper's
+    // bandwidth saving cannot come out of answer quality. Also the
+    // ASan-facing end-to-end exercise of the fp16 kernels over the
+    // aligned packed buffers.
+    workload::DatasetConfig dc;
+    dc.numVectors = 2000;
+    dc.dim = 24;
+    dc.latentClusters = 25;
+    workload::Dataset ds(dc);
+
+    cbir::KMeansConfig kc;
+    kc.clusters = 40;
+    cbir::InvertedFileIndex index(ds.vectors(), kc);
+    cbir::Matrix queries = ds.makeQueries(16, 0.05, 999);
+
+    auto truth = cbir::bruteForce(queries, ds.vectors(), 10);
+
+    auto lists = cbir::shortlistRetrieve(
+        queries, index, 8, {}, cbir::ShortlistPrecision::Fp16);
+    cbir::RerankConfig rcfg;
+    rcfg.k = 10;
+    rcfg.maxCandidates = 4096;
+    auto got = cbir::rerank(queries, ds.vectors(), index, lists, rcfg);
+    double recall16 = cbir::recallAtK(got, truth, 10);
+    EXPECT_GT(recall16, 0.85);
+
+    // And the fp16 lists track the fp32 lists closely enough that
+    // end recall matches to within the harness gate.
+    auto lists32 = cbir::shortlistRetrieve(queries, index, 8);
+    auto got32 =
+        cbir::rerank(queries, ds.vectors(), index, lists32, rcfg);
+    double recall32 = cbir::recallAtK(got32, truth, 10);
+    EXPECT_NEAR(recall16, recall32, 0.05);
+}
+
 TEST(EndToEnd, TimingAndFunctionalScalesAgree)
 {
     // The workload model's Table-I numbers must match the functional

@@ -16,6 +16,8 @@
 
 #include "sim/rng.hh"
 #include "simd/aligned.hh"
+#include "simd/half.hh"
+#include "simd/kernels.hh"
 #include "simd/simd.hh"
 
 using namespace reach;
@@ -429,6 +431,194 @@ TEST_P(SimdBackend, GemmNtRespectsOutputStride)
         for (std::size_t j = m; j < ldc; ++j)
             EXPECT_EQ(c[i * ldc + j], 7.0f) << "stride gap clobbered";
     }
+}
+
+namespace
+{
+
+/** Random half vectors plus their exactly-decoded float image. */
+struct F16Fixture
+{
+    std::vector<std::uint16_t> h;
+    std::vector<float> decoded;
+
+    F16Fixture(std::size_t count, std::uint64_t seed)
+        : h(count), decoded(count)
+    {
+        sim::Rng rng(seed);
+        for (std::size_t i = 0; i < count; ++i) {
+            h[i] = simd::floatToHalfRne(
+                static_cast<float>(rng.nextGaussian()));
+            decoded[i] = simd::halfToFloat(h[i]);
+        }
+    }
+};
+
+} // namespace
+
+TEST_P(SimdBackend, GemmNtF16MatchesFp32OnDecodedValues)
+{
+    // The fp16 GEMM decodes to fp32 and accumulates in fp32, so on
+    // the decoded image of the half matrix it must agree with the
+    // fp32 GEMM to rounding tolerance at every tail length.
+    const std::size_t n = 5, m = 7;
+    for (std::size_t d : kLengths) {
+        auto a = randomVec(n * d, 1300 + d);
+        F16Fixture bf(m * d, 1400 + d);
+        std::vector<float> c16(n * m, -1.0f), c32(n * m, -2.0f);
+        k().gemmNtF16(a.data(), n, bf.h.data(), m, d, c16.data(), m);
+        k().gemmNt(a.data(), n, bf.decoded.data(), m, d, c32.data(),
+                   m);
+        for (std::size_t i = 0; i < n * m; ++i)
+            EXPECT_NEAR(c16[i], c32[i], relTol(c32[i]))
+                << "element " << i << " d=" << d;
+    }
+}
+
+TEST_P(SimdBackend, GemmNtF16RespectsOutputStride)
+{
+    const std::size_t n = 3, m = 5, d = 17, ldc = 9;
+    auto a = randomVec(n * d, 3);
+    F16Fixture bf(m * d, 4);
+    std::vector<float> c(n * ldc, 7.0f);
+    k().gemmNtF16(a.data(), n, bf.h.data(), m, d, c.data(), ldc);
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = m; j < ldc; ++j)
+            EXPECT_EQ(c[i * ldc + j], 7.0f) << "stride gap clobbered";
+    }
+}
+
+/**
+ * The fused scoring kernels against their own components, bitwise:
+ * shortlistScore must produce exactly gemmNt's dots pushed through
+ * the documented epilogue `qn + cnorm - 2 * dot` (this TU compiles
+ * without -ffast-math or FMA contraction, so the float expression
+ * below is the literal contract). Same for the fp16 pair. Odd n/m/d
+ * exercise every tile remainder.
+ */
+TEST_P(SimdBackend, ShortlistScoreIsGemmNtPlusEpilogueBitwise)
+{
+    const std::size_t n = 5, m = 13, ldo = m + 3;
+    for (std::size_t d : kLengths) {
+        auto a = randomVec(n * d, 2100 + d);
+        auto b = randomVec(m * d, 2200 + d);
+        auto qn = randomVec(n, 2300 + d);
+        auto cnorm = randomVec(m, 2400 + d);
+        std::vector<float> prod(n * m, 0.0f);
+        std::vector<float> fused(n * ldo, -1.0f);
+        k().gemmNt(a.data(), n, b.data(), m, d, prod.data(), m);
+        k().shortlistScore(a.data(), qn.data(), n, b.data(),
+                           cnorm.data(), m, d, fused.data(), ldo);
+        for (std::size_t i = 0; i < n; ++i) {
+            for (std::size_t j = 0; j < m; ++j) {
+                const float want =
+                    qn[i] + cnorm[j] - 2.0f * prod[i * m + j];
+                EXPECT_EQ(fused[i * ldo + j], want)
+                    << "(" << i << "," << j << ") d=" << d;
+            }
+            for (std::size_t j = m; j < ldo; ++j)
+                EXPECT_EQ(fused[i * ldo + j], -1.0f)
+                    << "stride gap clobbered, d=" << d;
+        }
+    }
+}
+
+TEST_P(SimdBackend, ShortlistScoreF16IsGemmNtF16PlusEpilogueBitwise)
+{
+    const std::size_t n = 5, m = 13, ldo = m + 3;
+    for (std::size_t d : kLengths) {
+        auto a = randomVec(n * d, 2500 + d);
+        F16Fixture bf(m * d, 2600 + d);
+        auto qn = randomVec(n, 2700 + d);
+        auto cnorm = randomVec(m, 2800 + d);
+        std::vector<float> prod(n * m, 0.0f);
+        std::vector<float> fused(n * ldo, -1.0f);
+        k().gemmNtF16(a.data(), n, bf.h.data(), m, d, prod.data(), m);
+        k().shortlistScoreF16(a.data(), qn.data(), n, bf.h.data(),
+                              cnorm.data(), m, d, fused.data(), ldo);
+        for (std::size_t i = 0; i < n; ++i) {
+            for (std::size_t j = 0; j < m; ++j) {
+                const float want =
+                    qn[i] + cnorm[j] - 2.0f * prod[i * m + j];
+                EXPECT_EQ(fused[i * ldo + j], want)
+                    << "(" << i << "," << j << ") d=" << d;
+            }
+        }
+    }
+}
+
+/**
+ * The fp16 kernels are held to the ADC-style strict contract: the
+ * fixed lane/fold/tail order makes scalar and avx2 agree BITWISE
+ * (simd.hh), which is what allows the fp16 shortlist distances to be
+ * backend-independent.
+ */
+TEST(SimdF16, BackendsAgreeBitwise)
+{
+    if (!simd::supported(simd::Backend::avx2))
+        GTEST_SKIP() << "no avx2 on this host";
+    const auto &sc = simd::kernels(simd::Backend::scalar);
+    const auto &av = simd::kernels(simd::Backend::avx2);
+    const std::size_t n = 5, m = 13;
+    for (std::size_t d : kLengths) {
+        auto a = randomVec(n * d, 3100 + d);
+        F16Fixture bf(m * d, 3200 + d);
+        auto qn = randomVec(n, 3300 + d);
+        auto cnorm = randomVec(m, 3400 + d);
+
+        std::vector<float> gs(n * m, -1.0f), ga(n * m, -2.0f);
+        sc.gemmNtF16(a.data(), n, bf.h.data(), m, d, gs.data(), m);
+        av.gemmNtF16(a.data(), n, bf.h.data(), m, d, ga.data(), m);
+        for (std::size_t i = 0; i < n * m; ++i)
+            EXPECT_EQ(gs[i], ga[i]) << "gemmNtF16 elt " << i
+                                    << " d=" << d;
+
+        std::vector<float> ss(n * m, -1.0f), sa(n * m, -2.0f);
+        sc.shortlistScoreF16(a.data(), qn.data(), n, bf.h.data(),
+                             cnorm.data(), m, d, ss.data(), m);
+        av.shortlistScoreF16(a.data(), qn.data(), n, bf.h.data(),
+                             cnorm.data(), m, d, sa.data(), m);
+        for (std::size_t i = 0; i < n * m; ++i)
+            EXPECT_EQ(ss[i], sa[i])
+                << "shortlistScoreF16 elt " << i << " d=" << d;
+    }
+}
+
+/**
+ * The no-F16C fallback: with the test override asserting "this CPU
+ * has no F16C", the avx2 table must hand out the scalar fp16 kernels
+ * while keeping its own fp32 kernels — and revert when the override
+ * is lifted. This exercises the exact table dispatch would use on a
+ * pre-Ivy-Bridge-class AVX2 machine.
+ */
+TEST(SimdDispatch, F16cOverrideSwapsOnlyTheF16Kernels)
+{
+    if (!simd::supported(simd::Backend::avx2))
+        GTEST_SKIP() << "no avx2 on this host";
+    const auto &sc = simd::kernels(simd::Backend::scalar);
+    const auto &full = simd::kernels(simd::Backend::avx2);
+
+    simd::detail::setF16cOverrideForTest(true);
+    const auto &patched = simd::kernels(simd::Backend::avx2);
+    EXPECT_EQ(patched.gemmNtF16, sc.gemmNtF16);
+    EXPECT_EQ(patched.shortlistScoreF16, sc.shortlistScoreF16);
+    EXPECT_EQ(patched.gemmNt, full.gemmNt);
+    EXPECT_EQ(patched.shortlistScore, full.shortlistScore);
+    EXPECT_EQ(patched.dot, full.dot);
+    EXPECT_NE(patched.gemmNt, sc.gemmNt);
+
+    // The patched table must still be usable end to end.
+    F16Fixture bf(16, 99);
+    std::vector<float> a(16, 0.5f);
+    float got = -1.0f, want = -2.0f;
+    patched.gemmNtF16(a.data(), 1, bf.h.data(), 1, 16, &got, 1);
+    sc.gemmNtF16(a.data(), 1, bf.h.data(), 1, 16, &want, 1);
+    EXPECT_EQ(got, want);
+
+    simd::detail::setF16cOverrideForTest(false);
+    const auto &restored = simd::kernels(simd::Backend::avx2);
+    EXPECT_EQ(restored.gemmNtF16, full.gemmNtF16);
+    EXPECT_EQ(restored.shortlistScoreF16, full.shortlistScoreF16);
 }
 
 INSTANTIATE_TEST_SUITE_P(
