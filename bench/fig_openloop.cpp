@@ -1,0 +1,449 @@
+/**
+ * @file
+ * Open-loop service study: the closed-loop figures (fig12/fig13)
+ * measure capacity, this harness measures what a deployed front-end
+ * delivers when requests arrive on their own clock. For each mapping
+ * it measures closed-loop capacity, then sweeps the offered Poisson
+ * rate as a fraction of it through the QueryService (bounded queue,
+ * deadline-aware batch former, degradation controller, retry with
+ * backoff), reporting tail latency (exact p50/p95/p99/p99.9),
+ * goodput-under-SLO, and the explicit shed/degraded/retried/failed
+ * accounting.
+ *
+ * Self-checking gates (exit non-zero on violation; recorded in the
+ * JSON artifact with --out=FILE):
+ *  - accounting: on every point — faulted ones included — submitted
+ *    requests terminate explicitly: completed + failed + shed ==
+ *    submitted (no silent drops, no wedges);
+ *  - p99 monotone: completed-request p99 is non-decreasing in the
+ *    offered rate up to 1.2x capacity (beyond saturation the bounded
+ *    queue caps waiting time, so the completed-request tail
+ *    plateaus while shed absorbs the excess);
+ *  - degradation: at 1.2x capacity the controller's goodput-under-SLO
+ *    is strictly above the same run with degradation disabled;
+ *  - determinism: the whole rate sweep is bitwise identical at
+ *    --jobs 1 and --jobs 8 (arrival draws happen in event order
+ *    inside each point's own Simulator).
+ *
+ * bench/run_openloop.sh wraps this into BENCH_openloop.json at the
+ * repo root; --smoke shrinks the sweep to CI size. Seeded via
+ * REACH_ARRIVAL_SEED / REACH_FAULT_SEED.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common.hh"
+#include "fault/fault.hh"
+#include "service/query_service.hh"
+
+using namespace reach;
+using namespace reach::bench;
+
+namespace
+{
+
+/** The service-study workload: PQ rerank on so the refine knob is a
+ *  real degradation lever, everything else the paper's scale. */
+cbir::ScaleConfig
+serviceScale()
+{
+    cbir::ScaleConfig scale;
+    scale.pq.enabled = true;
+    scale.pq.m = 32;
+    scale.pq.bits = 8;
+    scale.pq.refine = 128;
+    return scale;
+}
+
+/** Fixed service knobs shared by every point (rate varies). */
+service::ServiceConfig
+baseServiceConfig(std::uint64_t requests, std::uint64_t seed)
+{
+    service::ServiceConfig cfg;
+    cfg.totalRequests = requests;
+    cfg.arrival.seed = seed;
+    cfg.queueCapacity = 64;
+    cfg.sloLatency = 150 * sim::tickPerMs;
+    cfg.formTimeout = 4 * sim::tickPerMs;
+    cfg.initialLatencyEstimate = 10 * sim::tickPerMs;
+    cfg.maxInFlight = 4;
+    cfg.maxBatchRetries = 2;
+    cfg.retryBackoff = 500 * sim::tickPerUs;
+    return cfg;
+}
+
+struct PointSpec
+{
+    core::Mapping mapping;
+    double rateMultiplier;
+    bool degrade = true;
+    service::ArrivalKind kind = service::ArrivalKind::Poisson;
+    /** Scales every fault probability (0 = fault-free). */
+    double faultIntensity = 0;
+};
+
+fault::FaultPlan
+planAtIntensity(double f, std::uint64_t seed)
+{
+    fault::FaultPlan plan;
+    plan.seed = seed;
+    plan.accCrashProb = f;
+    plan.accHangProb = f / 2;
+    plan.pollDropProb = std::min(4 * f, 0.9);
+    plan.linkStallProb = f / 4;
+    plan.ssdTimeoutProb = f;
+    return plan;
+}
+
+double
+closedLoopCapacityQps(core::Mapping mapping, std::uint32_t batches,
+                      const cbir::ScaleConfig &scale)
+{
+    core::ReachSystem sys(systemForScale({}, scale));
+    cbir::CbirWorkloadModel model(scale);
+    core::CbirDeployment dep(sys, model, mapping);
+    core::RunResult r = dep.run(batches);
+    return r.queriesPerSec(scale.batchSize);
+}
+
+service::ServiceResult
+runPoint(const PointSpec &spec, double capacityQps,
+         std::uint64_t requests, std::uint64_t arrival_seed,
+         std::uint64_t fault_seed)
+{
+    cbir::ScaleConfig scale = serviceScale();
+    core::SystemConfig sc = systemForScale({}, scale);
+    if (spec.faultIntensity > 0) {
+        sc.faultPlan =
+            planAtIntensity(spec.faultIntensity, fault_seed);
+        sc.gam.recoveryDelay = 5 * sim::tickPerMs;
+        // Tight recovery budget: exhausted attempts surface as
+        // explicit job failures, exercising the service retry path.
+        sc.gam.maxTaskAttempts = 2;
+        sc.gam.crossLevelFailover = false;
+    }
+    core::ReachSystem sys(sc);
+
+    service::ServiceConfig cfg =
+        baseServiceConfig(requests, arrival_seed);
+    cfg.arrival.kind = spec.kind;
+    cfg.arrival.ratePerSec = capacityQps * spec.rateMultiplier;
+    cfg.degrade = spec.degrade;
+
+    service::QueryService svc(sys, scale, spec.mapping, cfg);
+    return svc.run();
+}
+
+void
+printRow(const char *tag, const PointSpec &s,
+         const service::ServiceResult &r)
+{
+    std::printf(
+        "%-8s %-10s %5.2fx %9.0f %9.0f %5lu %5lu %5lu %5lu "
+        "%8.2f %8.2f %8.2f %6lu %3u %7.1f\n",
+        tag, core::mappingName(s.mapping), s.rateMultiplier,
+        r.offeredQps(), r.goodputQps(),
+        static_cast<unsigned long>(r.completed),
+        static_cast<unsigned long>(r.failed),
+        static_cast<unsigned long>(r.shedTotal()),
+        static_cast<unsigned long>(r.sloMisses),
+        sim::secondsFromTicks(r.p50) * 1e3,
+        sim::secondsFromTicks(r.p99) * 1e3,
+        sim::secondsFromTicks(r.p999) * 1e3,
+        static_cast<unsigned long>(r.degradedBatches),
+        r.maxDegradeLevel,
+        sim::secondsFromTicks(r.timeDegraded) * 1e3);
+}
+
+void
+jsonRow(std::FILE *f, const char *section, const PointSpec &s,
+        const service::ServiceResult &r, bool last)
+{
+    std::fprintf(
+        f,
+        "    {\"section\": \"%s\", \"mapping\": \"%s\", "
+        "\"rate_multiplier\": %.2f, \"arrival\": \"%s\", "
+        "\"degrade\": %s, \"fault_intensity\": %.3f,\n"
+        "     \"submitted\": %llu, \"completed\": %llu, "
+        "\"failed\": %llu, \"shed_queue_full\": %llu, "
+        "\"shed_deadline\": %llu, \"slo_misses\": %llu,\n"
+        "     \"offered_qps\": %.1f, \"goodput_qps\": %.1f, "
+        "\"p50_ms\": %.3f, \"p95_ms\": %.3f, \"p99_ms\": %.3f, "
+        "\"p999_ms\": %.3f, \"mean_ms\": %.3f,\n"
+        "     \"batches_submitted\": %llu, "
+        "\"batches_retried\": %llu, \"batches_failed\": %llu, "
+        "\"degraded_batches\": %llu, \"max_degrade_level\": %u, "
+        "\"time_degraded_ms\": %.3f}%s\n",
+        section, core::mappingName(s.mapping), s.rateMultiplier,
+        service::arrivalKindName(s.kind),
+        s.degrade ? "true" : "false", s.faultIntensity,
+        static_cast<unsigned long long>(r.submitted),
+        static_cast<unsigned long long>(r.completed),
+        static_cast<unsigned long long>(r.failed),
+        static_cast<unsigned long long>(r.shedQueueFull),
+        static_cast<unsigned long long>(r.shedDeadline),
+        static_cast<unsigned long long>(r.sloMisses),
+        r.offeredQps(), r.goodputQps(),
+        sim::secondsFromTicks(r.p50) * 1e3,
+        sim::secondsFromTicks(r.p95) * 1e3,
+        sim::secondsFromTicks(r.p99) * 1e3,
+        sim::secondsFromTicks(r.p999) * 1e3,
+        r.meanLatency / sim::tickPerMs,
+        static_cast<unsigned long long>(r.batchesSubmitted),
+        static_cast<unsigned long long>(r.batchesRetried),
+        static_cast<unsigned long long>(r.batchesFailed),
+        static_cast<unsigned long long>(r.degradedBatches),
+        r.maxDegradeLevel,
+        sim::secondsFromTicks(r.timeDegraded) * 1e3,
+        last ? "" : ",");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    sim::setQuiet(true);
+    SweepOptions opt = parseSweepOptions(argc, argv);
+    bool smoke = false;
+    std::string out_path, git_sha = "unknown";
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--smoke") == 0)
+            smoke = true;
+        else if (std::strncmp(argv[i], "--out=", 6) == 0)
+            out_path = argv[i] + 6;
+        else if (std::strncmp(argv[i], "--git-sha=", 10) == 0)
+            git_sha = argv[i] + 10;
+    }
+
+    const std::uint64_t arrival_seed = service::envArrivalSeed();
+    const std::uint64_t fault_seed = fault::envFaultSeed();
+    const std::uint64_t requests = smoke ? 160 : 448;
+    const double fault_intensity = 0.08;
+
+    const core::Mapping mappings[2] = {core::Mapping::Reach,
+                                       core::Mapping::OnChipOnly};
+    std::vector<double> mults = {0.5, 0.9, 1.2};
+    if (!smoke) {
+        mults = {0.5, 0.8, 0.9, 1.0, 1.2, 2.0};
+    }
+    /** p99-monotone gate range: stops short of saturation, where
+     *  admission control and the degradation controller deliberately
+     *  bend the completed-request tail back down. */
+    const double monotone_max_mult = 0.9;
+
+    // ----- Closed-loop capacity anchors the offered-rate axis -----
+    // Also measured per degrade level (Reach): the headroom each
+    // quality step buys is what the controller trades on.
+    auto ladder = service::degradeLadder(serviceScale(), 3);
+    auto capacities = runSweep(2 + ladder.size(), opt,
+                               [&](std::size_t i) {
+        if (i < 2) {
+            return closedLoopCapacityQps(mappings[i], smoke ? 4 : 8,
+                                         serviceScale());
+        }
+        return closedLoopCapacityQps(core::Mapping::Reach,
+                                     smoke ? 4 : 8, ladder[i - 2]);
+    });
+
+    printHeader("Closed-loop capacity (queries/s)");
+    for (std::size_t i = 0; i < 2; ++i) {
+        std::printf("%-12s %10.0f\n", core::mappingName(mappings[i]),
+                    capacities[i]);
+    }
+    for (std::size_t l = 0; l < ladder.size(); ++l) {
+        std::printf("ReACH-L%zu     %10.0f%s\n", l,
+                    capacities[2 + l],
+                    l == 0 ? "  (= full quality)" : "");
+    }
+
+    // ----- Rate sweep x mapping (the determinism-gated section) ----
+    std::vector<PointSpec> sweep_specs;
+    for (std::size_t mi = 0; mi < 2; ++mi) {
+        for (double mult : mults)
+            sweep_specs.push_back({mappings[mi], mult});
+    }
+    auto runRateSweep = [&](unsigned jobs) {
+        SweepOptions o;
+        o.jobs = jobs;
+        return runSweep(sweep_specs.size(), o, [&](std::size_t i) {
+            const PointSpec &s = sweep_specs[i];
+            double cap =
+                capacities[s.mapping == mappings[0] ? 0 : 1];
+            return runPoint(s, cap, requests, arrival_seed,
+                            fault_seed);
+        });
+    };
+    auto results = runRateSweep(1);
+    auto results_j8 = runRateSweep(8);
+
+    bool pass_determinism = true;
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        if (results[i] != results_j8[i])
+            pass_determinism = false;
+    }
+
+    printHeader("Open-loop rate sweep (arrival seed " +
+                std::to_string(arrival_seed) + ")");
+    std::printf("%-8s %-10s %6s %9s %9s %5s %5s %5s %5s %8s %8s "
+                "%8s %6s %3s %7s\n",
+                "section", "mapping", "rate", "offered", "goodput",
+                "compl", "fail", "shed", "miss", "p50(ms)",
+                "p99(ms)", "p999", "degrB", "lvl", "degr(ms)");
+    for (std::size_t i = 0; i < results.size(); ++i)
+        printRow("rate", sweep_specs[i], results[i]);
+
+    // ----- Degradation A/B at 1.2x capacity (OnChipOnly) -----
+    // The single-level baseline runs all three stages through one
+    // accelerator, so every ladder knob relieves its bottleneck; the
+    // Reach mapping is feature-extraction-bound and its ladder only
+    // buys a few percent (see the per-level capacities above).
+    PointSpec ab_on{core::Mapping::OnChipOnly, 1.2, true};
+    PointSpec ab_off{core::Mapping::OnChipOnly, 1.2, false};
+    service::ServiceResult r_on;
+    bool found_on = false;
+    for (std::size_t i = 0; i < sweep_specs.size(); ++i) {
+        if (sweep_specs[i].mapping == core::Mapping::OnChipOnly &&
+            sweep_specs[i].rateMultiplier == 1.2) {
+            r_on = results[i];
+            found_on = true;
+        }
+    }
+    if (!found_on) {
+        r_on = runPoint(ab_on, capacities[1], requests, arrival_seed,
+                        fault_seed);
+    }
+    auto r_off = runPoint(ab_off, capacities[1], requests,
+                          arrival_seed, fault_seed);
+
+    printHeader("Degradation A/B at 1.2x capacity (OnChipOnly)");
+    printRow("degr-on", ab_on, r_on);
+    printRow("degr-off", ab_off, r_off);
+
+    // ----- Bursty arrivals (MMPP-2) -----
+    PointSpec bursty{core::Mapping::Reach, 0.9, true,
+                     service::ArrivalKind::Bursty};
+    auto r_bursty = runPoint(bursty, capacities[0], requests,
+                             arrival_seed, fault_seed);
+    printHeader("Bursty arrivals (MMPP-2, 0.9x capacity, Reach)");
+    printRow("bursty", bursty, r_bursty);
+
+    // ----- Faulted open-loop (the explicit-termination gate) -----
+    PointSpec faulted{core::Mapping::Reach, 0.9, true,
+                      service::ArrivalKind::Poisson,
+                      fault_intensity};
+    auto r_faulted = runPoint(faulted, capacities[0], requests,
+                              arrival_seed, fault_seed);
+    printHeader("Faulted open-loop (fault seed " +
+                std::to_string(fault_seed) + ")");
+    printRow("faulted", faulted, r_faulted);
+
+    // ----- Gates -----
+    bool pass_accounting = true;
+    for (const auto &r : results)
+        pass_accounting = pass_accounting && r.accounted();
+    pass_accounting = pass_accounting && r_on.accounted() &&
+                      r_off.accounted() && r_bursty.accounted() &&
+                      r_faulted.accounted();
+
+    bool pass_monotone = true;
+    for (std::size_t mi = 0; mi < 2; ++mi) {
+        sim::Tick prev = 0;
+        for (std::size_t i = 0; i < sweep_specs.size(); ++i) {
+            const PointSpec &s = sweep_specs[i];
+            if (s.mapping != mappings[mi] ||
+                s.rateMultiplier > monotone_max_mult) {
+                continue;
+            }
+            if (results[i].p99 < prev)
+                pass_monotone = false;
+            prev = results[i].p99;
+        }
+    }
+
+    bool pass_degradation =
+        r_on.goodputQps() > r_off.goodputQps();
+    bool pass_fault_exercised =
+        r_faulted.batchesRetried + r_faulted.batchesFailed > 0;
+    bool pass = pass_accounting && pass_monotone &&
+                pass_degradation && pass_determinism &&
+                pass_fault_exercised;
+
+    std::printf("\ngates: accounting %s, p99-monotone %s, "
+                "degradation-goodput %s, jobs-determinism %s, "
+                "fault-exercised %s\n",
+                pass_accounting ? "pass" : "FAIL",
+                pass_monotone ? "pass" : "FAIL",
+                pass_degradation ? "pass" : "FAIL",
+                pass_determinism ? "pass" : "FAIL",
+                pass_fault_exercised ? "pass" : "FAIL");
+
+    if (!out_path.empty()) {
+        std::FILE *f = std::fopen(out_path.c_str(), "w");
+        if (!f) {
+            std::printf("FAIL: cannot write %s\n", out_path.c_str());
+            return 1;
+        }
+        std::fprintf(f, "{\n  \"context\": {\n");
+        std::fprintf(f, "    \"git_sha\": \"%s\",\n",
+                     git_sha.c_str());
+        std::fprintf(f, "    \"smoke\": %s,\n",
+                     smoke ? "true" : "false");
+        std::fprintf(f, "    \"requests_per_point\": %llu,\n",
+                     static_cast<unsigned long long>(requests));
+        std::fprintf(f, "    \"arrival_seed\": %llu,\n",
+                     static_cast<unsigned long long>(arrival_seed));
+        std::fprintf(f, "    \"fault_seed\": %llu,\n",
+                     static_cast<unsigned long long>(fault_seed));
+        std::fprintf(f, "    \"fault_intensity\": %.3f,\n",
+                     fault_intensity);
+        std::fprintf(f, "    \"slo_ms\": %.1f,\n",
+                     sim::secondsFromTicks(
+                         baseServiceConfig(1, 0).sloLatency) * 1e3);
+        std::fprintf(
+            f, "    \"capacity_qps\": {\"%s\": %.1f, \"%s\": %.1f},\n",
+            core::mappingName(mappings[0]), capacities[0],
+            core::mappingName(mappings[1]), capacities[1]);
+        std::fprintf(f, "    \"capacity_qps_by_degrade_level\": [");
+        for (std::size_t l = 0; l < ladder.size(); ++l) {
+            std::fprintf(f, "%.1f%s", capacities[2 + l],
+                         l + 1 < ladder.size() ? ", " : "]\n");
+        }
+        std::fprintf(f, "  },\n  \"gates\": {\n");
+        std::fprintf(f, "    \"accounting\": %s,\n",
+                     pass_accounting ? "true" : "false");
+        std::fprintf(f, "    \"p99_monotone_to_%.1fx\": %s,\n",
+                     monotone_max_mult,
+                     pass_monotone ? "true" : "false");
+        std::fprintf(f, "    \"degradation_goodput\": %s,\n",
+                     pass_degradation ? "true" : "false");
+        std::fprintf(f, "    \"jobs_determinism\": %s,\n",
+                     pass_determinism ? "true" : "false");
+        std::fprintf(f, "    \"fault_exercised\": %s\n",
+                     pass_fault_exercised ? "true" : "false");
+        std::fprintf(f, "  },\n  \"points\": [\n");
+        for (std::size_t i = 0; i < results.size(); ++i)
+            jsonRow(f, "rate", sweep_specs[i], results[i], false);
+        jsonRow(f, "degradation_ab_on", ab_on, r_on, false);
+        jsonRow(f, "degradation_ab_off", ab_off, r_off, false);
+        jsonRow(f, "bursty", bursty, r_bursty, false);
+        jsonRow(f, "faulted", faulted, r_faulted, true);
+        std::fprintf(f, "  ],\n  \"results\": {\n");
+        std::fprintf(f, "    \"goodput_degraded_qps\": %.1f,\n",
+                     r_on.goodputQps());
+        std::fprintf(f, "    \"goodput_undegraded_qps\": %.1f,\n",
+                     r_off.goodputQps());
+        std::fprintf(f, "    \"pass\": %s\n",
+                     pass ? "true" : "false");
+        std::fprintf(f, "  }\n}\n");
+        std::fclose(f);
+        std::printf("wrote %s (git_sha %s)\n", out_path.c_str(),
+                    git_sha.c_str());
+    }
+
+    (void)opt;
+    return pass ? 0 : 1;
+}

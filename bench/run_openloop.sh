@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Run the open-loop service study and record it as JSON in
+# BENCH_openloop.json at the repository root. The artifact is
+# self-checking: the binary embeds its gates and exits non-zero
+# (removing the stale file first) if any fails — request accounting
+# (no silent drops, faulted section included), p99 monotone in
+# offered rate, degradation goodput win at 1.2x capacity, or
+# --jobs 1 vs 8 bitwise determinism.
+#
+# Usage: bench/run_openloop.sh [build-dir] [output-json] [extra args]
+# Pass --smoke after the positional args for the CI-sized sweep.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-${repo_root}/build}"
+out_json="${2:-${repo_root}/BENCH_openloop.json}"
+
+bin="${build_dir}/bench/fig_openloop"
+if [[ ! -x "${bin}" ]]; then
+    echo "error: ${bin} not built (cmake --build ${build_dir} --target fig_openloop)" >&2
+    exit 1
+fi
+
+git_sha="$(git -C "${repo_root}" rev-parse HEAD 2>/dev/null || echo unknown)"
+
+if ! "${bin}" --out="${out_json}" --git-sha="${git_sha}" "${@:3}"; then
+    rm -f "${out_json}"
+    echo "error: openloop gate failed; ${out_json} removed" >&2
+    exit 1
+fi
+
+echo "wrote ${out_json} (git_sha ${git_sha})"

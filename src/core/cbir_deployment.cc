@@ -337,7 +337,12 @@ CbirDeployment::run(std::uint32_t batches)
         std::uint32_t submitted = 0;
         std::uint32_t completed = 0;
         std::uint32_t failed = 0;
-        sim::Tick latencySum = 0;
+        /**
+         * 128-bit sum: an open-loop-length run (billions of batches
+         * at millisecond latencies) would overflow a 64-bit tick
+         * accumulator long before the tick counter itself wraps.
+         */
+        unsigned __int128 latencySum = 0;
         sim::Tick latencyMax = 0;
         sim::Tick lastDone = 0;
     };
@@ -394,7 +399,9 @@ CbirDeployment::run(std::uint32_t batches)
     res.failedBatches = st->failed;
     res.makespan = st->lastDone - t0;
     res.meanLatency =
-        st->completed > 0 ? st->latencySum / st->completed : 0;
+        st->completed > 0
+            ? static_cast<sim::Tick>(st->latencySum / st->completed)
+            : 0;
     res.maxLatency = st->latencyMax;
     return res;
 }

@@ -53,7 +53,12 @@ struct RunResult
     /** Batches the fault-recovery machinery gave up on. */
     std::uint32_t failedBatches = 0;
     sim::Tick makespan = 0;
-    /** Mean / max submit-to-complete latency of a completed batch. */
+    /**
+     * Mean / max submit-to-complete latency, aggregated over
+     * completed batches only — a failed batch returns no result, so
+     * its (truncated) lifetime must not dilute the latency of the
+     * work that was actually delivered.
+     */
     sim::Tick meanLatency = 0;
     sim::Tick maxLatency = 0;
 
@@ -66,18 +71,39 @@ struct RunResult
         return static_cast<double>(completedBatches) / batches;
     }
 
+    /**
+     * Goodput: batches that actually produced a result per second.
+     * Failed batches burn machine time (it is in the makespan) but
+     * deliver nothing, so they do not count as throughput.
+     */
     double
     throughputBatchesPerSec() const
+    {
+        if (makespan == 0)
+            return 0;
+        return completedBatches / sim::secondsFromTicks(makespan);
+    }
+
+    /** Offered load: every submitted batch, failures included. */
+    double
+    offeredBatchesPerSec() const
     {
         if (makespan == 0)
             return 0;
         return batches / sim::secondsFromTicks(makespan);
     }
 
+    /** Goodput in queries/s (completed batches only). */
     double
     queriesPerSec(std::uint32_t batch_size) const
     {
         return throughputBatchesPerSec() * batch_size;
+    }
+
+    double
+    offeredQueriesPerSec(std::uint32_t batch_size) const
+    {
+        return offeredBatchesPerSec() * batch_size;
     }
 };
 

@@ -481,8 +481,34 @@ Gam::enqueueTask(TaskId tid)
 
     task.state = TaskState::Queued;
     task.dispatchedAt = now();
-    row.waiting.push_back(tid);
+
+    // Deadline-aware queue insertion: a task whose job carries an
+    // earlier deadline hint jumps ahead of later-deadline (and
+    // deadline-less) waiting tasks, but never preempts the running
+    // one. Ties keep arrival order, so the all-default case (every
+    // deadline 0) reproduces plain FIFO bitwise.
+    sim::Tick dl = jobDeadlineHint(task);
+    auto pos = row.waiting.end();
+    if (dl != sim::maxTick) {
+        for (auto it = row.waiting.begin(); it != row.waiting.end();
+             ++it) {
+            if (jobDeadlineHint(tasks.at(*it)) > dl) {
+                pos = it;
+                break;
+            }
+        }
+    }
+    row.waiting.insert(pos, tid);
     kick(task.assignedAcc);
+}
+
+sim::Tick
+Gam::jobDeadlineHint(const TaskRecord &task) const
+{
+    auto it = jobs.find(task.job);
+    if (it == jobs.end() || it->second.desc.deadline == 0)
+        return sim::maxTick;
+    return it->second.desc.deadline;
 }
 
 void

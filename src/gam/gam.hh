@@ -369,6 +369,9 @@ class Gam : public sim::SimObject
     /** Enqueue a transfer-complete task at its target accelerator. */
     void enqueueTask(TaskId tid);
 
+    /** The owning job's deadline hint (maxTick when unset). */
+    sim::Tick jobDeadlineHint(const TaskRecord &task) const;
+
     /** If the row is free, dispatch its next waiting task. */
     void kick(std::uint32_t acc_id);
 

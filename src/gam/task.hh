@@ -64,6 +64,14 @@ struct JobDesc
     /** Software thread id (tasks of a thread share ordering). */
     std::uint32_t threadId = 0;
     std::string label;
+    /**
+     * Deadline hint (absolute tick, 0 = none). When accelerator
+     * queues back up, tasks of jobs with earlier deadlines dispatch
+     * first; jobs without a deadline keep strict submission order
+     * behind every deadlined job. The service layer stamps each
+     * batch with its most urgent member request's SLO deadline.
+     */
+    sim::Tick deadline = 0;
     std::vector<TaskDesc> tasks;
     /** Host interrupt: invoked when every task has completed. */
     std::function<void(sim::Tick)> onComplete;

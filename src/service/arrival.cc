@@ -1,0 +1,153 @@
+#include "arrival.hh"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "sim/logging.hh"
+
+namespace reach::service
+{
+
+const char *
+arrivalKindName(ArrivalKind kind)
+{
+    switch (kind) {
+      case ArrivalKind::Poisson:
+        return "poisson";
+      case ArrivalKind::Bursty:
+        return "bursty";
+      case ArrivalKind::Trace:
+        return "trace";
+    }
+    return "?";
+}
+
+void
+ArrivalConfig::validate() const
+{
+    if (kind != ArrivalKind::Trace && !(ratePerSec > 0))
+        sim::fatal("ArrivalConfig: ratePerSec must be > 0, got ",
+                   ratePerSec);
+    if (kind == ArrivalKind::Bursty) {
+        if (!(burstRateMultiplier > 1)) {
+            sim::fatal("ArrivalConfig: burstRateMultiplier must be "
+                       "> 1, got ", burstRateMultiplier);
+        }
+        if (!(burstTimeFraction > 0) || !(burstTimeFraction < 1)) {
+            sim::fatal("ArrivalConfig: burstTimeFraction must be in "
+                       "(0, 1), got ", burstTimeFraction);
+        }
+        if (meanBurstTicks == 0) {
+            sim::fatal(
+                "ArrivalConfig: meanBurstTicks must be positive");
+        }
+    }
+    if (kind == ArrivalKind::Trace) {
+        if (trace.empty())
+            sim::fatal("ArrivalConfig: trace replay needs a trace");
+        for (std::size_t i = 1; i < trace.size(); ++i) {
+            if (trace[i] <= trace[i - 1]) {
+                sim::fatal("ArrivalConfig: trace ticks must be "
+                           "strictly increasing (entry ", i, ")");
+            }
+        }
+    }
+}
+
+std::uint64_t
+envArrivalSeed(std::uint64_t fallback)
+{
+    const char *env = std::getenv("REACH_ARRIVAL_SEED");
+    if (!env || !*env)
+        return fallback;
+    char *end = nullptr;
+    unsigned long long v = std::strtoull(env, &end, 0);
+    if (end == env || *end != '\0')
+        sim::fatal("REACH_ARRIVAL_SEED is not a number: '", env, "'");
+    return static_cast<std::uint64_t>(v);
+}
+
+ArrivalProcess::ArrivalProcess(const ArrivalConfig &config)
+    : cfg(config), rng(config.seed)
+{
+    cfg.validate();
+    if (cfg.kind == ArrivalKind::Bursty) {
+        // Long-run mean rate (1-f)*calm + f*burst == ratePerSec with
+        // burst = multiplier * calm and f the burst time fraction.
+        double f = cfg.burstTimeFraction;
+        calmRate = cfg.ratePerSec /
+                   ((1.0 - f) + f * cfg.burstRateMultiplier);
+        burstRate = calmRate * cfg.burstRateMultiplier;
+        // Dwell means chosen so burst visits occupy fraction f:
+        // meanCalm = meanBurst * (1-f)/f.
+        meanCalmTicks = static_cast<sim::Tick>(
+            static_cast<double>(cfg.meanBurstTicks) * (1.0 - f) / f);
+        if (meanCalmTicks == 0)
+            meanCalmTicks = 1;
+        inBurst = false;
+        dwellRemaining = drawDwell();
+    }
+}
+
+sim::Tick
+ArrivalProcess::drawExponential(double rate_per_sec)
+{
+    // Inverse-CDF with the open-interval guard: nextDouble() is in
+    // [0, 1), so 1-u is in (0, 1] and the log is finite.
+    double u = rng.nextDouble();
+    double seconds = -std::log1p(-u) / rate_per_sec;
+    sim::Tick t = sim::ticksFromSeconds(seconds);
+    return t > 0 ? t : 1;
+}
+
+sim::Tick
+ArrivalProcess::nextInterarrival()
+{
+    switch (cfg.kind) {
+      case ArrivalKind::Poisson:
+        return drawExponential(cfg.ratePerSec);
+
+      case ArrivalKind::Bursty: {
+        // Competing exponentials: the next arrival candidate races
+        // the remaining dwell of the current state; crossing a state
+        // boundary re-draws the arrival at the new state's rate.
+        sim::Tick elapsed = 0;
+        for (;;) {
+            sim::Tick gap =
+                drawExponential(inBurst ? burstRate : calmRate);
+            if (gap < dwellRemaining) {
+                dwellRemaining -= gap;
+                sim::Tick t = elapsed + gap;
+                return t > 0 ? t : 1;
+            }
+            elapsed += dwellRemaining;
+            inBurst = !inBurst;
+            dwellRemaining = drawDwell();
+        }
+      }
+
+      case ArrivalKind::Trace: {
+        // Inter-arrival gaps of the trace, cycled; the first gap is
+        // the lead-in from stream start to the first arrival.
+        std::size_t n = cfg.trace.size();
+        std::size_t i = tracePos % n;
+        ++tracePos;
+        sim::Tick gap = i == 0 ? cfg.trace.front()
+                               : cfg.trace[i] - cfg.trace[i - 1];
+        return gap > 0 ? gap : 1;
+      }
+    }
+    sim::panic("ArrivalProcess: unknown arrival kind");
+}
+
+sim::Tick
+ArrivalProcess::drawDwell()
+{
+    sim::Tick mean = inBurst ? cfg.meanBurstTicks : meanCalmTicks;
+    double u = rng.nextDouble();
+    double ticks = -std::log1p(-u) * static_cast<double>(mean);
+    auto t = static_cast<sim::Tick>(ticks);
+    return t > 0 ? t : 1;
+}
+
+} // namespace reach::service

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Deterministic open-loop arrival processes for the query service.
+ *
+ * Every inter-arrival time is drawn from one sim::Rng in arrival
+ * order inside the owning point's Simulator, so a given config + seed
+ * reproduces the identical request stream on every run and at any
+ * sweep --jobs count — the same discipline the fault framework uses
+ * (fault/fault.hh). Three processes cover the service-study space:
+ *
+ *  - Poisson: memoryless arrivals at a fixed mean rate (the classic
+ *    open-loop datacenter model);
+ *  - Bursty:  a 2-state Markov-modulated Poisson process (MMPP-2),
+ *    alternating exponentially-dwelling calm/burst states whose
+ *    long-run mean matches ratePerSec while bursts run hotter by
+ *    burstRateMultiplier;
+ *  - Trace:   replay of explicit arrival ticks (cycled when the run
+ *    outlives the trace) for recorded production patterns.
+ */
+
+#ifndef REACH_SERVICE_ARRIVAL_HH
+#define REACH_SERVICE_ARRIVAL_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/rng.hh"
+#include "sim/types.hh"
+
+namespace reach::service
+{
+
+enum class ArrivalKind : std::uint8_t
+{
+    Poisson,
+    Bursty,
+    Trace,
+};
+
+const char *arrivalKindName(ArrivalKind kind);
+
+struct ArrivalConfig
+{
+    static constexpr std::uint64_t defaultSeed = 0x0a55171eu;
+
+    ArrivalKind kind = ArrivalKind::Poisson;
+
+    /** Long-run mean request arrival rate (requests/second). */
+    double ratePerSec = 1000.0;
+
+    /**
+     * RNG seed for the Poisson/Bursty draws. Benches take it from
+     * envArrivalSeed() so CI can pin an alternate request stream via
+     * REACH_ARRIVAL_SEED (the REACH_FAULT_SEED idiom).
+     */
+    std::uint64_t seed = defaultSeed;
+
+    // ----- Bursty (MMPP-2) shape -----
+
+    /** Arrival-rate multiplier while in the burst state (> 1). */
+    double burstRateMultiplier = 4.0;
+    /** Long-run fraction of time spent in the burst state (0, 1). */
+    double burstTimeFraction = 0.25;
+    /** Mean dwell per visit to the burst state. */
+    sim::Tick meanBurstTicks = 2 * sim::tickPerMs;
+
+    // ----- Trace replay -----
+
+    /**
+     * Strictly increasing arrival ticks relative to stream start.
+     * When the run needs more arrivals than the trace holds, the
+     * trace's inter-arrival gaps repeat from the top.
+     */
+    std::vector<sim::Tick> trace;
+
+    /** Fatal on malformed values (non-positive rate, bad trace). */
+    void validate() const;
+};
+
+/** REACH_ARRIVAL_SEED env override, else @p fallback. */
+std::uint64_t
+envArrivalSeed(std::uint64_t fallback = ArrivalConfig::defaultSeed);
+
+class ArrivalProcess
+{
+  public:
+    /** Validates the config (sim::fatal on malformed values). */
+    explicit ArrivalProcess(const ArrivalConfig &cfg);
+
+    /**
+     * Ticks until the next arrival (>= 1: two requests never share a
+     * tick, which keeps queue-order deterministic). Draws from the
+     * RNG in call order.
+     */
+    sim::Tick nextInterarrival();
+
+    const ArrivalConfig &config() const { return cfg;  }
+
+  private:
+    sim::Tick drawExponential(double rate_per_sec);
+    /** Exponential dwell for the current MMPP state. */
+    sim::Tick drawDwell();
+
+    ArrivalConfig cfg;
+    sim::Rng rng;
+
+    // MMPP-2 state: dwell remaining in the current state.
+    bool inBurst = false;
+    sim::Tick dwellRemaining = 0;
+    double calmRate = 0;
+    double burstRate = 0;
+    sim::Tick meanCalmTicks = 0;
+
+    // Trace replay state.
+    std::size_t tracePos = 0;
+};
+
+} // namespace reach::service
+
+#endif // REACH_SERVICE_ARRIVAL_HH

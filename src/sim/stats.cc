@@ -1,6 +1,7 @@
 #include "stats.hh"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <iomanip>
 
@@ -30,6 +31,74 @@ Distribution::reset()
     total = 0;
     mn = 0;
     mx = 0;
+}
+
+void
+PercentileRecorder::sample(std::uint64_t v)
+{
+    if (sorted && !samples.empty() && v < samples.back())
+        sorted = false;
+    samples.push_back(v);
+    total += v;
+}
+
+std::uint64_t
+PercentileRecorder::maxValue() const
+{
+    if (samples.empty())
+        return 0;
+    if (sorted)
+        return samples.back();
+    return *std::max_element(samples.begin(), samples.end());
+}
+
+std::uint64_t
+PercentileRecorder::minValue() const
+{
+    if (samples.empty())
+        return 0;
+    if (sorted)
+        return samples.front();
+    return *std::min_element(samples.begin(), samples.end());
+}
+
+double
+PercentileRecorder::mean() const
+{
+    if (samples.empty())
+        return 0;
+    return static_cast<double>(total) /
+           static_cast<double>(samples.size());
+}
+
+std::uint64_t
+PercentileRecorder::percentile(double p) const
+{
+    if (samples.empty())
+        return 0;
+    if (!(p > 0) || p > 100)
+        panic("percentile(", p, ") out of (0, 100]");
+    if (!sorted) {
+        std::sort(samples.begin(), samples.end());
+        sorted = true;
+    }
+    // Nearest-rank: ceil(p/100 * n), 1-based.
+    auto n = samples.size();
+    auto rank = static_cast<std::size_t>(
+        std::ceil(p / 100.0 * static_cast<double>(n)));
+    if (rank == 0)
+        rank = 1;
+    if (rank > n)
+        rank = n;
+    return samples[rank - 1];
+}
+
+void
+PercentileRecorder::reset()
+{
+    samples.clear();
+    sorted = true;
+    total = 0;
 }
 
 void

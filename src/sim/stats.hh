@@ -86,6 +86,55 @@ class Distribution : public Stat
     double mx = 0;
 };
 
+/**
+ * Streaming exact-percentile recorder for latency-style samples.
+ *
+ * Keeps every sample (long open-loop runs sample one value per
+ * request, so memory stays proportional to the run) and answers
+ * nearest-rank percentile queries exactly — no digest approximation
+ * that could blur a tail-latency gate. Queries sort lazily and
+ * interleave freely with further sampling. The sum accumulates in
+ * __int128 so multi-hour tick sums cannot overflow a 64-bit tick.
+ */
+class PercentileRecorder : public Stat
+{
+  public:
+    using Stat::Stat;
+    PercentileRecorder() : Stat("", "") {}
+
+    void sample(std::uint64_t v);
+
+    std::uint64_t count() const { return samples.size(); }
+    std::uint64_t maxValue() const;
+    std::uint64_t minValue() const;
+    double mean() const;
+
+    /**
+     * Exact nearest-rank percentile: the smallest recorded sample
+     * >= @p p percent of the distribution (p in (0, 100]). 0 with no
+     * samples.
+     */
+    std::uint64_t percentile(double p) const;
+
+    std::uint64_t p50() const { return percentile(50); }
+    std::uint64_t p95() const { return percentile(95); }
+    std::uint64_t p99() const { return percentile(99); }
+    std::uint64_t p999() const { return percentile(99.9); }
+
+    /** value() reports p99 so registries dump the tail. */
+    double value() const override
+    {
+        return static_cast<double>(p99());
+    }
+    void reset() override;
+
+  private:
+    /** Sorted on demand; `sorted` tracks whether it still is. */
+    mutable std::vector<std::uint64_t> samples;
+    mutable bool sorted = true;
+    unsigned __int128 total = 0;
+};
+
 /** A derived statistic evaluated on demand. */
 class Formula : public Stat
 {

@@ -287,3 +287,47 @@ TEST(CbirDeployment, ReverseLookupWorkModel)
     // Table I: image store is hundreds of TB.
     EXPECT_GT(model.imageStoreBytes(), std::uint64_t(100) << 40);
 }
+
+TEST(RunResult, GoodputCountsCompletedBatchesOnly)
+{
+    RunResult r;
+    r.batches = 4;
+    r.completedBatches = 2;
+    r.failedBatches = 2;
+    r.makespan = sim::ticksFromSeconds(1.0);
+
+    // Regression: throughput must be goodput (completed work), not
+    // submission count — failed batches deliver nothing.
+    EXPECT_DOUBLE_EQ(r.throughputBatchesPerSec(), 2.0);
+    EXPECT_DOUBLE_EQ(r.offeredBatchesPerSec(), 4.0);
+    EXPECT_DOUBLE_EQ(r.completionFraction(), 0.5);
+    EXPECT_DOUBLE_EQ(r.queriesPerSec(16), 32.0);
+    EXPECT_DOUBLE_EQ(r.offeredQueriesPerSec(16), 64.0);
+
+    // Degenerate cases stay finite.
+    RunResult empty;
+    EXPECT_DOUBLE_EQ(empty.throughputBatchesPerSec(), 0.0);
+    EXPECT_DOUBLE_EQ(empty.offeredBatchesPerSec(), 0.0);
+    EXPECT_DOUBLE_EQ(empty.completionFraction(), 1.0);
+}
+
+TEST(CbirDeployment, FaultedRunReportsGoodputNotOffered)
+{
+    // Crash every attempt with no recovery: all batches fail, so
+    // goodput is zero while offered load is not.
+    SystemConfig sc;
+    sc.faultPlan.accCrashProb = 1.0;
+    sc.gam.maxTaskAttempts = 1;
+    sc.gam.crossLevelFailover = false;
+    sc.gam.recoveryDelay = 0;
+
+    ReachSystem sys(sc);
+    CbirDeployment dep(sys, paperModel(), Mapping::Reach);
+    RunResult r = dep.run(3);
+
+    EXPECT_EQ(r.batches, 3u);
+    EXPECT_EQ(r.completedBatches, 0u);
+    EXPECT_EQ(r.failedBatches, 3u);
+    EXPECT_DOUBLE_EQ(r.throughputBatchesPerSec(), 0.0);
+    EXPECT_GT(r.offeredBatchesPerSec(), 0.0);
+}

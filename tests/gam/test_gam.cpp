@@ -334,3 +334,51 @@ TEST_F(GamFixture, GamConfiguresKernelOnDispatch)
     ASSERT_NE(onchip->kernel(), nullptr);
     EXPECT_EQ(onchip->kernel()->id, "CNN-VU9P");
 }
+
+TEST_F(GamFixture, DeadlineHintOrdersBackloggedDispatch)
+{
+    // One busy accelerator; jobs with earlier deadlines jump the
+    // waiting queue, deadline-less jobs stay behind every deadlined
+    // one (service-layer EDF hint).
+    auto submit = [&](const char *label, sim::Tick deadline,
+                      sim::Tick &done) {
+        JobDesc job;
+        job.label = label;
+        job.deadline = deadline;
+        job.tasks.push_back(
+            simpleTask(label, Level::OnChip, "CNN-VU9P", 1e8));
+        job.onComplete = [&done](sim::Tick t) { done = t; };
+        gam->submitJob(std::move(job));
+    };
+    sim::Tick tA = 0, tLate = 0, tEarly = 0, tNone = 0;
+    submit("first", 0, tA); // starts immediately (queue empty)
+    submit("late", 50 * sim::tickPerMs, tLate);
+    submit("none", 0, tNone); // no deadline: behind every deadline
+    submit("early", 10 * sim::tickPerMs, tEarly);
+    sim.run();
+
+    EXPECT_GT(tA, 0u);
+    EXPECT_LT(tA, tEarly);
+    EXPECT_LT(tEarly, tLate);
+    EXPECT_LT(tLate, tNone);
+    EXPECT_TRUE(gam->idle());
+}
+
+TEST_F(GamFixture, DeadlineFreeJobsKeepSubmissionOrder)
+{
+    // Without deadlines the insertion is pure FIFO, so pre-deadline
+    // runs reproduce bitwise.
+    std::vector<int> order;
+    for (int i = 0; i < 4; ++i) {
+        JobDesc job;
+        job.label = "j" + std::to_string(i);
+        job.tasks.push_back(
+            simpleTask(job.label, Level::OnChip, "CNN-VU9P", 1e8));
+        job.onComplete = [&order, i](sim::Tick) {
+            order.push_back(i);
+        };
+        gam->submitJob(std::move(job));
+    }
+    sim.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+}

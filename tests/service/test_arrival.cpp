@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Unit tests for the deterministic arrival processes: draw-order
+ * reproducibility, long-run rates, MMPP burstiness, trace replay,
+ * config validation, and the REACH_ARRIVAL_SEED override.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <vector>
+
+#include "service/arrival.hh"
+#include "sim/logging.hh"
+
+using namespace reach;
+using namespace reach::service;
+
+namespace
+{
+
+std::vector<sim::Tick>
+draw(ArrivalProcess &p, std::size_t n)
+{
+    std::vector<sim::Tick> out;
+    out.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+        out.push_back(p.nextInterarrival());
+    return out;
+}
+
+double
+meanSeconds(const std::vector<sim::Tick> &gaps)
+{
+    sim::Tick total = 0;
+    for (sim::Tick g : gaps)
+        total += g;
+    return sim::secondsFromTicks(total) / gaps.size();
+}
+
+} // namespace
+
+TEST(ArrivalConfig, ValidatesParameters)
+{
+    ArrivalConfig bad;
+    bad.ratePerSec = 0;
+    EXPECT_THROW(bad.validate(), sim::SimFatal);
+
+    bad = {};
+    bad.kind = ArrivalKind::Bursty;
+    bad.burstRateMultiplier = 1.0;
+    EXPECT_THROW(bad.validate(), sim::SimFatal);
+
+    bad = {};
+    bad.kind = ArrivalKind::Bursty;
+    bad.burstTimeFraction = 1.5;
+    EXPECT_THROW(bad.validate(), sim::SimFatal);
+
+    bad = {};
+    bad.kind = ArrivalKind::Trace;
+    EXPECT_THROW(bad.validate(), sim::SimFatal); // empty trace
+
+    bad.trace = {100, 100}; // not strictly increasing
+    EXPECT_THROW(bad.validate(), sim::SimFatal);
+
+    ArrivalConfig ok;
+    EXPECT_NO_THROW(ok.validate());
+}
+
+TEST(ArrivalProcess, PoissonIsDeterministicPerSeed)
+{
+    ArrivalConfig cfg;
+    cfg.ratePerSec = 10'000;
+    cfg.seed = 42;
+    ArrivalProcess a(cfg), b(cfg);
+    EXPECT_EQ(draw(a, 500), draw(b, 500));
+
+    cfg.seed = 43;
+    ArrivalProcess c(cfg);
+    EXPECT_NE(draw(a, 500), draw(c, 500));
+}
+
+TEST(ArrivalProcess, PoissonMeanMatchesRate)
+{
+    ArrivalConfig cfg;
+    cfg.ratePerSec = 5'000;
+    ArrivalProcess p(cfg);
+    double mean = meanSeconds(draw(p, 20'000));
+    EXPECT_NEAR(mean, 1.0 / cfg.ratePerSec, 0.05 / cfg.ratePerSec);
+}
+
+TEST(ArrivalProcess, GapsAreAlwaysPositive)
+{
+    ArrivalConfig cfg;
+    cfg.ratePerSec = 1e9; // so fast the tick floor binds
+    ArrivalProcess p(cfg);
+    for (sim::Tick g : draw(p, 1'000))
+        EXPECT_GE(g, 1u);
+}
+
+TEST(ArrivalProcess, BurstyLongRunMeanMatchesRate)
+{
+    ArrivalConfig cfg;
+    cfg.kind = ArrivalKind::Bursty;
+    cfg.ratePerSec = 5'000;
+    cfg.burstRateMultiplier = 4.0;
+    cfg.burstTimeFraction = 0.25;
+    cfg.meanBurstTicks = 2 * sim::tickPerMs;
+    ArrivalProcess p(cfg);
+    double mean = meanSeconds(draw(p, 50'000));
+    // MMPP-2 converges slower than Poisson; 10% tolerance.
+    EXPECT_NEAR(mean, 1.0 / cfg.ratePerSec, 0.1 / cfg.ratePerSec);
+}
+
+TEST(ArrivalProcess, BurstyIsDeterministicAndActuallyBursty)
+{
+    ArrivalConfig cfg;
+    cfg.kind = ArrivalKind::Bursty;
+    cfg.ratePerSec = 5'000;
+    ArrivalProcess a(cfg), b(cfg);
+    auto gaps = draw(a, 5'000);
+    EXPECT_EQ(gaps, draw(b, 5'000));
+
+    // Squared coefficient of variation of a plain Poisson stream is
+    // 1; state-modulated rates push it clearly above.
+    double mean = 0, m2 = 0;
+    for (sim::Tick g : gaps)
+        mean += static_cast<double>(g);
+    mean /= gaps.size();
+    for (sim::Tick g : gaps) {
+        double d = static_cast<double>(g) - mean;
+        m2 += d * d;
+    }
+    double cv2 = m2 / gaps.size() / (mean * mean);
+    EXPECT_GT(cv2, 1.15);
+}
+
+TEST(ArrivalProcess, TraceReplaysAndCycles)
+{
+    ArrivalConfig cfg;
+    cfg.kind = ArrivalKind::Trace;
+    cfg.trace = {10, 30, 100};
+    ArrivalProcess p(cfg);
+    // Gaps: lead-in 10, then 20, 70, then the cycle repeats.
+    EXPECT_EQ(p.nextInterarrival(), 10u);
+    EXPECT_EQ(p.nextInterarrival(), 20u);
+    EXPECT_EQ(p.nextInterarrival(), 70u);
+    EXPECT_EQ(p.nextInterarrival(), 10u);
+    EXPECT_EQ(p.nextInterarrival(), 20u);
+}
+
+struct ArrivalSeedEnv : ::testing::Test
+{
+    void SetUp() override { ::unsetenv("REACH_ARRIVAL_SEED"); }
+    void TearDown() override { ::unsetenv("REACH_ARRIVAL_SEED"); }
+};
+
+TEST_F(ArrivalSeedEnv, FallbackWithoutEnv)
+{
+    EXPECT_EQ(envArrivalSeed(1234), 1234u);
+    EXPECT_EQ(envArrivalSeed(), ArrivalConfig::defaultSeed);
+}
+
+TEST_F(ArrivalSeedEnv, ReadsEnvOverride)
+{
+    ::setenv("REACH_ARRIVAL_SEED", "99", 1);
+    EXPECT_EQ(envArrivalSeed(1234), 99u);
+    ::setenv("REACH_ARRIVAL_SEED", "0x10", 1);
+    EXPECT_EQ(envArrivalSeed(), 16u);
+}
+
+TEST_F(ArrivalSeedEnv, RejectsGarbage)
+{
+    ::setenv("REACH_ARRIVAL_SEED", "banana", 1);
+    EXPECT_THROW(envArrivalSeed(), sim::SimFatal);
+}

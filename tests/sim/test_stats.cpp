@@ -156,3 +156,84 @@ TEST(StatRegistry, DumpJsonEmptyRegistry)
     reg.dumpJson(os);
     EXPECT_EQ(os.str(), "{\n}\n");
 }
+
+TEST(PercentileRecorder, ExactNearestRankPercentiles)
+{
+    PercentileRecorder r("lat", "latencies");
+    EXPECT_EQ(r.count(), 0u);
+    EXPECT_EQ(r.percentile(50), 0u);
+
+    // 1..100 in shuffled insertion order: pN is exactly N.
+    for (std::uint64_t v = 100; v >= 1; --v)
+        r.sample(v);
+    EXPECT_EQ(r.count(), 100u);
+    EXPECT_EQ(r.percentile(50), 50u);
+    EXPECT_EQ(r.p95(), 95u);
+    EXPECT_EQ(r.p99(), 99u);
+    EXPECT_EQ(r.percentile(100), 100u);
+    EXPECT_EQ(r.percentile(0.5), 1u);
+    EXPECT_EQ(r.minValue(), 1u);
+    EXPECT_EQ(r.maxValue(), 100u);
+    EXPECT_DOUBLE_EQ(r.mean(), 50.5);
+    // value() renders the p99 for stat dumps.
+    EXPECT_DOUBLE_EQ(r.value(), 99.0);
+}
+
+TEST(PercentileRecorder, SmallSampleCountsClampToExtremes)
+{
+    PercentileRecorder r("lat", "latencies");
+    r.sample(7);
+    EXPECT_EQ(r.p50(), 7u);
+    EXPECT_EQ(r.p999(), 7u);
+
+    r.sample(3);
+    EXPECT_EQ(r.percentile(50), 3u);
+    EXPECT_EQ(r.p999(), 7u);
+}
+
+TEST(PercentileRecorder, InterleavedSampleAndQuery)
+{
+    // Queries lazily sort; later out-of-order samples must
+    // invalidate the cache.
+    PercentileRecorder r("lat", "latencies");
+    r.sample(10);
+    r.sample(20);
+    EXPECT_EQ(r.percentile(100), 20u);
+    r.sample(5);
+    EXPECT_EQ(r.percentile(100), 20u);
+    EXPECT_EQ(r.percentile(34), 10u);
+    EXPECT_EQ(r.minValue(), 5u);
+}
+
+TEST(PercentileRecorder, SumOverflowSafeMean)
+{
+    // Two samples near 2^63 would overflow a u64 accumulator.
+    PercentileRecorder r("lat", "latencies");
+    std::uint64_t big = std::uint64_t(1) << 62;
+    r.sample(big);
+    r.sample(big);
+    r.sample(big);
+    r.sample(big);
+    EXPECT_DOUBLE_EQ(r.mean(), static_cast<double>(big));
+}
+
+TEST(PercentileRecorder, RejectsOutOfRangePercentile)
+{
+    PercentileRecorder r("lat", "latencies");
+    r.sample(1);
+    EXPECT_THROW(r.percentile(0), SimPanic);
+    EXPECT_THROW(r.percentile(100.5), SimPanic);
+}
+
+TEST(PercentileRecorder, ResetClearsState)
+{
+    PercentileRecorder r("lat", "latencies");
+    r.sample(10);
+    r.sample(20);
+    r.reset();
+    EXPECT_EQ(r.count(), 0u);
+    EXPECT_DOUBLE_EQ(r.mean(), 0.0);
+    r.sample(4);
+    EXPECT_EQ(r.p50(), 4u);
+    EXPECT_DOUBLE_EQ(r.mean(), 4.0);
+}
