@@ -105,6 +105,34 @@ if t32 and t16:
         print(f"FAIL: fp16/fp32 shortlist scan ratio {ratio:.2f} "
               f"< 1.5")
         sys.exit(1)
+# The cluster-major batched-rerank gate. The win is traffic, not
+# host wall clock: this host's LLC swallows the 16 MB code array, so
+# timers cannot see where the bytes stream from (DESIGN.md 4k). The
+# probe_bytes_* counters replay the actual probe plan - exact,
+# deterministic at any --jobs - and the batch's counted near-storage
+# traffic must amortize >= 2x vs the query-major scan at Q = 32.
+# Wall clock gets a no-regression floor only (single-iteration smoke
+# runs are noisy, hence the generous 1.25x).
+ratio = None
+for b in data.get("benchmarks", []):
+    if b.get("name") == "BM_RerankPqBatched/avx2/32":
+        ratio = b.get("probe_bytes_ratio")
+if ratio is not None:
+    print(f"BM_RerankPqBatched/avx2/32: probe-plan bytes amortized "
+          f"{ratio:.2f}x (gate: >= 2x)")
+    if ratio < 2.0:
+        print(f"FAIL: batched probe-byte amortization {ratio:.2f} "
+              f"< 2.0")
+        sys.exit(1)
+bt = times.get("BM_RerankPqBatched/avx2/32")
+qt = times.get("BM_RerankPqQueryMajor/avx2/32")
+if bt and qt:
+    print(f"BM_RerankPqBatched/avx2/32: {qt / bt:.2f}x query-major "
+          f"wall clock (floor: no worse than 1.25x slower)")
+    if bt > qt * 1.25:
+        print(f"FAIL: batched rerank wall clock {bt / qt:.2f}x "
+              f"query-major")
+        sys.exit(1)
 # Slot-arena event queue vs the frozen seed implementation.
 new, seed = rates.get("BM_EventQueue"), rates.get("BM_EventQueueSeed")
 if new and seed:

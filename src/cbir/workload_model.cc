@@ -1,11 +1,34 @@
 #include "workload_model.hh"
 
 #include <algorithm>
+#include <cmath>
 
 #include "sim/logging.hh"
 
 namespace reach::cbir
 {
+
+double
+expectedDistinctProbedClusters(std::uint32_t numCentroids,
+                               double zipfS, double probes)
+{
+    if (numCentroids == 0 || probes <= 0)
+        return 0;
+    if (zipfS <= 0) {
+        const double miss = 1.0 - 1.0 / numCentroids;
+        return numCentroids * (1.0 - std::pow(miss, probes));
+    }
+    double norm = 0;
+    for (std::uint32_t c = 1; c <= numCentroids; ++c)
+        norm += 1.0 / std::pow(static_cast<double>(c), zipfS);
+    double distinct = 0;
+    for (std::uint32_t c = 1; c <= numCentroids; ++c) {
+        const double p =
+            1.0 / std::pow(static_cast<double>(c), zipfS) / norm;
+        distinct += 1.0 - std::pow(1.0 - p, probes);
+    }
+    return distinct;
+}
 
 CbirWorkloadModel::CbirWorkloadModel(const ScaleConfig &cfg) : cfg(cfg)
 {
@@ -168,13 +191,50 @@ CbirWorkloadModel::rerankBatch(std::uint32_t partitions) const
                      cfg.dim +
                  static_cast<double>(refined) * cfg.dim) /
                 partitions;
-        // Codes stream sequentially from per-cluster blocks — the
-        // device reads the packed code bytes per candidate (half as
-        // many at 4 bits), not a page. Only the refined candidates
-        // still gather full vectors at page granularity.
-        w.bytesIn = (candidates * pqCodeBytes(cfg.pq) +
-                     refined * cfg.flashPageBytes) /
-                    partitions;
+        if (cfg.batchedRerank) {
+            // Cluster-major: each distinct probed cluster's code
+            // block streams once per batch (to the longest prefix a
+            // single query's budget can need), and the per-query ADC
+            // tables travel to the scan engine instead of the codes
+            // travelling per query. The arithmetic is unchanged —
+            // only where the bytes cross the hierarchy.
+            const std::uint64_t cluster_ids = clusterSizeIds();
+            const std::uint64_t per_cluster =
+                cfg.rerankCandidates == 0
+                    ? cluster_ids
+                    : std::min<std::uint64_t>(cluster_ids,
+                                              cfg.rerankCandidates);
+            // Clusters a single query's budget actually reaches.
+            std::uint64_t per_query = cfg.nprobe;
+            if (per_cluster > 0 && cfg.rerankCandidates != 0) {
+                per_query = std::min<std::uint64_t>(
+                    cfg.nprobe, (cfg.rerankCandidates + per_cluster -
+                                 1) /
+                                    per_cluster);
+            }
+            const double distinct = expectedDistinctProbedClusters(
+                cfg.numCentroids, cfg.probeZipfS,
+                static_cast<double>(cfg.batchSize) *
+                    static_cast<double>(per_query));
+            const std::uint64_t lut_bytes =
+                std::uint64_t(cfg.batchSize) * cfg.pq.m *
+                (cfg.pq.bits == 4 ? 16ull * 1 : 256ull * 4);
+            w.bytesIn =
+                (static_cast<std::uint64_t>(
+                     distinct * static_cast<double>(per_cluster)) *
+                     pqCodeBytes(cfg.pq) +
+                 lut_bytes + refined * cfg.flashPageBytes) /
+                partitions;
+        } else {
+            // Codes stream sequentially from per-cluster blocks —
+            // the device reads the packed code bytes per candidate
+            // (half as many at 4 bits), not a page. Only the refined
+            // candidates still gather full vectors at page
+            // granularity.
+            w.bytesIn = (candidates * pqCodeBytes(cfg.pq) +
+                         refined * cfg.flashPageBytes) /
+                        partitions;
+        }
     } else {
         // KNN distance lanes: D MACs per candidate.
         w.ops = static_cast<double>(candidates) * cfg.dim / partitions;

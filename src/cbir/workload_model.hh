@@ -96,7 +96,37 @@ struct ScaleConfig
      * exact-refined candidates per query still pull full flash pages.
      */
     PqConfig pq{};
+    /**
+     * Cluster-major batched rerank (mirrors CbirService::Config::
+     * batchedRerank): with pq.enabled, each distinct probed cluster's
+     * code block streams from near-storage once per query batch —
+     * scored against every probing query in place — instead of once
+     * per probing query; the per-query ADC tables travel to the scan
+     * engine instead. Only the traffic accounting changes (results
+     * are bitwise identical in the functional layer). Ignored
+     * without pq.enabled.
+     */
+    bool batchedRerank = false;
+    /**
+     * Zipf exponent of the probe popularity across clusters, used by
+     * the batched-rerank accounting to estimate how many distinct
+     * clusters a batch's probes hit. 0 models uniform popularity
+     * (every cluster equally likely); production query logs are
+     * heavily skewed (s near 1), which is where cross-query block
+     * sharing pays.
+     */
+    double probeZipfS = 0;
 };
+
+/**
+ * Expected number of distinct clusters hit by @p probes independent
+ * draws from a Zipf(@p zipfS) popularity over @p numCentroids
+ * clusters (zipfS = 0 -> uniform). Closed-form expectation — a pure
+ * function of its arguments, so sweeps stay bitwise deterministic at
+ * any --jobs.
+ */
+double expectedDistinctProbedClusters(std::uint32_t numCentroids,
+                                      double zipfS, double probes);
 
 class CbirWorkloadModel
 {

@@ -1,0 +1,234 @@
+/**
+ * @file
+ * The cluster-major batched rerank's contract: RerankConfig::
+ * batchedScan changes only where code blocks stream from — never a
+ * bit of the results. Every test compares the batched scan against
+ * the query-major scan EXPECT_EQ-bitwise, across code widths,
+ * backends, thread counts, refine depths, degenerate batch shapes,
+ * and a fixture with planted distance ties (duplicated database
+ * rows), where any reordering of the candidate sweep would surface
+ * as a different tie-break.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "cbir/index.hh"
+#include "cbir/pq.hh"
+#include "cbir/rerank.hh"
+#include "cbir/shortlist.hh"
+#include "workload/dataset.hh"
+
+using namespace reach;
+using namespace reach::cbir;
+
+namespace
+{
+
+/**
+ * 1000 x 32 clustered vectors with every 7th row overwritten by its
+ * predecessor: exact duplicates produce exact ADC ties, so the
+ * batched scan must visit candidates in the query-major order (or
+ * break ties identically) to match bitwise. Queries are Zipf-skewed
+ * so the batch's probes overlap heavily — the case the cluster-major
+ * scan exists for.
+ */
+workload::Dataset
+tieDataset()
+{
+    workload::DatasetConfig dc;
+    dc.numVectors = 1000;
+    dc.dim = 32;
+    dc.latentClusters = 12;
+    return workload::Dataset(dc);
+}
+
+/** Copy with every 7th row overwritten by its predecessor. */
+Matrix
+withPlantedTies(const Matrix &src)
+{
+    Matrix db(src.rows(), src.cols());
+    for (std::size_t r = 0; r < db.rows(); ++r) {
+        auto from = src.row(r % 7 == 3 && r > 0 ? r - 1 : r);
+        std::copy(from.begin(), from.end(), db.row(r).begin());
+    }
+    return db;
+}
+
+KMeansConfig
+smallKMeans()
+{
+    KMeansConfig kc;
+    kc.clusters = 20;
+    return kc;
+}
+
+struct BatchedFixture
+{
+    workload::Dataset ds;
+    Matrix db;
+    InvertedFileIndex idx;
+    Matrix queries;
+    ShortLists lists;
+
+    explicit BatchedFixture(std::uint32_t bits = 8,
+                            std::size_t num_queries = 10)
+        : ds(tieDataset()),
+          db(withPlantedTies(ds.vectors())),
+          idx(db, smallKMeans()),
+          queries(ds.makeQueriesZipf(num_queries, 0.2, 31, 1.0))
+    {
+        PqConfig pc;
+        pc.enabled = true;
+        pc.m = 8;
+        pc.bits = bits;
+        pc.trainIterations = 4;
+        idx.buildPq(db, pc);
+        lists = shortlistRetrieve(queries, idx, 6);
+    }
+};
+
+RerankConfig
+pqRerankConfig(std::uint32_t refine = 0)
+{
+    RerankConfig rc;
+    rc.k = 10;
+    rc.maxCandidates = 4096;
+    rc.usePq = true;
+    rc.pqRefine = refine;
+    rc.parallel = parallel::ParallelConfig::serial();
+    return rc;
+}
+
+void
+expectIdentical(const RerankResults &a, const RerankResults &b,
+                const char *what)
+{
+    ASSERT_EQ(a.size(), b.size()) << what;
+    for (std::size_t q = 0; q < a.size(); ++q)
+        EXPECT_EQ(a[q], b[q]) << what << " query " << q;
+}
+
+} // namespace
+
+/**
+ * The full mode matrix: code width x backend x threads x refine.
+ * Batched and query-major scans must agree bitwise in every cell —
+ * including under exact refine, whose candidate set is the ADC top
+ * pqRefine and therefore sensitive to any ordering drift.
+ */
+TEST(RerankBatched, MatchesQueryMajorBitwiseAcrossModes)
+{
+    for (std::uint32_t bits : {8u, 4u}) {
+        BatchedFixture f(bits);
+        for (simd::Choice ch :
+             {simd::Choice::scalar, simd::Choice::avx2}) {
+            if (ch == simd::Choice::avx2 &&
+                !simd::supported(simd::Backend::avx2)) {
+                continue;
+            }
+            for (unsigned threads : {1u, 4u}) {
+                for (std::uint32_t refine : {0u, 32u}) {
+                    RerankConfig rc = pqRerankConfig(refine);
+                    rc.parallel.simd = ch;
+                    rc.parallel.threads = threads;
+                    auto major = rerank(f.queries, f.db, f.idx,
+                                        f.lists, rc);
+                    rc.batchedScan = true;
+                    auto batched = rerank(f.queries, f.db, f.idx,
+                                          f.lists, rc);
+                    std::string what =
+                        "bits=" + std::to_string(bits) + " simd=" +
+                        std::to_string(static_cast<int>(ch)) +
+                        " threads=" + std::to_string(threads) +
+                        " refine=" + std::to_string(refine);
+                    expectIdentical(major, batched, what.c_str());
+                }
+            }
+        }
+    }
+}
+
+/** A one-query batch has nothing to amortize; bits still match. */
+TEST(RerankBatched, SingleQueryDegeneratesToQueryMajor)
+{
+    for (std::uint32_t bits : {8u, 4u}) {
+        BatchedFixture f(bits, 1);
+        RerankConfig rc = pqRerankConfig();
+        auto major = rerank(f.queries, f.db, f.idx, f.lists, rc);
+        rc.batchedScan = true;
+        auto batched = rerank(f.queries, f.db, f.idx, f.lists, rc);
+        expectIdentical(major, batched, "single query");
+    }
+}
+
+/**
+ * Probes that never overlap: every cluster block serves exactly one
+ * query, so the batched plan is a pure reordering of the query-major
+ * work with no sharing — the worst case for the optimization and a
+ * direct test of the per-(query, cluster) segment bookkeeping.
+ */
+TEST(RerankBatched, NonOverlappingProbesMatch)
+{
+    BatchedFixture f(4);
+    ShortLists disjoint(f.queries.rows());
+    const std::uint32_t per = f.idx.numClusters() / 4;
+    for (std::size_t q = 0; q < disjoint.size(); ++q) {
+        for (std::uint32_t c = 0; c < per; ++c)
+            disjoint[q].push_back((q * per + c) % f.idx.numClusters());
+    }
+    RerankConfig rc = pqRerankConfig(16);
+    auto major = rerank(f.queries, f.db, f.idx, disjoint, rc);
+    rc.batchedScan = true;
+    auto batched = rerank(f.queries, f.db, f.idx, disjoint, rc);
+    expectIdentical(major, batched, "disjoint probes");
+}
+
+/**
+ * Candidate budget smaller than the first probed cluster: the scan
+ * must truncate the very first block rather than wrap an unsigned
+ * remaining-budget subtraction (the scoreCandidatesPq guard), and
+ * batched truncation must pick the same prefix.
+ */
+TEST(RerankBatched, BudgetSmallerThanFirstClusterTruncatesExactly)
+{
+    for (std::uint32_t bits : {8u, 4u}) {
+        BatchedFixture f(bits);
+        RerankConfig rc = pqRerankConfig();
+        rc.k = 3;
+        rc.maxCandidates = 3; // clusters hold ~50 vectors each
+        auto major = rerank(f.queries, f.db, f.idx, f.lists, rc);
+        for (const auto &nbrs : major)
+            EXPECT_LE(nbrs.size(), 3u);
+        rc.batchedScan = true;
+        auto batched = rerank(f.queries, f.db, f.idx, f.lists, rc);
+        expectIdentical(major, batched, "tiny budget");
+    }
+}
+
+/** Unlimited budget sweeps whole clusters through both plans. */
+TEST(RerankBatched, UnlimitedBudgetMatches)
+{
+    BatchedFixture f(8);
+    RerankConfig rc = pqRerankConfig(24);
+    rc.maxCandidates = 0;
+    auto major = rerank(f.queries, f.db, f.idx, f.lists, rc);
+    rc.batchedScan = true;
+    auto batched = rerank(f.queries, f.db, f.idx, f.lists, rc);
+    expectIdentical(major, batched, "unlimited budget");
+}
+
+/** batchedScan without usePq is documented as ignored. */
+TEST(RerankBatched, IgnoredWithoutPq)
+{
+    BatchedFixture f(8);
+    RerankConfig rc;
+    rc.k = 10;
+    rc.maxCandidates = 300;
+    rc.parallel = parallel::ParallelConfig::serial();
+    auto exact = rerank(f.queries, f.db, f.idx, f.lists, rc);
+    rc.batchedScan = true;
+    auto flagged = rerank(f.queries, f.db, f.idx, f.lists, rc);
+    expectIdentical(exact, flagged, "no pq");
+}

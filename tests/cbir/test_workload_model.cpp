@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "cbir/workload_model.hh"
 #include "sim/logging.hh"
 
@@ -224,6 +226,113 @@ TEST(WorkloadModel, ClusterSizeIsDatabaseOverCentroids)
     EXPECT_EQ(m.clusterSizeIds(), 1'000'000'000u / 1000u);
 }
 
+TEST(WorkloadModel, ExpectedDistinctClustersProperties)
+{
+    // Degenerate inputs.
+    EXPECT_EQ(expectedDistinctProbedClusters(0, 0, 16), 0.0);
+    EXPECT_EQ(expectedDistinctProbedClusters(100, 0, 0), 0.0);
+    // One probe hits exactly one cluster at any skew.
+    EXPECT_NEAR(expectedDistinctProbedClusters(1000, 0, 1), 1.0, 1e-9);
+    EXPECT_NEAR(expectedDistinctProbedClusters(1000, 1.0, 1), 1.0,
+                1e-9);
+    // Monotone in probes, bounded by both probes and cluster count.
+    double prev = 0;
+    for (double probes : {1.0, 8.0, 64.0, 512.0, 4096.0}) {
+        double d = expectedDistinctProbedClusters(256, 0, probes);
+        EXPECT_GT(d, prev) << "probes=" << probes;
+        EXPECT_LE(d, std::min(probes, 256.0) + 1e-9);
+        prev = d;
+    }
+    // Skew concentrates probes on hot clusters: fewer distinct hits.
+    EXPECT_LT(expectedDistinctProbedClusters(256, 1.0, 128),
+              expectedDistinctProbedClusters(256, 0, 128));
+    // Saturation: far more probes than clusters reaches ~all of them.
+    EXPECT_NEAR(expectedDistinctProbedClusters(64, 0, 1e5), 64.0,
+                1e-6);
+}
+
+namespace
+{
+
+/**
+ * A scale where the candidate budget spans all nprobe clusters (1000
+ * ids per cluster, budget 8000), so the batched scan has real
+ * cross-query block sharing to amortize.
+ */
+ScaleConfig
+batchedScale()
+{
+    ScaleConfig s;
+    s.databaseVectors = 1'000'000;
+    s.numCentroids = 1000;
+    s.batchSize = 32;
+    s.nprobe = 8;
+    s.rerankCandidates = 8000;
+    s.pq.enabled = true;
+    s.pq.m = 32;
+    s.pq.bits = 4;
+    s.pq.refine = 0;
+    s.batchedRerank = true;
+    s.probeZipfS = 1.0;
+    return s;
+}
+
+} // namespace
+
+TEST(WorkloadModel, BatchedRerankChargesDistinctClusterBytes)
+{
+    ScaleConfig s = batchedScale();
+    CbirWorkloadModel m(s);
+    auto w = m.rerankBatch(1);
+
+    // Hand evaluation of the documented accounting: each query's
+    // budget reaches all 8 probes, the batch draws 32 * 8 probes, and
+    // every distinct cluster hit streams its 1000-id block once
+    // (16 B/code at m = 32 x 4 bits) plus one 512 B u8 table per
+    // query.
+    const double distinct =
+        expectedDistinctProbedClusters(1000, 1.0, 32.0 * 8.0);
+    const auto code_bytes =
+        static_cast<std::uint64_t>(distinct * 1000.0) * 16;
+    const std::uint64_t lut_bytes = 32ull * 32 * 16;
+    EXPECT_EQ(w.bytesIn, code_bytes + lut_bytes);
+
+    // Only the traffic accounting moves; compute and outputs do not.
+    ScaleConfig qs = s;
+    qs.batchedRerank = false;
+    CbirWorkloadModel q(qs);
+    auto qw = q.rerankBatch(1);
+    EXPECT_EQ(w.ops, qw.ops);
+    EXPECT_EQ(w.bytesOut, qw.bytesOut);
+    // Skewed probes overlap heavily, so the batched stream beats the
+    // per-query scan (32 x 8000 codes) by a wide margin.
+    EXPECT_EQ(qw.bytesIn, 32ull * 8000 * 16);
+    EXPECT_LT(w.bytesIn, qw.bytesIn);
+}
+
+TEST(WorkloadModel, BatchedRerankSkewReducesTraffic)
+{
+    ScaleConfig skewed = batchedScale();
+    ScaleConfig uniform = batchedScale();
+    uniform.probeZipfS = 0;
+    CbirWorkloadModel a(skewed), b(uniform);
+    // Uniform probes rarely collide; Zipf probes share hot blocks.
+    EXPECT_LT(a.rerankBatch(1).bytesIn, b.rerankBatch(1).bytesIn);
+}
+
+TEST(WorkloadModel, BatchedRerankIgnoredWithoutPq)
+{
+    ScaleConfig s = paperScale();
+    s.batchedRerank = true;
+    CbirWorkloadModel batched(s);
+    CbirWorkloadModel exact(paperScale());
+    // The exact pipeline has no code blocks to amortize: the flag is
+    // inert, matching RerankConfig::batchedScan's contract.
+    EXPECT_EQ(batched.rerankBatch(1).bytesIn,
+              exact.rerankBatch(1).bytesIn);
+    EXPECT_EQ(batched.rerankBatch(1).ops, exact.rerankBatch(1).ops);
+}
+
 /** Property: all work units scale sanely across partition counts. */
 class WorkloadPartitions : public ::testing::TestWithParam<std::uint32_t>
 {
@@ -254,6 +363,13 @@ TEST_P(WorkloadPartitions, ConservationAcrossPartitions)
     EXPECT_NEAR(static_cast<double>(prr.bytesIn) * p,
                 static_cast<double>(prr1.bytesIn),
                 static_cast<double>(prr1.bytesIn) * 0.02);
+
+    CbirWorkloadModel bm(batchedScale());
+    auto brr = bm.rerankBatch(p);
+    auto brr1 = bm.rerankBatch(1);
+    EXPECT_NEAR(static_cast<double>(brr.bytesIn) * p,
+                static_cast<double>(brr1.bytesIn),
+                static_cast<double>(brr1.bytesIn) * 0.02);
 }
 
 INSTANTIATE_TEST_SUITE_P(Partitions, WorkloadPartitions,

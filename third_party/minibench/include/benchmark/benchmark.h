@@ -8,7 +8,10 @@
  *   - BENCHMARK(fn) / BENCHMARK_CAPTURE(fn, label, args...) with
  *     ->Arg(n) and ->UseRealTime() chaining, BENCHMARK_MAIN()
  *   - benchmark::State: for (auto _ : state), range(i),
- *     iterations(), SetItemsProcessed(), SkipWithError()
+ *     iterations(), SetItemsProcessed(), SkipWithError(),
+ *     counters["name"] = value (plain doubles; no Counter flags —
+ *     each entry is emitted verbatim as a key of the run's JSON
+ *     object, the same flattened shape google-benchmark writes)
  *   - benchmark::DoNotOptimize()
  *   - flags: --benchmark_out=FILE, --benchmark_out_format=json,
  *     --benchmark_min_time=T[s]|Nx, --benchmark_filter=REGEX,
@@ -22,8 +25,8 @@
  * library_build_type: "release" regardless of the embedding build.
  *
  * Not implemented (and not used in-tree): threads, fixtures,
- * templated benchmarks, manual timing, counters, aggregate
- * (mean/median/stddev) reports, console color tables.
+ * templated benchmarks, manual timing, Counter rate/invert flags,
+ * aggregate (mean/median/stddev) reports, console color tables.
  */
 
 #ifndef MINIBENCH_BENCHMARK_H
@@ -31,6 +34,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <string>
 #include <utility>
 #include <vector>
@@ -50,6 +54,13 @@ class State
 
     void SetItemsProcessed(std::int64_t n) { items = n; }
     std::int64_t itemsProcessed() const { return items; }
+
+    /**
+     * User counters, flattened into the run's JSON object. The last
+     * iteration's values win (counters describe the workload, not
+     * the timing, so every iteration writes the same numbers).
+     */
+    std::map<std::string, double> counters;
 
     /** Mark this run skipped; the report carries the message. */
     void SkipWithError(const std::string &msg);

@@ -69,6 +69,7 @@ struct RunResult
     double realNsPerIter = 0;
     double cpuNsPerIter = 0;
     double itemsPerSecond = 0; // 0 = not set
+    std::map<std::string, double> counters;
     bool skipped = false;
     std::string error;
 };
@@ -103,6 +104,7 @@ runInstance(const internal::Benchmark &bench, const std::string &name,
                 res.itemsPerSecond =
                     double(state.itemsProcessed()) / elapsed_s;
             }
+            res.counters = state.counters;
             return res;
         }
         // Scale towards the target with the usual benchmark
@@ -202,6 +204,10 @@ writeJson(const std::string &path,
                 std::fprintf(f,
                              "      \"items_per_second\": %.6f,\n",
                              r.itemsPerSecond);
+            }
+            for (const auto &[k, v] : r.counters) {
+                std::fprintf(f, "      \"%s\": %.6f,\n",
+                             jsonEscape(k).c_str(), v);
             }
             std::fprintf(f, "      \"time_unit\": \"ns\"\n");
         }
@@ -366,19 +372,25 @@ RunSpecifiedBenchmarks()
                 if (r.skipped) {
                     std::fprintf(stderr, "%-40s SKIPPED: %s\n",
                                  r.name.c_str(), r.error.c_str());
-                } else if (r.itemsPerSecond > 0) {
-                    std::fprintf(stderr,
-                                 "%-40s %12.1f ns %10lld iters "
-                                 "%10.2fM items/s\n",
-                                 r.name.c_str(), r.realNsPerIter,
-                                 static_cast<long long>(r.iterations),
-                                 r.itemsPerSecond / 1e6);
                 } else {
-                    std::fprintf(stderr,
-                                 "%-40s %12.1f ns %10lld iters\n",
-                                 r.name.c_str(), r.realNsPerIter,
-                                 static_cast<long long>(
-                                     r.iterations));
+                    if (r.itemsPerSecond > 0) {
+                        std::fprintf(stderr,
+                                     "%-40s %12.1f ns %10lld iters "
+                                     "%10.2fM items/s",
+                                     r.name.c_str(), r.realNsPerIter,
+                                     static_cast<long long>(
+                                         r.iterations),
+                                     r.itemsPerSecond / 1e6);
+                    } else {
+                        std::fprintf(stderr,
+                                     "%-40s %12.1f ns %10lld iters",
+                                     r.name.c_str(), r.realNsPerIter,
+                                     static_cast<long long>(
+                                         r.iterations));
+                    }
+                    for (const auto &[k, v] : r.counters)
+                        std::fprintf(stderr, " %s=%g", k.c_str(), v);
+                    std::fprintf(stderr, "\n");
                 }
                 results.push_back(std::move(r));
             }
